@@ -1,0 +1,129 @@
+"""Experiment A5 — the cost of the algebra abstraction (section 4.2/4.3).
+
+The paper's running example ``translate(splice(transcribe(g)))`` can be
+run three ways: direct Python calls, a pre-parsed algebra term
+evaluated with carrier checking, and parse-plus-evaluate from text.
+The abstraction the ADT design buys (sort checking, extensibility,
+SQL/BiQL embedding) should cost little over direct calls — this
+benchmark quantifies "little".
+
+Standalone report:  python benchmarks/bench_ablation_algebra.py
+"""
+
+import pytest
+
+from repro.core import genomics_algebra, ops
+from repro.core.types import DnaSequence, Gene, Interval
+
+GENE = Gene(
+    name="bench",
+    sequence=DnaSequence("ATGGCCATTGTAATGGGCCGCTGAAAGGGTGCCCGATAG" * 5),
+    exons=(Interval(0, 39), Interval(60, 180)),
+)
+TERM_TEXT = "translate(splice(transcribe(g)))"
+
+
+@pytest.fixture(scope="module")
+def algebra():
+    return genomics_algebra()
+
+
+@pytest.fixture(scope="module")
+def parsed_term(algebra):
+    return algebra.parse(TERM_TEXT, variables={"g": "gene"})
+
+
+@pytest.mark.benchmark(group="a5-pipeline")
+def test_bench_direct_calls(benchmark):
+    protein = benchmark(
+        lambda: ops.translate(ops.splice(ops.transcribe(GENE)))
+    )
+    assert len(protein.sequence) > 0
+
+
+@pytest.mark.benchmark(group="a5-pipeline")
+def test_bench_term_evaluation(benchmark, algebra, parsed_term):
+    protein = benchmark(algebra.evaluate, parsed_term, {"g": GENE})
+    assert len(protein.sequence) > 0
+
+
+@pytest.mark.benchmark(group="a5-pipeline")
+def test_bench_parse_and_evaluate(benchmark, algebra):
+    def run():
+        term = algebra.parse(TERM_TEXT, variables={"g": "gene"})
+        return algebra.evaluate(term, {"g": GENE})
+
+    protein = benchmark(run)
+    assert len(protein.sequence) > 0
+
+
+@pytest.mark.benchmark(group="a5-parsing")
+def test_bench_term_parsing_only(benchmark, algebra):
+    term = benchmark(algebra.parse, TERM_TEXT, {"g": "gene"})
+    assert term.sort == "protein"
+
+
+class TestA5Shape:
+    def test_all_paths_agree(self, algebra, parsed_term):
+        direct = ops.translate(ops.splice(ops.transcribe(GENE)))
+        evaluated = algebra.evaluate(parsed_term, {"g": GENE})
+        assert direct.sequence == evaluated.sequence
+
+    def test_abstraction_overhead_is_bounded(self, algebra, parsed_term):
+        import time
+
+        def timed(fn, repeats=200):
+            start = time.perf_counter()
+            for __ in range(repeats):
+                fn()
+            return time.perf_counter() - start
+
+        direct = timed(
+            lambda: ops.translate(ops.splice(ops.transcribe(GENE)))
+        )
+        term = timed(
+            lambda: algebra.evaluate(parsed_term, {"g": GENE})
+        )
+        # Carrier-checked evaluation must stay within 3x of raw calls.
+        assert term < 3 * direct
+
+
+def report() -> None:
+    import time
+
+    algebra = genomics_algebra()
+    term = algebra.parse(TERM_TEXT, variables={"g": "gene"})
+
+    def timed(fn, repeats=500):
+        start = time.perf_counter()
+        for __ in range(repeats):
+            fn()
+        return (time.perf_counter() - start) / repeats * 1_000_000
+
+    direct_us = timed(
+        lambda: ops.translate(ops.splice(ops.transcribe(GENE)))
+    )
+    term_us = timed(lambda: algebra.evaluate(term, {"g": GENE}))
+    full_us = timed(lambda: algebra.evaluate(
+        algebra.parse(TERM_TEXT, variables={"g": "gene"}), {"g": GENE}
+    ))
+    parse_us = timed(
+        lambda: algebra.parse(TERM_TEXT, variables={"g": "gene"})
+    )
+
+    print("A5: translate(splice(transcribe(g))) on a "
+          f"{len(GENE)} bp gene")
+    print()
+    print(f"{'execution path':<34} {'us/op':>9} {'overhead':>9}")
+    print("-" * 55)
+    print(f"{'direct function calls':<34} {direct_us:>9.1f} "
+          f"{'1.00x':>9}")
+    print(f"{'pre-parsed term, carrier-checked':<34} {term_us:>9.1f} "
+          f"{term_us / direct_us:>8.2f}x")
+    print(f"{'parse + evaluate from text':<34} {full_us:>9.1f} "
+          f"{full_us / direct_us:>8.2f}x")
+    print(f"{'(term parsing alone)':<34} {parse_us:>9.1f}")
+
+
+if __name__ == "__main__":
+    report()

@@ -1,0 +1,190 @@
+"""Experiment A2 — genomic index structures vs naive scans (section 6.5).
+
+"These should support, e.g., similarity or substructure search on
+nucleotide sequences."  We measure:
+
+- substring search (``contains``): sequential scan vs k-mer index vs
+  suffix-array index, across table sizes — expected shape: both indexes
+  beat the scan by a growing factor;
+- similarity search (``resembles`` substrate): BLAST-style seed-and-
+  extend over a word index vs full Smith–Waterman of the query against
+  every subject — expected shape: orders of magnitude apart.
+
+Standalone report:  python benchmarks/bench_ablation_genomic_index.py
+"""
+
+import random
+import time
+
+import pytest
+
+from repro.adapter import install_genomics
+from repro.core.ops import (
+    WordIndex,
+    blast_search,
+    naive_similarity_scan,
+)
+from repro.core.types import DnaSequence
+from repro.db import Database
+
+MOTIF = "ATGGCCATTGTA"
+ROWS = 300
+SEQ_LENGTH = 400
+
+
+def _random_dna(rng, length):
+    return "".join(rng.choice("ACGT") for __ in range(length))
+
+
+def _build_table(index_kind=None, rows=ROWS):
+    """A fragment table; ~5% of rows carry the motif."""
+    rng = random.Random(99)
+    database = Database()
+    install_genomics(database)
+    database.execute(
+        "CREATE TABLE frags (id INTEGER PRIMARY KEY, seq DNA)"
+    )
+    expected = set()
+    for row_id in range(rows):
+        body = _random_dna(rng, SEQ_LENGTH)
+        if rng.random() < 0.05:
+            at = rng.randrange(SEQ_LENGTH - len(MOTIF))
+            body = body[:at] + MOTIF + body[at + len(MOTIF):]
+            expected.add(row_id)
+        database.execute("INSERT INTO frags VALUES (?, ?)",
+                         [row_id, DnaSequence(body)])
+    if index_kind == "kmer":
+        database.execute(
+            "CREATE INDEX iseq ON frags (seq) USING kmer WITH (k = 8)"
+        )
+    elif index_kind == "suffix":
+        database.execute("CREATE INDEX iseq ON frags (seq) USING suffix")
+        # Force the lazy suffix array build outside the timed region.
+        database.query(
+            "SELECT id FROM frags WHERE contains(seq, ?)", [MOTIF]
+        )
+    return database, expected
+
+
+QUERY = "SELECT id FROM frags WHERE contains(seq, ?)"
+
+
+@pytest.fixture(scope="module")
+def tables():
+    return {
+        kind: _build_table(kind)
+        for kind in (None, "kmer", "suffix")
+    }
+
+
+@pytest.mark.benchmark(group="a2-contains")
+@pytest.mark.parametrize("kind", [None, "kmer", "suffix"],
+                         ids=["seqscan", "kmer", "suffix"])
+def test_bench_contains(benchmark, tables, kind):
+    database, expected = tables[kind]
+    result = benchmark(database.query, QUERY, [MOTIF])
+    assert {row[0] for row in result} == expected
+
+
+class TestA2Shape:
+    def test_all_paths_agree(self, tables):
+        answers = {
+            kind: {row[0] for row in database.query(QUERY, [MOTIF])}
+            for kind, (database, __) in tables.items()
+        }
+        assert answers[None] == answers["kmer"] == answers["suffix"]
+
+    def test_indexes_beat_scan(self, tables):
+        def timed(kind):
+            database, __ = tables[kind]
+            start = time.perf_counter()
+            for __ in range(3):
+                database.query(QUERY, [MOTIF])
+            return time.perf_counter() - start
+
+        scan = timed(None)
+        assert timed("kmer") < scan
+        assert timed("suffix") < scan
+
+    def test_plans_differ(self, tables):
+        scan_db, __ = tables[None]
+        kmer_db, __ = tables["kmer"]
+        assert "SeqScan" in scan_db.explain(
+            "SELECT id FROM frags WHERE contains(seq, 'AAAA')"
+        )
+        assert "IndexContainsScan" in kmer_db.explain(
+            "SELECT id FROM frags WHERE contains(seq, 'AAAAAAAA')"
+        )
+
+
+# -- similarity: seed-and-extend vs full Smith-Waterman ---------------------
+
+@pytest.fixture(scope="module")
+def similarity_setting():
+    rng = random.Random(7)
+    subjects = {
+        f"s{i}": _random_dna(rng, 300) for i in range(40)
+    }
+    query = _random_dna(rng, 60)
+    # Plant the query inside one subject so there is a true best hit.
+    subjects["s0"] = subjects["s0"][:100] + query + subjects["s0"][160:]
+    index = WordIndex(word_size=10)
+    for name, text in subjects.items():
+        index.add(name, text)
+    return query, subjects, index
+
+
+@pytest.mark.benchmark(group="a2-similarity")
+def test_bench_blast_style(benchmark, similarity_setting):
+    query, __, index = similarity_setting
+    hits = benchmark(blast_search, query, index, 40.0)
+    assert hits[0].subject_id == "s0"
+
+
+@pytest.mark.benchmark(group="a2-similarity")
+def test_bench_naive_smith_waterman(benchmark, similarity_setting):
+    query, subjects, __ = similarity_setting
+    ranked = benchmark(naive_similarity_scan, query, subjects)
+    assert ranked[0][0] == "s0"
+
+
+def report() -> None:
+    print(f"A2: contains({MOTIF!r}) over {ROWS} x {SEQ_LENGTH} bp rows")
+    print()
+    print(f"{'access path':<14} {'ms/query':>9} {'speedup':>9}")
+    print("-" * 35)
+    times = {}
+    for kind, label in ((None, "seq scan"), ("kmer", "k-mer index"),
+                        ("suffix", "suffix array")):
+        database, expected = _build_table(kind)
+        start = time.perf_counter()
+        for __ in range(5):
+            rows = database.query(QUERY, [MOTIF])
+        times[kind] = (time.perf_counter() - start) / 5 * 1000
+        assert {r[0] for r in rows} == expected
+        speedup = times[None] / times[kind]
+        print(f"{label:<14} {times[kind]:>9.2f} {speedup:>8.1f}x")
+
+    print()
+    print("similarity search (40 x 300 bp subjects, 60 bp query):")
+    rng = random.Random(7)
+    subjects = {f"s{i}": _random_dna(rng, 300) for i in range(40)}
+    query = _random_dna(rng, 60)
+    subjects["s0"] = subjects["s0"][:100] + query + subjects["s0"][160:]
+    index = WordIndex(word_size=10)
+    for name, text in subjects.items():
+        index.add(name, text)
+
+    start = time.perf_counter()
+    blast_search(query, index, min_score=40.0)
+    blast_ms = (time.perf_counter() - start) * 1000
+    start = time.perf_counter()
+    naive_similarity_scan(query, subjects)
+    naive_ms = (time.perf_counter() - start) * 1000
+    print(f"{'seed-and-extend':<22} {blast_ms:>9.2f} ms")
+    print(f"{'full Smith-Waterman':<22} {naive_ms:>9.2f} ms "
+          f"({naive_ms / blast_ms:.0f}x slower)")
+
+
+if __name__ == "__main__":
+    report()

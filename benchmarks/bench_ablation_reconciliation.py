@@ -1,0 +1,114 @@
+"""Experiment A6 — reconciliation accuracy vs source count and noise (C8).
+
+The paper's qualitative claim: reconciled warehouse data is more
+trustworthy than any single noisy repository (B10 puts GenBank's error
+rate at 30-60 %).  With a synthetic ground truth we can measure it:
+sweep the number of integrated sources and the per-source error rate,
+and compare the warehouse's sequence accuracy against the best single
+source.  Expected shape: warehouse accuracy ≥ best single source, with
+the gap widening as more (independently noisy) sources vote.
+
+Standalone report:  python benchmarks/bench_ablation_reconciliation.py
+"""
+
+import pytest
+
+from repro.sources import (
+    AceRepository,
+    EmblRepository,
+    GenBankRepository,
+    RelationalRepository,
+    Universe,
+)
+from repro.warehouse import UnifyingDatabase, accuracy_against_truth
+
+SOURCE_CLASSES = (GenBankRepository, EmblRepository, AceRepository,
+                  RelationalRepository)
+
+
+def _build(n_sources: int, error_rate: float, seed: int = 909,
+           size: int = 80):
+    universe = Universe(seed=seed, size=size)
+    sources = [
+        cls(universe, coverage=0.9, error_rate=error_rate, seed=i + 1)
+        for i, cls in enumerate(SOURCE_CLASSES[:n_sources])
+    ]
+    warehouse = UnifyingDatabase(sources, with_indexes=False)
+    warehouse.initial_load()
+    return universe, warehouse
+
+
+@pytest.mark.benchmark(group="a6-reconciliation")
+@pytest.mark.parametrize("n_sources", [1, 2, 4])
+def test_bench_reconcile_time_vs_sources(benchmark, n_sources):
+    """Load time as integration width grows (the cost of voting)."""
+
+    def load():
+        return _build(n_sources, error_rate=0.4)
+
+    universe, warehouse = benchmark(load)
+    assert warehouse.query("SELECT count(*) FROM public_genes").scalar() > 0
+
+
+class TestA6Shape:
+    @pytest.mark.parametrize("error_rate", [0.2, 0.4, 0.6])
+    def test_warehouse_at_least_as_accurate_as_best_source(
+        self, error_rate
+    ):
+        universe, warehouse = _build(4, error_rate)
+        report = accuracy_against_truth(warehouse, universe)
+        assert report.genes_scored > 0
+        assert report.warehouse_accuracy \
+            >= report.best_single_source() - 1e-9
+
+    def test_more_sources_do_not_hurt(self):
+        accuracies = {}
+        for n_sources in (1, 2, 4):
+            universe, warehouse = _build(n_sources, error_rate=0.4)
+            report = accuracy_against_truth(warehouse, universe)
+            accuracies[n_sources] = report.warehouse_accuracy
+        assert accuracies[4] >= accuracies[1] - 1e-9
+
+    def test_majority_vote_recovers_truth_with_four_sources(self):
+        # With 4 independent 40%-noisy sources, voting should beat the
+        # per-source accuracy clearly.
+        universe, warehouse = _build(4, error_rate=0.4)
+        report = accuracy_against_truth(warehouse, universe)
+        mean_source = (sum(report.source_accuracy.values())
+                       / len(report.source_accuracy))
+        assert report.warehouse_accuracy > mean_source
+
+    def test_quality_report_flags_noisy_sources(self):
+        from repro.warehouse import source_quality_report
+
+        universe, warehouse = _build(4, error_rate=0.5)
+        report = source_quality_report(warehouse)
+        assert report
+        # Somebody must disagree with the consensus at 50% noise.
+        assert any(entry.sequence_disagreements > 0 for entry in report)
+        assert all(0.0 <= entry.disagreement_rate <= 1.0
+                   for entry in report)
+
+
+def report() -> None:
+    print("A6: reconciliation accuracy vs source count and noise (C8/B10)")
+    print()
+    header = (f"{'noise':>6} {'sources':>8} {'warehouse acc':>14} "
+              f"{'best source':>12} {'mean source':>12}")
+    print(header)
+    print("-" * len(header))
+    for error_rate in (0.2, 0.4, 0.6):
+        for n_sources in (1, 2, 3, 4):
+            universe, warehouse = _build(n_sources, error_rate)
+            quality = accuracy_against_truth(warehouse, universe)
+            mean_source = (sum(quality.source_accuracy.values())
+                           / len(quality.source_accuracy))
+            print(f"{error_rate:>6.1f} {n_sources:>8} "
+                  f"{quality.warehouse_accuracy:>13.0%} "
+                  f"{quality.best_single_source():>11.0%} "
+                  f"{mean_source:>11.0%}")
+        print()
+
+
+if __name__ == "__main__":
+    report()

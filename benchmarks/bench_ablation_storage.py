@@ -1,0 +1,163 @@
+"""Experiment A3 — compact packed storage vs pointer structures (§4.3).
+
+"Representations for genomic data types should not employ pointer data
+structures in main memory but be embedded into compact storage areas
+which can be efficiently transferred between main memory and disk."
+
+We compare three in-memory representations of the same DNA:
+
+- **packed** — :class:`DnaSequence` (4 bits/base, one buffer);
+- **text**   — a Python ``str`` (the low-level treatment);
+- **objects** — a ``list`` of one-character strings (the pointer
+  structure the paper warns about).
+
+Measured: memory footprint, (de)serialization to bytes, and an
+operation over the representation (GC content).
+
+Standalone report:  python benchmarks/bench_ablation_storage.py
+"""
+
+import json
+import random
+import sys
+
+import pytest
+
+from repro.core.ops import gc_content
+from repro.core.types import DnaSequence
+
+LENGTH = 50_000
+
+
+def _text(length=LENGTH):
+    rng = random.Random(3)
+    return "".join(rng.choice("ACGT") for __ in range(length))
+
+
+@pytest.fixture(scope="module")
+def representations():
+    text = _text()
+    return {
+        "packed": DnaSequence(text),
+        "text": text,
+        "objects": list(text),
+    }
+
+
+def _deep_size(value) -> int:
+    if isinstance(value, DnaSequence):
+        return sys.getsizeof(value) + value.nbytes
+    if isinstance(value, list):
+        return sys.getsizeof(value) + sum(
+            sys.getsizeof(item) for item in set(value)
+        ) + 8 * len(value)  # pointer per element
+    return sys.getsizeof(value)
+
+
+@pytest.mark.benchmark(group="a3-serialize")
+def test_bench_serialize_packed(benchmark, representations):
+    sequence = representations["packed"]
+    data = benchmark(sequence.to_bytes)
+    assert len(data) < LENGTH  # genuinely compact: < 1 byte per base
+
+
+@pytest.mark.benchmark(group="a3-serialize")
+def test_bench_serialize_objects(benchmark, representations):
+    items = representations["objects"]
+    data = benchmark(lambda: json.dumps(items).encode())
+    assert len(data) > LENGTH  # pointer structure serializes bloated
+
+
+@pytest.mark.benchmark(group="a3-deserialize")
+def test_bench_deserialize_packed(benchmark, representations):
+    data = representations["packed"].to_bytes()
+    sequence = benchmark(DnaSequence.from_bytes, data)
+    assert len(sequence) == LENGTH
+
+
+@pytest.mark.benchmark(group="a3-deserialize")
+def test_bench_deserialize_objects(benchmark, representations):
+    data = json.dumps(representations["objects"]).encode()
+    items = benchmark(lambda: json.loads(data))
+    assert len(items) == LENGTH
+
+
+@pytest.mark.benchmark(group="a3-operate")
+def test_bench_gc_on_packed(benchmark, representations):
+    value = benchmark(gc_content, representations["packed"])
+    assert 0.4 < value < 0.6
+
+
+@pytest.mark.benchmark(group="a3-operate")
+def test_bench_gc_on_object_list(benchmark, representations):
+    items = representations["objects"]
+
+    def naive_gc():
+        gc = sum(1 for ch in items if ch in ("G", "C"))
+        at = sum(1 for ch in items if ch in ("A", "T"))
+        return gc / (gc + at)
+
+    value = benchmark(naive_gc)
+    assert 0.4 < value < 0.6
+
+
+class TestA3Shape:
+    def test_packed_is_smallest(self, representations):
+        sizes = {name: _deep_size(value)
+                 for name, value in representations.items()}
+        assert sizes["packed"] < sizes["text"] < sizes["objects"]
+
+    def test_packed_is_half_a_byte_per_base(self, representations):
+        assert representations["packed"].nbytes == LENGTH // 2
+
+    def test_serialization_is_buffer_copy_sized(self, representations):
+        data = representations["packed"].to_bytes()
+        assert len(data) <= LENGTH // 2 + 16  # payload + header
+
+
+def report() -> None:
+    import time
+
+    text = _text()
+    packed = DnaSequence(text)
+    objects = list(text)
+
+    print(f"A3: storage representations of {LENGTH:,} bp")
+    print()
+    print(f"{'representation':<16} {'bytes in memory':>16} "
+          f"{'serialized':>11} {'ser ms':>8} {'deser ms':>9} "
+          f"{'gc ms':>7}")
+    print("-" * 74)
+
+    def timed(fn, repeats=10):
+        start = time.perf_counter()
+        for __ in range(repeats):
+            result = fn()
+        return result, (time.perf_counter() - start) / repeats * 1000
+
+    data, ser_ms = timed(packed.to_bytes)
+    __, deser_ms = timed(lambda: DnaSequence.from_bytes(data))
+    __, gc_ms = timed(lambda: gc_content(packed))
+    print(f"{'packed (GDT)':<16} {_deep_size(packed):>16,} "
+          f"{len(data):>11,} {ser_ms:>8.2f} {deser_ms:>9.2f} "
+          f"{gc_ms:>7.2f}")
+
+    data, ser_ms = timed(lambda: text.encode())
+    __, deser_ms = timed(lambda: data.decode())
+    __, gc_ms = timed(lambda: (text.count("G") + text.count("C"))
+                      / len(text))
+    print(f"{'text (str)':<16} {_deep_size(text):>16,} "
+          f"{len(data):>11,} {ser_ms:>8.2f} {deser_ms:>9.2f} "
+          f"{gc_ms:>7.2f}")
+
+    data, ser_ms = timed(lambda: json.dumps(objects).encode())
+    __, deser_ms = timed(lambda: json.loads(data))
+    __, gc_ms = timed(lambda: sum(1 for ch in objects
+                                  if ch in ("G", "C")) / len(objects))
+    print(f"{'object list':<16} {_deep_size(objects):>16,} "
+          f"{len(data):>11,} {ser_ms:>8.2f} {deser_ms:>9.2f} "
+          f"{gc_ms:>7.2f}")
+
+
+if __name__ == "__main__":
+    report()

@@ -1,0 +1,161 @@
+"""Experiment F1 — Figure 1: the cost profile of query-driven integration.
+
+Figure 1 is the mediator architecture the paper argues against for
+close-control workloads.  We operationalize it: the same motif question
+is answered by the mediator (extract + ship + filter per query) and by
+the Unifying Database (pre-integrated, genomic index), sweeping the
+number of sources.  Expected shape: mediator latency and shipped bytes
+grow with source count and repeat with every query; warehouse latency is
+flat and small; the mediator's sole advantage is zero staleness.
+
+Standalone report:  python benchmarks/bench_fig1_mediation.py
+"""
+
+import time
+
+import pytest
+
+from repro.mediator import Mediator
+from repro.sources import Universe
+from repro.warehouse import UnifyingDatabase
+
+from conftest import build_sources
+
+MOTIF = "ATGGC"
+SOURCE_SETS = {
+    1: ("GenBank",),
+    2: ("GenBank", "EMBL"),
+    3: ("GenBank", "EMBL", "AceDB"),
+    4: ("GenBank", "EMBL", "AceDB", "RelationalDB"),
+}
+
+
+@pytest.fixture(scope="module")
+def fig1_universe():
+    return Universe(seed=1771, size=150)
+
+
+@pytest.fixture(scope="module", params=sorted(SOURCE_SETS))
+def architectures(request, fig1_universe):
+    names = SOURCE_SETS[request.param]
+    sources = build_sources(fig1_universe, names)
+    mediator = Mediator(sources)
+    warehouse = UnifyingDatabase(sources)
+    warehouse.initial_load()
+    return request.param, mediator, warehouse
+
+
+@pytest.mark.benchmark(group="fig1-query")
+def test_bench_mediator_query(benchmark, architectures):
+    n_sources, mediator, __ = architectures
+    rows = benchmark(mediator.find_genes, contains_motif=MOTIF)
+    assert rows  # the motif occurs in this universe
+
+
+@pytest.mark.benchmark(group="fig1-query")
+def test_bench_warehouse_query(benchmark, architectures):
+    n_sources, __, warehouse = architectures
+    sql = ("SELECT accession FROM public_genes "
+           "WHERE contains(sequence, ?)")
+    result = benchmark(warehouse.query, sql, [MOTIF])
+    assert len(result) > 0
+
+
+class TestFig1Shape:
+    def test_warehouse_wins_on_repeated_queries(self, fig1_universe):
+        sources = build_sources(fig1_universe,
+                                ("GenBank", "EMBL", "AceDB"))
+        mediator = Mediator(sources)
+        warehouse = UnifyingDatabase(sources)
+        warehouse.initial_load()
+        sql = ("SELECT accession FROM public_genes "
+               "WHERE contains(sequence, ?)")
+
+        start = time.perf_counter()
+        for __ in range(5):
+            mediator.find_genes(contains_motif=MOTIF)
+        mediator_time = time.perf_counter() - start
+
+        start = time.perf_counter()
+        for __ in range(5):
+            warehouse.query(sql, [MOTIF])
+        warehouse_time = time.perf_counter() - start
+
+        assert warehouse_time < mediator_time
+
+    def test_mediator_cost_grows_with_sources(self, fig1_universe):
+        shipped = {}
+        for count in (1, 3):
+            mediator = Mediator(
+                build_sources(fig1_universe, SOURCE_SETS[count])
+            )
+            mediator.find_genes(contains_motif=MOTIF)
+            shipped[count] = mediator.cost.bytes_shipped
+        assert shipped[3] > shipped[1]
+
+    def test_mediator_repays_per_query(self, fig1_universe):
+        mediator = Mediator(build_sources(fig1_universe, ("GenBank",)))
+        mediator.find_genes(contains_motif=MOTIF)
+        once = mediator.cost.bytes_shipped
+        mediator.find_genes(contains_motif=MOTIF)
+        assert mediator.cost.bytes_shipped == 2 * once
+
+    def test_staleness_tradeoff(self, fig1_universe):
+        sources = build_sources(fig1_universe, ("EMBL",))
+        mediator = Mediator(sources)
+        warehouse = UnifyingDatabase(sources)
+        warehouse.initial_load()
+        before = warehouse.query(
+            "SELECT count(*) FROM public_genes"
+        ).scalar()
+        sources[0].advance(20)
+        # Mediator: always current.
+        assert len(mediator.find_genes()) == len(sources[0])
+        # Warehouse: stale until refreshed, then caught up.
+        assert warehouse.query(
+            "SELECT count(*) FROM public_genes"
+        ).scalar() == before
+        warehouse.refresh()
+        assert warehouse.query(
+            "SELECT count(*) FROM public_genes"
+        ).scalar() == len(sources[0])
+
+
+def report() -> None:
+    universe = Universe(seed=1771, size=150)
+    print("Figure 1 benchmark: mediator vs Unifying Database, "
+          f"motif query {MOTIF!r}")
+    print()
+    header = (f"{'sources':>8} {'mediator ms':>12} {'warehouse ms':>13} "
+              f"{'ratio':>7} {'bytes shipped':>14}")
+    print(header)
+    print("-" * len(header))
+    for count in sorted(SOURCE_SETS):
+        sources = build_sources(universe, SOURCE_SETS[count])
+        mediator = Mediator(sources)
+        warehouse = UnifyingDatabase(sources)
+        warehouse.initial_load()
+        sql = ("SELECT accession FROM public_genes "
+               "WHERE contains(sequence, ?)")
+
+        start = time.perf_counter()
+        for __ in range(3):
+            mediator.find_genes(contains_motif=MOTIF)
+        mediator_ms = (time.perf_counter() - start) / 3 * 1000
+
+        start = time.perf_counter()
+        for __ in range(3):
+            warehouse.query(sql, [MOTIF])
+        warehouse_ms = (time.perf_counter() - start) / 3 * 1000
+
+        ratio = mediator_ms / warehouse_ms if warehouse_ms else float("inf")
+        print(f"{count:>8} {mediator_ms:>12.2f} {warehouse_ms:>13.2f} "
+              f"{ratio:>6.0f}x {mediator.cost.bytes_shipped // 3:>14,}")
+    print()
+    print("staleness: mediator 0 updates behind by construction; the")
+    print("warehouse lags until refresh() — see TestFig1Shape for the")
+    print("executable check.")
+
+
+if __name__ == "__main__":
+    report()

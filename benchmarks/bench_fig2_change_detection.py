@@ -1,0 +1,214 @@
+"""Experiment F2 — Figure 2: the change-detection classification grid.
+
+Figure 2 classifies detection techniques by source capability (active /
+logged / queryable / non-queryable) × data representation (relational /
+flat file / hierarchical).  This benchmark exercises every reachable
+cell:
+
+- per-strategy detection cost after the same update burst (expected
+  shape: trigger < log < polling < snapshot);
+- the polling-frequency trade-off of section 5.2 (recall of the event
+  stream degrades as more updates coalesce between polls, while cost
+  per detected change falls);
+- the raw diff machinery: LCS line diff and ordered-tree diff cost as
+  snapshot size grows.
+
+Standalone report:  python benchmarks/bench_fig2_change_detection.py
+"""
+
+import time
+
+import pytest
+
+from repro.etl.diff import diff_ace_snapshots, diff_texts
+from repro.etl.monitors import (
+    LogMonitor,
+    PollingMonitor,
+    SnapshotMonitor,
+    TriggerMonitor,
+)
+from repro.sources import (
+    AceRepository,
+    Capabilities,
+    EmblRepository,
+    GenBankRepository,
+    RelationalRepository,
+    SwissProtRepository,
+    Universe,
+)
+
+BURST = 15
+
+#: The Figure 2 grid cells we can instantiate: (capability, representation)
+#: → (repository factory, monitor class).
+GRID = {
+    ("active", "relational"):
+        (lambda u: RelationalRepository(u), TriggerMonitor),
+    ("active", "flat"):
+        (lambda u: SwissProtRepository(u), TriggerMonitor),
+    ("logged", "relational"):
+        (lambda u: RelationalRepository(u), LogMonitor),
+    ("logged", "flat"):
+        (lambda u: GenBankRepository(
+            u, capabilities=Capabilities(logged=True, queryable=True)
+        ), LogMonitor),
+    ("queryable", "flat"):
+        (lambda u: EmblRepository(u), PollingMonitor),
+    ("queryable", "relational"):
+        (lambda u: RelationalRepository(u), PollingMonitor),
+    ("non-queryable", "flat"):
+        (lambda u: GenBankRepository(u), SnapshotMonitor),
+    ("non-queryable", "hierarchical"):
+        (lambda u: AceRepository(u), SnapshotMonitor),
+    ("non-queryable", "relational"):
+        (lambda u: RelationalRepository(
+            u, capabilities=Capabilities()
+        ), SnapshotMonitor),
+}
+
+
+def _universe():
+    return Universe(seed=808, size=120)
+
+
+@pytest.mark.benchmark(group="fig2-grid")
+@pytest.mark.parametrize("cell", sorted(GRID), ids=lambda c: f"{c[0]}/{c[1]}")
+def test_bench_grid_cell(benchmark, cell):
+    """Times monitor.poll() only: environment setup is excluded."""
+    factory, monitor_class = GRID[cell]
+    detected = []
+
+    def setup():
+        universe = _universe()
+        repository = factory(universe)
+        monitor = monitor_class(repository)
+        repository.advance(BURST)
+        return (monitor,), {}
+
+    def detect(monitor):
+        deltas = monitor.poll()
+        detected.append(len(deltas))
+        return deltas
+
+    benchmark.pedantic(detect, setup=setup, rounds=15)
+    assert all(count > 0 for count in detected)
+
+
+class TestFig2Shape:
+    def test_cost_ordering_trigger_log_poll_snapshot(self):
+        """The grid's economics: pushed < logged < polled < dumped."""
+        universe = _universe()
+        repository = RelationalRepository(universe)
+        trigger = TriggerMonitor(repository)
+        log = LogMonitor(repository)
+        polling = PollingMonitor(repository)
+        snapshot = SnapshotMonitor(repository)
+        repository.advance(BURST)
+        costs = {}
+        for name, monitor in (("trigger", trigger), ("log", log),
+                              ("polling", polling),
+                              ("snapshot", snapshot)):
+            monitor.poll()
+            costs[name] = monitor.cost.total_units()
+        assert costs["trigger"] < costs["log"]
+        assert costs["log"] < costs["polling"]
+        # Snapshot ships everything; with per-record fetch weighting the
+        # polled cost can rival it, but raw bytes always dominate:
+        assert snapshot.cost.bytes_scanned > log.cost.bytes_scanned
+
+    def test_every_strategy_detects_net_changes(self):
+        universe = _universe()
+        repository = RelationalRepository(universe)
+        monitors = [TriggerMonitor(repository), LogMonitor(repository),
+                    PollingMonitor(repository),
+                    SnapshotMonitor(repository)]
+        repository.advance(BURST)
+        detected = [
+            {(d.operation, d.accession) for d in monitor.poll()}
+            for monitor in monitors
+        ]
+        # Event-stream monitors (trigger/log) see at least the net
+        # changes the state-diff monitors (polling/snapshot) see.
+        assert detected[3] <= detected[0]
+        assert detected[3] == detected[2]
+
+    def test_polling_frequency_recall_tradeoff(self):
+        """Section 5.2: PF too low → changes coalesce/missed."""
+        recalls = {}
+        for interval in (1, 10, 40):
+            universe = _universe()
+            repository = EmblRepository(universe)
+            monitor = PollingMonitor(repository)
+            events = 0
+            deltas = 0
+            for __ in range(40 // interval):
+                events += len(repository.advance(interval))
+                deltas += len(monitor.poll())
+            recalls[interval] = deltas / events
+        assert recalls[1] >= recalls[10] >= recalls[40]
+        assert recalls[40] < 1.0  # coalescing must actually occur
+
+
+@pytest.mark.benchmark(group="fig2-diff")
+@pytest.mark.parametrize("size", [20, 60, 120])
+def test_bench_lcs_diff_scaling(benchmark, size):
+    universe = Universe(seed=808, size=size)
+    repository = GenBankRepository(universe, coverage=1.0)
+    old = repository.snapshot()
+    repository.advance(5)
+    new = repository.snapshot()
+    edits = benchmark(diff_texts, old, new)
+    assert any(edit.operation != "equal" for edit in edits)
+
+
+@pytest.mark.benchmark(group="fig2-diff")
+@pytest.mark.parametrize("size", [20, 60, 120])
+def test_bench_tree_diff_scaling(benchmark, size):
+    universe = Universe(seed=808, size=size)
+    repository = AceRepository(universe, coverage=1.0)
+    old = repository.snapshot()
+    repository.advance(5)
+    new = repository.snapshot()
+    edits = benchmark(diff_ace_snapshots, old, new)
+    assert edits
+
+
+def report() -> None:
+    print(f"Figure 2 benchmark: detection cost per strategy "
+          f"({BURST} source updates)")
+    print()
+    header = (f"{'capability':<14} {'representation':<15} "
+              f"{'strategy':<10} {'deltas':>7} {'cost units':>11} "
+              f"{'ms':>8}")
+    print(header)
+    print("-" * len(header))
+    for (capability, representation), (factory, monitor_class) \
+            in sorted(GRID.items()):
+        universe = _universe()
+        repository = factory(universe)
+        monitor = monitor_class(repository)
+        repository.advance(BURST)
+        start = time.perf_counter()
+        deltas = monitor.poll()
+        elapsed = (time.perf_counter() - start) * 1000
+        print(f"{capability:<14} {representation:<15} "
+              f"{monitor.strategy:<10} {len(deltas):>7} "
+              f"{monitor.cost.total_units():>11,} {elapsed:>8.2f}")
+
+    print()
+    print("polling-frequency sweep (events per poll vs recall, EMBL):")
+    print(f"{'interval':>9} {'recall':>8} {'cost/delta':>11}")
+    for interval in (1, 5, 10, 20, 40):
+        universe = _universe()
+        repository = EmblRepository(universe)
+        monitor = PollingMonitor(repository)
+        events = deltas = 0
+        for __ in range(max(1, 40 // interval)):
+            events += len(repository.advance(interval))
+            deltas += len(monitor.poll())
+        cost = monitor.cost.total_units() / max(1, deltas)
+        print(f"{interval:>9} {deltas / events:>8.2f} {cost:>11,.0f}")
+
+
+if __name__ == "__main__":
+    report()

@@ -1,0 +1,215 @@
+"""Experiment F3 — Figure 3: the integrated architecture, end to end.
+
+Figure 3 wires everything together: external repositories → ETL →
+Unifying Database ← adapter ← Genomics Algebra ← user (BiQL).  This
+benchmark measures that pipeline:
+
+- initial load and incremental refresh throughput;
+- the payoff of high-level treatment: motif queries over GDT columns
+  with a genomic index vs. the "low-level treatment" baseline the paper
+  attacks (sequences as TEXT, searched with LIKE full scans);
+- the BiQL translation overhead on top of extended SQL (should be
+  negligible).
+
+Standalone report:  python benchmarks/bench_fig3_integration.py
+"""
+
+import time
+
+import pytest
+
+from repro.adapter import install_genomics
+from repro.db import Database
+from repro.lang import BiqlSession
+from repro.sources import Universe
+from repro.warehouse import UnifyingDatabase
+
+from conftest import build_sources
+
+MOTIF = "ATGGCCATTG"  # 10 bp: above the k-mer index k=8, selective
+ALL_SOURCES = ("GenBank", "EMBL", "SwissProt", "AceDB", "RelationalDB")
+
+
+@pytest.mark.benchmark(group="fig3-etl")
+def test_bench_initial_load(benchmark):
+    def load():
+        universe = Universe(seed=31, size=100)
+        warehouse = UnifyingDatabase(build_sources(universe, ALL_SOURCES))
+        return warehouse.initial_load()
+
+    report = benchmark(load)
+    assert report.genes_upserted > 0
+
+
+@pytest.mark.benchmark(group="fig3-etl")
+def test_bench_incremental_refresh(benchmark):
+    universe = Universe(seed=31, size=100)
+    sources = build_sources(universe, ALL_SOURCES)
+    warehouse = UnifyingDatabase(sources)
+    warehouse.initial_load()
+
+    def advance_and_refresh():
+        for source in sources:
+            source.advance(3)
+        return warehouse.refresh()
+
+    report = benchmark(advance_and_refresh)
+    assert report.deltas_processed >= 0
+
+
+@pytest.fixture(scope="module")
+def gdt_vs_text():
+    """The same sequences stored high-level (DNA + k-mer index) and
+    low-level (TEXT, searched with LIKE)."""
+    universe = Universe(seed=31, size=200)
+    warehouse = UnifyingDatabase(build_sources(universe, ("GenBank",)))
+    warehouse.initial_load()
+
+    low_level = Database()
+    install_genomics(low_level)
+    low_level.execute(
+        "CREATE TABLE flat_genes (accession TEXT PRIMARY KEY, body TEXT)"
+    )
+    for accession, sequence in warehouse.query(
+        "SELECT accession, seq_text(sequence) FROM public_genes"
+    ):
+        low_level.execute("INSERT INTO flat_genes VALUES (?, ?)",
+                          [accession, sequence])
+    return warehouse, low_level
+
+
+@pytest.mark.benchmark(group="fig3-query")
+def test_bench_gdt_query_with_index(benchmark, gdt_vs_text):
+    warehouse, __ = gdt_vs_text
+    sql = ("SELECT accession FROM public_genes "
+           "WHERE contains(sequence, ?)")
+    result = benchmark(warehouse.query, sql, [MOTIF])
+    assert len(result) >= 0
+
+
+@pytest.mark.benchmark(group="fig3-query")
+def test_bench_text_like_baseline(benchmark, gdt_vs_text):
+    __, low_level = gdt_vs_text
+    sql = "SELECT accession FROM flat_genes WHERE body LIKE ?"
+    result = benchmark(low_level.query, sql, [f"%{MOTIF}%"])
+    assert len(result) >= 0
+
+
+@pytest.mark.benchmark(group="fig3-query")
+def test_bench_biql_roundtrip(benchmark, gdt_vs_text):
+    warehouse, __ = gdt_vs_text
+    session = BiqlSession(warehouse)
+    text = (f"FIND genes WHERE sequence CONTAINS '{MOTIF}' "
+            f"SHOW accession")
+    result = benchmark(session.run, text)
+    assert len(result) >= 0
+
+
+class TestFig3Shape:
+    def test_gdt_and_text_agree(self, gdt_vs_text):
+        warehouse, low_level = gdt_vs_text
+        high = set(warehouse.query(
+            "SELECT accession FROM public_genes "
+            "WHERE contains(sequence, ?)", [MOTIF]
+        ).column("accession"))
+        low = set(low_level.query(
+            "SELECT accession FROM flat_genes WHERE body LIKE ?",
+            [f"%{MOTIF}%"],
+        ).column("accession"))
+        assert high == low
+
+    def test_biql_equals_sql(self, gdt_vs_text):
+        warehouse, __ = gdt_vs_text
+        session = BiqlSession(warehouse)
+        via_biql = session.run(
+            f"FIND genes WHERE sequence CONTAINS '{MOTIF}' SHOW accession"
+        ).rows
+        via_sql = warehouse.query(
+            "SELECT accession FROM public_genes "
+            "WHERE contains(sequence, ?)", [MOTIF]
+        ).rows
+        assert sorted(via_biql) == sorted(via_sql)
+
+    def test_refresh_cheaper_than_reload(self):
+        universe = Universe(seed=31, size=100)
+        sources = build_sources(universe, ("GenBank", "EMBL"))
+        warehouse = UnifyingDatabase(sources)
+        warehouse.initial_load()
+        for source in sources:
+            source.advance(3)
+
+        start = time.perf_counter()
+        warehouse.refresh()
+        incremental = time.perf_counter() - start
+
+        start = time.perf_counter()
+        warehouse.full_reload()
+        full = time.perf_counter() - start
+        assert incremental < full
+
+
+def report() -> None:
+    print("Figure 3 benchmark: the integrated architecture")
+    print()
+    universe = Universe(seed=31, size=200)
+    sources = build_sources(universe, ALL_SOURCES)
+
+    start = time.perf_counter()
+    warehouse = UnifyingDatabase(sources)
+    load = warehouse.initial_load()
+    load_seconds = time.perf_counter() - start
+    print(f"initial load: {load.deltas_processed} records, "
+          f"{load.genes_upserted} genes, {load.proteins_upserted} "
+          f"proteins in {load_seconds:.2f}s "
+          f"({load.deltas_processed / load_seconds:.0f} records/s)")
+
+    for source in sources:
+        source.advance(5)
+    start = time.perf_counter()
+    refresh = warehouse.refresh()
+    refresh_seconds = time.perf_counter() - start
+    print(f"incremental refresh: {refresh.deltas_processed} deltas in "
+          f"{refresh_seconds * 1000:.1f} ms")
+
+    # High-level vs low-level treatment.
+    low_level = Database()
+    install_genomics(low_level)
+    low_level.execute(
+        "CREATE TABLE flat_genes (accession TEXT PRIMARY KEY, body TEXT)"
+    )
+    for accession, sequence in warehouse.query(
+        "SELECT accession, seq_text(sequence) FROM public_genes"
+    ):
+        low_level.execute("INSERT INTO flat_genes VALUES (?, ?)",
+                          [accession, sequence])
+
+    def time_query(fn, repeats=20):
+        start = time.perf_counter()
+        for __ in range(repeats):
+            fn()
+        return (time.perf_counter() - start) / repeats * 1000
+
+    gdt_ms = time_query(lambda: warehouse.query(
+        "SELECT accession FROM public_genes "
+        "WHERE contains(sequence, ?)", [MOTIF]
+    ))
+    text_ms = time_query(lambda: low_level.query(
+        "SELECT accession FROM flat_genes WHERE body LIKE ?",
+        [f"%{MOTIF}%"],
+    ))
+    session = BiqlSession(warehouse)
+    biql_ms = time_query(lambda: session.run(
+        f"FIND genes WHERE sequence CONTAINS '{MOTIF}' SHOW accession"
+    ))
+    print()
+    print(f"{'query path':<38} {'ms/query':>9}")
+    print("-" * 49)
+    print(f"{'GDT column + k-mer index (contains)':<38} {gdt_ms:>9.2f}")
+    print(f"{'TEXT column + LIKE full scan':<38} {text_ms:>9.2f}")
+    print(f"{'BiQL -> extended SQL (same query)':<38} {biql_ms:>9.2f}")
+    print()
+    print(f"BiQL translation overhead: {biql_ms - gdt_ms:+.2f} ms")
+
+
+if __name__ == "__main__":
+    report()

@@ -1,0 +1,43 @@
+"""Shared fixtures for the benchmark suite.
+
+Every benchmark runs against deterministic, seeded environments so the
+printed series in EXPERIMENTS.md are reproducible bit for bit.
+"""
+
+import pytest
+
+from repro.sources import (
+    AceRepository,
+    EmblRepository,
+    GenBankRepository,
+    RelationalRepository,
+    SwissProtRepository,
+    Universe,
+)
+from repro.warehouse import UnifyingDatabase
+
+
+def build_sources(universe, which=("GenBank", "EMBL", "AceDB")):
+    classes = {
+        "GenBank": GenBankRepository,
+        "EMBL": EmblRepository,
+        "SwissProt": SwissProtRepository,
+        "AceDB": AceRepository,
+        "RelationalDB": RelationalRepository,
+    }
+    return [classes[name](universe) for name in which]
+
+
+@pytest.fixture(scope="module")
+def bench_universe():
+    return Universe(seed=1203, size=150)
+
+
+@pytest.fixture(scope="module")
+def loaded_warehouse(bench_universe):
+    sources = build_sources(bench_universe,
+                            ("GenBank", "EMBL", "SwissProt", "AceDB",
+                             "RelationalDB"))
+    warehouse = UnifyingDatabase(sources)
+    warehouse.initial_load()
+    return warehouse, sources

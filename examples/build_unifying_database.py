@@ -1,0 +1,111 @@
+#!/usr/bin/env python3
+"""Build the Unifying Database from five heterogeneous repositories.
+
+The full section-5 story: simulated GenBank / EMBL / SwissProt / AceDB /
+relational sources (overlapping coverage, 30-60 % noisy records, live
+update streams) are integrated through the ETL pipeline — monitors,
+wrappers, reconciliation — into one warehouse, then queried in BiQL.
+
+Run:  python examples/build_unifying_database.py
+"""
+
+from repro import BiqlSession, UnifyingDatabase
+from repro.sources import (
+    AceRepository,
+    EmblRepository,
+    GenBankRepository,
+    RelationalRepository,
+    SwissProtRepository,
+    Universe,
+)
+
+
+def main() -> None:
+    universe = Universe(seed=2003, size=120)
+    sources = [
+        GenBankRepository(universe),      # flat files, snapshot-only
+        EmblRepository(universe),         # flat files, queryable
+        SwissProtRepository(universe),    # curated proteins, push
+        AceRepository(universe),          # hierarchical dumps
+        RelationalRepository(universe),   # DBMS-backed, logged+triggers
+    ]
+
+    print("=" * 70)
+    print("Initial load (snapshots -> wrappers -> integrator -> loader)")
+    print("=" * 70)
+    warehouse = UnifyingDatabase(sources)
+    report = warehouse.initial_load()
+    print(f"records processed: {report.deltas_processed}")
+    print(f"genes reconciled:  {report.genes_upserted}")
+    print(f"proteins loaded:   {report.proteins_upserted}")
+    print(f"conflicts kept:    {report.conflicts_recorded}  "
+          f"(requirement C9: both alternatives retained)")
+
+    session = BiqlSession(warehouse)
+
+    print()
+    print("=" * 70)
+    print("BiQL: biological questions, no SQL (section 6.4)")
+    print("=" * 70)
+    for biql in (
+        "COUNT genes",
+        "FIND genes WHERE sequence CONTAINS 'TATAAT' "
+        "SHOW accession, name, organism LIMIT 5",
+        "FIND genes WHERE organism IS 'Escherichia coli' AND gc > 0.45 "
+        "SHOW accession, name, gc SORT BY gc DESC LIMIT 5",
+        "FIND proteins WHERE pi > 9 SHOW accession, name, pi LIMIT 5",
+    ):
+        print(f"\nBiQL> {biql}")
+        print(session.render(biql))
+        print(f"(compiled to: {session.last_sql})")
+
+    print()
+    print("=" * 70)
+    print("Cross-source conflicts surfaced, not hidden (C8/C9)")
+    print("=" * 70)
+    conflicts = warehouse.conflict_report()
+    print(f"{len(conflicts)} conflicting fields recorded; examples:")
+    for accession, field, readings in conflicts.rows[:3]:
+        best = readings.best()
+        print(f"  {accession}.{field}: {len(readings)} readings, "
+              f"best from {best.source} "
+              f"(confidence {best.confidence:.2f})")
+
+    print()
+    print("=" * 70)
+    print("The sources move on; the warehouse refreshes incrementally")
+    print("=" * 70)
+    accession = warehouse.query(
+        "SELECT accession FROM public_genes LIMIT 1"
+    ).scalar()
+    warehouse.annotate("you", accession, "candidate for knockout study")
+    for source in sources:
+        source.advance(15)
+    refresh = warehouse.refresh()
+    print(f"deltas detected:   {refresh.deltas_processed} "
+          f"(monitor cost {refresh.monitor_cost_units} units)")
+    print(f"genes re-merged:   {refresh.genes_upserted}, "
+          f"deleted: {refresh.genes_deleted}")
+    print(f"stale annotations: {refresh.annotations_marked_stale} "
+          f"(flagged, never silently dropped)")
+    print(f"history preserved: "
+          f"{warehouse.query('SELECT count(*) FROM archive').scalar()} "
+          f"archived record images (C15)")
+
+    print()
+    print("=" * 70)
+    print("Measuring B10 instead of assuming it")
+    print("=" * 70)
+    from repro.warehouse import source_quality_report
+
+    for entry in source_quality_report(warehouse):
+        print(f"  {entry}")
+
+    print()
+    print("Gene length distribution after refresh:")
+    print(session.render("FIND genes SHOW accession, length "
+                         "AS HISTOGRAM OF length"))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,27 @@
+#!/usr/bin/env python3
+"""Reproduce Table 1: the capability matrix, with the GenAlg column probed.
+
+The six literature columns are the paper's own (graded) claims; the
+GenAlg+UDB column is **derived by running this implementation** — each
+cell is an executable probe (see ``repro/evaluation/capability.py``).
+
+Run:  python examples/capability_matrix.py
+"""
+
+from repro.evaluation import CapabilityMatrix
+
+
+def main() -> None:
+    print("Building the live system and running the 15 probes "
+          "(C1-C15)...\n")
+    matrix = CapabilityMatrix.build()
+    print(matrix.to_text())
+    print()
+    print(f"GenAlg+UDB achieves the paper's all-YES claim: "
+          f"{matrix.genalg_matches_claim()}")
+    print(f"Literature columns match the published Table 1: "
+          f"{matrix.literature_matches_paper()}")
+
+
+if __name__ == "__main__":
+    main()

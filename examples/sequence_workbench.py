@@ -1,0 +1,144 @@
+#!/usr/bin/env python3
+"""A biologist's workbench session: self-generated data meets public data.
+
+Requirement C13 in action: import your own sequences (FASTA), match them
+against the Unifying Database with the similarity machinery (the BLAST
+role), run restriction digests and protein analytics, and export the
+findings as GenAlgXML.
+
+Run:  python examples/sequence_workbench.py
+"""
+
+from repro import BiqlSession, UnifyingDatabase, genomics_algebra
+from repro.core import ops
+from repro.core.types import DnaSequence
+from repro.etl.wrappers import FastaWrapper, write_fasta
+from repro.lang import genalgxml
+from repro.sources import EmblRepository, SwissProtRepository, Universe
+
+# The "sequencer output" a biologist brings to the tool: two reads that
+# are fragments of public genes (we fabricate them below), one random.
+def make_lab_fasta(warehouse) -> str:
+    rows = warehouse.query(
+        "SELECT accession, seq_text(sequence) FROM public_genes "
+        "WHERE length > 80 LIMIT 2"
+    )
+    reads = []
+    for index, (accession, text) in enumerate(rows, start=1):
+        fragment = text[10:70]  # a 60 bp read from inside the gene
+        reads.append((f"read_{index}", f"unknown fragment {index}",
+                      fragment))
+    reads.append(("read_3", "probably junk", "ACGT" * 15))
+    return write_fasta(reads)
+
+
+def main() -> None:
+    universe = Universe(seed=404, size=80)
+    warehouse = UnifyingDatabase([
+        EmblRepository(universe, coverage=0.9),
+        SwissProtRepository(universe, coverage=0.9),
+    ])
+    warehouse.initial_load()
+    session = BiqlSession(warehouse)
+
+    print("=" * 70)
+    print("1. Import self-generated data (C13)")
+    print("=" * 70)
+    fasta = make_lab_fasta(warehouse)
+    reads = FastaWrapper().parse_snapshot(fasta)
+    for record in reads:
+        warehouse.add_user_sequence("you", record.accession, record.dna)
+        print(f"  imported {record.accession}: {len(record.dna)} bp, "
+              f"GC {ops.gc_content(record.dna):.2f}")
+
+    print()
+    print("=" * 70)
+    print("2. Which public genes do my reads come from? (seed-and-extend)")
+    print("=" * 70)
+    index = ops.WordIndex(word_size=8)
+    for accession, text in warehouse.query(
+        "SELECT accession, seq_text(sequence) FROM public_genes"
+    ):
+        index.add(accession, text)
+    for record in reads:
+        hit = ops.best_hit(str(record.dna), index, min_score=30)
+        if hit is None:
+            print(f"  {record.accession}: no confident hit")
+        else:
+            print(f"  {record.accession}: {hit.subject_id} "
+                  f"(identity {hit.identity:.0%}, score {hit.score:.0f}, "
+                  f"subject {hit.subject_start}..{hit.subject_end})")
+
+    print()
+    print("=" * 70)
+    print("3. Wet-lab planning: restriction digest of the best match")
+    print("=" * 70)
+    best_accession = ops.best_hit(str(reads[0].dna), index).subject_id
+    gene = warehouse.gene(best_accession)
+    for enzyme in (ops.enzyme_by_name("EcoRI"), ops.enzyme_by_name("HaeIII")):
+        lengths = ops.fragment_lengths(gene.sequence, enzyme)
+        print(f"  {enzyme.name} ({enzyme.site}): "
+              f"{len(lengths)} fragment(s) {lengths}")
+
+    print()
+    print("=" * 70)
+    print("3b. PCR primers to amplify the matched region (C14)")
+    print("=" * 70)
+    from repro.core.types import Interval
+
+    # Amplify the central stretch of the gene, leaving primer room.
+    length = len(gene.sequence)
+    target = Interval(max(16, length // 3),
+                      max(max(16, length // 3) + 4, 2 * length // 3))
+    try:
+        pair = ops.design_primers(
+            gene.sequence, target, primer_length=14,
+            tm_window=(34.0, 70.0),
+        )
+        print(f"  forward  5'-{pair.forward}-3'  "
+              f"(Tm {pair.forward_tm:.1f} C, pos {pair.forward_position})")
+        print(f"  reverse  5'-{pair.reverse}-3'  "
+              f"(Tm {pair.reverse_tm:.1f} C)")
+        print(f"  amplicon: {pair.product_length} bp")
+    except Exception as error:
+        print(f"  no primer pair possible here ({error})")
+
+    print()
+    print("=" * 70)
+    print("4. Protein analytics on the expressed product")
+    print("=" * 70)
+    algebra = genomics_algebra()
+    protein = algebra.evaluate(
+        algebra.parse("express(g)", variables={"g": "gene"}), {"g": gene}
+    )
+    print(f"  {best_accession} -> {len(protein.sequence)} aa")
+    print(f"  molecular weight: "
+          f"{ops.molecular_weight(protein.sequence) / 1000:.1f} kDa")
+    print(f"  isoelectric point: "
+          f"{ops.isoelectric_point(protein.sequence):.2f}")
+    print(f"  GRAVY (hydropathy): "
+          f"{ops.hydropathy(protein.sequence):+.2f}")
+
+    print()
+    print("=" * 70)
+    print("5. Ask follow-up questions in BiQL, not SQL")
+    print("=" * 70)
+    biql = (f"FIND genes WHERE sequence RESEMBLES "
+            f"'{reads[0].dna}' WITHIN 0.3 "
+            f"SHOW accession, name, organism LIMIT 5")
+    print(f"BiQL> {biql}")
+    print(session.render(biql))
+
+    print()
+    print("=" * 70)
+    print("6. Export the findings as GenAlgXML (section 6.4)")
+    print("=" * 70)
+    document = genalgxml.dumps([gene, protein, reads[0].dna])
+    print(document[:400] + "...\n")
+    restored = genalgxml.loads(document)
+    print(f"round-trip check: {len(restored)} values restored, "
+          f"gene intact: {restored[0].sequence == gene.sequence}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,65 @@
+"""Genomics Algebra + Unifying Database.
+
+A from-scratch reproduction of Hammer & Schneider, *Genomics Algebra: A
+New, Integrating Data Model, Language, and Tool for Processing and
+Querying Genomic Information* (CIDR 2003).
+
+The two pillars:
+
+- :mod:`repro.core` — the **Genomics Algebra**: genomic data types
+  (packed sequences, genes, transcripts, proteins, uncertainty), a
+  comprehensive operation library (central dogma, search, alignment,
+  similarity, statistics), a formal many-sorted algebra kernel, and the
+  ontology the algebra is derived from.
+- :mod:`repro.warehouse` — the **Unifying Database**: an integrated
+  warehouse over simulated public repositories, with full ETL (change
+  detection, wrappers, reconciliation), archiving, and user space.
+
+Everything between them:
+
+- :mod:`repro.db` — a from-scratch extensible relational engine (SQL
+  subset, opaque UDTs, UDFs, genomic indexes, optimizer, WAL).
+- :mod:`repro.adapter` — plugs the algebra into the engine (Figure 3).
+- :mod:`repro.sources` / :mod:`repro.etl` — repository simulators and
+  the change-detection machinery of Figure 2.
+- :mod:`repro.mediator` — the query-driven baseline of Figure 1.
+- :mod:`repro.lang` — BiQL (the biological query language), GenAlgXML,
+  output renderers.
+- :mod:`repro.evaluation` — Table 1 as executable capability probes.
+
+Quickstart::
+
+    from repro import genomics_algebra, UnifyingDatabase, BiqlSession
+    from repro.sources import Universe, GenBankRepository, EmblRepository
+
+    universe = Universe(seed=42)
+    warehouse = UnifyingDatabase([GenBankRepository(universe),
+                                  EmblRepository(universe)])
+    warehouse.initial_load()
+    session = BiqlSession(warehouse)
+    print(session.render(
+        "FIND genes WHERE sequence CONTAINS 'TATAAT' "
+        "SHOW accession, name, gc SORT BY gc DESC LIMIT 10"
+    ))
+"""
+
+from repro.adapter import GenomicsAdapter, install_genomics
+from repro.core import genomics_algebra
+from repro.db import Database, ResultSet
+from repro.lang import BiqlSession
+from repro.mediator import Mediator
+from repro.warehouse import UnifyingDatabase
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "genomics_algebra",
+    "UnifyingDatabase",
+    "BiqlSession",
+    "Mediator",
+    "Database",
+    "ResultSet",
+    "GenomicsAdapter",
+    "install_genomics",
+    "__version__",
+]

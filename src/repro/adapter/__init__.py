@@ -1,0 +1,6 @@
+"""The DBMS-specific adapter: plugs the Genomics Algebra into the engine."""
+
+from repro.adapter.adapter import GenomicsAdapter, install_genomics
+from repro.adapter.serializers import SerializationError
+
+__all__ = ["GenomicsAdapter", "install_genomics", "SerializationError"]

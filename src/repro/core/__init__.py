@@ -1,0 +1,15 @@
+"""The paper's primary contribution: the Genomics Algebra.
+
+Subpackages:
+
+- :mod:`repro.core.types` — genomic data types (GDTs).
+- :mod:`repro.core.ops` — genomic operations.
+- :mod:`repro.core.algebra` — the many-sorted algebra kernel and the
+  built-in, fully bound Genomics Algebra instance.
+- :mod:`repro.core.ontology` — the controlled vocabulary the algebra is
+  derived from.
+"""
+
+from repro.core.algebra import genomics_algebra
+
+__all__ = ["genomics_algebra"]

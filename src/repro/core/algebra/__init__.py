@@ -1,0 +1,25 @@
+"""Many-sorted algebra kernel and the built-in Genomics Algebra."""
+
+from repro.core.algebra.algebra import Algebra
+from repro.core.algebra.builtin import SORTS, genomics_algebra
+from repro.core.algebra.signature import Operator, Signature
+from repro.core.algebra.term import (
+    Application,
+    Constant,
+    Term,
+    Variable,
+    parse_term,
+)
+
+__all__ = [
+    "Algebra",
+    "Signature",
+    "Operator",
+    "Term",
+    "Constant",
+    "Variable",
+    "Application",
+    "parse_term",
+    "genomics_algebra",
+    "SORTS",
+]

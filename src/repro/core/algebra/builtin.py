@@ -1,0 +1,159 @@
+"""The Genomics Algebra: the paper's signature, instantiated and bound.
+
+:func:`genomics_algebra` builds the full kernel algebra — every GDT as a
+sort with its Python carrier type, every genomic operation of
+:mod:`repro.core.ops` bound as a carrier function.  It subsumes the
+paper's mini algebra::
+
+    sorts  gene, primarytranscript, mrna, protein
+    ops    transcribe: gene -> primarytranscript
+           splice:     primarytranscript -> mrna
+           translate:  mrna -> protein
+
+so the running example ``translate(splice(transcribe(g)))`` parses,
+sort-checks and evaluates.  The returned algebra is a fresh instance, so
+callers may extend it (C13/C14) without affecting each other.
+"""
+
+from __future__ import annotations
+
+from repro.core import ops
+from repro.core.algebra.algebra import Algebra
+from repro.core.algebra.signature import Signature
+from repro.core.types import (
+    Chromosome,
+    DnaSequence,
+    Gene,
+    Genome,
+    MRna,
+    PrimaryTranscript,
+    Protein,
+    ProteinSequence,
+    RnaSequence,
+)
+
+#: Sort names used by the built-in Genomics Algebra.
+SORTS = {
+    "bool": "truth values",
+    "int": "integers",
+    "float": "real numbers",
+    "string": "character strings",
+    "dna": "DNA sequences (IUPAC, packed)",
+    "rna": "RNA sequences (IUPAC, packed)",
+    "protein_seq": "amino-acid sequences",
+    "gene": "genes with exon/intron structure",
+    "primarytranscript": "unspliced RNA transcripts",
+    "mrna": "mature messenger RNA",
+    "protein": "proteins (annotated amino-acid chains)",
+    "chromosome": "chromosomes",
+    "genome": "whole genomes",
+}
+
+
+def _declare_signature(signature: Signature) -> None:
+    for sort, description in SORTS.items():
+        signature.declare_sort(sort, description)
+
+    declare = signature.declare_operator
+    # The paper's mini algebra (section 4.2).
+    declare("transcribe", ("gene",), "primarytranscript")
+    declare("splice", ("primarytranscript",), "mrna")
+    declare("translate", ("mrna",), "protein")
+    declare("express", ("gene",), "protein")
+    declare("reverse_transcribe", ("mrna",), "dna")
+    # Sequence-level operations.
+    declare("decode", ("string",), "dna")
+    declare("complement", ("dna",), "dna")
+    declare("reverse_complement", ("dna",), "dna")
+    declare("gc_content", ("dna",), "float")
+    declare("gc_content", ("rna",), "float")
+    declare("length", ("dna",), "int")
+    declare("length", ("rna",), "int")
+    declare("length", ("protein_seq",), "int")
+    declare("subsequence", ("dna", "int", "int"), "dna")
+    declare("concat", ("dna", "dna"), "dna")
+    # Predicates (section 6.3).
+    declare("contains", ("dna", "string"), "bool")
+    declare("contains", ("protein_seq", "string"), "bool")
+    declare("resembles", ("dna", "dna"), "bool")
+    declare("resembles", ("dna", "dna", "float"), "bool")
+    # Statistics / specialty evaluation functions (C14).
+    declare("melting_temperature", ("dna",), "float")
+    declare("molecular_weight", ("dna",), "float")
+    declare("molecular_weight", ("protein_seq",), "float")
+    declare("isoelectric_point", ("protein_seq",), "float")
+    declare("hydropathy", ("protein_seq",), "float")
+    declare("entropy", ("dna",), "float")
+    # Structure accessors.
+    declare("sequence_of", ("gene",), "dna")
+    declare("sequence_of", ("protein",), "protein_seq")
+    declare("name_of", ("gene",), "string")
+    declare("exon_count", ("gene",), "int")
+    declare("count_orfs", ("dna", "int"), "int")
+    declare("gene_of", ("chromosome", "string"), "gene")
+    declare("chromosome_of", ("genome", "string"), "chromosome")
+
+
+def _bind_implementations(algebra: Algebra) -> None:
+    bind = algebra.bind
+    bind("transcribe", ("gene",), ops.transcribe)
+    bind("splice", ("primarytranscript",), ops.splice)
+    bind("translate", ("mrna",), ops.translate)
+    bind("express", ("gene",), ops.express)
+    bind("reverse_transcribe", ("mrna",), ops.reverse_transcribe)
+    bind("decode", ("string",), ops.decode)
+    bind("complement", ("dna",), ops.complement)
+    bind("reverse_complement", ("dna",), ops.reverse_complement)
+    bind("gc_content", ("dna",), ops.gc_content)
+    bind("gc_content", ("rna",), ops.gc_content)
+    bind("length", ("dna",), len)
+    bind("length", ("rna",), len)
+    bind("length", ("protein_seq",), len)
+    bind("subsequence", ("dna", "int", "int"),
+         lambda dna, start, end: dna[start:end])
+    bind("concat", ("dna", "dna"), lambda a, b: a + b)
+    bind("contains", ("dna", "string"), ops.contains)
+    bind("contains", ("protein_seq", "string"), ops.contains)
+    bind("resembles", ("dna", "dna"), ops.resembles)
+    bind("resembles", ("dna", "dna", "float"),
+         lambda a, b, t: ops.resembles(a, b, threshold=t))
+    bind("melting_temperature", ("dna",), ops.melting_temperature)
+    bind("molecular_weight", ("dna",), ops.molecular_weight)
+    bind("molecular_weight", ("protein_seq",), ops.molecular_weight)
+    bind("isoelectric_point", ("protein_seq",), ops.isoelectric_point)
+    bind("hydropathy", ("protein_seq",), ops.hydropathy)
+    bind("entropy", ("dna",), ops.shannon_entropy)
+    bind("sequence_of", ("gene",), lambda gene: gene.sequence)
+    bind("sequence_of", ("protein",), lambda protein: protein.sequence)
+    bind("name_of", ("gene",), lambda gene: gene.name)
+    bind("exon_count", ("gene",), lambda gene: len(gene.exons))
+    bind("count_orfs", ("dna", "int"),
+         lambda dna, minimum: len(ops.find_orfs(dna, minimum)))
+    bind("gene_of", ("chromosome", "string"),
+         lambda chromosome, name: chromosome.gene(name))
+    bind("chromosome_of", ("genome", "string"),
+         lambda genome, name: genome.chromosome(name))
+
+
+def genomics_algebra() -> Algebra:
+    """Build a fresh, fully bound Genomics Algebra instance."""
+    signature = Signature("GenomicsAlgebra")
+    _declare_signature(signature)
+    algebra = Algebra(signature)
+
+    algebra.set_carrier("bool", bool)
+    algebra.set_carrier("int", int)
+    algebra.set_carrier("float", (int, float))
+    algebra.set_carrier("string", str)
+    algebra.set_carrier("dna", DnaSequence)
+    algebra.set_carrier("rna", RnaSequence)
+    algebra.set_carrier("protein_seq", ProteinSequence)
+    algebra.set_carrier("gene", Gene)
+    algebra.set_carrier("primarytranscript", PrimaryTranscript)
+    algebra.set_carrier("mrna", MRna)
+    algebra.set_carrier("protein", Protein)
+    algebra.set_carrier("chromosome", Chromosome)
+    algebra.set_carrier("genome", Genome)
+
+    _bind_implementations(algebra)
+    return algebra

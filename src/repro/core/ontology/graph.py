@@ -1,0 +1,246 @@
+"""A controlled vocabulary for molecular biology (section 4.1).
+
+The paper makes an ontology the precondition of the algebra: a set of
+uniquely named concepts with agreed semantics, related by ``is_a`` and
+``part_of``, from which the algebra's sorts and operators are derived.
+
+:class:`Ontology` is a directed acyclic graph of :class:`OntologyTerm`
+nodes.  Each term carries synonyms (the terminological differences the
+paper says impede integration) and optional cross-references to the
+repositories a concept came from.  Synonym lookup is what the warehouse's
+semantic-heterogeneity matcher uses to align differently named columns.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator
+
+from repro.errors import OntologyError
+
+IS_A = "is_a"
+PART_OF = "part_of"
+#: Relationship kinds the DAG accepts.
+RELATIONSHIPS = (IS_A, PART_OF)
+
+
+@dataclass
+class OntologyTerm:
+    """One concept: unique id, preferred name, synonyms, definition."""
+
+    term_id: str
+    name: str
+    definition: str = ""
+    synonyms: tuple[str, ...] = ()
+    xrefs: tuple[str, ...] = ()
+    #: Optional sort or operator signature this concept maps to in the
+    #: algebra, e.g. ``"sort:gene"`` or ``"op:transcribe:gene->primarytranscript"``.
+    algebra_binding: str | None = None
+
+    def __post_init__(self) -> None:
+        if not self.term_id or not self.name:
+            raise OntologyError("a term needs both an id and a name")
+        self.synonyms = tuple(self.synonyms)
+        self.xrefs = tuple(self.xrefs)
+
+    def all_names(self) -> tuple[str, ...]:
+        """Preferred name plus synonyms, lower-cased for matching."""
+        return tuple({self.name.lower(), *(s.lower() for s in self.synonyms)})
+
+
+class Ontology:
+    """A DAG of terms with ``is_a`` / ``part_of`` edges and synonym lookup."""
+
+    def __init__(self, name: str = "ontology") -> None:
+        self.name = name
+        self._terms: dict[str, OntologyTerm] = {}
+        # child id -> [(relationship, parent id)]
+        self._parents: dict[str, list[tuple[str, str]]] = {}
+        self._children: dict[str, list[tuple[str, str]]] = {}
+        self._by_name: dict[str, str] = {}  # lowered name/synonym -> term id
+
+    def __len__(self) -> int:
+        return len(self._terms)
+
+    def __contains__(self, term_id: str) -> bool:
+        return term_id in self._terms
+
+    def __iter__(self) -> Iterator[OntologyTerm]:
+        return iter(self._terms.values())
+
+    def __repr__(self) -> str:
+        return f"Ontology({self.name!r}, {len(self)} terms)"
+
+    # -- construction ---------------------------------------------------------
+
+    def add_term(self, term: OntologyTerm) -> None:
+        """Add a term; ids must be unique, names/synonyms unambiguous.
+
+        The paper requires each technical term to carry a unique semantics;
+        if a name or synonym is already claimed by another concept the
+        addition is rejected, forcing the modeller to coin a distinct term
+        (exactly the policy section 4.1 prescribes for homonyms).
+        """
+        if term.term_id in self._terms:
+            raise OntologyError(f"duplicate term id {term.term_id!r}")
+        for name in term.all_names():
+            owner = self._by_name.get(name)
+            if owner is not None and owner != term.term_id:
+                raise OntologyError(
+                    f"name {name!r} is already bound to term {owner!r}; "
+                    f"coin a unique term instead (homonym policy)"
+                )
+        self._terms[term.term_id] = term
+        self._parents.setdefault(term.term_id, [])
+        self._children.setdefault(term.term_id, [])
+        for name in term.all_names():
+            self._by_name[name] = term.term_id
+
+    def relate(self, child_id: str, relationship: str, parent_id: str) -> None:
+        """Add an edge ``child —relationship→ parent``; cycles are rejected."""
+        if relationship not in RELATIONSHIPS:
+            raise OntologyError(
+                f"unknown relationship {relationship!r}; "
+                f"expected one of {RELATIONSHIPS}"
+            )
+        for term_id in (child_id, parent_id):
+            if term_id not in self._terms:
+                raise OntologyError(f"unknown term {term_id!r}")
+        if child_id == parent_id:
+            raise OntologyError(f"self-loop on {child_id!r}")
+        if child_id in self._ancestor_ids(parent_id):
+            raise OntologyError(
+                f"edge {child_id!r} → {parent_id!r} would create a cycle"
+            )
+        self._parents[child_id].append((relationship, parent_id))
+        self._children[parent_id].append((relationship, child_id))
+
+    # -- lookup ----------------------------------------------------------------
+
+    def term(self, term_id: str) -> OntologyTerm:
+        try:
+            return self._terms[term_id]
+        except KeyError:
+            raise OntologyError(f"unknown term {term_id!r}") from None
+
+    def find(self, name: str) -> OntologyTerm | None:
+        """Resolve a name **or synonym** (case-insensitive) to its term."""
+        term_id = self._by_name.get(name.lower())
+        return self._terms[term_id] if term_id else None
+
+    def same_concept(self, first: str, second: str) -> bool:
+        """True when two names (or synonyms) denote the same concept."""
+        a = self.find(first)
+        b = self.find(second)
+        return a is not None and b is not None and a.term_id == b.term_id
+
+    # -- graph queries ----------------------------------------------------------
+
+    def parents(self, term_id: str,
+                relationship: str | None = None) -> list[OntologyTerm]:
+        self.term(term_id)
+        return [
+            self._terms[parent]
+            for rel, parent in self._parents[term_id]
+            if relationship is None or rel == relationship
+        ]
+
+    def children(self, term_id: str,
+                 relationship: str | None = None) -> list[OntologyTerm]:
+        self.term(term_id)
+        return [
+            self._terms[child]
+            for rel, child in self._children[term_id]
+            if relationship is None or rel == relationship
+        ]
+
+    def _ancestor_ids(self, term_id: str) -> set[str]:
+        seen: set[str] = set()
+        frontier = [term_id]
+        while frontier:
+            current = frontier.pop()
+            for _, parent in self._parents.get(current, ()):
+                if parent not in seen:
+                    seen.add(parent)
+                    frontier.append(parent)
+        return seen
+
+    def ancestors(self, term_id: str) -> list[OntologyTerm]:
+        """Every term reachable upward (transitively), unordered."""
+        self.term(term_id)
+        return [self._terms[t] for t in self._ancestor_ids(term_id)]
+
+    def descendants(self, term_id: str) -> list[OntologyTerm]:
+        """Every term reachable downward (transitively), unordered."""
+        self.term(term_id)
+        seen: set[str] = set()
+        frontier = [term_id]
+        while frontier:
+            current = frontier.pop()
+            for _, child in self._children.get(current, ()):
+                if child not in seen:
+                    seen.add(child)
+                    frontier.append(child)
+        return [self._terms[t] for t in seen]
+
+    def is_a(self, term_id: str, ancestor_id: str) -> bool:
+        """True when *term_id* is (transitively) a kind of *ancestor_id*."""
+        return ancestor_id in self._ancestor_ids(term_id)
+
+    def roots(self) -> list[OntologyTerm]:
+        """Terms without parents."""
+        return [
+            term for term_id, term in self._terms.items()
+            if not self._parents[term_id]
+        ]
+
+    def merge(self, other: "Ontology",
+              on_conflict: str = "error") -> "Ontology":
+        """A new ontology combining *self* and *other*.
+
+        ``on_conflict`` is ``"error"`` (duplicate ids raise) or ``"skip"``
+        (keep *self*'s term).  Cross-ontology name clashes always raise —
+        they are exactly the homonym problem the ontology exists to forbid.
+        """
+        if on_conflict not in ("error", "skip"):
+            raise OntologyError(f"bad on_conflict {on_conflict!r}")
+        merged = Ontology(f"{self.name}+{other.name}")
+        for term in self:
+            merged.add_term(term)
+        for term in other:
+            if term.term_id in merged:
+                if on_conflict == "error":
+                    raise OntologyError(
+                        f"term {term.term_id!r} exists in both ontologies"
+                    )
+                continue
+            merged.add_term(term)
+        for source in (self, other):
+            for term in source:
+                if term.term_id not in merged:
+                    continue
+                for rel, parent in source._parents[term.term_id]:
+                    if parent in merged:
+                        existing = merged._parents[term.term_id]
+                        if (rel, parent) not in existing:
+                            merged.relate(term.term_id, rel, parent)
+        return merged
+
+
+def make_term(
+    term_id: str,
+    name: str,
+    definition: str = "",
+    synonyms: Iterable[str] = (),
+    xrefs: Iterable[str] = (),
+    algebra_binding: str | None = None,
+) -> OntologyTerm:
+    """Convenience constructor mirroring :class:`OntologyTerm`."""
+    return OntologyTerm(
+        term_id=term_id,
+        name=name,
+        definition=definition,
+        synonyms=tuple(synonyms),
+        xrefs=tuple(xrefs),
+        algebra_binding=algebra_binding,
+    )

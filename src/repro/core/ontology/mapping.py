@@ -1,0 +1,170 @@
+"""Deriving an algebra signature from an ontology (section 4.2, step two).
+
+"The Genomics Algebra … is the derived, formal, and executable
+instantiation of the resulting genomic ontology.  Entity types and
+functions in the ontology are represented directly using the appropriate
+data types and operations."
+
+A term's ``algebra_binding`` field encodes that mapping:
+
+- ``sort:<name>`` — the concept becomes a sort.
+- ``op:<name>:<arg>,<arg>-><result>`` — the concept becomes an operator.
+
+:func:`derive_signature` walks an ontology and produces the corresponding
+:class:`~repro.core.algebra.signature.Signature`; sorts are declared
+before operators so bindings may appear in any order.
+"""
+
+from __future__ import annotations
+
+from repro.core.algebra.signature import Signature
+from repro.core.ontology.graph import Ontology, OntologyTerm, make_term
+from repro.errors import OntologyError
+
+
+def parse_binding(binding: str) -> tuple[str, dict]:
+    """Decompose an ``algebra_binding`` string.
+
+    Returns ``("sort", {"name": ...})`` or
+    ``("op", {"name": ..., "args": [...], "result": ...})``.
+    """
+    kind, _, rest = binding.partition(":")
+    if kind == "sort":
+        if not rest:
+            raise OntologyError(f"bad sort binding {binding!r}")
+        return "sort", {"name": rest}
+    if kind == "op":
+        name, _, signature_text = rest.partition(":")
+        if not name or "->" not in signature_text:
+            raise OntologyError(f"bad op binding {binding!r}")
+        arg_text, _, result = signature_text.partition("->")
+        args = [a.strip() for a in arg_text.split(",") if a.strip()]
+        return "op", {"name": name, "args": args, "result": result.strip()}
+    raise OntologyError(f"unknown binding kind in {binding!r}")
+
+
+def derive_signature(
+    ontology: Ontology, name: str | None = None
+) -> Signature:
+    """Produce a signature from every bound term of *ontology*."""
+    signature = Signature(name or f"{ontology.name}-signature")
+    operator_terms: list[tuple[OntologyTerm, dict]] = []
+
+    for term in ontology:
+        if not term.algebra_binding:
+            continue
+        kind, spec = parse_binding(term.algebra_binding)
+        if kind == "sort":
+            signature.declare_sort(spec["name"], term.definition or term.name)
+        else:
+            operator_terms.append((term, spec))
+
+    for term, spec in operator_terms:
+        for sort in (*spec["args"], spec["result"]):
+            if not signature.has_sort(sort):
+                raise OntologyError(
+                    f"operator term {term.term_id!r} references sort "
+                    f"{sort!r} that no ontology term binds"
+                )
+        signature.declare_operator(spec["name"], spec["args"], spec["result"])
+
+    return signature
+
+
+def builtin_genomics_ontology() -> Ontology:
+    """The small genomics ontology this project's algebra is derived from.
+
+    Covers the concepts of the paper's running example — gene, primary
+    transcript, mRNA, protein and the central-dogma functions — plus the
+    sequence-level concepts, each with the synonyms under which public
+    repositories ship them (the raw material for semantic matching).
+    """
+    ontology = Ontology("genomics-core")
+    add = ontology.add_term
+
+    add(make_term("GA:0000", "biological entity",
+                  "anything the algebra can denote"))
+    add(make_term("GA:0001", "nucleotide sequence",
+                  "a polymer of nucleotides",
+                  synonyms=("nucleic acid sequence",)))
+    add(make_term("GA:0002", "DNA sequence", "deoxyribonucleic acid",
+                  synonyms=("dna", "sequence_dna"),
+                  xrefs=("GenBank", "EMBL"),
+                  algebra_binding="sort:dna"))
+    add(make_term("GA:0003", "RNA sequence", "ribonucleic acid",
+                  synonyms=("rna",), algebra_binding="sort:rna"))
+    add(make_term("GA:0004", "amino acid sequence",
+                  "a polymer of amino acid residues",
+                  synonyms=("peptide sequence", "aa_sequence"),
+                  xrefs=("SwissProt",),
+                  algebra_binding="sort:protein_seq"))
+    add(make_term("GA:0010", "gene",
+                  "a heritable unit of DNA with exon/intron structure",
+                  synonyms=("cistron", "locus_gene"),
+                  xrefs=("GenBank", "EMBL", "AceDB"),
+                  algebra_binding="sort:gene"))
+    add(make_term("GA:0011", "primary transcript",
+                  "the unspliced RNA copy of a gene",
+                  synonyms=("pre-mRNA", "pre mRNA", "hnRNA"),
+                  algebra_binding="sort:primarytranscript"))
+    add(make_term("GA:0012", "messenger RNA",
+                  "mature, spliced, protein-coding RNA",
+                  synonyms=("mRNA", "mature transcript"),
+                  algebra_binding="sort:mrna"))
+    add(make_term("GA:0013", "protein",
+                  "a folded chain of amino acids",
+                  synonyms=("polypeptide", "gene product"),
+                  xrefs=("SwissProt", "PIR"),
+                  algebra_binding="sort:protein"))
+    add(make_term("GA:0014", "chromosome",
+                  "a DNA molecule carrying genes",
+                  algebra_binding="sort:chromosome"))
+    add(make_term("GA:0015", "genome",
+                  "the complete genetic material of an organism",
+                  algebra_binding="sort:genome"))
+
+    # Metadata concepts: the field vocabularies the repositories use.
+    # Recording each source's line codes as synonyms is what lets the
+    # semantic-heterogeneity matcher align EMBL's "OS" with the
+    # warehouse's "organism" column (section 5.2).
+    add(make_term("GA:0020", "organism",
+                  "the species a record belongs to",
+                  synonyms=("OS", "species", "source organism",
+                            "organism name")))
+    add(make_term("GA:0021", "description",
+                  "free-text description of a record",
+                  synonyms=("DE", "definition", "title")))
+    add(make_term("GA:0022", "accession",
+                  "the stable identifier of a repository record",
+                  synonyms=("AC", "accession number", "entry id")))
+    add(make_term("GA:0023", "gene name",
+                  "the symbolic name of a gene",
+                  synonyms=("GN", "gene symbol", "locus name")))
+
+    add(make_term("GA:0100", "transcription",
+                  "copying a gene into its primary transcript",
+                  synonyms=("transcribe",),
+                  algebra_binding="op:transcribe:gene->primarytranscript"))
+    add(make_term("GA:0101", "splicing",
+                  "removing introns from a primary transcript",
+                  synonyms=("splice",),
+                  algebra_binding="op:splice:primarytranscript->mrna"))
+    add(make_term("GA:0102", "translation",
+                  "decoding an mRNA into a protein",
+                  synonyms=("translate",),
+                  algebra_binding="op:translate:mrna->protein"))
+
+    relate = ontology.relate
+    relate("GA:0001", "is_a", "GA:0000")
+    relate("GA:0002", "is_a", "GA:0001")
+    relate("GA:0003", "is_a", "GA:0001")
+    relate("GA:0004", "is_a", "GA:0000")
+    relate("GA:0010", "is_a", "GA:0000")
+    relate("GA:0010", "part_of", "GA:0014")
+    relate("GA:0011", "is_a", "GA:0003")
+    relate("GA:0012", "is_a", "GA:0003")
+    relate("GA:0013", "is_a", "GA:0000")
+    relate("GA:0014", "is_a", "GA:0000")
+    relate("GA:0014", "part_of", "GA:0015")
+    relate("GA:0015", "is_a", "GA:0000")
+    return ontology

@@ -1,0 +1,111 @@
+"""A small OBO-flavoured flat format for ontologies.
+
+The paper surveys ontology exchange languages (its reference [7]); we
+support a minimal, line-oriented format modelled on OBO stanzas so
+ontologies can be shipped as text, diffed by the ETL machinery, and
+round-tripped::
+
+    [Term]
+    id: GA:0001
+    name: gene
+    def: "a heritable unit of DNA"
+    synonym: "cistron"
+    xref: GenBank
+    is_a: GA:0000
+    binding: sort:gene
+"""
+
+from __future__ import annotations
+
+from repro.core.ontology.graph import Ontology, OntologyTerm, RELATIONSHIPS
+from repro.errors import OntologyError
+
+
+def dumps(ontology: Ontology) -> str:
+    """Serialize an ontology to OBO-flavoured text."""
+    blocks: list[str] = [f"format-version: 1.2\nontology: {ontology.name}"]
+    for term in sorted(ontology, key=lambda t: t.term_id):
+        lines = ["[Term]", f"id: {term.term_id}", f"name: {term.name}"]
+        if term.definition:
+            lines.append(f'def: "{term.definition}"')
+        lines.extend(f'synonym: "{synonym}"' for synonym in term.synonyms)
+        lines.extend(f"xref: {xref}" for xref in term.xrefs)
+        for relationship in RELATIONSHIPS:
+            for parent in ontology.parents(term.term_id, relationship):
+                lines.append(f"{relationship}: {parent.term_id}")
+        if term.algebra_binding:
+            lines.append(f"binding: {term.algebra_binding}")
+        blocks.append("\n".join(lines))
+    return "\n\n".join(blocks) + "\n"
+
+
+def loads(text: str) -> Ontology:
+    """Parse OBO-flavoured text into an :class:`Ontology`."""
+    name = "ontology"
+    stanzas: list[dict[str, list[str]]] = []
+    current: dict[str, list[str]] | None = None
+
+    for raw_line in text.splitlines():
+        line = raw_line.strip()
+        if not line or line.startswith("!"):
+            continue
+        if line == "[Term]":
+            current = {}
+            stanzas.append(current)
+            continue
+        if line.startswith("[") and line.endswith("]"):
+            current = None  # unknown stanza kind: ignored
+            continue
+        if ":" not in line:
+            raise OntologyError(f"malformed line {line!r}")
+        key, _, value = line.partition(":")
+        key = key.strip()
+        value = value.strip()
+        if current is None:
+            if key == "ontology":
+                name = value
+            continue
+        current.setdefault(key, []).append(value)
+
+    def unquote(value: str) -> str:
+        if value.startswith('"'):
+            closing = value.find('"', 1)
+            if closing == -1:
+                raise OntologyError(f"unterminated quote in {value!r}")
+            return value[1:closing]
+        return value
+
+    ontology = Ontology(name)
+    edges: list[tuple[str, str, str]] = []
+    for stanza in stanzas:
+        if "id" not in stanza or "name" not in stanza:
+            raise OntologyError("a [Term] stanza needs id: and name:")
+        term_id = stanza["id"][0]
+        term = OntologyTerm(
+            term_id=term_id,
+            name=stanza["name"][0],
+            definition=unquote(stanza.get("def", [""])[0]),
+            synonyms=tuple(unquote(s) for s in stanza.get("synonym", [])),
+            xrefs=tuple(stanza.get("xref", [])),
+            algebra_binding=stanza.get("binding", [None])[0],
+        )
+        ontology.add_term(term)
+        for relationship in RELATIONSHIPS:
+            for parent_id in stanza.get(relationship, []):
+                edges.append((term_id, relationship, parent_id))
+
+    for child, relationship, parent in edges:
+        ontology.relate(child, relationship, parent)
+    return ontology
+
+
+def load_file(path: str) -> Ontology:
+    """Parse an OBO-flavoured file from disk."""
+    with open(path, encoding="utf-8") as handle:
+        return loads(handle.read())
+
+
+def dump_file(ontology: Ontology, path: str) -> None:
+    """Write an ontology to disk in OBO-flavoured text."""
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(dumps(ontology))

@@ -1,0 +1,113 @@
+"""Genomic operations: the operators of the Genomics Algebra."""
+
+from repro.core.ops.align import (
+    BLOSUM62,
+    Alignment,
+    ScoringScheme,
+    blosum62_scoring,
+    global_align,
+    global_align_affine,
+    local_align,
+    simple_scoring,
+)
+from repro.core.ops.basic import (
+    base_composition,
+    complement,
+    decode,
+    decode_protein,
+    decode_rna,
+    dna_to_rna,
+    gc_content,
+    reverse_complement,
+    rna_to_dna,
+)
+from repro.core.ops.central_dogma import (
+    express,
+    reverse_transcribe,
+    splice,
+    transcribe,
+    translate,
+)
+from repro.core.ops.codon import (
+    BACTERIAL,
+    STANDARD,
+    VERTEBRATE_MITOCHONDRIAL,
+    YEAST_MITOCHONDRIAL,
+    CodonTable,
+    available_codon_tables,
+    codon_table,
+    register_codon_table,
+)
+from repro.core.ops.orf import (
+    OpenReadingFrame,
+    find_orfs,
+    six_frame_translation,
+)
+from repro.core.ops.primers import PrimerPair, design_primers
+from repro.core.ops.restriction import (
+    STANDARD_ENZYMES,
+    RestrictionEnzyme,
+    digest,
+    enzyme_by_name,
+    fragment_lengths,
+)
+from repro.core.ops.search import (
+    contains,
+    count_occurrences,
+    find_exact,
+    find_motif,
+    first_occurrence,
+)
+from repro.core.ops.similarity import (
+    Hit,
+    WordIndex,
+    best_hit,
+    blast_search,
+    cosine_similarity,
+    jaccard_similarity,
+    kmer_profile,
+    naive_similarity_scan,
+    resembles,
+)
+from repro.core.ops.stats import (
+    codon_usage,
+    hydropathy,
+    hydropathy_profile,
+    isoelectric_point,
+    melting_temperature,
+    molecular_weight,
+    shannon_entropy,
+)
+
+__all__ = [
+    # align
+    "BLOSUM62", "Alignment", "ScoringScheme", "blosum62_scoring",
+    "global_align", "global_align_affine", "local_align", "simple_scoring",
+    # basic
+    "base_composition", "complement", "decode", "decode_protein",
+    "decode_rna", "dna_to_rna", "gc_content", "reverse_complement",
+    "rna_to_dna",
+    # central dogma
+    "express", "reverse_transcribe", "splice", "transcribe", "translate",
+    # codon
+    "BACTERIAL", "STANDARD", "VERTEBRATE_MITOCHONDRIAL",
+    "YEAST_MITOCHONDRIAL", "CodonTable", "available_codon_tables",
+    "codon_table", "register_codon_table",
+    # orf
+    "OpenReadingFrame", "find_orfs", "six_frame_translation",
+    # primers
+    "PrimerPair", "design_primers",
+    # restriction
+    "STANDARD_ENZYMES", "RestrictionEnzyme", "digest", "enzyme_by_name",
+    "fragment_lengths",
+    # search
+    "contains", "count_occurrences", "find_exact", "find_motif",
+    "first_occurrence",
+    # similarity
+    "Hit", "WordIndex", "best_hit", "blast_search", "cosine_similarity",
+    "jaccard_similarity", "kmer_profile", "naive_similarity_scan",
+    "resembles",
+    # stats
+    "codon_usage", "hydropathy", "hydropathy_profile", "isoelectric_point",
+    "melting_temperature", "molecular_weight", "shannon_entropy",
+]

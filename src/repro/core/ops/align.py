@@ -1,0 +1,362 @@
+"""Pairwise sequence alignment: global, local, and affine-gap variants.
+
+Implements the classical dynamic-programming aligners the `resembles`
+operator (section 6.3) and the similarity index structures (section 6.5)
+build on:
+
+- :func:`global_align` — Needleman–Wunsch with linear gap penalties.
+- :func:`local_align` — Smith–Waterman.
+- :func:`global_align_affine` — Gotoh's three-matrix affine-gap algorithm.
+
+Scoring comes from a :class:`ScoringScheme`: either simple
+match/mismatch (:func:`simple_scoring`, the default for nucleotides) or a
+substitution matrix (:data:`BLOSUM62` for proteins).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping
+
+from repro.core.types.sequence import PackedSequence
+from repro.errors import SequenceError
+
+GAP = "-"
+
+_BLOSUM62_KEYS = "ARNDCQEGHILKMFPSTWYVBZX*"
+_BLOSUM62_ROWS = """
+ 4 -1 -2 -2  0 -1 -1  0 -2 -1 -1 -1 -1 -2 -1  1  0 -3 -2  0 -2 -1  0 -4
+-1  5  0 -2 -3  1  0 -2  0 -3 -2  2 -1 -3 -2 -1 -1 -3 -2 -3 -1  0 -1 -4
+-2  0  6  1 -3  0  0  0  1 -3 -3  0 -2 -3 -2  1  0 -4 -2 -3  3  0 -1 -4
+-2 -2  1  6 -3  0  2 -1 -1 -3 -4 -1 -3 -3 -1  0 -1 -4 -3 -3  4  1 -1 -4
+ 0 -3 -3 -3  9 -3 -4 -3 -3 -1 -1 -3 -1 -2 -3 -1 -1 -2 -2 -1 -3 -3 -2 -4
+-1  1  0  0 -3  5  2 -2  0 -3 -2  1  0 -3 -1  0 -1 -2 -1 -2  0  3 -1 -4
+-1  0  0  2 -4  2  5 -2  0 -3 -3  1 -2 -3 -1  0 -1 -3 -2 -2  1  4 -1 -4
+ 0 -2  0 -1 -3 -2 -2  6 -2 -4 -4 -2 -3 -3 -2  0 -2 -2 -3 -3 -1 -2 -1 -4
+-2  0  1 -1 -3  0  0 -2  8 -3 -3 -1 -2 -1 -2 -1 -2 -2  2 -3  0  0 -1 -4
+-1 -3 -3 -3 -1 -3 -3 -4 -3  4  2 -3  1  0 -3 -2 -1 -3 -1  3 -3 -3 -1 -4
+-1 -2 -3 -4 -1 -2 -3 -4 -3  2  4 -2  2  0 -3 -2 -1 -2 -1  1 -4 -3 -1 -4
+-1  2  0 -1 -3  1  1 -2 -1 -3 -2  5 -1 -3 -1  0 -1 -3 -2 -2  0  1 -1 -4
+-1 -1 -2 -3 -1  0 -2 -3 -2  1  2 -1  5  0 -2 -1 -1 -1 -1  1 -3 -1 -1 -4
+-2 -3 -3 -3 -2 -3 -3 -3 -1  0  0 -3  0  6 -4 -2 -2  1  3 -1 -3 -3 -1 -4
+-1 -2 -2 -1 -3 -1 -1 -2 -2 -3 -3 -1 -2 -4  7 -1 -1 -4 -3 -2 -2 -1 -2 -4
+ 1 -1  1  0 -1  0  0  0 -1 -2 -2  0 -1 -2 -1  4  1 -3 -2 -2  0  0  0 -4
+ 0 -1  0 -1 -1 -1 -1 -2 -2 -1 -1 -1 -1 -2 -1  1  5 -2 -2  0 -1 -1  0 -4
+-3 -3 -4 -4 -2 -2 -3 -2 -2 -3 -2 -3 -1  1 -4 -3 -2 11  2 -3 -4 -3 -2 -4
+-2 -2 -2 -3 -2 -1 -2 -3  2 -1 -1 -2 -1  3 -3 -2 -2  2  7 -1 -3 -2 -1 -4
+ 0 -3 -3 -3 -1 -2 -2 -3 -3  3  1 -2  1 -1 -2 -2  0 -3 -1  4 -3 -2 -1 -4
+-2 -1  3  4 -3  0  1 -1  0 -3 -4  0 -3 -3 -2  0 -1 -4 -3 -3  4  1 -1 -4
+-1  0  0  1 -3  3  4 -2  0 -3 -3  1 -1 -3 -1  0 -1 -3 -2 -2  1  4 -1 -4
+ 0 -1 -1 -1 -2 -1 -1 -1 -1 -1 -1 -1 -1 -1 -2  0  0 -2 -1 -1 -1 -1 -1 -4
+-4 -4 -4 -4 -4 -4 -4 -4 -4 -4 -4 -4 -4 -4 -4 -4 -4 -4 -4 -4 -4 -4 -4  1
+"""
+
+
+def _parse_blosum62() -> dict[tuple[str, str], int]:
+    matrix: dict[tuple[str, str], int] = {}
+    rows = [line.split() for line in _BLOSUM62_ROWS.strip().splitlines()]
+    for row_key, row in zip(_BLOSUM62_KEYS, rows):
+        for col_key, value in zip(_BLOSUM62_KEYS, row):
+            matrix[(row_key, col_key)] = int(value)
+    return matrix
+
+
+#: The BLOSUM62 amino-acid substitution matrix.
+BLOSUM62: Mapping[tuple[str, str], int] = _parse_blosum62()
+
+
+class ScoringScheme:
+    """Pairwise symbol scoring plus gap penalties.
+
+    ``gap_open`` is charged for starting a gap, ``gap_extend`` for each
+    gapped position including the first; with ``gap_open == 0`` the scheme
+    is linear.  Penalties are given as non-negative magnitudes.
+    """
+
+    def __init__(
+        self,
+        substitution: Mapping[tuple[str, str], int] | None = None,
+        match: int = 2,
+        mismatch: int = -1,
+        gap_open: int = 0,
+        gap_extend: int = 2,
+    ) -> None:
+        if gap_open < 0 or gap_extend < 0:
+            raise SequenceError("gap penalties must be non-negative")
+        self._substitution = substitution
+        self.match = match
+        self.mismatch = mismatch
+        self.gap_open = gap_open
+        self.gap_extend = gap_extend
+
+    def score(self, first: str, second: str) -> int:
+        if self._substitution is not None:
+            try:
+                return self._substitution[(first, second)]
+            except KeyError:
+                return self.mismatch
+        return self.match if first == second else self.mismatch
+
+
+def simple_scoring(match: int = 2, mismatch: int = -1,
+                   gap: int = 2) -> ScoringScheme:
+    """Linear-gap match/mismatch scoring (nucleotide default)."""
+    return ScoringScheme(match=match, mismatch=mismatch, gap_extend=gap)
+
+
+def blosum62_scoring(gap_open: int = 10, gap_extend: int = 1) -> ScoringScheme:
+    """BLOSUM62 with affine gaps (protein default)."""
+    return ScoringScheme(substitution=BLOSUM62, gap_open=gap_open,
+                         gap_extend=gap_extend)
+
+
+@dataclass(frozen=True)
+class Alignment:
+    """A pairwise alignment: gapped strings, score, and span on each input."""
+
+    aligned_first: str
+    aligned_second: str
+    score: float
+    first_span: tuple[int, int]
+    second_span: tuple[int, int]
+
+    def __post_init__(self) -> None:
+        if len(self.aligned_first) != len(self.aligned_second):
+            raise SequenceError("aligned strings must have equal length")
+
+    @property
+    def length(self) -> int:
+        return len(self.aligned_first)
+
+    @property
+    def identity(self) -> float:
+        """Fraction of aligned columns with identical symbols."""
+        if not self.aligned_first:
+            return 0.0
+        same = sum(
+            1 for a, b in zip(self.aligned_first, self.aligned_second)
+            if a == b and a != GAP
+        )
+        return same / len(self.aligned_first)
+
+    @property
+    def gaps(self) -> int:
+        return (self.aligned_first.count(GAP)
+                + self.aligned_second.count(GAP))
+
+    def __str__(self) -> str:
+        marks = "".join(
+            "|" if a == b and a != GAP else " "
+            for a, b in zip(self.aligned_first, self.aligned_second)
+        )
+        return "\n".join((self.aligned_first, marks, self.aligned_second))
+
+
+def _as_text(sequence: "PackedSequence | str") -> str:
+    return str(sequence)
+
+
+def global_align(
+    first: "PackedSequence | str",
+    second: "PackedSequence | str",
+    scoring: ScoringScheme | None = None,
+) -> Alignment:
+    """Needleman–Wunsch global alignment with linear gap penalties."""
+    scheme = scoring or simple_scoring()
+    a, b = _as_text(first), _as_text(second)
+    gap = scheme.gap_extend
+    rows, cols = len(a) + 1, len(b) + 1
+
+    score = [[0] * cols for _ in range(rows)]
+    for i in range(1, rows):
+        score[i][0] = -gap * i
+    for j in range(1, cols):
+        score[0][j] = -gap * j
+    for i in range(1, rows):
+        row = score[i]
+        above = score[i - 1]
+        symbol = a[i - 1]
+        for j in range(1, cols):
+            row[j] = max(
+                above[j - 1] + scheme.score(symbol, b[j - 1]),
+                above[j] - gap,
+                row[j - 1] - gap,
+            )
+
+    aligned_a: list[str] = []
+    aligned_b: list[str] = []
+    i, j = len(a), len(b)
+    while i > 0 or j > 0:
+        current = score[i][j]
+        if (i > 0 and j > 0
+                and current == score[i - 1][j - 1]
+                + scheme.score(a[i - 1], b[j - 1])):
+            aligned_a.append(a[i - 1])
+            aligned_b.append(b[j - 1])
+            i -= 1
+            j -= 1
+        elif i > 0 and current == score[i - 1][j] - gap:
+            aligned_a.append(a[i - 1])
+            aligned_b.append(GAP)
+            i -= 1
+        else:
+            aligned_a.append(GAP)
+            aligned_b.append(b[j - 1])
+            j -= 1
+
+    return Alignment(
+        aligned_first="".join(reversed(aligned_a)),
+        aligned_second="".join(reversed(aligned_b)),
+        score=score[len(a)][len(b)],
+        first_span=(0, len(a)),
+        second_span=(0, len(b)),
+    )
+
+
+def local_align(
+    first: "PackedSequence | str",
+    second: "PackedSequence | str",
+    scoring: ScoringScheme | None = None,
+) -> Alignment:
+    """Smith–Waterman local alignment with linear gap penalties."""
+    scheme = scoring or simple_scoring()
+    a, b = _as_text(first), _as_text(second)
+    gap = scheme.gap_extend
+    rows, cols = len(a) + 1, len(b) + 1
+
+    score = [[0] * cols for _ in range(rows)]
+    best, best_i, best_j = 0, 0, 0
+    for i in range(1, rows):
+        row = score[i]
+        above = score[i - 1]
+        symbol = a[i - 1]
+        for j in range(1, cols):
+            value = max(
+                0,
+                above[j - 1] + scheme.score(symbol, b[j - 1]),
+                above[j] - gap,
+                row[j - 1] - gap,
+            )
+            row[j] = value
+            if value > best:
+                best, best_i, best_j = value, i, j
+
+    aligned_a: list[str] = []
+    aligned_b: list[str] = []
+    i, j = best_i, best_j
+    while i > 0 and j > 0 and score[i][j] > 0:
+        current = score[i][j]
+        if current == score[i - 1][j - 1] + scheme.score(a[i - 1], b[j - 1]):
+            aligned_a.append(a[i - 1])
+            aligned_b.append(b[j - 1])
+            i -= 1
+            j -= 1
+        elif current == score[i - 1][j] - gap:
+            aligned_a.append(a[i - 1])
+            aligned_b.append(GAP)
+            i -= 1
+        else:
+            aligned_a.append(GAP)
+            aligned_b.append(b[j - 1])
+            j -= 1
+
+    return Alignment(
+        aligned_first="".join(reversed(aligned_a)),
+        aligned_second="".join(reversed(aligned_b)),
+        score=best,
+        first_span=(i, best_i),
+        second_span=(j, best_j),
+    )
+
+
+def global_align_affine(
+    first: "PackedSequence | str",
+    second: "PackedSequence | str",
+    scoring: ScoringScheme | None = None,
+) -> Alignment:
+    """Gotoh's global alignment with affine gap penalties.
+
+    Opening a gap costs ``gap_open + gap_extend``; each further gapped
+    position costs ``gap_extend``.
+    """
+    scheme = scoring or blosum62_scoring()
+    a, b = _as_text(first), _as_text(second)
+    open_cost = scheme.gap_open + scheme.gap_extend
+    extend = scheme.gap_extend
+    rows, cols = len(a) + 1, len(b) + 1
+    minus_inf = float("-inf")
+
+    match = [[minus_inf] * cols for _ in range(rows)]
+    gap_a = [[minus_inf] * cols for _ in range(rows)]  # gap in `a` (up in b)
+    gap_b = [[minus_inf] * cols for _ in range(rows)]  # gap in `b`
+    match[0][0] = 0.0
+    for i in range(1, rows):
+        gap_b[i][0] = -open_cost - extend * (i - 1)
+    for j in range(1, cols):
+        gap_a[0][j] = -open_cost - extend * (j - 1)
+
+    for i in range(1, rows):
+        symbol = a[i - 1]
+        for j in range(1, cols):
+            sub = scheme.score(symbol, b[j - 1])
+            match[i][j] = sub + max(
+                match[i - 1][j - 1], gap_a[i - 1][j - 1], gap_b[i - 1][j - 1]
+            )
+            gap_a[i][j] = max(
+                match[i][j - 1] - open_cost, gap_a[i][j - 1] - extend
+            )
+            gap_b[i][j] = max(
+                match[i - 1][j] - open_cost, gap_b[i - 1][j] - extend
+            )
+
+    aligned_a: list[str] = []
+    aligned_b: list[str] = []
+    i, j = len(a), len(b)
+    final = max(match[i][j], gap_a[i][j], gap_b[i][j])
+    state = max(
+        (("match", match[i][j]), ("gap_a", gap_a[i][j]),
+         ("gap_b", gap_b[i][j])),
+        key=lambda pair: pair[1],
+    )[0]
+    while i > 0 or j > 0:
+        if state == "match" and i > 0 and j > 0:
+            sub = scheme.score(a[i - 1], b[j - 1])
+            aligned_a.append(a[i - 1])
+            aligned_b.append(b[j - 1])
+            previous = match[i][j] - sub
+            i -= 1
+            j -= 1
+            if previous == match[i][j]:
+                state = "match"
+            elif previous == gap_a[i][j]:
+                state = "gap_a"
+            else:
+                state = "gap_b"
+        elif state == "gap_a" and j > 0:
+            aligned_a.append(GAP)
+            aligned_b.append(b[j - 1])
+            came_from_open = gap_a[i][j] == match[i][j - 1] - open_cost
+            j -= 1
+            state = "match" if came_from_open else "gap_a"
+        elif state == "gap_b" and i > 0:
+            aligned_a.append(a[i - 1])
+            aligned_b.append(GAP)
+            came_from_open = gap_b[i][j] == match[i - 1][j] - open_cost
+            i -= 1
+            state = "match" if came_from_open else "gap_b"
+        elif j > 0:
+            aligned_a.append(GAP)
+            aligned_b.append(b[j - 1])
+            j -= 1
+        else:
+            aligned_a.append(a[i - 1])
+            aligned_b.append(GAP)
+            i -= 1
+
+    return Alignment(
+        aligned_first="".join(reversed(aligned_a)),
+        aligned_second="".join(reversed(aligned_b)),
+        score=final,
+        first_span=(0, len(a)),
+        second_span=(0, len(b)),
+    )

@@ -1,0 +1,116 @@
+"""The central-dogma operations of the mini algebra in section 4.2.
+
+The paper's illustrative signature is::
+
+    sorts  gene, primarytranscript, mrna, protein
+    ops    transcribe:  gene              -> primarytranscript
+           splice:      primarytranscript -> mrna
+           translate:   mrna              -> protein
+
+so that ``translate(splice(transcribe(g)))`` yields the protein a gene
+codes for.  This module implements exactly those operations (plus
+``reverse_transcribe`` and the ``express`` composition) over the GDT
+values in :mod:`repro.core.types.entities`.
+
+The paper notes (section 4.3) that the *operational* semantics of splicing
+is biologically unknown — the cell computes it, we cannot.  Our ``splice``
+therefore follows the procedure biologists use in practice: it relies on
+the annotated exon structure carried by the transcript, which is how every
+real annotation pipeline sidesteps the same gap in knowledge.
+"""
+
+from __future__ import annotations
+
+from repro.core.ops.basic import dna_to_rna, rna_to_dna
+from repro.core.ops.codon import CodonTable, STANDARD
+from repro.core.types.annotation import Interval
+from repro.core.types.entities import Gene, MRna, PrimaryTranscript, Protein
+from repro.core.types.sequence import DnaSequence, ProteinSequence, RnaSequence
+from repro.errors import TranslationError
+
+
+def transcribe(gene: Gene) -> PrimaryTranscript:
+    """Copy a gene into its primary (unspliced) RNA transcript.
+
+    The gene value is already in coding orientation, so transcription is a
+    re-lettering of the full genomic span, introns included, with the exon
+    layout carried along for :func:`splice`.
+    """
+    return PrimaryTranscript(
+        rna=dna_to_rna(gene.sequence),
+        exons=gene.exons,
+        gene_name=gene.name,
+    )
+
+
+def splice(transcript: PrimaryTranscript) -> MRna:
+    """Remove the introns of a primary transcript, yielding mature mRNA."""
+    codes = transcript.rna.codes()
+    exonic = b"".join(
+        codes[exon.start:exon.end] for exon in transcript.exons
+    )
+    return MRna(
+        rna=RnaSequence.from_codes(exonic),
+        gene_name=transcript.gene_name,
+    )
+
+
+def _locate_cds(rna: RnaSequence, table: CodonTable) -> Interval:
+    """Find the coding region: first start codon to end of RNA."""
+    text = str(rna)
+    for position in range(0, len(text) - 2):
+        if table.is_start(text[position:position + 3]):
+            return Interval(position, len(text))
+    raise TranslationError(
+        "mRNA has no start codon and no annotated CDS"
+    )
+
+
+def translate(
+    mrna: MRna,
+    table: CodonTable = STANDARD,
+    to_stop: bool = True,
+) -> Protein:
+    """Translate a mature mRNA into its protein.
+
+    Uses the annotated CDS when the mRNA carries one, otherwise scans for
+    the first start codon (which always translates to ``M``).  Translation
+    proceeds codon by codon and, when ``to_stop`` is true (the default),
+    ends at the first stop codon; with ``to_stop`` false the stop is kept
+    as ``*`` and translation continues to the last full codon.
+    """
+    cds = mrna.cds if mrna.cds is not None else _locate_cds(mrna.rna, table)
+    text = str(mrna.rna)[cds.start:cds.end]
+    if len(text) < 3:
+        raise TranslationError("coding region shorter than one codon")
+
+    residues: list[str] = []
+    for offset in range(0, len(text) - 2, 3):
+        codon = text[offset:offset + 3]
+        if offset == 0 and table.is_start(codon):
+            # Alternative start codons are read as methionine in vivo.
+            residues.append("M")
+            continue
+        amino = table.amino_acid(codon)
+        if amino == "*" and to_stop:
+            break
+        residues.append(amino)
+
+    return Protein(
+        sequence=ProteinSequence("".join(residues)),
+        gene_name=mrna.gene_name,
+        name=f"{mrna.gene_name} protein" if mrna.gene_name else None,
+    )
+
+
+def reverse_transcribe(mrna: MRna) -> DnaSequence:
+    """Produce the cDNA of a mature mRNA (re-lettering U → T)."""
+    return rna_to_dna(mrna.rna)
+
+
+def express(gene: Gene, table: CodonTable = STANDARD) -> Protein:
+    """The composition the paper uses as its running example.
+
+    ``express(g) == translate(splice(transcribe(g)))``.
+    """
+    return translate(splice(transcribe(gene)), table=table)

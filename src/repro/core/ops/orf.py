@@ -1,0 +1,120 @@
+"""Open-reading-frame discovery and six-frame translation."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.ops.basic import dna_to_rna, reverse_complement
+from repro.core.ops.codon import CodonTable, STANDARD
+from repro.core.types.annotation import FORWARD, REVERSE
+from repro.core.types.sequence import DnaSequence, ProteinSequence
+
+
+@dataclass(frozen=True)
+class OpenReadingFrame:
+    """An ORF: start/end on the *forward* strand, frame, and its protein.
+
+    ``frame`` is 0, 1 or 2; ``strand`` is +1 or -1.  ``start``/``end`` are
+    0-based half-open coordinates on the input (forward) sequence, so a
+    reverse-strand ORF still reports where it sits on the given sequence.
+    """
+
+    start: int
+    end: int
+    strand: int
+    frame: int
+    protein: ProteinSequence
+
+    def __len__(self) -> int:
+        return self.end - self.start
+
+
+def _scan_strand(
+    text: str,
+    strand: int,
+    full_length: int,
+    table: CodonTable,
+    min_protein_length: int,
+) -> list[OpenReadingFrame]:
+    found: list[OpenReadingFrame] = []
+    rna = text.replace("T", "U")
+    for frame in range(3):
+        position = frame
+        while position + 3 <= len(rna):
+            codon = rna[position:position + 3]
+            if not table.is_start(codon):
+                position += 3
+                continue
+            # Extend from this start to the first in-frame stop.
+            residues = ["M"]
+            stop_at = None
+            inner = position + 3
+            while inner + 3 <= len(rna):
+                inner_codon = rna[inner:inner + 3]
+                if table.is_stop(inner_codon):
+                    stop_at = inner + 3
+                    break
+                residues.append(table.amino_acid(inner_codon))
+                inner += 3
+            if stop_at is not None and len(residues) >= min_protein_length:
+                if strand == FORWARD:
+                    start, end = position, stop_at
+                else:
+                    start = full_length - stop_at
+                    end = full_length - position
+                found.append(OpenReadingFrame(
+                    start=start,
+                    end=end,
+                    strand=strand,
+                    frame=frame,
+                    protein=ProteinSequence("".join(residues)),
+                ))
+                position = stop_at  # resume after the stop codon
+            else:
+                position += 3
+    return found
+
+
+def find_orfs(
+    dna: DnaSequence,
+    min_protein_length: int = 20,
+    table: CodonTable = STANDARD,
+    both_strands: bool = True,
+) -> list[OpenReadingFrame]:
+    """Find complete ORFs (start codon … stop codon) on one or both strands.
+
+    Overlapping ORFs in different frames are all reported; within a frame,
+    scanning resumes after each stop so nested starts inside a reported ORF
+    are not re-reported.  Results are ordered by forward-strand start.
+    """
+    text = str(dna)
+    orfs = _scan_strand(text, FORWARD, len(text), table, min_protein_length)
+    if both_strands:
+        reverse_text = str(reverse_complement(dna))
+        orfs.extend(_scan_strand(
+            reverse_text, REVERSE, len(text), table, min_protein_length
+        ))
+    return sorted(orfs, key=lambda orf: (orf.start, orf.end, orf.strand))
+
+
+def six_frame_translation(
+    dna: DnaSequence, table: CodonTable = STANDARD
+) -> dict[tuple[int, int], ProteinSequence]:
+    """Translate all six reading frames end to end (stops kept as ``*``).
+
+    Returns a mapping ``(strand, frame) -> protein`` with strand +1/-1 and
+    frame 0/1/2.
+    """
+    result: dict[tuple[int, int], ProteinSequence] = {}
+    for strand, source in (
+        (FORWARD, dna),
+        (REVERSE, reverse_complement(dna)),
+    ):
+        rna = str(dna_to_rna(source))
+        for frame in range(3):
+            residues = [
+                table.amino_acid(rna[i:i + 3])
+                for i in range(frame, len(rna) - 2, 3)
+            ]
+            result[(strand, frame)] = ProteinSequence("".join(residues))
+    return result

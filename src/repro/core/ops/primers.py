@@ -1,0 +1,145 @@
+"""PCR primer design: a realistic "specialty evaluation function" (C14).
+
+A compact, deterministic primer designer over the GDT machinery: given a
+template and a target region, pick a forward primer just upstream and a
+reverse primer just downstream, subject to length, melting-temperature
+window, GC clamp and simple self-complementarity limits.  It exists both
+as a usable tool and as the canonical example of the kind of functions
+requirement C14 says users must be able to define and integrate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.ops.basic import reverse_complement
+from repro.core.ops.stats import melting_temperature
+from repro.core.types.annotation import Interval
+from repro.core.types.sequence import DnaSequence
+from repro.errors import SequenceError
+
+
+@dataclass(frozen=True)
+class PrimerPair:
+    """A designed primer pair and its placement on the template.
+
+    Positions are 0-based on the forward strand of the template; the
+    reverse primer is given 5'→3' (i.e. already reverse-complemented).
+    ``product_length`` is the amplicon size including both primers.
+    """
+
+    forward: DnaSequence
+    reverse: DnaSequence
+    forward_position: int
+    reverse_position: int
+    forward_tm: float
+    reverse_tm: float
+
+    @property
+    def product_length(self) -> int:
+        return (self.reverse_position + len(self.reverse)
+                - self.forward_position)
+
+
+def _has_gc_clamp(primer_text: str) -> bool:
+    """True when the 3' end carries a G or C (binding stability)."""
+    return primer_text[-1] in "GC"
+
+
+def _max_self_complement_run(primer_text: str) -> int:
+    """Longest run of the primer complementary to its own reverse.
+
+    A cheap hairpin/self-dimer screen: the length of the longest common
+    substring between the primer and its reverse complement.
+    """
+    other = str(reverse_complement(DnaSequence(primer_text)))
+    best = 0
+    for start in range(len(primer_text)):
+        for end in range(start + best + 1, len(primer_text) + 1):
+            if primer_text[start:end] in other:
+                best = end - start
+            else:
+                break
+    return best
+
+
+def _acceptable(primer_text: str, tm_low: float, tm_high: float,
+                max_self_run: int) -> "float | None":
+    """Tm if the candidate passes all filters, else ``None``."""
+    if not _has_gc_clamp(primer_text):
+        return None
+    if "N" in primer_text or "-" in primer_text:
+        return None
+    if _max_self_complement_run(primer_text) > max_self_run:
+        return None
+    tm = melting_temperature(DnaSequence(primer_text))
+    if not tm_low <= tm <= tm_high:
+        return None
+    return tm
+
+
+def design_primers(
+    template: DnaSequence,
+    target: Interval,
+    primer_length: int = 20,
+    tm_window: tuple[float, float] = (50.0, 68.0),
+    max_self_complement: int = 8,
+) -> PrimerPair:
+    """Design a primer pair flanking *target* on *template*.
+
+    The forward primer is the acceptable window nearest upstream of the
+    target, ending at or before the target's first base; the reverse
+    primer is the acceptable window nearest downstream, starting at or
+    after the target's end (returned 5'→3' on the opposite strand).
+    Raises :class:`SequenceError` when no acceptable candidate exists.
+    """
+    text = str(template)
+    if target.end > len(text):
+        raise SequenceError("target region lies beyond the template")
+    if primer_length < 10:
+        raise SequenceError("primers shorter than 10 nt are not supported")
+    tm_low, tm_high = tm_window
+
+    # Forward: windows ending at/before the target start, nearest first.
+    forward: tuple[int, float] | None = None
+    for end in range(target.start, primer_length - 1, -1):
+        start = end - primer_length
+        candidate = text[start:end]
+        tm = _acceptable(candidate, tm_low, tm_high, max_self_complement)
+        if tm is not None:
+            forward = (start, tm)
+            break
+    if forward is None:
+        raise SequenceError(
+            "no acceptable forward primer upstream of the target"
+        )
+
+    # Reverse: windows starting at/after the target end, nearest first.
+    reverse: tuple[int, float] | None = None
+    for start in range(target.end, len(text) - primer_length + 1):
+        candidate_region = text[start:start + primer_length]
+        primer_text = str(reverse_complement(DnaSequence(candidate_region)))
+        tm = _acceptable(primer_text, tm_low, tm_high,
+                         max_self_complement)
+        if tm is not None:
+            reverse = (start, tm)
+            break
+    if reverse is None:
+        raise SequenceError(
+            "no acceptable reverse primer downstream of the target"
+        )
+
+    forward_position, forward_tm = forward
+    reverse_position, reverse_tm = reverse
+    return PrimerPair(
+        forward=DnaSequence(
+            text[forward_position:forward_position + primer_length]
+        ),
+        reverse=reverse_complement(DnaSequence(
+            text[reverse_position:reverse_position + primer_length]
+        )),
+        forward_position=forward_position,
+        reverse_position=reverse_position,
+        forward_tm=forward_tm,
+        reverse_tm=reverse_tm,
+    )

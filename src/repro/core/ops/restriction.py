@@ -1,0 +1,96 @@
+"""Restriction enzymes and in-silico digestion."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.ops.search import find_motif
+from repro.core.types.sequence import DnaSequence
+from repro.errors import SequenceError
+
+
+@dataclass(frozen=True)
+class RestrictionEnzyme:
+    """A restriction endonuclease: recognition site + cut offset.
+
+    ``site`` may contain IUPAC ambiguity codes.  ``cut_offset`` is the
+    number of bases into the site (on the forward strand) at which the
+    enzyme cuts; 0 cuts immediately before the site's first base.
+    """
+
+    name: str
+    site: str
+    cut_offset: int
+
+    def __post_init__(self) -> None:
+        if not self.site:
+            raise SequenceError(f"enzyme {self.name!r} has an empty site")
+        if not 0 <= self.cut_offset <= len(self.site):
+            raise SequenceError(
+                f"enzyme {self.name!r}: cut offset {self.cut_offset} outside "
+                f"site of length {len(self.site)}"
+            )
+
+    def recognition_sites(self, dna: DnaSequence) -> list[int]:
+        """Start positions of every recognition site (forward strand)."""
+        return list(find_motif(dna, self.site))
+
+    def cut_positions(self, dna: DnaSequence) -> list[int]:
+        """Positions the enzyme cuts at, ascending."""
+        return sorted(
+            start + self.cut_offset for start in self.recognition_sites(dna)
+        )
+
+
+#: A small standard catalogue (site, forward-strand cut offset).
+ECORI = RestrictionEnzyme("EcoRI", "GAATTC", 1)
+BAMHI = RestrictionEnzyme("BamHI", "GGATCC", 1)
+HINDIII = RestrictionEnzyme("HindIII", "AAGCTT", 1)
+NOTI = RestrictionEnzyme("NotI", "GCGGCCGC", 2)
+SMAI = RestrictionEnzyme("SmaI", "CCCGGG", 3)  # blunt cutter
+HAEIII = RestrictionEnzyme("HaeIII", "GGCC", 2)  # blunt cutter
+ECORV = RestrictionEnzyme("EcoRV", "GATATC", 3)  # blunt cutter
+
+STANDARD_ENZYMES: tuple[RestrictionEnzyme, ...] = (
+    ECORI, BAMHI, HINDIII, NOTI, SMAI, HAEIII, ECORV,
+)
+
+
+def enzyme_by_name(name: str) -> RestrictionEnzyme:
+    """Look up a catalogue enzyme by (case-insensitive) name."""
+    for enzyme in STANDARD_ENZYMES:
+        if enzyme.name.lower() == name.lower():
+            return enzyme
+    raise SequenceError(f"no restriction enzyme named {name!r}")
+
+
+def digest(
+    dna: DnaSequence, enzymes: "RestrictionEnzyme | list[RestrictionEnzyme]"
+) -> list[DnaSequence]:
+    """Cut *dna* with one or more enzymes; returns the ordered fragments.
+
+    A digestion with no recognition sites returns the input as a single
+    fragment.  The DNA is treated as linear.
+    """
+    if isinstance(enzymes, RestrictionEnzyme):
+        enzymes = [enzymes]
+    cuts = sorted({
+        position
+        for enzyme in enzymes
+        for position in enzyme.cut_positions(dna)
+        if 0 < position < len(dna)
+    })
+    fragments: list[DnaSequence] = []
+    previous = 0
+    for cut in cuts:
+        fragments.append(dna[previous:cut])
+        previous = cut
+    fragments.append(dna[previous:])
+    return fragments
+
+
+def fragment_lengths(
+    dna: DnaSequence, enzymes: "RestrictionEnzyme | list[RestrictionEnzyme]"
+) -> list[int]:
+    """The lengths of the digestion fragments (a virtual gel lane)."""
+    return [len(fragment) for fragment in digest(dna, enzymes)]

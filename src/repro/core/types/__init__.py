@@ -1,0 +1,69 @@
+"""Genomic data types (GDTs): the sorts of the Genomics Algebra."""
+
+from repro.core.types.alphabet import (
+    DNA,
+    PROTEIN,
+    RNA,
+    STRICT_DNA,
+    Alphabet,
+    alphabet_by_name,
+)
+from repro.core.types.annotation import (
+    FORWARD,
+    REVERSE,
+    AnnotationSet,
+    Feature,
+    Interval,
+    Location,
+)
+from repro.core.types.entities import (
+    Chromosome,
+    Gene,
+    Genome,
+    MRna,
+    PrimaryTranscript,
+    Protein,
+)
+from repro.core.types.sequence import (
+    DnaSequence,
+    PackedSequence,
+    ProteinSequence,
+    RnaSequence,
+    sequence_class_for,
+    sequence_from_bytes,
+)
+from repro.core.types.uncertainty import (
+    Alternatives,
+    Uncertain,
+    UncertaintyError,
+)
+
+__all__ = [
+    "DNA",
+    "RNA",
+    "PROTEIN",
+    "STRICT_DNA",
+    "Alphabet",
+    "alphabet_by_name",
+    "FORWARD",
+    "REVERSE",
+    "Interval",
+    "Location",
+    "Feature",
+    "AnnotationSet",
+    "PackedSequence",
+    "DnaSequence",
+    "RnaSequence",
+    "ProteinSequence",
+    "sequence_class_for",
+    "sequence_from_bytes",
+    "Gene",
+    "PrimaryTranscript",
+    "MRna",
+    "Protein",
+    "Chromosome",
+    "Genome",
+    "Uncertain",
+    "Alternatives",
+    "UncertaintyError",
+]

@@ -1,0 +1,217 @@
+"""Locations, features and annotations on genomic sequences.
+
+These follow the GenBank/EMBL feature-table model, which the ETL wrappers
+parse into: a :class:`Feature` has a kind (``"gene"``, ``"CDS"``,
+``"exon"`` ...), a :class:`Location` — one or more intervals on a strand —
+and free-form qualifiers.  :class:`AnnotationSet` is the ordered container
+a sequence-bearing GDT carries them in.
+
+Coordinates are 0-based, half-open (Python slice convention) throughout
+this package; the flat-file wrappers convert from the 1-based inclusive
+coordinates the source formats use.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator, Mapping
+
+from repro.errors import FeatureError
+
+FORWARD = 1
+REVERSE = -1
+
+
+@dataclass(frozen=True, order=True)
+class Interval:
+    """A 0-based, half-open span ``[start, end)`` on a sequence."""
+
+    start: int
+    end: int
+
+    def __post_init__(self) -> None:
+        if self.start < 0 or self.end < self.start:
+            raise FeatureError(
+                f"invalid interval [{self.start}, {self.end})"
+            )
+
+    def __len__(self) -> int:
+        return self.end - self.start
+
+    def __contains__(self, position: int) -> bool:
+        return self.start <= position < self.end
+
+    def overlaps(self, other: "Interval") -> bool:
+        """True when the two spans share at least one position."""
+        return self.start < other.end and other.start < self.end
+
+    def shifted(self, offset: int) -> "Interval":
+        """The interval translated by *offset* positions."""
+        return Interval(self.start + offset, self.end + offset)
+
+    def intersection(self, other: "Interval") -> "Interval | None":
+        """The overlapping span, or ``None`` when disjoint."""
+        start = max(self.start, other.start)
+        end = min(self.end, other.end)
+        return Interval(start, end) if start < end else None
+
+
+@dataclass(frozen=True)
+class Location:
+    """One or more ordered intervals on a strand (a GenBank ``join``).
+
+    Intervals must be non-overlapping and in ascending order; the strand is
+    :data:`FORWARD` (+1) or :data:`REVERSE` (-1).  For reverse-strand
+    locations the intervals are still stored in ascending genomic order —
+    biological order is obtained by the consumer reversing them.
+    """
+
+    intervals: tuple[Interval, ...]
+    strand: int = FORWARD
+
+    def __post_init__(self) -> None:
+        if self.strand not in (FORWARD, REVERSE):
+            raise FeatureError(f"strand must be +1 or -1, got {self.strand}")
+        if not self.intervals:
+            raise FeatureError("a location needs at least one interval")
+        for before, after in zip(self.intervals, self.intervals[1:]):
+            if after.start < before.end:
+                raise FeatureError(
+                    "location intervals must be ascending and disjoint: "
+                    f"{before} then {after}"
+                )
+
+    @classmethod
+    def simple(cls, start: int, end: int, strand: int = FORWARD) -> "Location":
+        """A single-interval location."""
+        return cls((Interval(start, end),), strand)
+
+    @classmethod
+    def join(cls, spans: Iterable[tuple[int, int]],
+             strand: int = FORWARD) -> "Location":
+        """A multi-interval location from ``(start, end)`` pairs."""
+        return cls(tuple(Interval(s, e) for s, e in spans), strand)
+
+    @property
+    def start(self) -> int:
+        """Leftmost genomic coordinate covered."""
+        return self.intervals[0].start
+
+    @property
+    def end(self) -> int:
+        """Rightmost genomic coordinate covered (exclusive)."""
+        return self.intervals[-1].end
+
+    def __len__(self) -> int:
+        return sum(len(interval) for interval in self.intervals)
+
+    def __contains__(self, position: int) -> bool:
+        return any(position in interval for interval in self.intervals)
+
+    def overlaps(self, other: "Location") -> bool:
+        """True when any interval of *self* overlaps any of *other*."""
+        return any(
+            mine.overlaps(theirs)
+            for mine in self.intervals
+            for theirs in other.intervals
+        )
+
+    def shifted(self, offset: int) -> "Location":
+        return Location(
+            tuple(interval.shifted(offset) for interval in self.intervals),
+            self.strand,
+        )
+
+    def extract(self, text: str) -> str:
+        """Concatenate the covered stretches of *text* in biological order.
+
+        For reverse-strand locations the caller still has to complement the
+        result; this method only handles ordering.
+        """
+        if self.end > len(text):
+            raise FeatureError(
+                f"location end {self.end} beyond sequence of length {len(text)}"
+            )
+        pieces = [text[interval.start:interval.end]
+                  for interval in self.intervals]
+        if self.strand == REVERSE:
+            pieces = [piece[::-1] for piece in reversed(pieces)]
+        return "".join(pieces)
+
+
+@dataclass(frozen=True)
+class Feature:
+    """An annotated region: kind + location + qualifiers.
+
+    Qualifiers mirror the ``/key="value"`` pairs of flat-file feature
+    tables (``/gene="lacZ"``, ``/product="beta-galactosidase"``...).
+    """
+
+    kind: str
+    location: Location
+    qualifiers: Mapping[str, str] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not self.kind:
+            raise FeatureError("a feature needs a non-empty kind")
+        object.__setattr__(self, "qualifiers", dict(self.qualifiers))
+
+    def qualifier(self, key: str, default: str | None = None) -> str | None:
+        return self.qualifiers.get(key, default)
+
+    def __hash__(self) -> int:
+        return hash((self.kind, self.location,
+                     tuple(sorted(self.qualifiers.items()))))
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Feature):
+            return NotImplemented
+        return (self.kind == other.kind
+                and self.location == other.location
+                and dict(self.qualifiers) == dict(other.qualifiers))
+
+
+class AnnotationSet:
+    """An ordered, queryable collection of :class:`Feature` objects."""
+
+    __slots__ = ("_features",)
+
+    def __init__(self, features: Iterable[Feature] = ()) -> None:
+        self._features = list(features)
+
+    def __len__(self) -> int:
+        return len(self._features)
+
+    def __iter__(self) -> Iterator[Feature]:
+        return iter(self._features)
+
+    def __repr__(self) -> str:
+        return f"AnnotationSet({len(self._features)} features)"
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, AnnotationSet):
+            return NotImplemented
+        return self._features == other._features
+
+    def add(self, feature: Feature) -> None:
+        self._features.append(feature)
+
+    def of_kind(self, kind: str) -> list[Feature]:
+        """All features whose kind equals *kind*."""
+        return [f for f in self._features if f.kind == kind]
+
+    def overlapping(self, start: int, end: int) -> list[Feature]:
+        """All features whose location overlaps ``[start, end)``."""
+        probe = Location.simple(start, end)
+        return [f for f in self._features if f.location.overlaps(probe)]
+
+    def with_qualifier(self, key: str, value: str | None = None
+                       ) -> list[Feature]:
+        """Features carrying qualifier *key* (optionally with *value*)."""
+        found = []
+        for feature in self._features:
+            if key not in feature.qualifiers:
+                continue
+            if value is None or feature.qualifiers[key] == value:
+                found.append(feature)
+        return found

@@ -1,0 +1,189 @@
+"""High-level genomic entities: gene, transcripts, protein, chromosome, genome.
+
+These are the "high-level genomic data types (GDTs)" of the paper's
+abstract — the sorts of the Genomics Algebra (section 4.2).  Each wraps a
+packed sequence plus structure (exon layout, coding region, annotations),
+and each is a plain value object the adapter can serialize into the
+Unifying Database as an opaque UDT.
+
+The central-dogma operations over these types (``transcribe``, ``splice``,
+``translate``) live in :mod:`repro.core.ops.central_dogma`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator
+
+from repro.core.types.annotation import AnnotationSet, Interval
+from repro.core.types.sequence import DnaSequence, ProteinSequence, RnaSequence
+from repro.errors import FeatureError
+
+
+@dataclass
+class Gene:
+    """A gene: a genomic DNA span with an exon/intron structure.
+
+    ``sequence`` is the genomic region read 5'→3' along the coding strand
+    (the wrappers reverse-complement minus-strand genes on extraction, so a
+    ``Gene`` value is always in coding orientation).  ``exons`` are
+    intervals **relative to** ``sequence``, ascending and disjoint; the
+    stretches between them are the introns removed by splicing.
+    """
+
+    name: str
+    sequence: DnaSequence
+    exons: tuple[Interval, ...] = ()
+    organism: str | None = None
+    accession: str | None = None
+    annotations: AnnotationSet = field(default_factory=AnnotationSet)
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise FeatureError("a gene needs a non-empty name")
+        if not self.exons:
+            self.exons = (Interval(0, len(self.sequence)),)
+        self.exons = tuple(self.exons)
+        for before, after in zip(self.exons, self.exons[1:]):
+            if after.start < before.end:
+                raise FeatureError(
+                    f"gene {self.name!r}: exons must be ascending and "
+                    f"disjoint ({before} then {after})"
+                )
+        if self.exons[-1].end > len(self.sequence):
+            raise FeatureError(
+                f"gene {self.name!r}: exon end {self.exons[-1].end} beyond "
+                f"sequence of length {len(self.sequence)}"
+            )
+
+    @property
+    def introns(self) -> tuple[Interval, ...]:
+        """The gaps between consecutive exons."""
+        return tuple(
+            Interval(before.end, after.start)
+            for before, after in zip(self.exons, self.exons[1:])
+            if after.start > before.end
+        )
+
+    @property
+    def exonic_length(self) -> int:
+        """Total length of the exons (the length of the mature mRNA)."""
+        return sum(len(exon) for exon in self.exons)
+
+    def __len__(self) -> int:
+        return len(self.sequence)
+
+
+@dataclass
+class PrimaryTranscript:
+    """The unspliced RNA copy of a gene (product of ``transcribe``)."""
+
+    rna: RnaSequence
+    exons: tuple[Interval, ...]
+    gene_name: str | None = None
+
+    def __post_init__(self) -> None:
+        self.exons = tuple(self.exons)
+        if not self.exons:
+            self.exons = (Interval(0, len(self.rna)),)
+        if self.exons[-1].end > len(self.rna):
+            raise FeatureError(
+                "primary transcript exons extend beyond the RNA"
+            )
+
+    def __len__(self) -> int:
+        return len(self.rna)
+
+
+@dataclass
+class MRna:
+    """A mature messenger RNA (product of ``splice``).
+
+    ``cds`` optionally marks the coding region within the mRNA; when absent,
+    ``translate`` scans for the first start codon.
+    """
+
+    rna: RnaSequence
+    cds: Interval | None = None
+    gene_name: str | None = None
+
+    def __post_init__(self) -> None:
+        if self.cds is not None and self.cds.end > len(self.rna):
+            raise FeatureError("mRNA CDS extends beyond the RNA")
+
+    def __len__(self) -> int:
+        return len(self.rna)
+
+
+@dataclass
+class Protein:
+    """An amino-acid chain, optionally annotated (product of ``translate``)."""
+
+    sequence: ProteinSequence
+    name: str | None = None
+    gene_name: str | None = None
+    organism: str | None = None
+    accession: str | None = None
+    annotations: AnnotationSet = field(default_factory=AnnotationSet)
+
+    def __len__(self) -> int:
+        return len(self.sequence)
+
+
+@dataclass
+class Chromosome:
+    """A named DNA molecule carrying genes and free-form features."""
+
+    name: str
+    sequence: DnaSequence
+    genes: tuple[Gene, ...] = ()
+    annotations: AnnotationSet = field(default_factory=AnnotationSet)
+
+    def __post_init__(self) -> None:
+        self.genes = tuple(self.genes)
+
+    def __len__(self) -> int:
+        return len(self.sequence)
+
+    def gene(self, name: str) -> Gene:
+        """Look up a gene by name (raises :class:`FeatureError` if absent)."""
+        for gene in self.genes:
+            if gene.name == name:
+                return gene
+        raise FeatureError(
+            f"chromosome {self.name!r} has no gene named {name!r}"
+        )
+
+
+@dataclass
+class Genome:
+    """A complete genome: an organism's chromosomes."""
+
+    organism: str
+    chromosomes: tuple[Chromosome, ...] = ()
+
+    def __post_init__(self) -> None:
+        self.chromosomes = tuple(self.chromosomes)
+        names = [chromosome.name for chromosome in self.chromosomes]
+        if len(set(names)) != len(names):
+            raise FeatureError(
+                f"genome {self.organism!r} has duplicate chromosome names"
+            )
+
+    def __len__(self) -> int:
+        """Total base count across all chromosomes."""
+        return sum(len(chromosome) for chromosome in self.chromosomes)
+
+    def chromosome(self, name: str) -> Chromosome:
+        """Look up a chromosome by name."""
+        for chromosome in self.chromosomes:
+            if chromosome.name == name:
+                return chromosome
+        raise FeatureError(
+            f"genome {self.organism!r} has no chromosome named {name!r}"
+        )
+
+    def genes(self) -> Iterator[Gene]:
+        """Iterate over every gene on every chromosome."""
+        for chromosome in self.chromosomes:
+            yield from chromosome.genes

@@ -1,0 +1,174 @@
+"""Uncertainty-carrying values (requirement C9 of the paper).
+
+Genomic repositories hold noisy, conflicting data — the paper cites the
+estimate that 30–60 % of GenBank sequences are erroneous (B10) and demands
+that when two inconsistent readings exist and neither can be ruled out,
+"access to both alternatives should be given" (C9).
+
+Two wrappers realize this:
+
+- :class:`Uncertain` attaches a confidence in ``[0, 1]`` and a provenance
+  string to any value.
+- :class:`Alternatives` holds several mutually exclusive
+  :class:`Uncertain` readings of the same datum, so a query can see all of
+  them, the most credible one, or a filtered subset.
+
+Both are plain values: hashable when their payloads are, serializable by
+the adapter, and usable as UDT attributes in the Unifying Database.
+"""
+
+from __future__ import annotations
+
+from typing import Generic, Iterable, Iterator, TypeVar
+
+from repro.errors import ReproError
+
+T = TypeVar("T")
+
+
+class UncertaintyError(ReproError):
+    """Invalid confidence value or empty alternative set."""
+
+
+class Uncertain(Generic[T]):
+    """A value together with a confidence and its provenance.
+
+    Parameters
+    ----------
+    value:
+        The payload (any type; typically a GDT value or scalar).
+    confidence:
+        Degree of belief in ``[0, 1]``; ``1.0`` means certain.
+    source:
+        Where the reading came from (repository name, experiment id, ...).
+    """
+
+    __slots__ = ("value", "confidence", "source")
+
+    def __init__(self, value: T, confidence: float = 1.0,
+                 source: str | None = None) -> None:
+        if not 0.0 <= confidence <= 1.0:
+            raise UncertaintyError(
+                f"confidence must be in [0, 1], got {confidence}"
+            )
+        self.value = value
+        self.confidence = float(confidence)
+        self.source = source
+
+    def __repr__(self) -> str:
+        origin = f", source={self.source!r}" if self.source else ""
+        return f"Uncertain({self.value!r}, {self.confidence:.3f}{origin})"
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Uncertain):
+            return NotImplemented
+        return (self.value == other.value
+                and self.confidence == other.confidence
+                and self.source == other.source)
+
+    def __hash__(self) -> int:
+        return hash((self.value, self.confidence, self.source))
+
+    def is_certain(self) -> bool:
+        """True when confidence is exactly 1."""
+        return self.confidence == 1.0
+
+    def scaled(self, factor: float) -> "Uncertain[T]":
+        """A copy with confidence multiplied by *factor* (clamped to 1)."""
+        return Uncertain(self.value, min(1.0, self.confidence * factor),
+                         self.source)
+
+
+class Alternatives(Generic[T]):
+    """Mutually exclusive readings of one datum, each with a confidence.
+
+    The container is ordered by descending confidence; ties keep insertion
+    order, which makes reconciliation output deterministic.
+    """
+
+    __slots__ = ("_options",)
+
+    def __init__(self, options: Iterable[Uncertain[T]]) -> None:
+        ordered = sorted(
+            enumerate(options), key=lambda pair: (-pair[1].confidence, pair[0])
+        )
+        self._options = tuple(option for _, option in ordered)
+        if not self._options:
+            raise UncertaintyError("Alternatives requires at least one option")
+
+    @classmethod
+    def of(cls, *values: T, confidences: Iterable[float] | None = None,
+           sources: Iterable[str | None] | None = None) -> "Alternatives[T]":
+        """Convenience constructor from bare values."""
+        count = len(values)
+        confidence_list = (list(confidences) if confidences is not None
+                           else [1.0 / count] * count)
+        source_list = (list(sources) if sources is not None
+                       else [None] * count)
+        if len(confidence_list) != count or len(source_list) != count:
+            raise UncertaintyError(
+                "confidences/sources must match the number of values"
+            )
+        return cls(
+            Uncertain(value, conf, src)
+            for value, conf, src in zip(values, confidence_list, source_list)
+        )
+
+    def __iter__(self) -> Iterator[Uncertain[T]]:
+        return iter(self._options)
+
+    def __len__(self) -> int:
+        return len(self._options)
+
+    def __repr__(self) -> str:
+        return f"Alternatives({list(self._options)!r})"
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Alternatives):
+            return NotImplemented
+        return self._options == other._options
+
+    def __hash__(self) -> int:
+        return hash(self._options)
+
+    def best(self) -> Uncertain[T]:
+        """The highest-confidence reading."""
+        return self._options[0]
+
+    def values(self) -> tuple[T, ...]:
+        """All candidate payloads, best first."""
+        return tuple(option.value for option in self._options)
+
+    def is_conflicting(self) -> bool:
+        """True when more than one distinct payload remains possible.
+
+        Distinctness is judged by type + full string form (``repr`` is
+        unusable: packed sequences abbreviate theirs).
+        """
+        distinct = {(type(option.value).__name__, str(option.value))
+                    for option in self._options}
+        return len(distinct) > 1
+
+    def add(self, option: Uncertain[T]) -> "Alternatives[T]":
+        """A new container with *option* merged in (immutable update)."""
+        return Alternatives((*self._options, option))
+
+    def filtered(self, minimum_confidence: float) -> "Alternatives[T]":
+        """Keep readings at or above *minimum_confidence*.
+
+        Falls back to the single best reading when the filter would empty
+        the container — a datum never silently disappears.
+        """
+        kept = [option for option in self._options
+                if option.confidence >= minimum_confidence]
+        return Alternatives(kept) if kept else Alternatives([self.best()])
+
+    def normalized(self) -> "Alternatives[T]":
+        """Rescale confidences to sum to 1 (when the total is positive)."""
+        total = sum(option.confidence for option in self._options)
+        if total <= 0:
+            return self
+        return Alternatives(
+            Uncertain(option.value, option.confidence / total, option.source)
+            for option in self._options
+        )

@@ -1,0 +1,40 @@
+"""A from-scratch extensible relational engine (the paper's DBMS substrate).
+
+Public surface:
+
+- :class:`~repro.db.database.Database` — parse/plan/execute SQL, register
+  opaque UDTs and UDFs, transactions, EXPLAIN.
+- :class:`~repro.db.database.ResultSet` — SELECT results.
+- :class:`~repro.db.values.OpaqueType` — the UDT mechanism of section 6.2.
+- :mod:`repro.db.index` — B-tree/hash plus genomic k-mer and suffix-array
+  index structures (section 6.5).
+- :mod:`repro.db.storage` — disk images and the write-ahead log.
+"""
+
+from repro.db.catalog import SqlAggregate, SqlFunction
+from repro.db.database import Database, ResultSet
+from repro.db.values import (
+    BLOB,
+    BOOLEAN,
+    INTEGER,
+    NULL,
+    REAL,
+    TEXT,
+    OpaqueType,
+    SqlType,
+)
+
+__all__ = [
+    "Database",
+    "ResultSet",
+    "OpaqueType",
+    "SqlType",
+    "SqlFunction",
+    "SqlAggregate",
+    "NULL",
+    "INTEGER",
+    "REAL",
+    "TEXT",
+    "BOOLEAN",
+    "BLOB",
+]

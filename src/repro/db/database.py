@@ -1,0 +1,438 @@
+"""The database facade: parse → plan → execute, plus transactions and WAL.
+
+A :class:`Database` is a self-contained, extensible relational engine:
+
+>>> db = Database()
+>>> db.execute("CREATE TABLE genes (id INTEGER PRIMARY KEY, name TEXT)")
+>>> db.execute("INSERT INTO genes VALUES (1, 'lacZ')")
+1
+>>> db.execute("SELECT name FROM genes WHERE id = 1").scalar()
+'lacZ'
+
+Extensibility (sections 6.2–6.3): :meth:`Database.register_type` adds an
+opaque UDT, :meth:`Database.register_function` a UDF usable anywhere an
+expression may occur, ``CREATE INDEX … USING kmer`` a genomic index.
+The adapter (:mod:`repro.adapter`) uses exactly these three hooks to plug
+the whole Genomics Algebra in.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterator, Sequence
+
+from repro.db.catalog import Catalog, SqlAggregate
+from repro.db.index import INDEX_KINDS
+from repro.db.schema import Column, TableSchema
+from repro.db.sql import ast
+from repro.db.sql.expressions import Evaluator, Frame, RowContext
+from repro.db.sql.functions import register_builtin_functions
+from repro.db.sql.optimizer import Planner
+from repro.db.sql.parser import parse
+from repro.db.values import NULL, OpaqueType
+from repro.errors import (
+    CatalogError,
+    DatabaseError,
+    SqlSyntaxError,
+    TransactionError,
+)
+
+
+class ResultSet:
+    """The rows of a SELECT, with their output column names."""
+
+    def __init__(self, columns: Sequence[str], rows: Sequence[tuple]) -> None:
+        self.columns = list(columns)
+        self.rows = [tuple(row) for row in rows]
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def __iter__(self) -> Iterator[tuple]:
+        return iter(self.rows)
+
+    def __repr__(self) -> str:
+        return f"ResultSet({self.columns}, {len(self.rows)} rows)"
+
+    def first(self) -> tuple | None:
+        """The first row, or ``None`` when empty."""
+        return self.rows[0] if self.rows else None
+
+    def scalar(self) -> Any:
+        """The single value of a one-row, one-column result."""
+        if len(self.rows) != 1 or len(self.columns) != 1:
+            raise DatabaseError(
+                f"scalar() needs exactly one row and column, got "
+                f"{len(self.rows)}x{len(self.columns)}"
+            )
+        return self.rows[0][0]
+
+    def column(self, name: str) -> list[Any]:
+        """All values of one output column."""
+        try:
+            position = self.columns.index(name)
+        except ValueError:
+            raise DatabaseError(f"no output column {name!r}") from None
+        return [row[position] for row in self.rows]
+
+    def to_dicts(self) -> list[dict[str, Any]]:
+        return [dict(zip(self.columns, row)) for row in self.rows]
+
+    def pretty(self, max_rows: int = 20) -> str:
+        """A fixed-width text table (for examples and the BiQL shell)."""
+        def fmt(value: Any) -> str:
+            if value is NULL:
+                return "NULL"
+            text = str(value)
+            return text if len(text) <= 32 else text[:29] + "..."
+
+        shown = self.rows[:max_rows]
+        cells = [[fmt(v) for v in row] for row in shown]
+        widths = [
+            max(len(self.columns[i]),
+                *(len(row[i]) for row in cells)) if cells
+            else len(self.columns[i])
+            for i in range(len(self.columns))
+        ]
+        header = " | ".join(
+            name.ljust(width) for name, width in zip(self.columns, widths)
+        )
+        rule = "-+-".join("-" * width for width in widths)
+        body = [
+            " | ".join(cell.ljust(width)
+                       for cell, width in zip(row, widths))
+            for row in cells
+        ]
+        lines = [header, rule, *body]
+        if len(self.rows) > max_rows:
+            lines.append(f"... ({len(self.rows) - max_rows} more rows)")
+        return "\n".join(lines)
+
+
+class Database:
+    """An in-memory extensible relational database."""
+
+    def __init__(self) -> None:
+        self.catalog = Catalog()
+        self._planner = Planner(self)
+        self._evaluator = Evaluator(self)
+        self._index_owner: dict[str, str] = {}  # index name -> table name
+        self._index_definitions: dict[str, ast.CreateIndex] = {}
+        self._snapshot: dict | None = None
+        self._wal: "Callable[[str, Sequence[Any]], None] | None" = None
+        self._transaction_log: list[tuple[str, Sequence[Any]]] = []
+        register_builtin_functions(self.catalog)
+
+    # -- extensibility hooks ----------------------------------------------------
+
+    def register_type(self, opaque: OpaqueType) -> None:
+        """Register an opaque UDT (section 6.2)."""
+        self.catalog.register_type(opaque)
+
+    def register_function(
+        self,
+        name: str,
+        function: Callable[..., Any],
+        selectivity: float | None = None,
+        description: str = "",
+        replace: bool = False,
+    ) -> None:
+        """Register a scalar UDF usable in any SQL expression (section 6.3)."""
+        self.catalog.register_function(
+            name, function, selectivity, description, replace
+        )
+
+    def register_aggregate(self, aggregate: SqlAggregate,
+                           replace: bool = False) -> None:
+        self.catalog.register_aggregate(aggregate, replace)
+
+    def attach_wal(self, writer: Callable[[str, Sequence[Any]], None]) -> None:
+        """Attach a write-ahead log sink (called per mutating statement)."""
+        self._wal = writer
+
+    # -- transactions --------------------------------------------------------------
+
+    @property
+    def in_transaction(self) -> bool:
+        return self._snapshot is not None
+
+    def begin(self) -> None:
+        if self.in_transaction:
+            raise TransactionError("a transaction is already active")
+        self._snapshot = {
+            name: self.catalog.table(name).snapshot()
+            for name in self.catalog.table_names
+        }
+        self._transaction_log = []
+
+    def commit(self) -> None:
+        if not self.in_transaction:
+            raise TransactionError("no active transaction")
+        if self._wal is not None:
+            for sql, parameters in self._transaction_log:
+                self._wal(sql, parameters)
+        self._snapshot = None
+        self._transaction_log = []
+
+    def rollback(self) -> None:
+        if not self.in_transaction:
+            raise TransactionError("no active transaction")
+        assert self._snapshot is not None
+        for name, snapshot in self._snapshot.items():
+            if self.catalog.has_table(name):
+                self.catalog.table(name).restore(snapshot)
+        self._snapshot = None
+        self._transaction_log = []
+
+    # -- execution -------------------------------------------------------------------
+
+    def execute(self, sql: str, parameters: Sequence[Any] = ()) -> Any:
+        """Run one SQL statement.
+
+        Returns a :class:`ResultSet` for SELECT, the number of affected
+        rows for DML, and ``None`` for DDL.
+        """
+        statement = parse(sql)
+        mutating = not isinstance(statement, ast.Select)
+        result = self._dispatch(statement, parameters)
+        if mutating:
+            self._log_mutation(sql, parameters)
+        return result
+
+    def executemany(self, sql: str,
+                    parameter_rows: Sequence[Sequence[Any]]) -> int:
+        """Run one DML statement once per parameter row; returns total."""
+        total = 0
+        for parameters in parameter_rows:
+            outcome = self.execute(sql, parameters)
+            total += outcome if isinstance(outcome, int) else 0
+        return total
+
+    def query(self, sql: str, parameters: Sequence[Any] = ()) -> ResultSet:
+        """Run a statement that must be a SELECT."""
+        result = self.execute(sql, parameters)
+        if not isinstance(result, ResultSet):
+            raise DatabaseError("query() requires a SELECT statement")
+        return result
+
+    def explain(self, sql: str) -> str:
+        """The optimizer's plan for a SELECT, as an indented tree."""
+        statement = parse(sql)
+        if not isinstance(statement, ast.Select):
+            raise DatabaseError("EXPLAIN supports only SELECT")
+        return self._planner.plan_select(statement).explain()
+
+    def _log_mutation(self, sql: str, parameters: Sequence[Any]) -> None:
+        if self.in_transaction:
+            self._transaction_log.append((sql, tuple(parameters)))
+        elif self._wal is not None:
+            self._wal(sql, tuple(parameters))
+
+    def _dispatch(self, statement: ast.Statement,
+                  parameters: Sequence[Any]) -> Any:
+        if isinstance(statement, ast.Select):
+            return self._run_select(statement, parameters)
+        if isinstance(statement, ast.CreateTable):
+            return self._create_table(statement)
+        if isinstance(statement, ast.CreateIndex):
+            return self._create_index(statement)
+        if isinstance(statement, ast.DropTable):
+            return self._drop_table(statement)
+        if isinstance(statement, ast.DropIndex):
+            return self._drop_index(statement)
+        if isinstance(statement, ast.Insert):
+            return self._insert(statement, parameters)
+        if isinstance(statement, ast.Update):
+            return self._update(statement, parameters)
+        if isinstance(statement, ast.Delete):
+            return self._delete(statement, parameters)
+        if isinstance(statement, ast.Analyze):
+            return self.analyze(statement.table)
+        raise DatabaseError(
+            f"unsupported statement {type(statement).__name__}"
+        )
+
+    def analyze(self, table_name: str) -> None:
+        """Collect planner statistics for one table (``ANALYZE t``)."""
+        self.catalog.table(table_name).collect_statistics()
+        return None
+
+    # -- SELECT ----------------------------------------------------------------------
+
+    def _run_select(self, select: ast.Select,
+                    parameters: Sequence[Any]) -> ResultSet:
+        plan = self._planner.plan_select(select)
+        rows = list(plan.execute(parameters, None))
+        columns = [column for _, column in plan.frame.slots]
+        return ResultSet(columns, rows)
+
+    def run_subquery(
+        self,
+        select: ast.Select,
+        outer: "RowContext | None",
+        limit: int | None = None,
+    ) -> list[tuple]:
+        """Execute a (possibly correlated) subquery; used by the evaluator."""
+        plan = self._planner.plan_select(select)
+        parameters = outer.parameters if outer is not None else ()
+        rows: list[tuple] = []
+        for values in plan.execute(parameters, outer):
+            rows.append(values)
+            if limit is not None and len(rows) >= limit:
+                break
+        return rows
+
+    # -- DDL ---------------------------------------------------------------------------
+
+    def _create_table(self, statement: ast.CreateTable) -> None:
+        if statement.if_not_exists and self.catalog.has_table(statement.name):
+            return None
+        columns: list[Column] = []
+        primary_key: str | None = None
+        unique: list[str] = []
+        for definition in statement.columns:
+            sql_type = self.catalog.resolve_type(definition.type_name)
+            default = (definition.default.value
+                       if definition.default is not None else NULL)
+            columns.append(Column(
+                definition.name, sql_type,
+                not_null=definition.not_null, default=default,
+            ))
+            if definition.primary_key:
+                if primary_key is not None:
+                    raise CatalogError(
+                        f"table {statement.name!r} has two primary keys"
+                    )
+                primary_key = definition.name
+            if definition.unique:
+                unique.append(definition.name)
+        schema = TableSchema(statement.name, columns, primary_key,
+                             tuple(unique))
+        self.catalog.create_table(schema)
+        return None
+
+    def _create_index(self, statement: ast.CreateIndex) -> None:
+        name = statement.name.lower()
+        if statement.if_not_exists and name in self._index_owner:
+            return None
+        if name in self._index_owner:
+            raise CatalogError(f"index {name!r} already exists")
+        table = self.catalog.table(statement.table)
+        kind = statement.using.lower()
+        try:
+            index_class = INDEX_KINDS[kind]
+        except KeyError:
+            raise CatalogError(
+                f"unknown index kind {kind!r}; expected one of "
+                f"{sorted(INDEX_KINDS)}"
+            ) from None
+        keyword_arguments: dict[str, int] = {}
+        if kind == "kmer" and "k" in statement.parameters:
+            keyword_arguments["k"] = statement.parameters["k"]
+        if kind == "btree" and "order" in statement.parameters:
+            keyword_arguments["order"] = statement.parameters["order"]
+        index = index_class(name, statement.table, statement.column,
+                            **keyword_arguments)
+        table.attach_index(index)
+        self._index_owner[name] = table.name
+        self._index_definitions[name] = statement
+        return None
+
+    def _drop_table(self, statement: ast.DropTable) -> None:
+        name = statement.name.lower()
+        if statement.if_exists and not self.catalog.has_table(name):
+            return None
+        self.catalog.drop_table(name)
+        orphaned = [index for index, owner in self._index_owner.items()
+                    if owner == name]
+        for index in orphaned:
+            del self._index_owner[index]
+            self._index_definitions.pop(index, None)
+        return None
+
+    def _drop_index(self, statement: ast.DropIndex) -> None:
+        name = statement.name.lower()
+        if statement.if_exists and name not in self._index_owner:
+            return None
+        if name not in self._index_owner:
+            raise CatalogError(f"no index named {name!r}")
+        table = self.catalog.table(self._index_owner[name])
+        table.detach_index(name)
+        del self._index_owner[name]
+        self._index_definitions.pop(name, None)
+        return None
+
+    @property
+    def index_definitions(self) -> tuple[ast.CreateIndex, ...]:
+        """The CREATE INDEX statements currently in force (for storage)."""
+        return tuple(self._index_definitions.values())
+
+    # -- DML -------------------------------------------------------------------------------
+
+    def _empty_context(self, parameters: Sequence[Any]) -> RowContext:
+        return RowContext(Frame(()), (), parameters, None)
+
+    def _insert(self, statement: ast.Insert,
+                parameters: Sequence[Any]) -> int:
+        table = self.catalog.table(statement.table)
+        context = self._empty_context(parameters)
+        inserted = 0
+        for value_row in statement.rows:
+            values = [self._evaluator.evaluate(expression, context)
+                      for expression in value_row]
+            if statement.columns is not None:
+                if len(values) != len(statement.columns):
+                    raise SqlSyntaxError(
+                        "INSERT column list and VALUES row differ in length"
+                    )
+                named = dict(zip(
+                    (c.lower() for c in statement.columns), values
+                ))
+                row = table.schema.complete_row(named)
+            else:
+                row = values
+            table.insert(row)
+            inserted += 1
+        return inserted
+
+    def _matching_row_ids(self, table, where: ast.Expression | None,
+                          parameters: Sequence[Any]) -> list[int]:
+        frame = Frame.for_table(table.name, table.schema.column_names)
+        matches: list[int] = []
+        for row_id, row in list(table.rows()):
+            if where is None:
+                matches.append(row_id)
+                continue
+            context = RowContext(frame, tuple(row), parameters, None)
+            if self._evaluator.evaluate_predicate(where, context):
+                matches.append(row_id)
+        return matches
+
+    def _update(self, statement: ast.Update,
+                parameters: Sequence[Any]) -> int:
+        table = self.catalog.table(statement.table)
+        frame = Frame.for_table(table.name, table.schema.column_names)
+        assignments = [
+            (table.schema.position(column), expression)
+            for column, expression in statement.assignments
+        ]
+        updated = 0
+        for row_id in self._matching_row_ids(table, statement.where,
+                                             parameters):
+            old_row = table.row(row_id)
+            context = RowContext(frame, tuple(old_row), parameters, None)
+            new_row = list(old_row)
+            for position, expression in assignments:
+                new_row[position] = self._evaluator.evaluate(
+                    expression, context
+                )
+            table.update(row_id, new_row)
+            updated += 1
+        return updated
+
+    def _delete(self, statement: ast.Delete,
+                parameters: Sequence[Any]) -> int:
+        table = self.catalog.table(statement.table)
+        row_ids = self._matching_row_ids(table, statement.where, parameters)
+        for row_id in row_ids:
+            table.delete(row_id)
+        return len(row_ids)

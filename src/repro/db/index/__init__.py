@@ -1,0 +1,24 @@
+"""Index structures: B+ tree, hash, and the genomic k-mer/suffix indexes."""
+
+from repro.db.index.base import Index
+from repro.db.index.btree import BTreeIndex
+from repro.db.index.hashindex import HashIndex
+from repro.db.index.kmer import KmerIndex
+from repro.db.index.suffix import SuffixArrayIndex
+
+#: SQL ``USING <kind>`` names → index classes.
+INDEX_KINDS = {
+    "btree": BTreeIndex,
+    "hash": HashIndex,
+    "kmer": KmerIndex,
+    "suffix": SuffixArrayIndex,
+}
+
+__all__ = [
+    "Index",
+    "BTreeIndex",
+    "HashIndex",
+    "KmerIndex",
+    "SuffixArrayIndex",
+    "INDEX_KINDS",
+]

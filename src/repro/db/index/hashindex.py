@@ -1,0 +1,59 @@
+"""A hash index: O(1) equality lookups, no ordering."""
+
+from __future__ import annotations
+
+from typing import Any, Iterable
+
+from repro.db.index.base import Index
+
+
+def _hashable(key: Any) -> Any:
+    """Make unhashable-but-indexable keys (rare) usable as dict keys."""
+    try:
+        hash(key)
+        return key
+    except TypeError:
+        return repr(key)
+
+
+class HashIndex(Index):
+    """Dictionary-backed index over one column."""
+
+    supports_equality = True
+
+    def __init__(self, name: str, table_name: str, column: str) -> None:
+        super().__init__(name, table_name, column)
+        self._buckets: dict[Any, list[int]] = {}
+        self._entries = 0
+
+    def __len__(self) -> int:
+        return self._entries
+
+    def clear(self) -> None:
+        self._buckets.clear()
+        self._entries = 0
+
+    def insert(self, key: Any, row_id: int) -> None:
+        if key is None:
+            return
+        self._buckets.setdefault(_hashable(key), []).append(row_id)
+        self._entries += 1
+
+    def delete(self, key: Any, row_id: int) -> None:
+        if key is None:
+            return
+        bucket = self._buckets.get(_hashable(key))
+        if not bucket:
+            return
+        try:
+            bucket.remove(row_id)
+            self._entries -= 1
+        except ValueError:
+            return
+        if not bucket:
+            del self._buckets[_hashable(key)]
+
+    def search_equal(self, key: Any) -> Iterable[int]:
+        if key is None:
+            return ()
+        return tuple(self._buckets.get(_hashable(key), ()))

@@ -1,0 +1,118 @@
+"""Table schemas: typed columns with constraints."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Sequence
+
+from repro.db.values import NULL, SqlType
+from repro.errors import CatalogError, ConstraintError, TypeCheckError
+
+
+@dataclass
+class Column:
+    """One column: name, SQL type, constraints, optional default."""
+
+    name: str
+    sql_type: SqlType
+    not_null: bool = False
+    default: Any = NULL
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise CatalogError("a column needs a non-empty name")
+        self.name = self.name.lower()
+        if self.default is not NULL:
+            self.default = self.sql_type.coerce(self.default)
+
+
+@dataclass
+class TableSchema:
+    """A table definition: ordered columns plus key constraints.
+
+    ``primary_key`` names at most one column (single-column keys are all
+    the engine supports; composite uniqueness can be enforced by the
+    caller with an index).  ``unique`` lists further single-column unique
+    constraints.
+    """
+
+    name: str
+    columns: Sequence[Column]
+    primary_key: str | None = None
+    unique: tuple[str, ...] = ()
+    _by_name: dict = field(init=False, repr=False, default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise CatalogError("a table needs a non-empty name")
+        self.name = self.name.lower()
+        self.columns = list(self.columns)
+        if not self.columns:
+            raise CatalogError(f"table {self.name!r} needs columns")
+        self._by_name = {}
+        for position, column in enumerate(self.columns):
+            if column.name in self._by_name:
+                raise CatalogError(
+                    f"duplicate column {column.name!r} in table {self.name!r}"
+                )
+            self._by_name[column.name] = position
+        if self.primary_key is not None:
+            self.primary_key = self.primary_key.lower()
+            self.require_column(self.primary_key)
+        self.unique = tuple(u.lower() for u in self.unique)
+        for unique_column in self.unique:
+            self.require_column(unique_column)
+
+    # -- lookup ---------------------------------------------------------------
+
+    @property
+    def column_names(self) -> tuple[str, ...]:
+        return tuple(column.name for column in self.columns)
+
+    def has_column(self, name: str) -> bool:
+        return name.lower() in self._by_name
+
+    def require_column(self, name: str) -> None:
+        if not self.has_column(name):
+            raise CatalogError(
+                f"table {self.name!r} has no column {name!r}"
+            )
+
+    def position(self, name: str) -> int:
+        self.require_column(name)
+        return self._by_name[name.lower()]
+
+    def column(self, name: str) -> Column:
+        return self.columns[self.position(name)]
+
+    # -- row validation ---------------------------------------------------------
+
+    def complete_row(self, named_values: dict[str, Any]) -> list[Any]:
+        """Build a full row from named values, applying defaults."""
+        unknown = set(named_values) - set(self._by_name)
+        if unknown:
+            raise CatalogError(
+                f"table {self.name!r} has no column(s) {sorted(unknown)}"
+            )
+        return [
+            named_values.get(column.name, column.default)
+            for column in self.columns
+        ]
+
+    def validate_row(self, row: Iterable[Any]) -> list[Any]:
+        """Type-coerce and constraint-check one row (returns the row)."""
+        row = list(row)
+        if len(row) != len(self.columns):
+            raise TypeCheckError(
+                f"table {self.name!r} expects {len(self.columns)} values, "
+                f"got {len(row)}"
+            )
+        for position, (column, value) in enumerate(zip(self.columns, row)):
+            coerced = column.sql_type.coerce(value)
+            if coerced is NULL and (column.not_null
+                                    or column.name == self.primary_key):
+                raise ConstraintError(
+                    f"column {self.name}.{column.name} may not be NULL"
+                )
+            row[position] = coerced
+        return row

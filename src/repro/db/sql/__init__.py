@@ -1,0 +1,5 @@
+"""SQL front end: lexer, parser, expression evaluation, planning, execution."""
+
+from repro.db.sql.parser import parse
+
+__all__ = ["parse"]

@@ -1,0 +1,76 @@
+"""Selectivity calibration: measured estimates for genomic predicates.
+
+Section 6.5 asks for "information about the selectivity of genomic
+predicates, and cost estimation of access plans containing genomic
+operators".  The adapter installs default estimates (e.g. ``contains`` →
+0.05); this module replaces defaults with **measured** selectivities for
+a concrete workload: probe the predicate against live table data and
+write the observed match fraction back into the catalog, where the
+planner reads it on the next query.
+"""
+
+from __future__ import annotations
+
+from statistics import mean
+from typing import TYPE_CHECKING, Any, Sequence
+
+from repro.errors import DatabaseError
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.db.database import Database
+
+
+def measure_predicate_selectivity(
+    database: "Database",
+    table: str,
+    predicate_sql: str,
+    parameters: Sequence[Any] = (),
+) -> float:
+    """The observed fraction of *table*'s rows satisfying the predicate."""
+    total = database.query(f"SELECT count(*) FROM {table}").scalar()
+    if total == 0:
+        raise DatabaseError(
+            f"cannot measure selectivity on empty table {table!r}"
+        )
+    matched = database.query(
+        f"SELECT count(*) FROM {table} WHERE {predicate_sql}",
+        parameters,
+    ).scalar()
+    return matched / total
+
+
+def calibrate_function_selectivity(
+    database: "Database",
+    function_name: str,
+    table: str,
+    column: str,
+    probe_values: Sequence[Any],
+    update_catalog: bool = True,
+) -> float:
+    """Measure a boolean UDF's selectivity over representative probes.
+
+    Runs ``function(column, probe)`` for every probe value, averages the
+    observed match fractions, and (by default) re-registers the function
+    with the measured estimate so subsequent plans are priced with it.
+    Returns the measured selectivity.
+    """
+    if not probe_values:
+        raise DatabaseError("calibration needs at least one probe value")
+    observed = [
+        measure_predicate_selectivity(
+            database, table, f"{function_name}({column}, ?)", [probe]
+        )
+        for probe in probe_values
+    ]
+    selectivity = min(1.0, max(0.0, mean(observed)))
+    if update_catalog:
+        descriptor = database.catalog.function(function_name)
+        database.catalog.register_function(
+            descriptor.name,
+            descriptor.function,
+            selectivity=selectivity,
+            description=(descriptor.description
+                         + f" [calibrated on {table}.{column}]").strip(),
+            replace=True,
+        )
+    return selectivity

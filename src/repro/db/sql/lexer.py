@@ -1,0 +1,138 @@
+"""SQL tokenizer."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import SqlSyntaxError
+
+KEYWORDS = {
+    "SELECT", "DISTINCT", "FROM", "WHERE", "GROUP", "BY", "HAVING",
+    "ORDER", "ASC", "DESC", "LIMIT", "OFFSET", "JOIN", "INNER", "LEFT",
+    "OUTER", "ON", "AS", "AND", "OR", "NOT", "IS", "NULL", "IN",
+    "BETWEEN", "LIKE", "EXISTS", "TRUE", "FALSE", "CREATE", "TABLE",
+    "INDEX", "DROP", "IF", "INSERT", "INTO", "VALUES", "UPDATE", "SET",
+    "DELETE", "PRIMARY", "KEY", "UNIQUE", "DEFAULT", "USING", "WITH",
+    "ANALYZE",
+}
+
+#: Token kinds.
+KEYWORD = "KEYWORD"
+IDENTIFIER = "IDENTIFIER"
+NUMBER = "NUMBER"
+STRING = "STRING"
+OPERATOR = "OPERATOR"
+PARAMETER = "PARAMETER"
+END = "END"
+
+_OPERATORS = (
+    "<=", ">=", "!=", "<>",
+    "=", "<", ">", "+", "-", "*", "/", "%", "(", ")", ",", ".", ";",
+)
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: str
+    text: str
+    position: int
+
+    def matches(self, kind: str, text: str | None = None) -> bool:
+        if self.kind != kind:
+            return False
+        return text is None or self.text == text
+
+
+def tokenize(sql: str) -> list[Token]:
+    """Split SQL text into tokens (keywords upper-cased, identifiers lowered)."""
+    tokens: list[Token] = []
+    position = 0
+    length = len(sql)
+
+    while position < length:
+        ch = sql[position]
+
+        if ch.isspace():
+            position += 1
+            continue
+
+        if sql.startswith("--", position):
+            newline = sql.find("\n", position)
+            position = length if newline == -1 else newline + 1
+            continue
+
+        if ch == "'":
+            end = position + 1
+            pieces: list[str] = []
+            while True:
+                if end >= length:
+                    raise SqlSyntaxError(
+                        f"unterminated string literal at {position}"
+                    )
+                if sql[end] == "'":
+                    if end + 1 < length and sql[end + 1] == "'":
+                        pieces.append("'")
+                        end += 2
+                        continue
+                    break
+                pieces.append(sql[end])
+                end += 1
+            tokens.append(Token(STRING, "".join(pieces), position))
+            position = end + 1
+            continue
+
+        if ch.isdigit() or (ch == "." and position + 1 < length
+                            and sql[position + 1].isdigit()):
+            end = position
+            seen_dot = False
+            while end < length and (sql[end].isdigit()
+                                    or (sql[end] == "." and not seen_dot)):
+                if sql[end] == ".":
+                    seen_dot = True
+                end += 1
+            tokens.append(Token(NUMBER, sql[position:end], position))
+            position = end
+            continue
+
+        if ch.isalpha() or ch == "_":
+            end = position
+            while end < length and (sql[end].isalnum() or sql[end] == "_"):
+                end += 1
+            word = sql[position:end]
+            upper = word.upper()
+            if upper in KEYWORDS:
+                tokens.append(Token(KEYWORD, upper, position))
+            else:
+                tokens.append(Token(IDENTIFIER, word.lower(), position))
+            position = end
+            continue
+
+        if ch == '"':
+            end = sql.find('"', position + 1)
+            if end == -1:
+                raise SqlSyntaxError(
+                    f"unterminated quoted identifier at {position}"
+                )
+            tokens.append(
+                Token(IDENTIFIER, sql[position + 1:end].lower(), position)
+            )
+            position = end + 1
+            continue
+
+        if ch == "?":
+            tokens.append(Token(PARAMETER, "?", position))
+            position += 1
+            continue
+
+        for operator in _OPERATORS:
+            if sql.startswith(operator, position):
+                tokens.append(Token(OPERATOR, operator, position))
+                position += len(operator)
+                break
+        else:
+            raise SqlSyntaxError(
+                f"unexpected character {ch!r} at position {position}"
+            )
+
+    tokens.append(Token(END, "", length))
+    return tokens

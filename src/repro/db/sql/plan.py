@@ -1,0 +1,539 @@
+"""Physical plan operators: the executor half of the query engine.
+
+Every node produces an iterator of value tuples described by its
+:class:`~repro.db.sql.expressions.Frame`.  Nodes carry the optimizer's
+row estimate so ``EXPLAIN`` output shows both the shape and the numbers
+the planner believed.
+
+Operator set: sequential scan, three index scans (equality / range /
+contains-candidate), filter, nested-loop and hash joins (inner + left),
+grouping/aggregation, projection, distinct, sort, limit.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Iterator, Sequence
+
+from repro.db.sql import ast
+from repro.db.sql.expressions import (
+    NATIVE_AGGREGATES,
+    Evaluator,
+    Frame,
+    RowContext,
+)
+from repro.db.table import Table
+from repro.db.values import NULL, sort_key
+from repro.errors import DatabaseError, SqlSyntaxError
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.db.index.base import Index
+
+
+class PlanNode:
+    """Base plan operator."""
+
+    frame: Frame
+    estimated_rows: float = 0.0
+
+    def execute(self, parameters: Sequence[Any],
+                outer: "RowContext | None") -> Iterator[tuple]:
+        raise NotImplementedError
+
+    def label(self) -> str:
+        return type(self).__name__
+
+    def children(self) -> tuple["PlanNode", ...]:
+        return ()
+
+    def explain(self, indent: int = 0) -> str:
+        lines = [f"{'  ' * indent}{self.label()}  "
+                 f"(~{self.estimated_rows:.0f} rows)"]
+        lines.extend(child.explain(indent + 1) for child in self.children())
+        return "\n".join(lines)
+
+    def _context(self, values: Sequence[Any], parameters: Sequence[Any],
+                 outer: "RowContext | None") -> RowContext:
+        return RowContext(self.frame, values, parameters, outer)
+
+
+class SeqScan(PlanNode):
+    """Full scan of a base table."""
+
+    def __init__(self, table: Table, binding: str) -> None:
+        self.table = table
+        self.binding = binding
+        self.frame = Frame.for_table(binding, table.schema.column_names)
+        self.estimated_rows = float(len(table))
+
+    def label(self) -> str:
+        return f"SeqScan({self.table.name} AS {self.binding})"
+
+    def execute(self, parameters, outer) -> Iterator[tuple]:
+        for _, row in self.table.rows():
+            yield tuple(row)
+
+
+class IndexEqualScan(PlanNode):
+    """Equality probe through a hash or B-tree index."""
+
+    def __init__(self, table: Table, binding: str, index: "Index",
+                 key: ast.Expression, evaluator: Evaluator) -> None:
+        self.table = table
+        self.binding = binding
+        self.index = index
+        self.key = key
+        self.evaluator = evaluator
+        self.frame = Frame.for_table(binding, table.schema.column_names)
+
+    def label(self) -> str:
+        return (f"IndexEqualScan({self.table.name} AS {self.binding} "
+                f"USING {self.index.name} ON {self.index.column} = {self.key})")
+
+    def execute(self, parameters, outer) -> Iterator[tuple]:
+        probe_context = RowContext(Frame(()), (), parameters, outer)
+        key = self.evaluator.evaluate(self.key, probe_context)
+        for row_id in self.index.search_equal(key):
+            if self.table.has_row(row_id):
+                yield tuple(self.table.row(row_id))
+
+
+class IndexRangeScan(PlanNode):
+    """Range scan through a B-tree index."""
+
+    def __init__(
+        self,
+        table: Table,
+        binding: str,
+        index: "Index",
+        evaluator: Evaluator,
+        low: ast.Expression | None = None,
+        high: ast.Expression | None = None,
+        include_low: bool = True,
+        include_high: bool = True,
+    ) -> None:
+        self.table = table
+        self.binding = binding
+        self.index = index
+        self.evaluator = evaluator
+        self.low = low
+        self.high = high
+        self.include_low = include_low
+        self.include_high = include_high
+        self.frame = Frame.for_table(binding, table.schema.column_names)
+
+    def label(self) -> str:
+        low = str(self.low) if self.low is not None else "-inf"
+        high = str(self.high) if self.high is not None else "+inf"
+        return (f"IndexRangeScan({self.table.name} AS {self.binding} "
+                f"USING {self.index.name} ON {self.index.column} "
+                f"IN {'[' if self.include_low else '('}{low}, {high}"
+                f"{']' if self.include_high else ')'})")
+
+    def execute(self, parameters, outer) -> Iterator[tuple]:
+        probe_context = RowContext(Frame(()), (), parameters, outer)
+        low = (self.evaluator.evaluate(self.low, probe_context)
+               if self.low is not None else None)
+        high = (self.evaluator.evaluate(self.high, probe_context)
+                if self.high is not None else None)
+        for row_id in self.index.search_range(
+            low, high, self.include_low, self.include_high
+        ):
+            if self.table.has_row(row_id):
+                yield tuple(self.table.row(row_id))
+
+
+class IndexContainsScan(PlanNode):
+    """Candidate fetch through a genomic (k-mer / suffix) index.
+
+    Produces the index's candidate rows; the enclosing
+    :class:`Filter` re-checks the real predicate, so over-approximate
+    candidate sets stay correct.
+    """
+
+    def __init__(self, table: Table, binding: str, index: "Index",
+                 pattern: ast.Expression, evaluator: Evaluator) -> None:
+        self.table = table
+        self.binding = binding
+        self.index = index
+        self.pattern = pattern
+        self.evaluator = evaluator
+        self.frame = Frame.for_table(binding, table.schema.column_names)
+
+    def label(self) -> str:
+        return (f"IndexContainsScan({self.table.name} AS {self.binding} "
+                f"USING {self.index.name} PATTERN {self.pattern})")
+
+    def execute(self, parameters, outer) -> Iterator[tuple]:
+        probe_context = RowContext(Frame(()), (), parameters, outer)
+        pattern = self.evaluator.evaluate(self.pattern, probe_context)
+        candidates = self.index.search_contains(str(pattern))
+        if candidates is None:
+            for _, row in self.table.rows():
+                yield tuple(row)
+            return
+        for row_id in sorted(candidates):
+            if self.table.has_row(row_id):
+                yield tuple(self.table.row(row_id))
+
+
+class OneRow(PlanNode):
+    """Produces a single empty row (for ``SELECT expr`` without FROM)."""
+
+    def __init__(self) -> None:
+        self.frame = Frame(())
+        self.estimated_rows = 1.0
+
+    def execute(self, parameters, outer) -> Iterator[tuple]:
+        yield ()
+
+
+class Filter(PlanNode):
+    """Keeps rows whose predicate evaluates to true."""
+
+    def __init__(self, child: PlanNode, predicate: ast.Expression,
+                 evaluator: Evaluator) -> None:
+        self.child = child
+        self.predicate = predicate
+        self.evaluator = evaluator
+        self.frame = child.frame
+
+    def label(self) -> str:
+        return f"Filter({self.predicate})"
+
+    def children(self) -> tuple[PlanNode, ...]:
+        return (self.child,)
+
+    def execute(self, parameters, outer) -> Iterator[tuple]:
+        for values in self.child.execute(parameters, outer):
+            context = self._context(values, parameters, outer)
+            if self.evaluator.evaluate_predicate(self.predicate, context):
+                yield values
+
+
+class NestedLoopJoin(PlanNode):
+    """General join: re-evaluates the condition per row pair."""
+
+    def __init__(self, left: PlanNode, right: PlanNode,
+                 condition: ast.Expression, evaluator: Evaluator,
+                 kind: str = "inner") -> None:
+        if kind not in ("inner", "left"):
+            raise DatabaseError(f"unsupported join kind {kind!r}")
+        self.left = left
+        self.right = right
+        self.condition = condition
+        self.evaluator = evaluator
+        self.kind = kind
+        self.frame = left.frame + right.frame
+
+    def label(self) -> str:
+        return f"NestedLoopJoin[{self.kind}]({self.condition})"
+
+    def children(self) -> tuple[PlanNode, ...]:
+        return (self.left, self.right)
+
+    def execute(self, parameters, outer) -> Iterator[tuple]:
+        right_rows = list(self.right.execute(parameters, outer))
+        null_pad = (NULL,) * len(self.right.frame)
+        for left_values in self.left.execute(parameters, outer):
+            matched = False
+            for right_values in right_rows:
+                combined = left_values + right_values
+                context = self._context(combined, parameters, outer)
+                if self.evaluator.evaluate_predicate(self.condition, context):
+                    matched = True
+                    yield combined
+            if not matched and self.kind == "left":
+                yield left_values + null_pad
+
+
+class HashJoin(PlanNode):
+    """Equi-join: builds a hash table on the right input."""
+
+    def __init__(
+        self,
+        left: PlanNode,
+        right: PlanNode,
+        left_key: ast.Expression,
+        right_key: ast.Expression,
+        evaluator: Evaluator,
+        kind: str = "inner",
+        residual: ast.Expression | None = None,
+    ) -> None:
+        if kind not in ("inner", "left"):
+            raise DatabaseError(f"unsupported join kind {kind!r}")
+        self.left = left
+        self.right = right
+        self.left_key = left_key
+        self.right_key = right_key
+        self.evaluator = evaluator
+        self.kind = kind
+        self.residual = residual
+        self.frame = left.frame + right.frame
+
+    def label(self) -> str:
+        residual = f" AND {self.residual}" if self.residual else ""
+        return (f"HashJoin[{self.kind}]({self.left_key} = "
+                f"{self.right_key}{residual})")
+
+    def children(self) -> tuple[PlanNode, ...]:
+        return (self.left, self.right)
+
+    @staticmethod
+    def _bucket_key(value: Any) -> Any:
+        try:
+            hash(value)
+            return value
+        except TypeError:
+            return repr(value)
+
+    def execute(self, parameters, outer) -> Iterator[tuple]:
+        buckets: dict[Any, list[tuple]] = {}
+        for right_values in self.right.execute(parameters, outer):
+            context = RowContext(self.right.frame, right_values,
+                                 parameters, outer)
+            key = self.evaluator.evaluate(self.right_key, context)
+            if key is NULL:
+                continue  # NULL never equi-joins
+            buckets.setdefault(self._bucket_key(key), []).append(right_values)
+
+        null_pad = (NULL,) * len(self.right.frame)
+        for left_values in self.left.execute(parameters, outer):
+            context = RowContext(self.left.frame, left_values,
+                                 parameters, outer)
+            key = self.evaluator.evaluate(self.left_key, context)
+            matched = False
+            if key is not NULL:
+                for right_values in buckets.get(self._bucket_key(key), ()):
+                    combined = left_values + right_values
+                    if self.residual is not None:
+                        combined_context = self._context(
+                            combined, parameters, outer
+                        )
+                        if not self.evaluator.evaluate_predicate(
+                            self.residual, combined_context
+                        ):
+                            continue
+                    matched = True
+                    yield combined
+            if not matched and self.kind == "left":
+                yield left_values + null_pad
+
+
+class Project(PlanNode):
+    """Evaluates the projection expressions of a SELECT."""
+
+    def __init__(self, child: PlanNode,
+                 items: Sequence[tuple[ast.Expression, str]],
+                 evaluator: Evaluator) -> None:
+        self.child = child
+        self.items = list(items)
+        self.evaluator = evaluator
+        self.frame = Frame([(None, name) for _, name in self.items])
+
+    def label(self) -> str:
+        inner = ", ".join(f"{expr} AS {name}" for expr, name in self.items)
+        return f"Project({inner})"
+
+    def children(self) -> tuple[PlanNode, ...]:
+        return (self.child,)
+
+    def execute(self, parameters, outer) -> Iterator[tuple]:
+        for values in self.child.execute(parameters, outer):
+            context = RowContext(self.child.frame, values, parameters, outer)
+            yield tuple(
+                self.evaluator.evaluate(expression, context)
+                for expression, _ in self.items
+            )
+
+
+class Aggregate(PlanNode):
+    """Grouping + aggregate evaluation.
+
+    Output columns: one slot per group expression (named ``__group_i``)
+    followed by one per distinct aggregate call (named by ``str(call)``).
+    The optimizer rewrites outer expressions (projection, HAVING, ORDER
+    BY) to reference these synthetic columns.
+    """
+
+    def __init__(
+        self,
+        child: PlanNode,
+        group_expressions: Sequence[ast.Expression],
+        aggregate_calls: Sequence[ast.FunctionCall],
+        evaluator: Evaluator,
+        database,
+    ) -> None:
+        self.child = child
+        self.group_expressions = list(group_expressions)
+        self.aggregate_calls = list(aggregate_calls)
+        self.evaluator = evaluator
+        self.database = database
+        slots = [(None, f"__group_{i}")
+                 for i in range(len(self.group_expressions))]
+        slots.extend((None, str(call)) for call in self.aggregate_calls)
+        self.frame = Frame(slots)
+
+    def label(self) -> str:
+        groups = ", ".join(str(e) for e in self.group_expressions) or "<all>"
+        aggs = ", ".join(str(c) for c in self.aggregate_calls)
+        return f"Aggregate(BY {groups}; {aggs})"
+
+    def children(self) -> tuple[PlanNode, ...]:
+        return (self.child,)
+
+    def _compute_native(self, call: ast.FunctionCall,
+                        rows: list[tuple], parameters, outer) -> Any:
+        name = call.name.lower()
+        if call.star:
+            if name != "count":
+                raise SqlSyntaxError(f"{name}(*) is not defined")
+            return len(rows)
+        if len(call.args) != 1:
+            raise SqlSyntaxError(
+                f"aggregate {name!r} takes exactly one argument"
+            )
+        argument = call.args[0]
+        values = []
+        for values_row in rows:
+            context = RowContext(self.child.frame, values_row,
+                                 parameters, outer)
+            value = self.evaluator.evaluate(argument, context)
+            if value is not NULL:
+                values.append(value)
+        if name == "count":
+            return len(values)
+        if not values:
+            return NULL
+        if name == "sum":
+            return sum(values)
+        if name == "avg":
+            return sum(values) / len(values)
+        if name == "min":
+            return min(values, key=sort_key)
+        if name == "max":
+            return max(values, key=sort_key)
+        raise SqlSyntaxError(f"unknown aggregate {name!r}")
+
+    def _compute_custom(self, call: ast.FunctionCall,
+                        rows: list[tuple], parameters, outer) -> Any:
+        aggregate = self.database.catalog.aggregate(call.name)
+        state = aggregate.initial()
+        for values_row in rows:
+            context = RowContext(self.child.frame, values_row,
+                                 parameters, outer)
+            arguments = [self.evaluator.evaluate(argument, context)
+                         for argument in call.args]
+            state = aggregate.step(state, *arguments)
+        return aggregate.final(state)
+
+    def execute(self, parameters, outer) -> Iterator[tuple]:
+        groups: dict[tuple, tuple[list, list[tuple]]] = {}
+        for values in self.child.execute(parameters, outer):
+            context = RowContext(self.child.frame, values, parameters, outer)
+            keys = [self.evaluator.evaluate(expression, context)
+                    for expression in self.group_expressions]
+            bucket_key = tuple(sort_key(k) for k in keys)
+            if bucket_key not in groups:
+                groups[bucket_key] = (keys, [])
+            groups[bucket_key][1].append(values)
+
+        if not groups and not self.group_expressions:
+            groups[()] = ([], [])  # global aggregate over an empty input
+
+        for keys, rows in groups.values():
+            output = list(keys)
+            for call in self.aggregate_calls:
+                if call.name.lower() in NATIVE_AGGREGATES:
+                    output.append(
+                        self._compute_native(call, rows, parameters, outer)
+                    )
+                else:
+                    output.append(
+                        self._compute_custom(call, rows, parameters, outer)
+                    )
+            yield tuple(output)
+
+
+class Distinct(PlanNode):
+    """Removes duplicate rows (by value identity)."""
+
+    def __init__(self, child: PlanNode) -> None:
+        self.child = child
+        self.frame = child.frame
+
+    def children(self) -> tuple[PlanNode, ...]:
+        return (self.child,)
+
+    def execute(self, parameters, outer) -> Iterator[tuple]:
+        seen: set = set()
+        for values in self.child.execute(parameters, outer):
+            key = tuple(sort_key(v) for v in values)
+            if key not in seen:
+                seen.add(key)
+                yield values
+
+
+class Sort(PlanNode):
+    """Materializing sort on arbitrary expressions, mixed ASC/DESC."""
+
+    def __init__(self, child: PlanNode, items: Sequence[ast.OrderItem],
+                 evaluator: Evaluator) -> None:
+        self.child = child
+        self.items = list(items)
+        self.evaluator = evaluator
+        self.frame = child.frame
+
+    def label(self) -> str:
+        inner = ", ".join(
+            f"{item.expression} {'ASC' if item.ascending else 'DESC'}"
+            for item in self.items
+        )
+        return f"Sort({inner})"
+
+    def children(self) -> tuple[PlanNode, ...]:
+        return (self.child,)
+
+    def execute(self, parameters, outer) -> Iterator[tuple]:
+        rows = list(self.child.execute(parameters, outer))
+
+        def key_for(item: ast.OrderItem):
+            def key(values: tuple):
+                context = RowContext(self.frame, values, parameters, outer)
+                return sort_key(
+                    self.evaluator.evaluate(item.expression, context)
+                )
+            return key
+
+        # Stable sorts applied last-key-first implement the composite order.
+        for item in reversed(self.items):
+            rows.sort(key=key_for(item), reverse=not item.ascending)
+        yield from rows
+
+
+class Limit(PlanNode):
+    """LIMIT/OFFSET."""
+
+    def __init__(self, child: PlanNode, limit: int | None,
+                 offset: int | None) -> None:
+        self.child = child
+        self.limit = limit
+        self.offset = offset or 0
+        self.frame = child.frame
+
+    def label(self) -> str:
+        return f"Limit({self.limit} OFFSET {self.offset})"
+
+    def children(self) -> tuple[PlanNode, ...]:
+        return (self.child,)
+
+    def execute(self, parameters, outer) -> Iterator[tuple]:
+        produced = 0
+        skipped = 0
+        for values in self.child.execute(parameters, outer):
+            if skipped < self.offset:
+                skipped += 1
+                continue
+            if self.limit is not None and produced >= self.limit:
+                return
+            produced += 1
+            yield values

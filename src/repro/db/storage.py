@@ -1,0 +1,206 @@
+"""Persistence: database images and a write-ahead log.
+
+Section 4.3 requires GDT representations that "be embedded into compact
+storage areas which can be efficiently transferred between main memory
+and disk".  At the engine level that means:
+
+- **images** (:func:`save_database` / :func:`load_database`): the whole
+  database as one JSON document; opaque UDT values are stored as the hex
+  of their own compact serializers (the engine never interprets them);
+- **WAL** (:class:`WriteAheadLog`): every mutating statement appended as
+  one JSON line, replayable after a crash; :func:`checkpoint` writes an
+  image and truncates the log.
+
+Because UDTs and UDFs are *code*, images record only type **names**; a
+loader must re-register the same types and functions first (the adapter
+does this in one call), then :func:`load_database` re-attaches values.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Any, Sequence
+
+from repro.db.database import Database
+from repro.db.schema import Column, TableSchema
+from repro.db.sql import ast
+from repro.db.values import NULL, OpaqueType
+from repro.errors import StorageError
+
+
+def _encode_value(value: Any, database: Database) -> Any:
+    """JSON-encode one cell value, tagging bytes and UDT payloads."""
+    if value is NULL or isinstance(value, (bool, int, float, str)):
+        return value
+    if isinstance(value, (bytes, bytearray)):
+        return {"$bytes": bytes(value).hex()}
+    for type_name in database.catalog.type_names:
+        opaque = database.catalog.opaque_type(type_name)
+        if opaque.contains(value):
+            return {"$udt": opaque.name,
+                    "data": opaque.serialize(value).hex()}
+    raise StorageError(
+        f"cannot serialize value of type {type(value).__name__}; "
+        f"register an OpaqueType for it first"
+    )
+
+
+def _decode_value(encoded: Any, database: Database) -> Any:
+    if isinstance(encoded, dict):
+        if "$bytes" in encoded:
+            return bytes.fromhex(encoded["$bytes"])
+        if "$udt" in encoded:
+            opaque = database.catalog.opaque_type(encoded["$udt"])
+            return opaque.deserialize(bytes.fromhex(encoded["data"]))
+        raise StorageError(f"unknown tagged value {encoded!r}")
+    return encoded
+
+
+def _type_name(column: Column, database: Database) -> str:
+    if isinstance(column.sql_type, OpaqueType):
+        return column.sql_type.name
+    return column.sql_type.name
+
+
+def save_database(database: Database, path: str) -> None:
+    """Write the full database image (schema + data + index defs) to disk."""
+    image: dict[str, Any] = {"format": 1, "tables": [], "indexes": []}
+    for table_name in database.catalog.table_names:
+        table = database.catalog.table(table_name)
+        schema = table.schema
+        image["tables"].append({
+            "name": schema.name,
+            "columns": [
+                {
+                    "name": column.name,
+                    "type": _type_name(column, database),
+                    "not_null": column.not_null,
+                    "default": _encode_value(column.default, database),
+                }
+                for column in schema.columns
+            ],
+            "primary_key": schema.primary_key,
+            "unique": list(schema.unique),
+            "rows": [
+                [_encode_value(value, database) for value in row]
+                for _, row in table.rows()
+            ],
+        })
+    for definition in database.index_definitions:
+        image["indexes"].append({
+            "name": definition.name,
+            "table": definition.table,
+            "column": definition.column,
+            "using": definition.using,
+            "parameters": definition.parameters,
+        })
+    temporary = path + ".tmp"
+    with open(temporary, "w", encoding="utf-8") as handle:
+        json.dump(image, handle)
+    os.replace(temporary, path)
+
+
+def load_database(path: str, database: Database | None = None) -> Database:
+    """Rebuild a database from an image.
+
+    Pass a *database* that already has the needed UDTs and UDFs
+    registered; a fresh one is created otherwise (then only built-in
+    column types can be restored).
+    """
+    database = database or Database()
+    try:
+        with open(path, encoding="utf-8") as handle:
+            image = json.load(handle)
+    except (OSError, json.JSONDecodeError) as exc:
+        raise StorageError(f"cannot read database image {path!r}: {exc}")
+    if image.get("format") != 1:
+        raise StorageError(f"unsupported image format {image.get('format')!r}")
+
+    for table_spec in image["tables"]:
+        columns = [
+            Column(
+                column_spec["name"],
+                database.catalog.resolve_type(column_spec["type"]),
+                not_null=column_spec["not_null"],
+                default=_decode_value(column_spec["default"], database),
+            )
+            for column_spec in table_spec["columns"]
+        ]
+        schema = TableSchema(
+            table_spec["name"], columns,
+            table_spec["primary_key"], tuple(table_spec["unique"]),
+        )
+        table = database.catalog.create_table(schema)
+        for encoded_row in table_spec["rows"]:
+            table.insert([
+                _decode_value(value, database) for value in encoded_row
+            ])
+
+    for index_spec in image["indexes"]:
+        statement = ast.CreateIndex(
+            index_spec["name"], index_spec["table"], index_spec["column"],
+            index_spec["using"], dict(index_spec["parameters"]),
+        )
+        database._dispatch(statement, ())
+    return database
+
+
+class WriteAheadLog:
+    """A JSON-lines statement log.
+
+    Attach with :meth:`attach`; every mutating statement outside a
+    transaction (and every committed transaction's statements) is
+    appended with its parameters.  :meth:`replay` re-executes the log
+    against a database restored from the last checkpoint image.
+    """
+
+    def __init__(self, path: str, database: Database) -> None:
+        self.path = path
+        self._database = database
+
+    def attach(self) -> None:
+        self._database.attach_wal(self._write)
+
+    def _write(self, sql: str, parameters: Sequence[Any]) -> None:
+        record = {
+            "sql": sql,
+            "params": [_encode_value(value, self._database)
+                       for value in parameters],
+        }
+        with open(self.path, "a", encoding="utf-8") as handle:
+            handle.write(json.dumps(record) + "\n")
+
+    def replay(self, target: Database | None = None) -> int:
+        """Re-execute logged statements; returns how many were applied."""
+        target = target or self._database
+        if not os.path.exists(self.path):
+            return 0
+        applied = 0
+        with open(self.path, encoding="utf-8") as handle:
+            for line_number, line in enumerate(handle, 1):
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    record = json.loads(line)
+                except json.JSONDecodeError:
+                    # A torn final record (crash mid-append) ends replay.
+                    break
+                parameters = [_decode_value(value, target)
+                              for value in record["params"]]
+                target.execute(record["sql"], parameters)
+                applied += 1
+        return applied
+
+    def truncate(self) -> None:
+        with open(self.path, "w", encoding="utf-8"):
+            pass
+
+
+def checkpoint(database: Database, image_path: str,
+               wal: WriteAheadLog | None = None) -> None:
+    """Write an image and (if given) truncate the WAL."""
+    save_database(database, image_path)
+    if wal is not None:
+        wal.truncate()

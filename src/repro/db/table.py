@@ -1,0 +1,221 @@
+"""Heap tables: row storage with constraint enforcement and index upkeep."""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Iterator
+
+from repro.db.index.base import Index
+from repro.db.schema import TableSchema
+from repro.db.values import NULL
+from repro.errors import ConstraintError, DatabaseError
+
+
+def _unique_key(value: Any) -> Any:
+    """A hashable stand-in for uniqueness checks on any value."""
+    try:
+        hash(value)
+        return value
+    except TypeError:
+        return repr(value)
+
+
+class Table:
+    """An in-memory heap of rows with stable integer row ids.
+
+    The table owns constraint enforcement (primary key / unique) and keeps
+    every attached :class:`~repro.db.index.base.Index` synchronized on
+    each mutation.
+    """
+
+    def __init__(self, schema: TableSchema) -> None:
+        self.schema = schema
+        self._rows: dict[int, list[Any]] = {}
+        self._next_row_id = 1
+        self._indexes: dict[str, Index] = {}
+        self._statistics: "dict[str, int] | None" = None
+        # Uniqueness bookkeeping: column -> {unique key -> row id}.
+        self._unique_columns: dict[str, dict[Any, int]] = {}
+        if schema.primary_key:
+            self._unique_columns[schema.primary_key] = {}
+        for column in schema.unique:
+            self._unique_columns.setdefault(column, {})
+
+    @property
+    def name(self) -> str:
+        return self.schema.name
+
+    def __len__(self) -> int:
+        return len(self._rows)
+
+    def __repr__(self) -> str:
+        return f"Table({self.name!r}, {len(self)} rows)"
+
+    # -- reading -----------------------------------------------------------------
+
+    def rows(self) -> Iterator[tuple[int, list[Any]]]:
+        """Iterate ``(row_id, row)`` pairs in insertion order."""
+        yield from self._rows.items()
+
+    def row(self, row_id: int) -> list[Any]:
+        try:
+            return self._rows[row_id]
+        except KeyError:
+            raise DatabaseError(
+                f"table {self.name!r} has no row id {row_id}"
+            ) from None
+
+    def has_row(self, row_id: int) -> bool:
+        return row_id in self._rows
+
+    # -- uniqueness ---------------------------------------------------------------
+
+    def _check_unique(self, row: list[Any],
+                      ignore_row_id: int | None = None) -> None:
+        for column, claimed in self._unique_columns.items():
+            value = row[self.schema.position(column)]
+            if value is NULL:
+                continue
+            owner = claimed.get(_unique_key(value))
+            if owner is not None and owner != ignore_row_id:
+                raise ConstraintError(
+                    f"duplicate value {value!r} for unique column "
+                    f"{self.name}.{column}"
+                )
+
+    def _claim_unique(self, row: list[Any], row_id: int) -> None:
+        for column, claimed in self._unique_columns.items():
+            value = row[self.schema.position(column)]
+            if value is not NULL:
+                claimed[_unique_key(value)] = row_id
+
+    def _release_unique(self, row: list[Any], row_id: int) -> None:
+        for column, claimed in self._unique_columns.items():
+            value = row[self.schema.position(column)]
+            if value is not NULL and claimed.get(_unique_key(value)) == row_id:
+                del claimed[_unique_key(value)]
+
+    # -- mutation --------------------------------------------------------------------
+
+    def insert(self, row: Iterable[Any]) -> int:
+        """Validate and insert one full row; returns its row id."""
+        validated = self.schema.validate_row(row)
+        self._check_unique(validated)
+        row_id = self._next_row_id
+        self._next_row_id += 1
+        self._rows[row_id] = validated
+        self._claim_unique(validated, row_id)
+        for index in self._indexes.values():
+            index.insert(validated[self.schema.position(index.column)], row_id)
+        return row_id
+
+    def insert_named(self, **named_values: Any) -> int:
+        """Insert from column-name keywords, applying schema defaults."""
+        return self.insert(self.schema.complete_row(named_values))
+
+    def delete(self, row_id: int) -> list[Any]:
+        """Remove one row; returns the removed row."""
+        row = self.row(row_id)
+        del self._rows[row_id]
+        self._release_unique(row, row_id)
+        for index in self._indexes.values():
+            index.delete(row[self.schema.position(index.column)], row_id)
+        return row
+
+    def update(self, row_id: int, new_row: Iterable[Any]) -> None:
+        """Replace one row in place (same row id)."""
+        old_row = self.row(row_id)
+        validated = self.schema.validate_row(new_row)
+        self._check_unique(validated, ignore_row_id=row_id)
+        self._release_unique(old_row, row_id)
+        self._claim_unique(validated, row_id)
+        for index in self._indexes.values():
+            position = self.schema.position(index.column)
+            if old_row[position] != validated[position]:
+                index.delete(old_row[position], row_id)
+                index.insert(validated[position], row_id)
+        self._rows[row_id] = validated
+
+    def truncate(self) -> None:
+        """Remove all rows (keeps schema and indexes)."""
+        self._rows.clear()
+        for claimed in self._unique_columns.values():
+            claimed.clear()
+        for index in self._indexes.values():
+            index.clear()
+
+    # -- indexes -----------------------------------------------------------------------
+
+    def attach_index(self, index: Index) -> None:
+        """Register an index and backfill it from current rows."""
+        if index.name in self._indexes:
+            raise DatabaseError(f"index {index.name!r} already attached")
+        self.schema.require_column(index.column)
+        position = self.schema.position(index.column)
+        for row_id, row in self._rows.items():
+            index.insert(row[position], row_id)
+        self._indexes[index.name] = index
+
+    def detach_index(self, name: str) -> Index:
+        try:
+            return self._indexes.pop(name.lower())
+        except KeyError:
+            raise DatabaseError(f"no index named {name!r}") from None
+
+    @property
+    def indexes(self) -> tuple[Index, ...]:
+        return tuple(self._indexes.values())
+
+    def indexes_on(self, column: str) -> tuple[Index, ...]:
+        column = column.lower()
+        return tuple(
+            index for index in self._indexes.values()
+            if index.column == column
+        )
+
+    # -- statistics (ANALYZE) ---------------------------------------------------------
+
+    @property
+    def statistics(self) -> "dict[str, int] | None":
+        """Per-column distinct counts, or ``None`` before ANALYZE."""
+        return self._statistics
+
+    def collect_statistics(self) -> dict[str, int]:
+        """Compute distinct-value counts per column (the ANALYZE pass).
+
+        NULLs are excluded (they never match equality predicates).  The
+        optimizer uses ``1 / ndistinct`` as the equality selectivity of
+        analyzed columns instead of the fixed default.
+        """
+        counts: dict[str, int] = {}
+        for position, column in enumerate(self.schema.columns):
+            distinct = {
+                _unique_key(row[position])
+                for row in self._rows.values()
+                if row[position] is not NULL
+            }
+            counts[column.name] = len(distinct)
+        self._statistics = counts
+        return counts
+
+    # -- snapshots (transaction support) ---------------------------------------------
+
+    def snapshot(self) -> dict:
+        """A restorable copy of the row data (indexes are rebuilt on restore)."""
+        return {
+            "rows": {row_id: list(row) for row_id, row in self._rows.items()},
+            "next_row_id": self._next_row_id,
+        }
+
+    def restore(self, snapshot: dict) -> None:
+        self._rows = {row_id: list(row)
+                      for row_id, row in snapshot["rows"].items()}
+        self._next_row_id = snapshot["next_row_id"]
+        for claimed in self._unique_columns.values():
+            claimed.clear()
+        for row_id, row in self._rows.items():
+            self._claim_unique(row, row_id)
+        for index in self._indexes.values():
+            index.clear()
+            position = self.schema.position(index.column)
+            for row_id, row in self._rows.items():
+                index.insert(row[position], row_id)

@@ -1,0 +1,256 @@
+"""SQL value model: types, NULL, and three-valued logic.
+
+The engine stores plain Python objects in rows; this module defines the
+SQL-visible type system used to validate and coerce them, including the
+**opaque user-defined types** of section 6.2 — types whose "internal and
+mostly complex structure is unknown to the DBMS".  An
+:class:`OpaqueType` only gives the engine three capabilities: a membership
+test, a serializer and a deserializer.  Everything else about a UDT value
+(its operations) enters the engine as user-defined functions.
+
+``NULL`` is a singleton distinct from Python ``None`` in intent (it *is*
+``None`` at the storage level, but comparisons and boolean connectives go
+through the three-valued-logic helpers here, never through Python's).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from repro.errors import TypeCheckError
+
+#: SQL NULL at the storage level.
+NULL = None
+
+#: The "unknown" truth value of three-valued logic.
+UNKNOWN = None
+
+
+class SqlType:
+    """Base class of all SQL-visible types."""
+
+    name: str = "ANY"
+
+    def contains(self, value: Any) -> bool:
+        """Membership test (NULL is always acceptable; checked separately)."""
+        raise NotImplementedError
+
+    def coerce(self, value: Any) -> Any:
+        """Convert *value* into the type, or raise :class:`TypeCheckError`."""
+        if value is NULL or self.contains(value):
+            return value
+        raise TypeCheckError(
+            f"value {value!r} is not a {self.name}"
+        )
+
+    def __repr__(self) -> str:
+        return f"SqlType({self.name})"
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, SqlType) and self.name == other.name
+
+    def __hash__(self) -> int:
+        return hash(self.name)
+
+
+class IntegerType(SqlType):
+    name = "INTEGER"
+
+    def contains(self, value: Any) -> bool:
+        return isinstance(value, int) and not isinstance(value, bool)
+
+    def coerce(self, value: Any) -> Any:
+        if value is NULL:
+            return NULL
+        if isinstance(value, bool):
+            raise TypeCheckError("BOOLEAN is not an INTEGER")
+        if isinstance(value, int):
+            return value
+        if isinstance(value, float) and value.is_integer():
+            return int(value)
+        raise TypeCheckError(f"value {value!r} is not an INTEGER")
+
+
+class RealType(SqlType):
+    name = "REAL"
+
+    def contains(self, value: Any) -> bool:
+        return (isinstance(value, (int, float))
+                and not isinstance(value, bool))
+
+    def coerce(self, value: Any) -> Any:
+        if value is NULL:
+            return NULL
+        if isinstance(value, bool) or not isinstance(value, (int, float)):
+            raise TypeCheckError(f"value {value!r} is not a REAL")
+        return float(value)
+
+
+class TextType(SqlType):
+    name = "TEXT"
+
+    def contains(self, value: Any) -> bool:
+        return isinstance(value, str)
+
+
+class BooleanType(SqlType):
+    name = "BOOLEAN"
+
+    def contains(self, value: Any) -> bool:
+        return isinstance(value, bool)
+
+
+class BytesType(SqlType):
+    name = "BLOB"
+
+    def contains(self, value: Any) -> bool:
+        return isinstance(value, (bytes, bytearray))
+
+    def coerce(self, value: Any) -> Any:
+        if value is NULL:
+            return NULL
+        if isinstance(value, bytearray):
+            return bytes(value)
+        if isinstance(value, bytes):
+            return value
+        raise TypeCheckError(f"value {value!r} is not a BLOB")
+
+
+class OpaqueType(SqlType):
+    """A user-defined type the engine treats as a black box (section 6.2).
+
+    Parameters
+    ----------
+    name:
+        The SQL-level type name (``DNA``, ``PROTEIN``, ``GENE`` ...).
+    python_type:
+        The in-memory class (or tuple of classes) of values.
+    serialize / deserialize:
+        Compact byte-level round-trip, used by persistence and the WAL.
+        The engine never interprets the bytes.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        python_type: "type | tuple[type, ...]",
+        serialize: Callable[[Any], bytes],
+        deserialize: Callable[[bytes], Any],
+    ) -> None:
+        self.name = name.upper()
+        self.python_type = python_type
+        self.serialize = serialize
+        self.deserialize = deserialize
+
+    def contains(self, value: Any) -> bool:
+        return isinstance(value, self.python_type)
+
+    def __repr__(self) -> str:
+        return f"OpaqueType({self.name})"
+
+
+INTEGER = IntegerType()
+REAL = RealType()
+TEXT = TextType()
+BOOLEAN = BooleanType()
+BLOB = BytesType()
+
+_BUILTIN_TYPES = {
+    "INTEGER": INTEGER, "INT": INTEGER, "BIGINT": INTEGER,
+    "REAL": REAL, "FLOAT": REAL, "DOUBLE": REAL,
+    "TEXT": TEXT, "STRING": TEXT, "VARCHAR": TEXT, "CHAR": TEXT,
+    "BOOLEAN": BOOLEAN, "BOOL": BOOLEAN,
+    "BLOB": BLOB, "BYTES": BLOB,
+}
+
+
+def builtin_type(name: str) -> SqlType | None:
+    """Resolve a built-in type name (case-insensitive), else ``None``."""
+    return _BUILTIN_TYPES.get(name.upper())
+
+
+# ---------------------------------------------------------------------------
+# Three-valued logic
+# ---------------------------------------------------------------------------
+
+def and3(left: "bool | None", right: "bool | None") -> "bool | None":
+    """SQL AND: false dominates, unknown propagates."""
+    if left is False or right is False:
+        return False
+    if left is UNKNOWN or right is UNKNOWN:
+        return UNKNOWN
+    return True
+
+
+def or3(left: "bool | None", right: "bool | None") -> "bool | None":
+    """SQL OR: true dominates, unknown propagates."""
+    if left is True or right is True:
+        return True
+    if left is UNKNOWN or right is UNKNOWN:
+        return UNKNOWN
+    return False
+
+
+def not3(value: "bool | None") -> "bool | None":
+    """SQL NOT: unknown stays unknown."""
+    if value is UNKNOWN:
+        return UNKNOWN
+    return not value
+
+
+def is_truthy(value: "bool | None") -> bool:
+    """A WHERE clause keeps a row only when the predicate is true."""
+    return value is True
+
+
+def compare(operator: str, left: Any, right: Any) -> "bool | None":
+    """SQL comparison with NULL propagation.
+
+    Any comparison involving NULL yields unknown.  Mixed int/float
+    compares numerically; everything else requires matching types.
+    """
+    if left is NULL or right is NULL:
+        return UNKNOWN
+    numeric = (int, float)
+    if isinstance(left, bool) != isinstance(right, bool):
+        raise TypeCheckError(
+            f"cannot compare {type(left).__name__} with "
+            f"{type(right).__name__}"
+        )
+    if not (isinstance(left, numeric) and isinstance(right, numeric)):
+        if type(left) is not type(right):
+            raise TypeCheckError(
+                f"cannot compare {type(left).__name__} with "
+                f"{type(right).__name__}"
+            )
+    if operator == "=":
+        return left == right
+    if operator in ("!=", "<>"):
+        return left != right
+    try:
+        if operator == "<":
+            return left < right
+        if operator == "<=":
+            return left <= right
+        if operator == ">":
+            return left > right
+        if operator == ">=":
+            return left >= right
+    except TypeError as exc:
+        raise TypeCheckError(str(exc)) from exc
+    raise TypeCheckError(f"unknown comparison operator {operator!r}")
+
+
+def sort_key(value: Any) -> tuple:
+    """A total-order key across NULLs and mixed values (NULLs first)."""
+    if value is NULL:
+        return (0, "")
+    if isinstance(value, bool):
+        return (1, value)
+    if isinstance(value, (int, float)):
+        return (2, value)
+    if isinstance(value, str):
+        return (3, value)
+    if isinstance(value, bytes):
+        return (4, value)
+    return (5, repr(value))

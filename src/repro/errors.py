@@ -1,0 +1,125 @@
+"""Exception hierarchy for the Genomics Algebra reproduction.
+
+Every error raised by this package derives from :class:`ReproError`, so
+applications can catch one type at the boundary.  Subsystems narrow it:
+the algebra raises :class:`AlgebraError` subclasses, the database engine
+:class:`DatabaseError` subclasses, and so on.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by this package."""
+
+
+# ---------------------------------------------------------------------------
+# Genomic data types and operations
+# ---------------------------------------------------------------------------
+
+class SequenceError(ReproError):
+    """Invalid sequence content or operation on a sequence."""
+
+
+class AlphabetError(SequenceError):
+    """A symbol does not belong to the alphabet of a sequence."""
+
+
+class TranslationError(ReproError):
+    """Translation (or transcription / splicing) cannot proceed."""
+
+
+class FeatureError(ReproError):
+    """Invalid feature or annotation (e.g. location out of bounds)."""
+
+
+# ---------------------------------------------------------------------------
+# Algebra kernel
+# ---------------------------------------------------------------------------
+
+class AlgebraError(ReproError):
+    """Base class for many-sorted algebra errors."""
+
+
+class UnknownSortError(AlgebraError):
+    """A sort name is not declared in the signature."""
+
+
+class UnknownOperatorError(AlgebraError):
+    """An operator name is not declared in the signature."""
+
+
+class SortMismatchError(AlgebraError):
+    """A term is not well-sorted (argument sorts do not match the operator)."""
+
+
+class EvaluationError(AlgebraError):
+    """Evaluating a term failed (missing carrier function or runtime error)."""
+
+
+# ---------------------------------------------------------------------------
+# Ontology
+# ---------------------------------------------------------------------------
+
+class OntologyError(ReproError):
+    """Invalid ontology structure (duplicate terms, cycles, bad references)."""
+
+
+# ---------------------------------------------------------------------------
+# Database engine
+# ---------------------------------------------------------------------------
+
+class DatabaseError(ReproError):
+    """Base class for database-engine errors."""
+
+
+class SqlSyntaxError(DatabaseError):
+    """The SQL text could not be tokenized or parsed."""
+
+
+class CatalogError(DatabaseError):
+    """Unknown or duplicate table / column / index / type / function."""
+
+
+class TypeCheckError(DatabaseError):
+    """A value or expression does not match the expected column/SQL type."""
+
+
+class ConstraintError(DatabaseError):
+    """A constraint (NOT NULL, PRIMARY KEY, UNIQUE) was violated."""
+
+
+class TransactionError(DatabaseError):
+    """Invalid transaction state (e.g. commit without begin)."""
+
+
+class StorageError(DatabaseError):
+    """Persistence failed (corrupt image, bad WAL record)."""
+
+
+# ---------------------------------------------------------------------------
+# ETL / sources / warehouse / mediator / languages
+# ---------------------------------------------------------------------------
+
+class WrapperError(ReproError):
+    """A source wrapper could not parse a record."""
+
+
+class SourceError(ReproError):
+    """A (simulated) external repository refused or failed an operation."""
+
+
+class IntegrationError(ReproError):
+    """The warehouse integrator could not reconcile or load data."""
+
+
+class MediatorError(ReproError):
+    """The query-driven mediator could not decompose or answer a query."""
+
+
+class BiqlError(ReproError):
+    """A BiQL query could not be parsed or translated."""
+
+
+class GenAlgXmlError(ReproError):
+    """GenAlgXML import/export failed."""

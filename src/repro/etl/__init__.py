@@ -1,0 +1,34 @@
+"""ETL machinery: deltas, change detection, diff algorithms, wrappers."""
+
+from repro.etl.delta import DELETE, INSERT, UPDATE, Delta
+from repro.etl.monitors import (
+    LogMonitor,
+    MonitorCost,
+    PollingMonitor,
+    SnapshotMonitor,
+    SourceMonitor,
+    TriggerMonitor,
+    choose_monitor,
+)
+from repro.etl.wrappers import (
+    ParsedRecord,
+    Wrapper,
+    wrapper_for,
+)
+
+__all__ = [
+    "Delta",
+    "INSERT",
+    "UPDATE",
+    "DELETE",
+    "SourceMonitor",
+    "TriggerMonitor",
+    "LogMonitor",
+    "PollingMonitor",
+    "SnapshotMonitor",
+    "MonitorCost",
+    "choose_monitor",
+    "ParsedRecord",
+    "Wrapper",
+    "wrapper_for",
+]

@@ -1,0 +1,44 @@
+"""The delta representation (section 5.2, "Change detection").
+
+"At the very least, each delta must be uniquely identifiable and contain
+(a) information about the data item to which it belongs and (b) the a
+priori and a posteriori data and the time stamp for when the update
+became effective."  :class:`Delta` carries exactly that.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ReproError
+
+INSERT = "insert"
+UPDATE = "update"
+DELETE = "delete"
+
+_OPERATIONS = (INSERT, UPDATE, DELETE)
+
+
+@dataclass(frozen=True)
+class Delta:
+    """One detected source change, in transmissible form."""
+
+    source: str
+    accession: str
+    operation: str
+    before: str | None     # a-priori record text (native format)
+    after: str | None      # a-posteriori record text
+    timestamp: int
+
+    def __post_init__(self) -> None:
+        if self.operation not in _OPERATIONS:
+            raise ReproError(f"unknown delta operation {self.operation!r}")
+        if self.operation == INSERT and self.after is None:
+            raise ReproError("an insert delta needs an after-image")
+        if self.operation == DELETE and self.before is None:
+            raise ReproError("a delete delta needs a before-image")
+
+    @property
+    def delta_id(self) -> str:
+        """Unique identifier: source, item, and effective timestamp."""
+        return f"{self.source}:{self.accession}:{self.timestamp}"

@@ -1,0 +1,43 @@
+"""Change-detection primitives: LCS diff, tree diff, snapshot differentials."""
+
+from repro.etl.diff.lcs import (
+    Edit,
+    apply_edits,
+    diff_lines,
+    diff_texts,
+    edit_distance,
+    longest_common_subsequence,
+)
+from repro.etl.diff.snapshot import (
+    SnapshotDifferential,
+    snapshot_differential,
+    split_ace_snapshot,
+    split_flat_snapshot,
+    split_relational_snapshot,
+)
+from repro.etl.diff.treediff import (
+    TreeEdit,
+    TreeNode,
+    diff_ace_snapshots,
+    diff_trees,
+    parse_ace_text,
+)
+
+__all__ = [
+    "Edit",
+    "apply_edits",
+    "diff_lines",
+    "diff_texts",
+    "edit_distance",
+    "longest_common_subsequence",
+    "SnapshotDifferential",
+    "snapshot_differential",
+    "split_ace_snapshot",
+    "split_flat_snapshot",
+    "split_relational_snapshot",
+    "TreeEdit",
+    "TreeNode",
+    "diff_ace_snapshots",
+    "diff_trees",
+    "parse_ace_text",
+]

@@ -1,0 +1,130 @@
+"""Longest-common-subsequence diff for flat files.
+
+Figure 2 prescribes, for non-queryable flat-file sources, "the longest
+common subsequence approach, which is used in the UNIX diff command".
+This module implements it from scratch: an O(n·m) dynamic program over
+lines (with a common prefix/suffix trim that makes the typical
+snapshot-to-snapshot case nearly linear), producing classic
+equal/insert/delete edit scripts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+EQUAL = "equal"
+INSERT = "insert"
+DELETE = "delete"
+
+
+@dataclass(frozen=True)
+class Edit:
+    """One edit-script step: keep, add, or drop one line."""
+
+    operation: str
+    line: str
+
+
+def longest_common_subsequence(
+    first: Sequence[str], second: Sequence[str]
+) -> list[str]:
+    """The LCS of two sequences of items (classic DP, O(n·m))."""
+    n, m = len(first), len(second)
+    if n == 0 or m == 0:
+        return []
+    # One-row-at-a-time DP keeps memory at O(m).
+    lengths = [[0] * (m + 1) for _ in range(n + 1)]
+    for i in range(1, n + 1):
+        row = lengths[i]
+        previous = lengths[i - 1]
+        item = first[i - 1]
+        for j in range(1, m + 1):
+            if item == second[j - 1]:
+                row[j] = previous[j - 1] + 1
+            else:
+                row[j] = max(previous[j], row[j - 1])
+    # Backtrack.
+    result: list[str] = []
+    i, j = n, m
+    while i > 0 and j > 0:
+        if first[i - 1] == second[j - 1]:
+            result.append(first[i - 1])
+            i -= 1
+            j -= 1
+        elif lengths[i - 1][j] >= lengths[i][j - 1]:
+            i -= 1
+        else:
+            j -= 1
+    result.reverse()
+    return result
+
+
+def _trim_common(first: Sequence[str], second: Sequence[str]
+                 ) -> tuple[int, int, Sequence[str], Sequence[str]]:
+    """Strip shared prefix/suffix; returns (prefix_len, suffix_len, a, b)."""
+    prefix = 0
+    limit = min(len(first), len(second))
+    while prefix < limit and first[prefix] == second[prefix]:
+        prefix += 1
+    suffix = 0
+    while (suffix < limit - prefix
+           and first[len(first) - 1 - suffix]
+           == second[len(second) - 1 - suffix]):
+        suffix += 1
+    return (prefix, suffix,
+            first[prefix:len(first) - suffix],
+            second[prefix:len(second) - suffix])
+
+
+def diff_lines(old: Sequence[str], new: Sequence[str]) -> list[Edit]:
+    """A UNIX-diff-style edit script turning *old* into *new*."""
+    prefix, suffix, middle_old, middle_new = _trim_common(old, new)
+    script: list[Edit] = [Edit(EQUAL, line) for line in old[:prefix]]
+
+    common = longest_common_subsequence(middle_old, middle_new)
+    i = j = k = 0
+    while k < len(common):
+        anchor = common[k]
+        while middle_old[i] != anchor:
+            script.append(Edit(DELETE, middle_old[i]))
+            i += 1
+        while middle_new[j] != anchor:
+            script.append(Edit(INSERT, middle_new[j]))
+            j += 1
+        script.append(Edit(EQUAL, anchor))
+        i += 1
+        j += 1
+        k += 1
+    script.extend(Edit(DELETE, line) for line in middle_old[i:])
+    script.extend(Edit(INSERT, line) for line in middle_new[j:])
+
+    if suffix:
+        script.extend(Edit(EQUAL, line) for line in old[len(old) - suffix:])
+    return script
+
+
+def diff_texts(old: str, new: str) -> list[Edit]:
+    """Line-level edit script between two text blobs."""
+    return diff_lines(old.splitlines(), new.splitlines())
+
+
+def edit_distance(old: str, new: str) -> int:
+    """Number of non-equal steps in the line-level edit script."""
+    return sum(1 for edit in diff_texts(old, new)
+               if edit.operation != EQUAL)
+
+
+def apply_edits(old: Sequence[str], script: Sequence[Edit]) -> list[str]:
+    """Replay an edit script against *old* (sanity check / tests)."""
+    result: list[str] = []
+    position = 0
+    for edit in script:
+        if edit.operation == EQUAL:
+            result.append(old[position])
+            position += 1
+        elif edit.operation == DELETE:
+            position += 1
+        else:
+            result.append(edit.line)
+    return result

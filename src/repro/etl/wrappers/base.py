@@ -1,0 +1,120 @@
+"""Wrapper infrastructure: native record text → GDT-bearing parsed records.
+
+"Extracting relevant new or changed data from the sources and
+restructuring the data into the corresponding types provided by the
+Genomics Algebra.  This is done by the sources wrappers." (section 5.1)
+
+Each concrete wrapper understands one source format and produces
+:class:`ParsedRecord` objects whose sequence fields are already packed
+GDT values (``DnaSequence`` / ``ProteinSequence``) and whose structure
+is expressed with :class:`~repro.core.types.Interval` — the "transfer of
+these data into high-level, structured, and object-based GDT values" the
+abstract promises.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+
+from repro.core.types import DnaSequence, Gene, Interval, ProteinSequence
+from repro.errors import WrapperError
+
+
+@dataclass
+class ParsedRecord:
+    """A source record after wrapping: identity + GDT values."""
+
+    source_format: str
+    accession: str
+    version: int = 1
+    name: str | None = None
+    organism: str | None = None
+    description: str | None = None
+    dna: DnaSequence | None = None
+    protein: ProteinSequence | None = None
+    exons: tuple[Interval, ...] = field(default_factory=tuple)
+    raw: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.accession:
+            raise WrapperError("a parsed record needs an accession")
+        self.exons = tuple(self.exons)
+
+    def to_gene(self) -> Gene:
+        """Build the GENE GDT value for a DNA-bearing record."""
+        if self.dna is None:
+            raise WrapperError(
+                f"record {self.accession} carries no DNA sequence"
+            )
+        exons = self.exons
+        if exons and exons[-1].end > len(self.dna):
+            # Defensive: corrupt annotations must not crash the pipeline;
+            # fall back to a single-exon reading of the whole span.
+            exons = ()
+        return Gene(
+            name=self.name or self.accession,
+            sequence=self.dna,
+            exons=exons,
+            organism=self.organism,
+            accession=self.accession,
+        )
+
+
+_SPAN = re.compile(r"(\d+)\.\.(\d+)")
+
+
+def parse_location(text: str) -> tuple[Interval, ...]:
+    """Parse ``12..340`` / ``join(1..120,181..456)`` into intervals.
+
+    Source coordinates are 1-based inclusive; the result is 0-based
+    half-open.  Complement/order decorations are not produced by our
+    simulated sources and are rejected explicitly.
+    """
+    text = text.strip()
+    if text.startswith("complement") or text.startswith("order"):
+        raise WrapperError(f"unsupported location decoration in {text!r}")
+    spans = _SPAN.findall(text)
+    if not spans:
+        raise WrapperError(f"no spans found in location {text!r}")
+    intervals = tuple(
+        Interval(int(start) - 1, int(end)) for start, end in spans
+    )
+    for before, after in zip(intervals, intervals[1:]):
+        if after.start < before.end:
+            raise WrapperError(f"non-ascending location {text!r}")
+    return intervals
+
+
+class Wrapper:
+    """Base class of all source wrappers."""
+
+    format_name: str = "abstract"
+    record_terminator: str = "//"
+
+    def parse_record(self, text: str) -> ParsedRecord:
+        raise NotImplementedError
+
+    def split_snapshot(self, text: str) -> list[str]:
+        """Split a full dump into individual record texts."""
+        records: list[str] = []
+        current: list[str] = []
+        for line in text.splitlines():
+            current.append(line)
+            if line.strip() == self.record_terminator:
+                records.append("\n".join(current) + "\n")
+                current = []
+        return records
+
+    def parse_snapshot(self, text: str) -> list[ParsedRecord]:
+        """Parse every record of a full dump."""
+        return [self.parse_record(record)
+                for record in self.split_snapshot(text)]
+
+
+def required_line(lines: list[str], prefix: str, record: str) -> str:
+    """The first line starting with *prefix* (payload only), or raise."""
+    for line in lines:
+        if line.startswith(prefix):
+            return line[len(prefix):].strip()
+    raise WrapperError(f"missing {prefix.strip()!r} line in {record} record")

@@ -1,0 +1,33 @@
+"""Evaluation harness: the Table 1 capability matrix, probed live."""
+
+from repro.evaluation.capability import (
+    CapabilityMatrix,
+    ProbeEnvironment,
+    PROBES,
+)
+from repro.evaluation.requirements import (
+    CELL_NOTES,
+    GENALG_CLAIM,
+    NO,
+    PAPER_MATRIX,
+    PART,
+    REQUIREMENT_IDS,
+    REQUIREMENTS,
+    Requirement,
+    YES,
+)
+
+__all__ = [
+    "CapabilityMatrix",
+    "ProbeEnvironment",
+    "PROBES",
+    "REQUIREMENTS",
+    "REQUIREMENT_IDS",
+    "Requirement",
+    "PAPER_MATRIX",
+    "GENALG_CLAIM",
+    "CELL_NOTES",
+    "YES",
+    "PART",
+    "NO",
+]

@@ -1,0 +1,108 @@
+"""The requirement catalogue C1–C15 and the paper's published Table 1.
+
+Each cell of Table 1 is a qualitative claim; we grade the cells into
+three verdicts so they can be compared against probe outcomes:
+
+- ``YES``  — the requirement is addressed;
+- ``PART`` — partially addressed (the table's hedged cells: "requires
+  knowledge of SQL", "new operations on integrated view data", …);
+- ``NO``   — not addressed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+YES = "YES"
+PART = "PART"
+NO = "NO"
+
+
+@dataclass(frozen=True)
+class Requirement:
+    """One computer-science requirement from section 2."""
+
+    req_id: str
+    title: str
+
+
+REQUIREMENTS: tuple[Requirement, ...] = (
+    Requirement("C1", "Shield user from source multitude/heterogeneity"),
+    Requirement("C2", "Standard (high-level) data representation"),
+    Requirement("C3", "Single access point"),
+    Requirement("C4", "User-appropriate interface"),
+    Requirement("C5", "Comprehensive, biological query capability"),
+    Requirement("C6", "New operations beyond source functionality"),
+    Requirement("C7", "Query results usable for further computation"),
+    Requirement("C8", "Reconciliation of inconsistent data"),
+    Requirement("C9", "Uncertainty handling (keep all alternatives)"),
+    Requirement("C10", "Combine data from different repositories"),
+    Requirement("C11", "Extraction/creation of new knowledge"),
+    Requirement("C12", "High-level treatment (genomic types/operations)"),
+    Requirement("C13", "Integration of self-generated data"),
+    Requirement("C14", "User-defined specialty evaluation functions"),
+    Requirement("C15", "Preservation of disappearing repositories"),
+)
+
+REQUIREMENT_IDS = tuple(requirement.req_id for requirement in REQUIREMENTS)
+
+#: Table 1 of the paper, graded.  Column order matches the paper.
+PAPER_MATRIX: dict[str, dict[str, str]] = {
+    "SRS": {
+        "C1": YES, "C2": NO, "C3": YES, "C4": YES, "C5": PART,
+        "C6": NO, "C7": NO, "C8": NO, "C9": NO, "C10": NO,
+        "C11": NO, "C12": NO, "C13": NO, "C14": NO, "C15": NO,
+    },
+    "BioNavigator": {
+        "C1": YES, "C2": NO, "C3": YES, "C4": YES, "C5": NO,
+        "C6": NO, "C7": NO, "C8": NO, "C9": NO, "C10": NO,
+        "C11": NO, "C12": NO, "C13": NO, "C14": NO, "C15": NO,
+    },
+    "K2/Kleisli": {
+        "C1": YES, "C2": PART, "C3": YES, "C4": NO, "C5": YES,
+        "C6": PART, "C7": YES, "C8": NO, "C9": NO, "C10": PART,
+        "C11": NO, "C12": NO, "C13": NO, "C14": NO, "C15": NO,
+    },
+    "DiscoveryLink": {
+        "C1": YES, "C2": PART, "C3": YES, "C4": PART, "C5": YES,
+        "C6": PART, "C7": YES, "C8": NO, "C9": NO, "C10": PART,
+        "C11": NO, "C12": NO, "C13": NO, "C14": NO, "C15": NO,
+    },
+    "TAMBIS": {
+        "C1": YES, "C2": PART, "C3": YES, "C4": YES, "C5": YES,
+        "C6": PART, "C7": YES, "C8": YES, "C9": NO, "C10": PART,
+        "C11": NO, "C12": NO, "C13": NO, "C14": NO, "C15": NO,
+    },
+    "GUS": {
+        "C1": YES, "C2": PART, "C3": YES, "C4": PART, "C5": YES,
+        "C6": PART, "C7": YES, "C8": YES, "C9": NO, "C10": YES,
+        "C11": PART, "C12": NO, "C13": YES, "C14": NO, "C15": YES,
+    },
+}
+
+#: The paper's claim for the proposed system (sections 4–6): every
+#: requirement addressed.
+GENALG_CLAIM: dict[str, str] = {
+    requirement.req_id: YES for requirement in REQUIREMENTS
+}
+
+#: Notes explaining each graded cell (the table's original wording).
+CELL_NOTES: dict[tuple[str, str], str] = {
+    ("SRS", "C2"): "HTML",
+    ("SRS", "C5"): "Limited query capability",
+    ("BioNavigator", "C2"): "HTML",
+    ("BioNavigator", "C5"): "Not query oriented",
+    ("K2/Kleisli", "C2"): "Global schema using object-oriented model",
+    ("K2/Kleisli", "C4"): "Not a user-level interface",
+    ("K2/Kleisli", "C6"): "New operations on integrated view data",
+    ("K2/Kleisli", "C10"): "Integrated via global schema; wrapper needed",
+    ("DiscoveryLink", "C2"): "Global schema using relational model",
+    ("DiscoveryLink", "C4"): "Requires knowledge of SQL",
+    ("TAMBIS", "C2"): "Global schema using description logic",
+    ("TAMBIS", "C8"): "Result reconciliation supported",
+    ("GUS", "C2"): "GUS schema based on relational model; OO views",
+    ("GUS", "C4"): "Requires knowledge of SQL",
+    ("GUS", "C8"): "Data in warehouse is reconciled and cleansed",
+    ("GUS", "C11"): "Annotations supported",
+    ("GUS", "C15"): "Archiving of data supported",
+}

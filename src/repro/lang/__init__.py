@@ -1,0 +1,15 @@
+"""User-facing languages: BiQL, GenAlgXML, and the output renderers."""
+
+from repro.lang import genalgxml
+from repro.lang.biql import BiqlSession, parse_biql, translate
+from repro.lang.output import render_fasta, render_histogram, render_table
+
+__all__ = [
+    "BiqlSession",
+    "parse_biql",
+    "translate",
+    "genalgxml",
+    "render_table",
+    "render_fasta",
+    "render_histogram",
+]

@@ -1,0 +1,215 @@
+"""A fluent builder for BiQL queries — the visual-language target (§6.4).
+
+"A visual language can help to provide support for the graphical
+specification of a query.  The graphical specification is then evaluated
+and translated into a textual SQL representation."
+
+A canvas UI is out of scope for a library, but the structured API such a
+UI would drive is exactly this builder: it assembles a
+:class:`~repro.lang.biql.parser.BiqlQuery` piece by piece, can render it
+back to BiQL text (:meth:`QueryBuilder.to_biql`), and translates to the
+same extended SQL as the textual front end::
+
+    query = (find("genes")
+             .where(field("organism").is_("Escherichia coli"))
+             .and_(field("sequence").contains("TATAAT"))
+             .show("accession", "name", "gc")
+             .sort_by("gc", descending=True)
+             .limit(10))
+    result = session.run_query(query)
+"""
+
+from __future__ import annotations
+
+from repro.errors import BiqlError
+from repro.lang.biql.parser import BiqlQuery, Condition
+
+
+class FieldRef:
+    """A named field, exposing the condition constructors."""
+
+    def __init__(self, name: str) -> None:
+        if not name:
+            raise BiqlError("a field reference needs a name")
+        self.name = name.lower()
+
+    # -- comparisons ----------------------------------------------------------
+
+    def is_(self, value) -> Condition:
+        return Condition("compare", self.name, "=", value)
+
+    def is_not(self, value) -> Condition:
+        return Condition("compare", self.name, "!=", value)
+
+    def gt(self, value) -> Condition:
+        return Condition("compare", self.name, ">", value)
+
+    def ge(self, value) -> Condition:
+        return Condition("compare", self.name, ">=", value)
+
+    def lt(self, value) -> Condition:
+        return Condition("compare", self.name, "<", value)
+
+    def le(self, value) -> Condition:
+        return Condition("compare", self.name, "<=", value)
+
+    def like(self, pattern: str) -> Condition:
+        return Condition("like", self.name, "LIKE", pattern)
+
+    def between(self, low, high) -> Condition:
+        return Condition("between", self.name, "BETWEEN", low, high=high)
+
+    def contains(self, motif: str) -> Condition:
+        return Condition("contains", self.name, "CONTAINS", motif)
+
+    def resembles(self, text: str,
+                  within: float | None = None) -> Condition:
+        return Condition("resembles", self.name, "RESEMBLES", text,
+                         threshold=within)
+
+
+def field(name: str) -> FieldRef:
+    """Entry point: ``field("organism").is_("E. coli")``."""
+    return FieldRef(name)
+
+
+class QueryBuilder:
+    """Accumulates a :class:`BiqlQuery` through chained calls."""
+
+    def __init__(self, verb: str, entity: str) -> None:
+        self._query = BiqlQuery(verb=verb, entity=entity.lower())
+
+    # -- conditions --------------------------------------------------------------
+
+    def where(self, condition: Condition) -> "QueryBuilder":
+        if self._query.conditions:
+            raise BiqlError("where() must come first; chain with "
+                            "and_()/or_()")
+        self._query.conditions.append(("AND", condition))
+        return self
+
+    def and_(self, condition: Condition) -> "QueryBuilder":
+        if not self._query.conditions:
+            return self.where(condition)
+        self._query.conditions.append(("AND", condition))
+        return self
+
+    def or_(self, condition: Condition) -> "QueryBuilder":
+        if not self._query.conditions:
+            raise BiqlError("or_() needs a preceding where()")
+        self._query.conditions.append(("OR", condition))
+        return self
+
+    # -- output shaping -------------------------------------------------------------
+
+    def show(self, *fields: str) -> "QueryBuilder":
+        if self._query.verb == "COUNT":
+            raise BiqlError("COUNT queries have no SHOW clause")
+        self._query.show.extend(name.lower() for name in fields)
+        return self
+
+    def sort_by(self, name: str, descending: bool = False) -> "QueryBuilder":
+        self._query.sort_field = name.lower()
+        self._query.sort_ascending = not descending
+        return self
+
+    def limit(self, count: int) -> "QueryBuilder":
+        if count < 0:
+            raise BiqlError("LIMIT must be non-negative")
+        self._query.limit = count
+        return self
+
+    def as_table(self) -> "QueryBuilder":
+        self._query.render = "table"
+        self._query.histogram_field = None
+        return self
+
+    def as_fasta(self) -> "QueryBuilder":
+        self._query.render = "fasta"
+        self._query.histogram_field = None
+        return self
+
+    def as_histogram(self, of_field: str) -> "QueryBuilder":
+        self._query.render = "histogram"
+        self._query.histogram_field = of_field.lower()
+        return self
+
+    # -- materialization -----------------------------------------------------------
+
+    def build(self) -> BiqlQuery:
+        return self._query
+
+    def to_biql(self) -> str:
+        """Render back to BiQL text (round-trips through the parser)."""
+        return render_biql(self._query)
+
+
+def find(entity: str) -> QueryBuilder:
+    """Start a FIND query."""
+    return QueryBuilder("FIND", entity)
+
+
+def count(entity: str) -> QueryBuilder:
+    """Start a COUNT query."""
+    return QueryBuilder("COUNT", entity)
+
+
+# ---------------------------------------------------------------------------
+# BiQL text rendering (the inverse of the parser)
+# ---------------------------------------------------------------------------
+
+def _value_text(value) -> str:
+    if isinstance(value, str):
+        return "'" + value.replace("'", "''") + "'"
+    if isinstance(value, bool):
+        return "TRUE" if value else "FALSE"
+    return str(value)
+
+
+def _condition_text(condition: Condition) -> str:
+    if condition.kind == "compare":
+        if condition.operator == "=":
+            return f"{condition.field} IS {_value_text(condition.value)}"
+        if condition.operator == "!=":
+            return (f"{condition.field} IS NOT "
+                    f"{_value_text(condition.value)}")
+        return (f"{condition.field} {condition.operator} "
+                f"{_value_text(condition.value)}")
+    if condition.kind == "like":
+        return f"{condition.field} LIKE {_value_text(condition.value)}"
+    if condition.kind == "between":
+        return (f"{condition.field} BETWEEN "
+                f"{_value_text(condition.value)} AND "
+                f"{_value_text(condition.high)}")
+    if condition.kind == "contains":
+        return f"{condition.field} CONTAINS {_value_text(condition.value)}"
+    if condition.kind == "resembles":
+        text = (f"{condition.field} RESEMBLES "
+                f"{_value_text(condition.value)}")
+        if condition.threshold is not None:
+            text += f" WITHIN {condition.threshold}"
+        return text
+    raise BiqlError(f"unknown condition kind {condition.kind!r}")
+
+
+def render_biql(query: BiqlQuery) -> str:
+    """Serialize a :class:`BiqlQuery` to canonical BiQL text."""
+    pieces = [query.verb, query.entity]
+    if query.conditions:
+        pieces.append("WHERE")
+        for index, (connective, condition) in enumerate(query.conditions):
+            if index > 0:
+                pieces.append(connective)
+            pieces.append(_condition_text(condition))
+    if query.show:
+        pieces.append("SHOW " + ", ".join(query.show))
+    if query.sort_field is not None:
+        direction = "ASC" if query.sort_ascending else "DESC"
+        pieces.append(f"SORT BY {query.sort_field} {direction}")
+    if query.limit is not None:
+        pieces.append(f"LIMIT {query.limit}")
+    if query.render == "fasta":
+        pieces.append("AS FASTA")
+    elif query.render == "histogram":
+        pieces.append(f"AS HISTOGRAM OF {query.histogram_field}")
+    return " ".join(pieces)

@@ -1,0 +1,65 @@
+"""BiQL sessions: parse → translate → execute → render, in one call.
+
+This is the user-facing surface of the paper's vision statement: "Our
+high-level Genomics Algebra allows biologists to pose questions using
+biological terms, not SQL statements."
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.db import ResultSet
+from repro.lang.biql.parser import BiqlQuery, parse_biql
+from repro.lang.biql.translator import translate
+from repro.lang.output import render_fasta, render_histogram, render_table
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.warehouse import UnifyingDatabase
+
+
+class BiqlSession:
+    """A biologist's interactive session against the Unifying Database."""
+
+    def __init__(self, warehouse: "UnifyingDatabase") -> None:
+        self.warehouse = warehouse
+        #: The last translation, for the curious (and for tests).
+        self.last_sql: str | None = None
+        self.last_parameters: list = []
+
+    def parse(self, text: str) -> BiqlQuery:
+        return parse_biql(text)
+
+    def compile(self, text: str) -> tuple[str, list]:
+        """BiQL text → (extended SQL, parameters), without running it."""
+        sql, parameters = translate(parse_biql(text))
+        return sql, parameters
+
+    def run(self, text: str) -> ResultSet:
+        """Execute a BiQL query; returns the raw result set."""
+        sql, parameters = self.compile(text)
+        self.last_sql = sql
+        self.last_parameters = parameters
+        return self.warehouse.query(sql, parameters)
+
+    def run_query(self, query: "BiqlQuery | object") -> ResultSet:
+        """Execute an already-built query (builder or parse output)."""
+        built = query.build() if hasattr(query, "build") else query
+        sql, parameters = translate(built)
+        self.last_sql = sql
+        self.last_parameters = parameters
+        return self.warehouse.query(sql, parameters)
+
+    def render(self, text: str) -> str:
+        """Execute and render per the query's ``AS <format>`` clause."""
+        query = parse_biql(text)
+        sql, parameters = translate(query)
+        self.last_sql = sql
+        self.last_parameters = parameters
+        result = self.warehouse.query(sql, parameters)
+        if query.render == "fasta":
+            return render_fasta(result)
+        if query.render == "histogram":
+            assert query.histogram_field is not None
+            return render_histogram(result, query.histogram_field)
+        return render_table(result)

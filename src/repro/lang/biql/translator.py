@@ -1,0 +1,235 @@
+"""BiQL → extended SQL translation (the mapping of section 6.4).
+
+Every BiQL entity maps to a warehouse table, and every biological field
+either to a column or to a **computed field** — an expression over the
+Genomics Algebra UDFs the adapter registered, e.g. BiQL's ``tm`` becomes
+``melting_temperature(sequence)``.  The biologist never sees SQL, but
+the translation is plain text and inspectable
+(:func:`translate` returns the SQL plus its parameters).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Mapping
+
+from repro.errors import BiqlError
+from repro.lang.biql.parser import BiqlQuery, Condition
+
+
+@dataclass(frozen=True)
+class EntityMapping:
+    """How one BiQL entity projects onto the warehouse schema."""
+
+    table: str
+    #: BiQL field name → SQL expression.
+    fields: Mapping[str, str]
+    #: Fields shown by a bare FIND (no SHOW clause).
+    default_show: tuple[str, ...]
+    #: The field CONTAINS/RESEMBLES operate on when the query says
+    #: ``sequence``.
+    sequence_field: str = "sequence"
+
+
+ENTITIES: dict[str, EntityMapping] = {
+    "genes": EntityMapping(
+        table="public_genes",
+        fields={
+            "accession": "accession",
+            "name": "name",
+            "organism": "organism",
+            "description": "description",
+            "length": "length",
+            "exons": "exon_count",
+            "gc": "gc",
+            "sources": "source_count",
+            "sequence": "sequence",
+            "dna": "seq_text(sequence)",
+            "tm": "melting_temperature(sequence)",
+            "entropy": "entropy(sequence)",
+            "weight": "molecular_weight(sequence)",
+            "orfs": "orf_count(sequence)",
+            "protein": "seq_text(protein_sequence(express(gene)))",
+        },
+        default_show=("accession", "name", "organism", "length"),
+    ),
+    "proteins": EntityMapping(
+        table="public_proteins",
+        fields={
+            "accession": "accession",
+            "name": "name",
+            "organism": "organism",
+            "length": "length",
+            "sequence": "sequence",
+            "residues": "seq_text(sequence)",
+            "mass": "molecular_weight(sequence)",
+            "pi": "isoelectric_point(sequence)",
+            "gravy": "hydropathy(sequence)",
+        },
+        default_show=("accession", "name", "organism", "length"),
+    ),
+    "sequences": EntityMapping(
+        table="user_sequences",
+        fields={
+            "id": "id",
+            "owner": "owner",
+            "label": "label",
+            "sequence": "sequence",
+            "dna": "seq_text(sequence)",
+            "length": "length(sequence)",
+            "gc": "gc_content(sequence)",
+            "tm": "melting_temperature(sequence)",
+        },
+        default_show=("id", "owner", "label"),
+    ),
+    # Cross-entity views: one biological question spanning two tables.
+    "gene_products": EntityMapping(
+        table=("public_genes g JOIN public_proteins p "
+               "ON g.accession = p.accession"),
+        fields={
+            "accession": "g.accession",
+            "name": "g.name",
+            "organism": "g.organism",
+            "length": "g.length",
+            "gc": "g.gc",
+            "sequence": "g.sequence",
+            "protein_length": "p.length",
+            "residues": "seq_text(p.sequence)",
+            "mass": "molecular_weight(p.sequence)",
+            "pi": "isoelectric_point(p.sequence)",
+        },
+        default_show=("accession", "name", "length", "protein_length"),
+        sequence_field="g.sequence",
+    ),
+    "annotated_genes": EntityMapping(
+        table=("public_genes g JOIN annotations a "
+               "ON g.accession = a.accession"),
+        fields={
+            "accession": "g.accession",
+            "name": "g.name",
+            "organism": "g.organism",
+            "length": "g.length",
+            "sequence": "g.sequence",
+            "owner": "a.owner",
+            "note": "a.note",
+            "stale": "a.stale",
+        },
+        default_show=("accession", "name", "owner", "note"),
+        sequence_field="g.sequence",
+    ),
+    "annotations": EntityMapping(
+        table="annotations",
+        fields={
+            "id": "id",
+            "owner": "owner",
+            "accession": "accession",
+            "note": "note",
+            "stale": "stale",
+        },
+        default_show=("id", "owner", "accession", "note"),
+        sequence_field="",
+    ),
+    "conflicts": EntityMapping(
+        table="conflicts",
+        fields={
+            "accession": "accession",
+            "field": "field",
+            "readings": "uncertain_count(readings)",
+            "best": "uncertain_confidence(readings)",
+        },
+        default_show=("accession", "field", "readings"),
+        sequence_field="",
+    ),
+}
+
+
+def _field_expression(mapping: EntityMapping, name: str,
+                      entity: str) -> str:
+    try:
+        return mapping.fields[name]
+    except KeyError:
+        known = ", ".join(sorted(mapping.fields))
+        raise BiqlError(
+            f"{entity} has no field {name!r}; known fields: {known}"
+        ) from None
+
+
+def _condition_sql(condition: Condition, mapping: EntityMapping,
+                   entity: str, parameters: list[Any]) -> str:
+    expression = _field_expression(mapping, condition.field, entity)
+    if condition.kind == "compare":
+        parameters.append(condition.value)
+        return f"{expression} {condition.operator} ?"
+    if condition.kind == "like":
+        parameters.append(condition.value)
+        return f"{expression} LIKE ?"
+    if condition.kind == "between":
+        parameters.extend((condition.value, condition.high))
+        return f"{expression} BETWEEN ? AND ?"
+    if condition.kind == "contains":
+        if not mapping.sequence_field:
+            raise BiqlError(f"{entity} has no sequence to search")
+        parameters.append(condition.value)
+        return f"contains({mapping.sequence_field}, ?)"
+    if condition.kind == "resembles":
+        if not mapping.sequence_field:
+            raise BiqlError(f"{entity} has no sequence to compare")
+        parameters.append(condition.value)
+        probe = f"dna(?)" if entity != "proteins" else "protein_seq(?)"
+        if condition.threshold is not None:
+            parameters.append(condition.threshold)
+            return (f"resembles({mapping.sequence_field}, {probe}, ?)")
+        return f"resembles({mapping.sequence_field}, {probe})"
+    raise BiqlError(f"unknown condition kind {condition.kind!r}")
+
+
+def translate(query: BiqlQuery) -> tuple[str, list[Any]]:
+    """Compile one parsed BiQL query to (SQL text, parameters)."""
+    try:
+        mapping = ENTITIES[query.entity]
+    except KeyError:
+        known = ", ".join(sorted(ENTITIES))
+        raise BiqlError(
+            f"unknown entity {query.entity!r}; one of: {known}"
+        ) from None
+
+    parameters: list[Any] = []
+
+    if query.verb == "COUNT":
+        select_list = "count(*) AS n"
+    else:
+        shown = query.show or list(mapping.default_show)
+        pieces = []
+        for name in shown:
+            expression = _field_expression(mapping, name, query.entity)
+            if expression == name:
+                pieces.append(expression)
+            else:
+                pieces.append(f"{expression} AS {name}")
+        select_list = ", ".join(pieces)
+
+    sql = f"SELECT {select_list} FROM {mapping.table}"
+
+    if query.conditions:
+        clauses: list[str] = []
+        for connective, condition in query.conditions:
+            clause = _condition_sql(condition, mapping, query.entity,
+                                    parameters)
+            if clauses:
+                clauses.append(f"{connective} {clause}")
+            else:
+                clauses.append(clause)
+        sql += " WHERE " + " ".join(clauses)
+
+    if query.sort_field is not None:
+        if query.verb == "COUNT":
+            raise BiqlError("COUNT queries cannot be sorted")
+        expression = _field_expression(mapping, query.sort_field,
+                                       query.entity)
+        direction = "ASC" if query.sort_ascending else "DESC"
+        sql += f" ORDER BY {expression} {direction}"
+
+    if query.limit is not None:
+        sql += f" LIMIT {query.limit}"
+
+    return sql, parameters

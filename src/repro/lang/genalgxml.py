@@ -1,0 +1,234 @@
+"""GenAlgXML: the XML application of section 6.4.
+
+"A number of XML applications exist for genomic data (e.g., GEML,
+RiboML, phyloML).  Unfortunately, these are inappropriate for a
+representation of the high-level objects of the Genomics Algebra.
+Hence, we plan to design our own XML application, which we name
+GenAlgXML."
+
+GenAlgXML serializes GDT *values* — not flat text records — so two
+installations can exchange genes, proteins and conflicting readings
+losslessly::
+
+    <genalgxml version="1">
+      <gene name="lacZ" accession="GA100001" organism="Escherichia coli">
+        <sequence>ATGGCC...</sequence>
+        <exon start="0" end="12"/>
+      </gene>
+    </genalgxml>
+"""
+
+from __future__ import annotations
+
+import xml.etree.ElementTree as ElementTree
+from typing import Any, Iterable
+
+from repro.core.types import (
+    Alternatives,
+    DnaSequence,
+    Gene,
+    Interval,
+    MRna,
+    PrimaryTranscript,
+    Protein,
+    ProteinSequence,
+    RnaSequence,
+    Uncertain,
+)
+from repro.errors import GenAlgXmlError
+
+ROOT_TAG = "genalgxml"
+VERSION = "1"
+
+
+def _sequence_element(tag: str, value) -> ElementTree.Element:
+    element = ElementTree.Element(tag)
+    element.text = str(value)
+    return element
+
+
+def _set_if(element: ElementTree.Element, key: str, value) -> None:
+    if value is not None:
+        element.set(key, str(value))
+
+
+def value_to_element(value: Any) -> ElementTree.Element:
+    """One GDT value → one GenAlgXML element."""
+    if isinstance(value, DnaSequence):
+        return _sequence_element("dna", value)
+    if isinstance(value, RnaSequence):
+        return _sequence_element("rna", value)
+    if isinstance(value, ProteinSequence):
+        return _sequence_element("proteinseq", value)
+    if isinstance(value, Gene):
+        element = ElementTree.Element("gene")
+        element.set("name", value.name)
+        _set_if(element, "accession", value.accession)
+        _set_if(element, "organism", value.organism)
+        element.append(_sequence_element("sequence", value.sequence))
+        for exon in value.exons:
+            exon_element = ElementTree.SubElement(element, "exon")
+            exon_element.set("start", str(exon.start))
+            exon_element.set("end", str(exon.end))
+        return element
+    if isinstance(value, PrimaryTranscript):
+        element = ElementTree.Element("transcript")
+        _set_if(element, "gene", value.gene_name)
+        element.append(_sequence_element("sequence", value.rna))
+        for exon in value.exons:
+            exon_element = ElementTree.SubElement(element, "exon")
+            exon_element.set("start", str(exon.start))
+            exon_element.set("end", str(exon.end))
+        return element
+    if isinstance(value, MRna):
+        element = ElementTree.Element("mrna")
+        _set_if(element, "gene", value.gene_name)
+        if value.cds is not None:
+            element.set("cds_start", str(value.cds.start))
+            element.set("cds_end", str(value.cds.end))
+        element.append(_sequence_element("sequence", value.rna))
+        return element
+    if isinstance(value, Protein):
+        element = ElementTree.Element("protein")
+        _set_if(element, "name", value.name)
+        _set_if(element, "gene", value.gene_name)
+        _set_if(element, "organism", value.organism)
+        _set_if(element, "accession", value.accession)
+        element.append(_sequence_element("sequence", value.sequence))
+        return element
+    if isinstance(value, Alternatives):
+        element = ElementTree.Element("alternatives")
+        for option in value:
+            reading = ElementTree.SubElement(element, "reading")
+            reading.set("confidence", f"{option.confidence:.6f}")
+            _set_if(reading, "source", option.source)
+            reading.append(value_to_element(option.value))
+        return element
+    if isinstance(value, (str, int, float, bool)):
+        element = ElementTree.Element("scalar")
+        element.set("type", type(value).__name__)
+        element.text = str(value)
+        return element
+    raise GenAlgXmlError(
+        f"no GenAlgXML representation for {type(value).__name__}"
+    )
+
+
+def _exons_of(element: ElementTree.Element) -> tuple[Interval, ...]:
+    return tuple(
+        Interval(int(exon.get("start", "0")), int(exon.get("end", "0")))
+        for exon in element.findall("exon")
+    )
+
+
+def _sequence_text(element: ElementTree.Element) -> str:
+    child = element.find("sequence")
+    if child is None or child.text is None:
+        raise GenAlgXmlError(
+            f"<{element.tag}> is missing its <sequence> child"
+        )
+    return child.text.strip()
+
+
+def element_to_value(element: ElementTree.Element) -> Any:
+    """One GenAlgXML element → the GDT value it denotes."""
+    tag = element.tag
+    if tag == "dna":
+        return DnaSequence((element.text or "").strip())
+    if tag == "rna":
+        return RnaSequence((element.text or "").strip())
+    if tag == "proteinseq":
+        return ProteinSequence((element.text or "").strip())
+    if tag == "gene":
+        name = element.get("name")
+        if not name:
+            raise GenAlgXmlError("<gene> needs a name attribute")
+        return Gene(
+            name=name,
+            sequence=DnaSequence(_sequence_text(element)),
+            exons=_exons_of(element),
+            organism=element.get("organism"),
+            accession=element.get("accession"),
+        )
+    if tag == "transcript":
+        return PrimaryTranscript(
+            rna=RnaSequence(_sequence_text(element)),
+            exons=_exons_of(element),
+            gene_name=element.get("gene"),
+        )
+    if tag == "mrna":
+        cds = None
+        if element.get("cds_start") is not None:
+            cds = Interval(int(element.get("cds_start")),
+                           int(element.get("cds_end", "0")))
+        return MRna(
+            rna=RnaSequence(_sequence_text(element)),
+            cds=cds,
+            gene_name=element.get("gene"),
+        )
+    if tag == "protein":
+        return Protein(
+            sequence=ProteinSequence(_sequence_text(element)),
+            name=element.get("name"),
+            gene_name=element.get("gene"),
+            organism=element.get("organism"),
+            accession=element.get("accession"),
+        )
+    if tag == "alternatives":
+        options = []
+        for reading in element.findall("reading"):
+            children = list(reading)
+            if len(children) != 1:
+                raise GenAlgXmlError(
+                    "<reading> must hold exactly one value element"
+                )
+            options.append(Uncertain(
+                element_to_value(children[0]),
+                float(reading.get("confidence", "1.0")),
+                reading.get("source"),
+            ))
+        return Alternatives(options)
+    if tag == "scalar":
+        text = element.text or ""
+        kind = element.get("type", "str")
+        if kind == "int":
+            return int(text)
+        if kind == "float":
+            return float(text)
+        if kind == "bool":
+            return text == "True"
+        return text
+    raise GenAlgXmlError(f"unknown GenAlgXML element <{tag}>")
+
+
+def dumps(values: Iterable[Any]) -> str:
+    """Serialize GDT values to a GenAlgXML document."""
+    root = ElementTree.Element(ROOT_TAG)
+    root.set("version", VERSION)
+    for value in values:
+        root.append(value_to_element(value))
+    ElementTree.indent(root)
+    return ElementTree.tostring(root, encoding="unicode") + "\n"
+
+
+def loads(text: str) -> list[Any]:
+    """Parse a GenAlgXML document back into GDT values."""
+    try:
+        root = ElementTree.fromstring(text)
+    except ElementTree.ParseError as exc:
+        raise GenAlgXmlError(f"malformed GenAlgXML: {exc}") from exc
+    if root.tag != ROOT_TAG:
+        raise GenAlgXmlError(
+            f"expected <{ROOT_TAG}> root, got <{root.tag}>"
+        )
+    return [element_to_value(child) for child in root]
+
+
+def dump_file(values: Iterable[Any], path: str) -> None:
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(dumps(values))
+
+
+def load_file(path: str) -> list[Any]:
+    with open(path, encoding="utf-8") as handle:
+        return loads(handle.read())

@@ -1,0 +1,93 @@
+"""The graphical-output description language of section 6.4 (text realized).
+
+"To enable high flexibility of the graphical output, the idea is to
+devise a graphical output description language whose commands can be
+combined with expressions of the biological query language."
+
+BiQL's ``AS <format>`` suffix selects a renderer over the result set:
+
+- ``AS TABLE`` — fixed-width table (the default);
+- ``AS FASTA`` — sequence-bearing results as FASTA text;
+- ``AS HISTOGRAM OF <field>`` — a text histogram of one numeric column.
+"""
+
+from __future__ import annotations
+
+from repro.db import NULL, ResultSet
+from repro.errors import BiqlError
+
+
+def render_table(result: ResultSet, max_rows: int = 50) -> str:
+    """The default tabular rendering."""
+    if not result.columns:
+        return "(no columns)"
+    return result.pretty(max_rows=max_rows)
+
+
+def _pick_column(result: ResultSet, wanted: str | None,
+                 candidates: tuple[str, ...]) -> str:
+    if wanted is not None:
+        if wanted not in result.columns:
+            raise BiqlError(f"result has no column {wanted!r}")
+        return wanted
+    for name in candidates:
+        if name in result.columns:
+            return name
+    raise BiqlError(
+        f"cannot find one of {candidates} in columns {result.columns}"
+    )
+
+
+def render_fasta(result: ResultSet, sequence_column: str | None = None,
+                 id_column: str | None = None) -> str:
+    """Sequence-bearing results as FASTA.
+
+    The sequence column may hold GDT sequence values or plain text; the
+    id column defaults to ``accession``/``id``/``name``, whichever exists.
+    """
+    seq_col = _pick_column(result, sequence_column,
+                           ("sequence", "dna", "residues"))
+    ident_col = _pick_column(result, id_column,
+                             ("accession", "id", "name", "label"))
+    seq_at = result.columns.index(seq_col)
+    ident_at = result.columns.index(ident_col)
+
+    blocks = []
+    for row in result:
+        sequence = row[seq_at]
+        if sequence is NULL:
+            continue
+        text = str(sequence)
+        body = "\n".join(text[i:i + 70] for i in range(0, len(text), 70))
+        blocks.append(f">{row[ident_at]}\n{body}\n")
+    return "".join(blocks)
+
+
+def render_histogram(result: ResultSet, column: str,
+                     bins: int = 10, width: int = 40) -> str:
+    """A text histogram of one numeric output column."""
+    if column not in result.columns:
+        raise BiqlError(f"result has no column {column!r}")
+    position = result.columns.index(column)
+    values = [row[position] for row in result
+              if isinstance(row[position], (int, float))
+              and not isinstance(row[position], bool)]
+    if not values:
+        return "(no numeric data)"
+    low, high = min(values), max(values)
+    if low == high:
+        return f"{low}: {'#' * min(width, len(values))} ({len(values)})"
+    span = (high - low) / bins
+    counts = [0] * bins
+    for value in values:
+        index = min(int((value - low) / span), bins - 1)
+        counts[index] += 1
+    peak = max(counts)
+    lines = []
+    for index, count in enumerate(counts):
+        left = low + index * span
+        right = left + span
+        bar = "#" * max(1 if count else 0,
+                        round(count / peak * width))
+        lines.append(f"{left:>10.2f} - {right:>10.2f} | {bar} ({count})")
+    return "\n".join(lines)

@@ -1,0 +1,15 @@
+"""Query-driven integration baseline (the architecture of Figure 1)."""
+
+from repro.mediator.mediator import (
+    LiveSourceWrapper,
+    MediatedGene,
+    MediationCost,
+    Mediator,
+)
+
+__all__ = [
+    "Mediator",
+    "MediatedGene",
+    "MediationCost",
+    "LiveSourceWrapper",
+]

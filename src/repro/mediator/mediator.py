@@ -1,0 +1,216 @@
+"""The query-driven integration baseline (Figure 1).
+
+"Middleware systems, in which the bulk of the query and result
+processing takes place in a different location from where the data is
+stored" — wrappers extract data from the sources *at query time*, ship
+it to the integration system, and the mediator processes it there.
+
+This is the architecture the paper argues against for close-control
+workloads, implemented honestly so the Figure 1 benchmark can measure
+the trade-off it embodies:
+
+- **freshness**: every query sees the current source state (staleness 0);
+- **cost**: every query pays wrapper extraction + shipping + middleware
+  processing, multiplied by the number of sources;
+- **no reconciliation**: conflicting source answers are returned side by
+  side (Table 1, row C8, for the query-driven systems).
+
+Per-request latency is modelled virtually (a counter, not a sleep), so
+benchmarks can report both measured compute time and modelled network
+round-trips.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, Sequence
+
+from repro.core.ops import contains as motif_contains
+from repro.errors import MediatorError
+from repro.etl.wrappers import ParsedRecord, Wrapper, wrapper_for
+from repro.sources.base import Repository
+
+
+@dataclass
+class MediationCost:
+    """Work accounting across one mediator's lifetime."""
+
+    source_requests: int = 0
+    bytes_shipped: int = 0
+    records_wrapped: int = 0
+    queries_answered: int = 0
+
+    def reset(self) -> "MediationCost":
+        snapshot = MediationCost(**vars(self))
+        self.source_requests = 0
+        self.bytes_shipped = 0
+        self.records_wrapped = 0
+        self.queries_answered = 0
+        return snapshot
+
+
+class LiveSourceWrapper:
+    """Query-time access to one repository through its native interface.
+
+    Queryable sources are asked record by record; non-queryable sources
+    can only ship their full dump per request — exactly the asymmetry
+    that makes query-driven integration expensive over flat-file
+    archives.
+    """
+
+    def __init__(self, repository: Repository, cost: MediationCost) -> None:
+        self.repository = repository
+        self.wrapper: Wrapper = wrapper_for(repository.name)
+        self._cost = cost
+
+    def fetch_all(self) -> list[ParsedRecord]:
+        """Extract every record, at query time."""
+        if self.repository.capabilities.queryable:
+            records = []
+            for accession in self.repository.query_accessions():
+                self._cost.source_requests += 1
+                text = self.repository.query(accession)
+                if text is None:
+                    continue
+                self._cost.bytes_shipped += len(text)
+                records.append(self.wrapper.parse_record(text))
+            self._cost.records_wrapped += len(records)
+            return records
+        self._cost.source_requests += 1
+        dump = self.repository.snapshot()
+        self._cost.bytes_shipped += len(dump)
+        records = self.wrapper.parse_snapshot(dump)
+        self._cost.records_wrapped += len(records)
+        return records
+
+    def fetch(self, accession: str) -> ParsedRecord | None:
+        """Extract one record (cheap only for queryable sources)."""
+        if self.repository.capabilities.queryable:
+            self._cost.source_requests += 1
+            text = self.repository.query(accession)
+            if text is None:
+                return None
+            self._cost.bytes_shipped += len(text)
+            self._cost.records_wrapped += 1
+            return self.wrapper.parse_record(text)
+        for record in self.fetch_all():
+            if record.accession == accession:
+                return record
+        return None
+
+
+@dataclass
+class MediatedGene:
+    """A gene answer in the mediator's global schema (one per source!).
+
+    The mediator does not reconcile: the same accession seen in three
+    sources yields three rows, possibly disagreeing.
+    """
+
+    accession: str
+    source: str
+    name: str | None
+    organism: str | None
+    description: str | None
+    sequence_text: str
+    length: int = field(init=False)
+
+    def __post_init__(self) -> None:
+        self.length = len(self.sequence_text)
+
+
+class Mediator:
+    """The integration system of Figure 1: decompose, ship, fuse."""
+
+    def __init__(self, sources: Sequence[Repository]) -> None:
+        if not sources:
+            raise MediatorError("a mediator needs at least one source")
+        self.cost = MediationCost()
+        self.wrappers = [LiveSourceWrapper(repository, self.cost)
+                         for repository in sources]
+
+    @property
+    def source_names(self) -> tuple[str, ...]:
+        return tuple(w.repository.name for w in self.wrappers)
+
+    # -- the global-schema query API ----------------------------------------------
+
+    def _gene_rows(self) -> Iterable[MediatedGene]:
+        for wrapper in self.wrappers:
+            for record in wrapper.fetch_all():
+                if record.dna is None:
+                    continue  # protein databanks don't serve the gene view
+                yield MediatedGene(
+                    accession=record.accession,
+                    source=wrapper.repository.name,
+                    name=record.name,
+                    organism=record.organism,
+                    description=record.description,
+                    sequence_text=str(record.dna),
+                )
+
+    def find_genes(
+        self,
+        organism: str | None = None,
+        name_prefix: str | None = None,
+        contains_motif: str | None = None,
+        min_length: int | None = None,
+        predicate: Callable[[MediatedGene], bool] | None = None,
+    ) -> list[MediatedGene]:
+        """Answer a selection over the virtual ``genes`` view.
+
+        All filtering happens in the middleware, after extraction — the
+        defining property of the architecture.
+        """
+        self.cost.queries_answered += 1
+        answers: list[MediatedGene] = []
+        for row in self._gene_rows():
+            if organism is not None and row.organism != organism:
+                continue
+            if name_prefix is not None and not (
+                row.name or ""
+            ).startswith(name_prefix):
+                continue
+            if min_length is not None and row.length < min_length:
+                continue
+            if contains_motif is not None:
+                from repro.core.types import DnaSequence
+
+                if not motif_contains(DnaSequence(row.sequence_text),
+                                      contains_motif):
+                    continue
+            if predicate is not None and not predicate(row):
+                continue
+            answers.append(row)
+        return answers
+
+    def gene(self, accession: str) -> list[MediatedGene]:
+        """All source views of one accession (unreconciled, C8)."""
+        self.cost.queries_answered += 1
+        answers = []
+        for wrapper in self.wrappers:
+            record = wrapper.fetch(accession)
+            if record is not None and record.dna is not None:
+                answers.append(MediatedGene(
+                    accession=record.accession,
+                    source=wrapper.repository.name,
+                    name=record.name,
+                    organism=record.organism,
+                    description=record.description,
+                    sequence_text=str(record.dna),
+                ))
+        return answers
+
+    def count_genes(self, **filters) -> int:
+        return len(self.find_genes(**filters))
+
+    def disagreements(self, accession: str) -> dict[str, set[str]]:
+        """Field → distinct values across sources (what C8 looks like)."""
+        views = self.gene(accession)
+        result: dict[str, set[str]] = {}
+        for field_name in ("name", "organism", "description",
+                           "sequence_text"):
+            values = {getattr(view, field_name) or "" for view in views}
+            if len(values) > 1:
+                result[field_name] = values
+        return result

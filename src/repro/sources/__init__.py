@@ -1,0 +1,37 @@
+"""Simulated external genomic repositories and their shared ground truth."""
+
+from repro.sources.acedb import AceRepository
+from repro.sources.base import (
+    DELETE,
+    INSERT,
+    UPDATE,
+    Capabilities,
+    LogEntry,
+    Repository,
+    SourceRecord,
+)
+from repro.sources.embl import EmblRepository
+from repro.sources.genbank import GenBankRepository
+from repro.sources.relational import RelationalRepository
+from repro.sources.swissprot import SwissProtRepository
+from repro.sources.trembl import TrEmblRepository
+from repro.sources.universe import GeneSpec, Universe, corrupt_sequence
+
+__all__ = [
+    "Universe",
+    "GeneSpec",
+    "corrupt_sequence",
+    "Repository",
+    "SourceRecord",
+    "LogEntry",
+    "Capabilities",
+    "INSERT",
+    "UPDATE",
+    "DELETE",
+    "GenBankRepository",
+    "EmblRepository",
+    "SwissProtRepository",
+    "TrEmblRepository",
+    "AceRepository",
+    "RelationalRepository",
+]

@@ -1,0 +1,38 @@
+"""An AceDB-style hierarchical repository (non-queryable, tree dumps).
+
+AceDB is the paper's example of a *hierarchical* source — nested
+tag-value objects rather than flat records — whose snapshots are compared
+with tree-diff algorithms ("the acediff utility will compute minimal
+changes between different snapshots").
+"""
+
+from __future__ import annotations
+
+from repro.sources.base import Capabilities, Repository, SourceRecord
+
+
+class AceRepository(Repository):
+    """The AceDB archetype: hierarchical object dumps."""
+
+    representation = "hierarchical"
+
+    def __init__(self, universe, coverage: float = 0.4, seed: int = 4,
+                 error_rate: float = 0.3,
+                 capabilities: Capabilities | None = None) -> None:
+        super().__init__(
+            "AceDB", universe, coverage, seed, error_rate,
+            capabilities or Capabilities(),  # snapshots only
+        )
+
+    def render_record(self, record: SourceRecord) -> str:
+        lines = [
+            f'Gene : "{record.name}"',
+            f'Accession\t"{record.accession}"',
+            f"Version\t{record.version}",
+            f'Organism\t"{record.organism}"',
+            f'Description\t"{record.description}"',
+            f'DNA\t"{record.sequence_text}"',
+        ]
+        for start, end in record.exons:
+            lines.append(f"Exon\t{start + 1}\t{end}")
+        return "\n".join(lines) + "\n\n"

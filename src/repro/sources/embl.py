@@ -1,0 +1,58 @@
+"""An EMBL-style flat-file repository (queryable)."""
+
+from __future__ import annotations
+
+from repro.sources.base import Capabilities, Repository, SourceRecord
+
+
+def _sequence_block(sequence: str) -> str:
+    """EMBL SQ formatting: 60 bases per line, position counter at the end."""
+    lines = []
+    for offset in range(0, len(sequence), 60):
+        chunk = sequence[offset:offset + 60].lower()
+        groups = " ".join(chunk[i:i + 10] for i in range(0, len(chunk), 10))
+        lines.append(f"     {groups:<66}{min(offset + 60, len(sequence)):>9}")
+    return "\n".join(lines)
+
+
+def _location(exons: tuple[tuple[int, int], ...], length: int) -> str:
+    if not exons:
+        return f"1..{length}"
+    if len(exons) == 1:
+        start, end = exons[0]
+        return f"{start + 1}..{end}"
+    return "join(" + ",".join(
+        f"{start + 1}..{end}" for start, end in exons
+    ) + ")"
+
+
+class EmblRepository(Repository):
+    """The EMBL archetype: flat files with a record-level query API."""
+
+    representation = "flat"
+
+    def __init__(self, universe, coverage: float = 0.6, seed: int = 2,
+                 error_rate: float = 0.3,
+                 capabilities: Capabilities | None = None) -> None:
+        super().__init__(
+            "EMBL", universe, coverage, seed, error_rate,
+            capabilities or Capabilities(queryable=True),
+        )
+
+    def render_record(self, record: SourceRecord) -> str:
+        length = len(record.sequence_text)
+        lines = [
+            f"ID   {record.accession}; SV {record.version}; linear; "
+            f"genomic DNA; STD; SYN; {length} BP.",
+            f"AC   {record.accession};",
+            f"DE   {record.description}.",
+            f"OS   {record.organism}",
+            f"FT   gene            1..{length}",
+            f'FT                   /gene="{record.name}"',
+            f"FT   CDS             {_location(record.exons, length)}",
+            f'FT                   /gene="{record.name}"',
+            f"SQ   Sequence {length} BP;",
+            _sequence_block(record.sequence_text),
+            "//",
+        ]
+        return "\n".join(lines) + "\n"

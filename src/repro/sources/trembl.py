@@ -1,0 +1,71 @@
+"""A TrEMBL-style repository: machine-translated protein entries.
+
+The paper's introduction: "SwissProt and PIR form the basis of annotated
+protein sequence repositories together with **TrEMBL and GenPept, which
+contain computer-translated sequence entries from EMBL and GenBank**."
+
+Unlike curated SwissProt, a TrEMBL record's protein is *derived*: the
+(possibly noisy) nucleotide sequence is expressed in silico, so
+nucleotide-level corruption propagates into frameshifted, truncated or
+mis-called proteins — exactly the quality gradient the integrator's
+reliability weights encode.
+"""
+
+from __future__ import annotations
+
+from repro.core.ops.basic import decode
+from repro.core.ops.central_dogma import express
+from repro.core.types import Gene, Interval
+from repro.errors import ReproError
+from repro.sources.base import Capabilities, Repository
+from repro.sources.swissprot import SwissProtRepository
+from repro.sources.universe import GeneSpec, corrupt_sequence
+
+
+class TrEmblRepository(SwissProtRepository):
+    """Computer-translated proteins from noisy nucleotide entries.
+
+    ``error_rate`` here is the *nucleotide-level* corruption probability;
+    the stored protein is whatever in-silico expression of the corrupted
+    gene yields (possibly truncated at a spurious stop, or a half-length
+    stub when the reading frame is destroyed).
+    """
+
+    def __init__(self, universe, coverage: float = 0.6, seed: int = 6,
+                 error_rate: float = 0.4,
+                 capabilities: Capabilities | None = None) -> None:
+        # Must precede Repository.__init__, which builds the initial
+        # records through our _sequence_of override below.
+        self.nucleotide_error_rate = error_rate
+        # Reuse SwissProt's record format but re-identify as TrEMBL.
+        # Record-level error_rate stays 0: all noise enters through the
+        # nucleotide-translation path.
+        Repository.__init__(
+            self, "TrEMBL", universe, coverage, seed, 0.0,
+            capabilities or Capabilities(queryable=True),
+        )
+
+    def _sequence_of(self, spec: GeneSpec) -> str:
+        """In-silico translation of (possibly corrupted) nucleotide data."""
+        dna_text = spec.sequence_text
+        if (self.nucleotide_error_rate
+                and self._rng.random() < self.nucleotide_error_rate):
+            dna_text = corrupt_sequence(dna_text, self._rng, mutations=3)
+        try:
+            gene = Gene(
+                name=spec.name,
+                sequence=decode(dna_text),
+                exons=tuple(
+                    exon for exon in spec.gene.exons
+                    if exon.end <= len(dna_text)
+                ) or (Interval(0, len(dna_text)),),
+                organism=spec.organism,
+                accession=spec.accession,
+            )
+            return str(express(gene).sequence)
+        except ReproError:
+            # The corruption destroyed the reading frame: the automated
+            # pipeline emits a stub call (a real TrEMBL failure mode).
+            return str(spec.protein.sequence)[: max(
+                1, len(spec.protein.sequence) // 2
+            )]

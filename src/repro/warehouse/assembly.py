@@ -1,0 +1,110 @@
+"""Assembling chromosome/genome GDT values from warehouse contents.
+
+The algebra's top sorts — ``chromosome`` and ``genome`` — become usable
+once the warehouse can materialize them: :func:`build_genome` lays an
+organism's reconciled genes onto synthetic chromosome scaffolds (with
+spacers between genes and a gene feature annotating each placement), so
+terms like ``gene_of(chromosome_of(G, 'chr1'), 'lacZ')`` evaluate over
+integrated data.
+
+The scaffold layout is a *substitution* in the DESIGN.md sense: real
+chromosomal coordinates are not in our synthetic sources, so placement
+is deterministic (alphabetical by accession) rather than biological —
+which preserves everything the algebra operations actually consume.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.core.types import (
+    AnnotationSet,
+    Chromosome,
+    DnaSequence,
+    Feature,
+    Gene,
+    Genome,
+    Interval,
+    Location,
+)
+from repro.errors import IntegrationError
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.warehouse.warehouse import UnifyingDatabase
+
+#: Neutral spacer inserted between placed genes.
+SPACER = "N" * 20
+
+
+def build_chromosome(name: str, genes: list[Gene]) -> Chromosome:
+    """Concatenate genes onto one scaffold with spacers and features."""
+    pieces: list[str] = []
+    placed: list[Gene] = []
+    annotations = AnnotationSet()
+    position = 0
+    for gene in genes:
+        if pieces:
+            pieces.append(SPACER)
+            position += len(SPACER)
+        text = str(gene.sequence)
+        pieces.append(text)
+        annotations.add(Feature(
+            "gene",
+            Location.simple(position, position + len(text)),
+            {"gene": gene.name, "accession": gene.accession or ""},
+        ))
+        # Re-anchor the gene's exons relative to itself (unchanged) and
+        # keep the gene value intact for gene-level operations.
+        placed.append(gene)
+        position += len(text)
+    return Chromosome(
+        name=name,
+        sequence=DnaSequence("".join(pieces)),
+        genes=tuple(placed),
+        annotations=annotations,
+    )
+
+
+def build_genome(
+    warehouse: "UnifyingDatabase",
+    organism: str,
+    genes_per_chromosome: int = 10,
+) -> Genome:
+    """Materialize an organism's reconciled genes as a :class:`Genome`.
+
+    Genes are ordered by accession and packed ``genes_per_chromosome``
+    to a scaffold, named ``chr1``, ``chr2``, ….  Raises
+    :class:`IntegrationError` when the warehouse has no genes for the
+    organism.
+    """
+    if genes_per_chromosome < 1:
+        raise IntegrationError("genes_per_chromosome must be positive")
+    rows = warehouse.query(
+        "SELECT gene FROM public_genes WHERE organism = ? "
+        "ORDER BY accession",
+        [organism],
+    )
+    genes = [row[0] for row in rows]
+    if not genes:
+        raise IntegrationError(
+            f"the warehouse holds no genes for organism {organism!r}"
+        )
+    chromosomes = []
+    for index in range(0, len(genes), genes_per_chromosome):
+        chunk = genes[index:index + genes_per_chromosome]
+        chromosomes.append(
+            build_chromosome(f"chr{index // genes_per_chromosome + 1}",
+                             chunk)
+        )
+    return Genome(organism=organism, chromosomes=tuple(chromosomes))
+
+
+def gene_density(chromosome: Chromosome) -> float:
+    """Fraction of the scaffold covered by gene features."""
+    if len(chromosome) == 0:
+        return 0.0
+    covered = sum(
+        len(feature.location)
+        for feature in chromosome.annotations.of_kind("gene")
+    )
+    return covered / len(chromosome)

@@ -1,0 +1,169 @@
+"""Semantic-heterogeneity matching (section 5.2, "Data integration").
+
+"How do we automatically detect relationships among similar entities,
+which are represented differently in terms of structure or terminology?"
+
+The :class:`SchemaMatcher` aligns field names from a new source with the
+warehouse's integrated schema using three signals, combined into one
+score:
+
+1. **ontology synonymy** — both names resolve to the same concept in the
+   genomics ontology (``pre-mRNA`` ≡ ``primary transcript``);
+2. **name similarity** — normalized edit distance over canonicalized
+   names (``Organism_Name`` ~ ``organism``);
+3. **value overlap** — Jaccard overlap of sampled instance values
+   (two columns both full of ``Escherichia coli`` probably align).
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+from repro.core.ontology import Ontology, builtin_genomics_ontology
+
+
+def _canonical(name: str) -> str:
+    """Lower-case, squeeze separators: ``Organism_Name`` → ``organism name``."""
+    return re.sub(r"[\s_\-./]+", " ", name.strip().lower())
+
+
+def levenshtein(first: str, second: str) -> int:
+    """Classic edit distance (insert/delete/substitute, unit costs)."""
+    if not first:
+        return len(second)
+    if not second:
+        return len(first)
+    previous = list(range(len(second) + 1))
+    for i, first_ch in enumerate(first, start=1):
+        current = [i]
+        for j, second_ch in enumerate(second, start=1):
+            cost = 0 if first_ch == second_ch else 1
+            current.append(min(
+                previous[j] + 1,        # delete
+                current[j - 1] + 1,     # insert
+                previous[j - 1] + cost,  # substitute
+            ))
+        previous = current
+    return previous[-1]
+
+
+def name_similarity(first: str, second: str) -> float:
+    """1 − normalized edit distance over canonical forms, in [0, 1]."""
+    a, b = _canonical(first), _canonical(second)
+    if not a and not b:
+        return 1.0
+    longest = max(len(a), len(b))
+    return 1.0 - levenshtein(a, b) / longest
+
+
+def value_overlap(first: Sequence[object], second: Sequence[object]) -> float:
+    """Jaccard overlap of the two columns' sampled value sets."""
+    set_a = {str(value).strip().lower() for value in first if value is not None}
+    set_b = {str(value).strip().lower() for value in second if value is not None}
+    if not set_a or not set_b:
+        return 0.0
+    return len(set_a & set_b) / len(set_a | set_b)
+
+
+@dataclass(frozen=True)
+class FieldMatch:
+    """One proposed correspondence with its combined score and evidence."""
+
+    source_field: str
+    target_field: str
+    score: float
+    ontology_hit: bool
+    name_score: float
+    value_score: float
+
+    def __str__(self) -> str:
+        evidence = []
+        if self.ontology_hit:
+            evidence.append("ontology")
+        evidence.append(f"name={self.name_score:.2f}")
+        evidence.append(f"values={self.value_score:.2f}")
+        return (f"{self.source_field} -> {self.target_field} "
+                f"({self.score:.2f}; {', '.join(evidence)})")
+
+
+class SchemaMatcher:
+    """Aligns source fields with warehouse fields."""
+
+    def __init__(
+        self,
+        ontology: Ontology | None = None,
+        ontology_weight: float = 0.5,
+        name_weight: float = 0.3,
+        value_weight: float = 0.2,
+        threshold: float = 0.45,
+    ) -> None:
+        self.ontology = ontology or builtin_genomics_ontology()
+        self.ontology_weight = ontology_weight
+        self.name_weight = name_weight
+        self.value_weight = value_weight
+        self.threshold = threshold
+
+    def _resolve_concept(self, name: str):
+        term = self.ontology.find(name)
+        if term is None:
+            term = self.ontology.find(_canonical(name))
+        if term is None:
+            # Separator-insensitive retry: "sequence_dna" vs "sequence dna".
+            squeezed = _canonical(name).replace(" ", "_")
+            term = self.ontology.find(squeezed)
+        return term
+
+    def _ontology_equivalent(self, first: str, second: str) -> bool:
+        term_a = self._resolve_concept(first)
+        term_b = self._resolve_concept(second)
+        return (term_a is not None and term_b is not None
+                and term_a.term_id == term_b.term_id)
+
+    def score(
+        self,
+        source_field: str,
+        target_field: str,
+        source_values: Sequence[object] = (),
+        target_values: Sequence[object] = (),
+    ) -> FieldMatch:
+        """Score one candidate correspondence."""
+        ontology_hit = self._ontology_equivalent(source_field, target_field)
+        name_score = name_similarity(source_field, target_field)
+        value_score = value_overlap(source_values, target_values)
+        combined = (self.ontology_weight * (1.0 if ontology_hit else 0.0)
+                    + self.name_weight * name_score
+                    + self.value_weight * value_score)
+        return FieldMatch(source_field, target_field, combined,
+                          ontology_hit, name_score, value_score)
+
+    def match(
+        self,
+        source_fields: Mapping[str, Sequence[object]],
+        target_fields: Mapping[str, Sequence[object]],
+    ) -> list[FieldMatch]:
+        """Best above-threshold target for each source field (greedy 1:1).
+
+        Pairs are scored exhaustively, then assigned best-score-first so
+        each source and each target field is used at most once.
+        """
+        candidates = [
+            self.score(source, target, source_values, target_values)
+            for source, source_values in source_fields.items()
+            for target, target_values in target_fields.items()
+        ]
+        candidates.sort(key=lambda match: -match.score)
+        used_sources: set[str] = set()
+        used_targets: set[str] = set()
+        chosen: list[FieldMatch] = []
+        for match in candidates:
+            if match.score < self.threshold:
+                break
+            if (match.source_field in used_sources
+                    or match.target_field in used_targets):
+                continue
+            chosen.append(match)
+            used_sources.add(match.source_field)
+            used_targets.add(match.target_field)
+        return chosen

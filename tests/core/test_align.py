@@ -1,0 +1,137 @@
+"""Tests for pairwise alignment."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.ops.align import (
+    BLOSUM62,
+    blosum62_scoring,
+    global_align,
+    global_align_affine,
+    local_align,
+    simple_scoring,
+)
+from repro.core.types import DnaSequence
+
+dna_text = st.text(alphabet="ACGT", min_size=1, max_size=40)
+
+
+class TestBlosum62:
+    def test_symmetric(self):
+        for a in "ARNDCQEGHILKMFPSTWYV":
+            for b in "ARNDCQEGHILKMFPSTWYV":
+                assert BLOSUM62[(a, b)] == BLOSUM62[(b, a)]
+
+    def test_known_values(self):
+        assert BLOSUM62[("W", "W")] == 11
+        assert BLOSUM62[("A", "A")] == 4
+        assert BLOSUM62[("W", "A")] == -3
+
+    def test_diagonal_positive(self):
+        for residue in "ARNDCQEGHILKMFPSTWYV":
+            assert BLOSUM62[(residue, residue)] > 0
+
+
+class TestGlobalAlign:
+    def test_identical_sequences(self):
+        alignment = global_align("ACGT", "ACGT")
+        assert alignment.score == 8  # 4 matches * 2
+        assert alignment.identity == 1.0
+        assert alignment.gaps == 0
+
+    def test_single_gap(self):
+        alignment = global_align("ACGT", "ACT")
+        assert alignment.gaps == 1
+        assert alignment.aligned_second.count("-") == 1
+
+    def test_accepts_packed_sequences(self):
+        alignment = global_align(DnaSequence("ACGT"), DnaSequence("ACGT"))
+        assert alignment.identity == 1.0
+
+    def test_empty_vs_text(self):
+        alignment = global_align("", "ACG")
+        assert alignment.aligned_first == "---"
+        assert alignment.score == -6
+
+    def test_alignment_length_consistent(self):
+        alignment = global_align("GATTACA", "GCATGCT")
+        assert len(alignment.aligned_first) == len(alignment.aligned_second)
+        assert alignment.length >= 7
+
+    def test_degapped_strings_are_inputs(self):
+        alignment = global_align("GATTACA", "GCATGCT")
+        assert alignment.aligned_first.replace("-", "") == "GATTACA"
+        assert alignment.aligned_second.replace("-", "") == "GCATGCT"
+
+    def test_str_rendering(self):
+        text = str(global_align("ACGT", "ACGT"))
+        assert "|" in text
+        assert text.splitlines()[0] == "ACGT"
+
+    @given(dna_text)
+    def test_self_alignment_is_perfect(self, text):
+        alignment = global_align(text, text)
+        assert alignment.identity == 1.0
+        assert alignment.score == 2 * len(text)
+
+    @given(dna_text, dna_text)
+    def test_score_is_symmetric(self, a, b):
+        assert global_align(a, b).score == global_align(b, a).score
+
+    @given(dna_text, dna_text)
+    def test_degapping_recovers_inputs(self, a, b):
+        alignment = global_align(a, b)
+        assert alignment.aligned_first.replace("-", "") == a
+        assert alignment.aligned_second.replace("-", "") == b
+
+
+class TestLocalAlign:
+    def test_finds_embedded_match(self):
+        alignment = local_align("TTTACGTTTT", "GGACGTGG")
+        assert "ACGT" in alignment.aligned_first
+
+    def test_score_never_negative(self):
+        assert local_align("AAAA", "TTTT").score >= 0
+
+    def test_spans_reported(self):
+        alignment = local_align("TTTACGTTTT", "ACGT")
+        first_lo, first_hi = alignment.first_span
+        assert "TTTACGTTTT"[first_lo:first_hi].startswith("ACGT")
+
+    @given(dna_text, dna_text)
+    def test_local_at_least_longest_common_substring(self, a, b):
+        # Any shared 2-mer guarantees local score >= 4 with match=2.
+        shared = {a[i:i + 2] for i in range(len(a) - 1)} & \
+                 {b[i:i + 2] for i in range(len(b) - 1)}
+        if shared:
+            assert local_align(a, b).score >= 4
+
+
+class TestAffine:
+    def test_prefers_one_long_gap(self):
+        # With affine costs, one 2-gap beats two 1-gaps.
+        scheme = simple_scoring(match=2, mismatch=-3, gap=1)
+        scheme.gap_open = 4
+        alignment = global_align_affine("AAAATTTT", "AAAA", scheme)
+        # The four T's should form one contiguous gap block.
+        gap_block = alignment.aligned_second.strip("A")
+        assert gap_block == "----"
+
+    def test_identical_no_gaps(self):
+        alignment = global_align_affine("MKLV", "MKLV", blosum62_scoring())
+        assert alignment.gaps == 0
+        assert alignment.identity == 1.0
+
+    def test_blosum_score_for_identity(self):
+        alignment = global_align_affine("WW", "WW", blosum62_scoring())
+        assert alignment.score == 22
+
+    def test_gap_penalties_validated(self):
+        with pytest.raises(Exception):
+            simple_scoring(gap=-1)
+
+    @given(dna_text, dna_text)
+    def test_affine_degapping_recovers_inputs(self, a, b):
+        alignment = global_align_affine(a, b, simple_scoring())
+        assert alignment.aligned_first.replace("-", "") == a
+        assert alignment.aligned_second.replace("-", "") == b

@@ -1,0 +1,125 @@
+"""Alignment correctness against a brute-force oracle.
+
+The dynamic programs in :mod:`repro.core.ops.align` are checked against
+exhaustive recursive scorers on small inputs: every possible alignment is
+enumerated implicitly, so the optimal score is ground truth.
+"""
+
+from functools import lru_cache
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.ops.align import (
+    global_align,
+    global_align_affine,
+    local_align,
+    simple_scoring,
+)
+
+MATCH, MISMATCH, GAP = 2, -1, 2
+short_dna = st.text(alphabet="ACGT", max_size=7)
+
+
+def brute_global(a: str, b: str) -> int:
+    """Optimal Needleman–Wunsch score by exhaustive recursion."""
+
+    @lru_cache(maxsize=None)
+    def best(i: int, j: int) -> int:
+        if i == len(a):
+            return -GAP * (len(b) - j)
+        if j == len(b):
+            return -GAP * (len(a) - i)
+        substitution = MATCH if a[i] == b[j] else MISMATCH
+        return max(
+            best(i + 1, j + 1) + substitution,
+            best(i + 1, j) - GAP,
+            best(i, j + 1) - GAP,
+        )
+
+    return best(0, 0)
+
+
+def brute_local(a: str, b: str) -> int:
+    """Optimal Smith–Waterman score: best extension from any start."""
+
+    @lru_cache(maxsize=None)
+    def extend(i: int, j: int) -> int:
+        if i == len(a) or j == len(b):
+            return 0
+        substitution = MATCH if a[i] == b[j] else MISMATCH
+        return max(
+            0,
+            extend(i + 1, j + 1) + substitution,
+            extend(i + 1, j) - GAP,
+            extend(i, j + 1) - GAP,
+        )
+
+    return max(
+        (extend(i, j) for i in range(len(a) + 1)
+         for j in range(len(b) + 1)),
+        default=0,
+    )
+
+
+def brute_affine(a: str, b: str, open_cost: int, extend_cost: int) -> float:
+    """Optimal affine-gap global score (state = which gap is open)."""
+
+    @lru_cache(maxsize=None)
+    def best(i: int, j: int, state: str) -> float:
+        if i == len(a) and j == len(b):
+            return 0.0
+        options = []
+        if i < len(a) and j < len(b):
+            substitution = MATCH if a[i] == b[j] else MISMATCH
+            options.append(best(i + 1, j + 1, "m") + substitution)
+        if i < len(a):  # gap in b
+            cost = extend_cost if state == "b" else open_cost + extend_cost
+            options.append(best(i + 1, j, "b") - cost)
+        if j < len(b):  # gap in a
+            cost = extend_cost if state == "a" else open_cost + extend_cost
+            options.append(best(i, j + 1, "a") - cost)
+        return max(options)
+
+    return best(0, 0, "m")
+
+
+class TestAgainstOracle:
+    @settings(max_examples=120, deadline=None)
+    @given(short_dna, short_dna)
+    def test_global_score_is_optimal(self, a, b):
+        scheme = simple_scoring(MATCH, MISMATCH, GAP)
+        assert global_align(a, b, scheme).score == brute_global(a, b)
+
+    @settings(max_examples=120, deadline=None)
+    @given(short_dna, short_dna)
+    def test_local_score_is_optimal(self, a, b):
+        scheme = simple_scoring(MATCH, MISMATCH, GAP)
+        assert local_align(a, b, scheme).score == brute_local(a, b)
+
+    @settings(max_examples=80, deadline=None)
+    @given(short_dna, short_dna, st.integers(0, 4), st.integers(1, 3))
+    def test_affine_score_is_optimal(self, a, b, open_cost, extend_cost):
+        scheme = simple_scoring(MATCH, MISMATCH, extend_cost)
+        scheme.gap_open = open_cost
+        ours = global_align_affine(a, b, scheme).score
+        oracle = brute_affine(a, b, open_cost, extend_cost)
+        assert ours == pytest.approx(oracle)
+
+    @settings(max_examples=80, deadline=None)
+    @given(short_dna, short_dna)
+    def test_affine_with_zero_open_equals_linear(self, a, b):
+        linear = simple_scoring(MATCH, MISMATCH, GAP)
+        affine = simple_scoring(MATCH, MISMATCH, GAP)
+        affine.gap_open = 0
+        assert global_align_affine(a, b, affine).score \
+            == global_align(a, b, linear).score
+
+    @settings(max_examples=80, deadline=None)
+    @given(short_dna, short_dna)
+    def test_local_at_least_global_floor(self, a, b):
+        # Local alignments can always choose the empty alignment.
+        scheme = simple_scoring(MATCH, MISMATCH, GAP)
+        assert local_align(a, b, scheme).score >= 0
+        assert local_align(a, b, scheme).score \
+            >= global_align(a, b, scheme).score

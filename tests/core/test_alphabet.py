@@ -1,0 +1,151 @@
+"""Tests for IUPAC alphabets."""
+
+import pytest
+
+from repro.core.types.alphabet import (
+    DNA,
+    PROTEIN,
+    RNA,
+    STRICT_DNA,
+    Alphabet,
+    alphabet_by_name,
+)
+from repro.errors import AlphabetError
+
+
+class TestAlphabetBasics:
+    def test_dna_has_sixteen_symbols(self):
+        assert len(DNA) == 16
+
+    def test_rna_has_sixteen_symbols(self):
+        assert len(RNA) == 16
+
+    def test_protein_contains_all_standard_amino_acids(self):
+        for residue in "ACDEFGHIKLMNPQRSTVWY":
+            assert residue in PROTEIN
+
+    def test_protein_contains_stop_and_gap(self):
+        assert "*" in PROTEIN
+        assert "-" in PROTEIN
+
+    def test_membership(self):
+        assert "A" in DNA
+        assert "U" not in DNA
+        assert "U" in RNA
+        assert "T" not in RNA
+
+    def test_duplicate_symbols_rejected(self):
+        with pytest.raises(AlphabetError):
+            Alphabet("bad", "AAC")
+
+    def test_bits_per_symbol(self):
+        assert DNA.bits_per_symbol == 4
+        assert PROTEIN.bits_per_symbol == 5
+
+    def test_iteration_order_matches_codes(self):
+        for code, symbol in enumerate(DNA):
+            assert DNA.code(symbol) == code
+            assert DNA.symbol(code) == symbol
+
+    def test_lookup_by_name(self):
+        assert alphabet_by_name("dna") is DNA
+        assert alphabet_by_name("protein") is PROTEIN
+
+    def test_lookup_unknown_name(self):
+        with pytest.raises(AlphabetError):
+            alphabet_by_name("klingon")
+
+    def test_equality_and_hash(self):
+        assert DNA == DNA
+        assert DNA != RNA
+        assert hash(DNA) != hash(RNA)
+
+
+class TestCoding:
+    def test_code_roundtrip(self):
+        for symbol in DNA:
+            assert DNA.symbol(DNA.code(symbol)) == symbol
+
+    def test_code_unknown_symbol(self):
+        with pytest.raises(AlphabetError):
+            DNA.code("U")
+
+    def test_symbol_out_of_range(self):
+        with pytest.raises(AlphabetError):
+            DNA.symbol(99)
+
+    def test_encode_decode_roundtrip(self):
+        text = "ACGTNRYSWK"
+        assert DNA.decode(DNA.encode(text)) == text
+
+    def test_encode_rejects_bad_symbol(self):
+        with pytest.raises(AlphabetError):
+            DNA.encode("ACGU")
+
+    def test_encode_empty(self):
+        assert DNA.encode("") == b""
+        assert DNA.decode(b"") == ""
+
+
+class TestAmbiguity:
+    def test_n_expands_to_all_bases(self):
+        assert set(DNA.expand("N")) == {"A", "C", "G", "T"}
+
+    def test_r_is_purines(self):
+        assert set(DNA.expand("R")) == {"A", "G"}
+
+    def test_y_is_pyrimidines(self):
+        assert set(DNA.expand("Y")) == {"C", "T"}
+
+    def test_rna_y_uses_uracil(self):
+        assert set(RNA.expand("Y")) == {"C", "U"}
+
+    def test_concrete_symbol_expands_to_itself(self):
+        assert DNA.expand("A") == "A"
+
+    def test_is_ambiguous(self):
+        assert DNA.is_ambiguous("N")
+        assert not DNA.is_ambiguous("A")
+
+    def test_matches_ambiguous_vs_concrete(self):
+        assert DNA.matches("N", "A")
+        assert DNA.matches("R", "G")
+        assert not DNA.matches("R", "C")
+
+    def test_matches_disjoint_sets(self):
+        assert not DNA.matches("R", "Y")
+
+    def test_protein_b_expands(self):
+        assert set(PROTEIN.expand("B")) == {"D", "N"}
+
+    def test_protein_x_expands_to_twenty(self):
+        assert len(PROTEIN.expand("X")) == 20
+
+
+class TestComplement:
+    def test_watson_crick_pairs(self):
+        assert DNA.complement("A") == "T"
+        assert DNA.complement("T") == "A"
+        assert DNA.complement("G") == "C"
+        assert DNA.complement("C") == "G"
+
+    def test_rna_pairs(self):
+        assert RNA.complement("A") == "U"
+        assert RNA.complement("U") == "A"
+
+    def test_ambiguity_complements(self):
+        assert DNA.complement("R") == "Y"
+        assert DNA.complement("N") == "N"
+        assert DNA.complement("W") == "W"
+
+    def test_complement_is_involution(self):
+        for symbol in DNA:
+            assert DNA.complement(DNA.complement(symbol)) == symbol
+
+    def test_protein_has_no_complement(self):
+        assert not PROTEIN.has_complement
+        with pytest.raises(AlphabetError):
+            PROTEIN.complement("A")
+
+    def test_strict_dna_complement(self):
+        assert STRICT_DNA.complement("A") == "T"

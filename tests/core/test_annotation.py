@@ -1,0 +1,153 @@
+"""Tests for intervals, locations, features and annotation sets."""
+
+import pytest
+
+from repro.core.types.annotation import (
+    FORWARD,
+    REVERSE,
+    AnnotationSet,
+    Feature,
+    Interval,
+    Location,
+)
+from repro.errors import FeatureError
+
+
+class TestInterval:
+    def test_length(self):
+        assert len(Interval(2, 7)) == 5
+
+    def test_empty_interval_allowed(self):
+        assert len(Interval(3, 3)) == 0
+
+    def test_invalid_rejected(self):
+        with pytest.raises(FeatureError):
+            Interval(5, 2)
+        with pytest.raises(FeatureError):
+            Interval(-1, 2)
+
+    def test_contains(self):
+        interval = Interval(2, 5)
+        assert 2 in interval
+        assert 4 in interval
+        assert 5 not in interval
+
+    def test_overlaps(self):
+        assert Interval(0, 5).overlaps(Interval(4, 8))
+        assert not Interval(0, 5).overlaps(Interval(5, 8))
+
+    def test_shifted(self):
+        assert Interval(2, 5).shifted(3) == Interval(5, 8)
+
+    def test_intersection(self):
+        assert Interval(0, 5).intersection(Interval(3, 9)) == Interval(3, 5)
+        assert Interval(0, 3).intersection(Interval(3, 9)) is None
+
+    def test_ordering(self):
+        assert Interval(1, 3) < Interval(2, 3)
+
+
+class TestLocation:
+    def test_simple(self):
+        location = Location.simple(10, 20)
+        assert location.start == 10
+        assert location.end == 20
+        assert len(location) == 10
+
+    def test_join(self):
+        location = Location.join([(0, 5), (10, 15)])
+        assert len(location) == 10
+        assert 3 in location
+        assert 7 not in location
+
+    def test_bad_strand(self):
+        with pytest.raises(FeatureError):
+            Location.simple(0, 5, strand=2)
+
+    def test_empty_rejected(self):
+        with pytest.raises(FeatureError):
+            Location((), FORWARD)
+
+    def test_overlapping_intervals_rejected(self):
+        with pytest.raises(FeatureError):
+            Location.join([(0, 5), (4, 10)])
+
+    def test_descending_rejected(self):
+        with pytest.raises(FeatureError):
+            Location.join([(10, 15), (0, 5)])
+
+    def test_overlaps(self):
+        first = Location.join([(0, 5), (10, 15)])
+        second = Location.simple(12, 20)
+        assert first.overlaps(second)
+        assert not first.overlaps(Location.simple(5, 10))
+
+    def test_shifted(self):
+        shifted = Location.join([(0, 5), (10, 15)]).shifted(100)
+        assert shifted.start == 100
+        assert shifted.end == 115
+
+    def test_extract_forward(self):
+        location = Location.join([(0, 3), (6, 9)])
+        assert location.extract("AAACCCGGGTTT") == "AAAGGG"
+
+    def test_extract_reverse_orders_pieces(self):
+        location = Location.join([(0, 3), (6, 9)], strand=REVERSE)
+        # Reverse strand: pieces reversed and each read right-to-left.
+        assert location.extract("AAACCCGGGTTT") == "GGGAAA"
+
+    def test_extract_out_of_bounds(self):
+        with pytest.raises(FeatureError):
+            Location.simple(0, 100).extract("ACGT")
+
+
+class TestFeature:
+    def test_qualifiers(self):
+        feature = Feature("gene", Location.simple(0, 10),
+                          {"gene": "lacZ"})
+        assert feature.qualifier("gene") == "lacZ"
+        assert feature.qualifier("missing", "x") == "x"
+
+    def test_empty_kind_rejected(self):
+        with pytest.raises(FeatureError):
+            Feature("", Location.simple(0, 1))
+
+    def test_equality_and_hash(self):
+        a = Feature("gene", Location.simple(0, 10), {"k": "v"})
+        b = Feature("gene", Location.simple(0, 10), {"k": "v"})
+        assert a == b
+        assert hash(a) == hash(b)
+
+
+class TestAnnotationSet:
+    @pytest.fixture
+    def annotations(self):
+        return AnnotationSet([
+            Feature("gene", Location.simple(0, 100), {"gene": "lacZ"}),
+            Feature("CDS", Location.simple(10, 90), {"gene": "lacZ"}),
+            Feature("gene", Location.simple(200, 300), {"gene": "trpA"}),
+        ])
+
+    def test_len_and_iter(self, annotations):
+        assert len(annotations) == 3
+        assert len(list(annotations)) == 3
+
+    def test_of_kind(self, annotations):
+        assert len(annotations.of_kind("gene")) == 2
+        assert len(annotations.of_kind("CDS")) == 1
+        assert annotations.of_kind("exon") == []
+
+    def test_overlapping(self, annotations):
+        assert len(annotations.overlapping(50, 60)) == 2
+        assert len(annotations.overlapping(150, 180)) == 0
+
+    def test_with_qualifier(self, annotations):
+        assert len(annotations.with_qualifier("gene")) == 3
+        assert len(annotations.with_qualifier("gene", "lacZ")) == 2
+
+    def test_add(self, annotations):
+        annotations.add(Feature("exon", Location.simple(0, 50)))
+        assert len(annotations) == 4
+
+    def test_equality(self):
+        assert AnnotationSet() == AnnotationSet()

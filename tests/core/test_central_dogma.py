@@ -1,0 +1,130 @@
+"""Tests for transcribe / splice / translate — the paper's mini algebra."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.ops.central_dogma import (
+    express,
+    reverse_transcribe,
+    splice,
+    transcribe,
+    translate,
+)
+from repro.core.ops.codon import VERTEBRATE_MITOCHONDRIAL
+from repro.core.types import (
+    DnaSequence,
+    Gene,
+    Interval,
+    MRna,
+    PrimaryTranscript,
+    RnaSequence,
+)
+from repro.errors import TranslationError
+
+# ATG GCC ATT GTA | intron | CGC TGA  ->  M A I V R stop
+GENE_TEXT = "ATGGCCATTGTAATGGGCCGCTGAAAGGGTGCCCGATAG"
+EXONS = (Interval(0, 12), Interval(18, 39))
+
+
+@pytest.fixture
+def gene():
+    return Gene(name="demo", sequence=DnaSequence(GENE_TEXT), exons=EXONS)
+
+
+class TestTranscribe:
+    def test_full_length_copy(self, gene):
+        transcript = transcribe(gene)
+        assert len(transcript) == len(gene)
+
+    def test_t_becomes_u(self, gene):
+        assert "T" not in str(transcribe(gene).rna)
+        assert str(transcribe(gene).rna) == GENE_TEXT.replace("T", "U")
+
+    def test_exons_carried_over(self, gene):
+        assert transcribe(gene).exons == EXONS
+
+    def test_gene_name_carried(self, gene):
+        assert transcribe(gene).gene_name == "demo"
+
+
+class TestSplice:
+    def test_introns_removed(self, gene):
+        mrna = splice(transcribe(gene))
+        assert len(mrna) == gene.exonic_length
+
+    def test_spliced_content(self, gene):
+        mrna = splice(transcribe(gene))
+        expected = (GENE_TEXT[0:12] + GENE_TEXT[18:39]).replace("T", "U")
+        assert str(mrna.rna) == expected
+
+    def test_single_exon_is_identity(self):
+        transcript = PrimaryTranscript(rna=RnaSequence("AUGGCCUAA"),
+                                       exons=())
+        assert str(splice(transcript).rna) == "AUGGCCUAA"
+
+
+class TestTranslate:
+    def test_demo_gene_protein(self, gene):
+        protein = translate(splice(transcribe(gene)))
+        assert str(protein.sequence) == "MAIVR"
+
+    def test_stops_at_stop_codon(self):
+        mrna = MRna(rna=RnaSequence("AUGAAAUAAGGG"))
+        assert str(translate(mrna).sequence) == "MK"
+
+    def test_keep_stop_when_requested(self):
+        mrna = MRna(rna=RnaSequence("AUGAAAUAAGGG"))
+        protein = translate(mrna, to_stop=False)
+        assert str(protein.sequence) == "MK*G"
+
+    def test_scans_for_start(self):
+        mrna = MRna(rna=RnaSequence("CCCAUGAAAUAA"))
+        assert str(translate(mrna).sequence) == "MK"
+
+    def test_annotated_cds_wins(self):
+        # CDS skips the first AUG entirely.
+        mrna = MRna(rna=RnaSequence("AUGAAAAUGGGGUAA"), cds=Interval(6, 15))
+        assert str(translate(mrna).sequence) == "MG"
+
+    def test_alternative_start_reads_as_met(self):
+        mrna = MRna(rna=RnaSequence("GUGAAAUAA"))
+        assert str(translate(mrna).sequence) == "MK"
+
+    def test_no_start_raises(self):
+        mrna = MRna(rna=RnaSequence("CCCCCCUAA"))
+        with pytest.raises(TranslationError):
+            translate(mrna)
+
+    def test_too_short_cds_raises(self):
+        mrna = MRna(rna=RnaSequence("AUGG"), cds=Interval(3, 4))
+        with pytest.raises(TranslationError):
+            translate(mrna)
+
+    def test_variant_code_changes_product(self):
+        # UGA is stop in the standard code, Trp in vertebrate mito.
+        mrna = MRna(rna=RnaSequence("AUGUGAAAAUAA"))
+        assert str(translate(mrna).sequence) == "M"
+        mito = translate(mrna, table=VERTEBRATE_MITOCHONDRIAL)
+        assert str(mito.sequence) == "MWK"
+
+    def test_gene_name_propagates(self, gene):
+        assert express(gene).gene_name == "demo"
+
+
+class TestComposition:
+    def test_express_equals_composition(self, gene):
+        assert (str(express(gene).sequence)
+                == str(translate(splice(transcribe(gene))).sequence))
+
+    def test_reverse_transcribe_roundtrip(self, gene):
+        mrna = splice(transcribe(gene))
+        cdna = reverse_transcribe(mrna)
+        assert isinstance(cdna, DnaSequence)
+        assert str(cdna) == str(mrna.rna).replace("U", "T")
+
+    @given(st.integers(1, 30))
+    def test_express_on_synthetic_genes(self, codons):
+        # ATG + n*GCC + TAA always yields M + n*A.
+        text = "ATG" + "GCC" * codons + "TAA"
+        gene = Gene(name="s", sequence=DnaSequence(text))
+        assert str(express(gene).sequence) == "M" + "A" * codons

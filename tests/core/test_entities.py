@@ -1,0 +1,122 @@
+"""Tests for the high-level GDT entities."""
+
+import pytest
+
+from repro.core.types import (
+    Chromosome,
+    DnaSequence,
+    Gene,
+    Genome,
+    Interval,
+    MRna,
+    PrimaryTranscript,
+    Protein,
+    ProteinSequence,
+    RnaSequence,
+)
+from repro.errors import FeatureError
+
+
+def make_gene(name="g", text="ATGGCCATTGTAATGGGCCGC", exons=None):
+    return Gene(name=name, sequence=DnaSequence(text), exons=exons or ())
+
+
+class TestGene:
+    def test_default_single_exon(self):
+        gene = make_gene()
+        assert gene.exons == (Interval(0, 21),)
+        assert gene.introns == ()
+
+    def test_exonic_length(self):
+        gene = make_gene(exons=(Interval(0, 6), Interval(12, 21)))
+        assert gene.exonic_length == 15
+
+    def test_introns(self):
+        gene = make_gene(exons=(Interval(0, 6), Interval(12, 21)))
+        assert gene.introns == (Interval(6, 12),)
+
+    def test_adjacent_exons_have_no_intron(self):
+        gene = make_gene(exons=(Interval(0, 6), Interval(6, 21)))
+        assert gene.introns == ()
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(FeatureError):
+            make_gene(name="")
+
+    def test_overlapping_exons_rejected(self):
+        with pytest.raises(FeatureError):
+            make_gene(exons=(Interval(0, 10), Interval(5, 21)))
+
+    def test_exon_beyond_sequence_rejected(self):
+        with pytest.raises(FeatureError):
+            make_gene(exons=(Interval(0, 100),))
+
+    def test_len_is_genomic_span(self):
+        assert len(make_gene()) == 21
+
+
+class TestTranscripts:
+    def test_primary_transcript_defaults(self):
+        transcript = PrimaryTranscript(rna=RnaSequence("AUGGCC"), exons=())
+        assert transcript.exons == (Interval(0, 6),)
+
+    def test_primary_transcript_bounds(self):
+        with pytest.raises(FeatureError):
+            PrimaryTranscript(rna=RnaSequence("AUG"),
+                              exons=(Interval(0, 10),))
+
+    def test_mrna_cds_bounds(self):
+        with pytest.raises(FeatureError):
+            MRna(rna=RnaSequence("AUG"), cds=Interval(0, 9))
+
+    def test_mrna_without_cds(self):
+        mrna = MRna(rna=RnaSequence("AUGGCC"))
+        assert mrna.cds is None
+        assert len(mrna) == 6
+
+
+class TestProtein:
+    def test_length(self):
+        assert len(Protein(sequence=ProteinSequence("MKL"))) == 3
+
+    def test_metadata(self):
+        protein = Protein(sequence=ProteinSequence("M"), name="p",
+                          gene_name="g", organism="E. coli")
+        assert protein.organism == "E. coli"
+
+
+class TestChromosomeGenome:
+    @pytest.fixture
+    def genome(self):
+        chromosome1 = Chromosome(
+            name="chr1",
+            sequence=DnaSequence("ACGT" * 10),
+            genes=(make_gene("a", "ATGGCC"), make_gene("b", "ATGAAA")),
+        )
+        chromosome2 = Chromosome(
+            name="chr2", sequence=DnaSequence("TTTT"),
+            genes=(make_gene("c", "ATGCCC"),),
+        )
+        return Genome(organism="test", chromosomes=(chromosome1, chromosome2))
+
+    def test_gene_lookup(self, genome):
+        assert genome.chromosome("chr1").gene("a").name == "a"
+
+    def test_missing_gene(self, genome):
+        with pytest.raises(FeatureError):
+            genome.chromosome("chr1").gene("zzz")
+
+    def test_missing_chromosome(self, genome):
+        with pytest.raises(FeatureError):
+            genome.chromosome("chr9")
+
+    def test_total_length(self, genome):
+        assert len(genome) == 44
+
+    def test_genes_iterates_all(self, genome):
+        assert [gene.name for gene in genome.genes()] == ["a", "b", "c"]
+
+    def test_duplicate_chromosomes_rejected(self):
+        chromosome = Chromosome("chr1", DnaSequence("AC"))
+        with pytest.raises(FeatureError):
+            Genome("x", (chromosome, chromosome))

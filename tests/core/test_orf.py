@@ -1,0 +1,91 @@
+"""Tests for ORF finding and six-frame translation."""
+
+from repro.core.ops.basic import reverse_complement
+from repro.core.ops.orf import find_orfs, six_frame_translation
+from repro.core.types import DnaSequence
+from repro.core.types.annotation import FORWARD, REVERSE
+
+# ATG AAA CCC TAA -> MKP stop
+SIMPLE_ORF = "ATGAAACCCTAA"
+
+
+class TestFindOrfs:
+    def test_simple_forward_orf(self):
+        orfs = find_orfs(DnaSequence(SIMPLE_ORF), min_protein_length=3,
+                         both_strands=False)
+        assert len(orfs) == 1
+        orf = orfs[0]
+        assert (orf.start, orf.end) == (0, 12)
+        assert orf.strand == FORWARD
+        assert str(orf.protein) == "MKP"
+
+    def test_min_length_filter(self):
+        orfs = find_orfs(DnaSequence(SIMPLE_ORF), min_protein_length=10,
+                         both_strands=False)
+        assert orfs == []
+
+    def test_orf_in_offset_frame(self):
+        orfs = find_orfs(DnaSequence("CC" + SIMPLE_ORF),
+                         min_protein_length=3, both_strands=False)
+        assert len(orfs) == 1
+        assert orfs[0].frame == 2
+        assert (orfs[0].start, orfs[0].end) == (2, 14)
+
+    def test_reverse_strand_orf(self):
+        text = str(reverse_complement(DnaSequence(SIMPLE_ORF)))
+        orfs = find_orfs(DnaSequence(text), min_protein_length=3)
+        reverse_orfs = [o for o in orfs if o.strand == REVERSE]
+        assert len(reverse_orfs) == 1
+        orf = reverse_orfs[0]
+        assert str(orf.protein) == "MKP"
+        assert (orf.start, orf.end) == (0, 12)
+
+    def test_orf_without_stop_not_reported(self):
+        orfs = find_orfs(DnaSequence("ATGAAACCC"), min_protein_length=1,
+                         both_strands=False)
+        assert orfs == []
+
+    def test_two_orfs_same_frame(self):
+        text = SIMPLE_ORF + SIMPLE_ORF
+        orfs = find_orfs(DnaSequence(text), min_protein_length=3,
+                         both_strands=False)
+        assert [(o.start, o.end) for o in orfs] == [(0, 12), (12, 24)]
+
+    def test_nested_start_not_double_reported(self):
+        # ATG ATG AAA TAA: the inner ATG is inside the first ORF.
+        orfs = find_orfs(DnaSequence("ATGATGAAATAA"), min_protein_length=2,
+                         both_strands=False)
+        frame0 = [o for o in orfs if o.frame == 0]
+        assert len(frame0) == 1
+        assert str(frame0[0].protein) == "MMK"
+
+    def test_results_sorted_by_start(self):
+        text = "CCC" + SIMPLE_ORF + "G" + SIMPLE_ORF
+        orfs = find_orfs(DnaSequence(text), min_protein_length=3)
+        starts = [o.start for o in orfs]
+        assert starts == sorted(starts)
+
+
+class TestSixFrame:
+    def test_six_frames_present(self):
+        frames = six_frame_translation(DnaSequence("ATGAAACCCTAA"))
+        assert set(frames) == {
+            (FORWARD, 0), (FORWARD, 1), (FORWARD, 2),
+            (REVERSE, 0), (REVERSE, 1), (REVERSE, 2),
+        }
+
+    def test_frame_zero_translation(self):
+        frames = six_frame_translation(DnaSequence("ATGAAACCCTAA"))
+        assert str(frames[(FORWARD, 0)]) == "MKP*"
+
+    def test_frame_lengths(self):
+        frames = six_frame_translation(DnaSequence("A" * 20))
+        assert len(frames[(FORWARD, 0)]) == 6
+        assert len(frames[(FORWARD, 1)]) == 6
+        assert len(frames[(FORWARD, 2)]) == 6
+
+    def test_reverse_frame_is_reverse_complement_translation(self):
+        dna = DnaSequence("ATGAAACCCTAA")
+        frames = six_frame_translation(dna)
+        reverse_frames = six_frame_translation(reverse_complement(dna))
+        assert str(frames[(REVERSE, 0)]) == str(reverse_frames[(FORWARD, 0)])

@@ -1,0 +1,138 @@
+"""Tests for the primer designer (the C14 specialty-function example)."""
+
+import random
+
+import pytest
+
+from repro.core.ops.basic import reverse_complement
+from repro.core.ops.primers import (
+    PrimerPair,
+    _has_gc_clamp,
+    _max_self_complement_run,
+    design_primers,
+)
+from repro.core.ops.stats import melting_temperature
+from repro.core.types import DnaSequence, Interval
+from repro.errors import SequenceError
+
+
+def balanced_template(length=300, seed=5):
+    rng = random.Random(seed)
+    return DnaSequence(
+        "".join(rng.choice("ACGT") for __ in range(length))
+    )
+
+
+class TestHelpers:
+    def test_gc_clamp(self):
+        assert _has_gc_clamp("AAAAC")
+        assert _has_gc_clamp("AAAAG")
+        assert not _has_gc_clamp("AAAAT")
+
+    def test_self_complement_run_palindrome(self):
+        # GAATTC is its own reverse complement: run = full length.
+        assert _max_self_complement_run("GAATTC") == 6
+
+    def test_self_complement_run_poly_a(self):
+        # Reverse complement of AAAA is TTTT: no shared substring > 0.
+        assert _max_self_complement_run("AAAA") == 0
+
+
+class TestDesign:
+    @pytest.fixture
+    def template(self):
+        return balanced_template()
+
+    @pytest.fixture
+    def pair(self, template):
+        return design_primers(template, Interval(120, 180))
+
+    def test_returns_primer_pair(self, pair):
+        assert isinstance(pair, PrimerPair)
+        assert len(pair.forward) == 20
+        assert len(pair.reverse) == 20
+
+    def test_forward_flanks_upstream(self, pair):
+        assert pair.forward_position + len(pair.forward) <= 120
+
+    def test_reverse_flanks_downstream(self, pair):
+        assert pair.reverse_position >= 180
+
+    def test_primers_match_template(self, template, pair):
+        text = str(template)
+        start = pair.forward_position
+        assert text[start:start + 20] == str(pair.forward)
+        region = text[pair.reverse_position:pair.reverse_position + 20]
+        assert str(reverse_complement(pair.reverse)) == region
+
+    def test_tms_inside_window(self, pair):
+        for tm in (pair.forward_tm, pair.reverse_tm):
+            assert 50.0 <= tm <= 68.0
+        assert pair.forward_tm == pytest.approx(
+            melting_temperature(pair.forward)
+        )
+
+    def test_gc_clamps_present(self, pair):
+        assert str(pair.forward)[-1] in "GC"
+        assert str(pair.reverse)[-1] in "GC"
+
+    def test_product_covers_target(self, pair):
+        assert pair.product_length >= 60  # at least the target
+        assert (pair.forward_position + pair.product_length
+                == pair.reverse_position + 20)
+
+    def test_nearest_windows_chosen(self, template):
+        near = design_primers(template, Interval(120, 180))
+        far = design_primers(template, Interval(100, 200))
+        # Widening the target can only push primers further out.
+        assert far.forward_position <= near.forward_position + 20
+        assert far.product_length >= 100
+
+    def test_custom_length(self, template):
+        pair = design_primers(template, Interval(120, 180),
+                              primer_length=24)
+        assert len(pair.forward) == 24
+
+    def test_deterministic(self, template):
+        first = design_primers(template, Interval(120, 180))
+        second = design_primers(template, Interval(120, 180))
+        assert first == second
+
+
+class TestFailures:
+    def test_target_beyond_template(self):
+        with pytest.raises(SequenceError):
+            design_primers(DnaSequence("ACGT" * 10), Interval(0, 100))
+
+    def test_no_upstream_room(self):
+        template = balanced_template()
+        with pytest.raises(SequenceError):
+            design_primers(template, Interval(5, 50))
+
+    def test_no_downstream_room(self):
+        template = balanced_template()
+        with pytest.raises(SequenceError):
+            design_primers(template, Interval(120, len(template) - 5))
+
+    def test_impossible_tm_window(self):
+        template = balanced_template()
+        with pytest.raises(SequenceError):
+            design_primers(template, Interval(120, 180),
+                           tm_window=(95.0, 99.0))
+
+    def test_at_only_flanks_rejected(self):
+        # All-AT flanks can never carry a GC clamp.
+        template = DnaSequence("AT" * 30 + "GCGCGCGCGC" + "AT" * 30)
+        with pytest.raises(SequenceError):
+            design_primers(template, Interval(60, 70),
+                           primer_length=12)
+
+    def test_too_short_primer_length(self):
+        with pytest.raises(SequenceError):
+            design_primers(balanced_template(), Interval(120, 180),
+                           primer_length=5)
+
+    def test_n_rich_flanks_rejected(self):
+        template = DnaSequence("N" * 60 + "ATGC" * 20 + "N" * 60)
+        with pytest.raises(SequenceError):
+            design_primers(template, Interval(60, 140))

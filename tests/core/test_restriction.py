@@ -1,0 +1,80 @@
+"""Tests for restriction digestion."""
+
+import pytest
+
+from repro.core.ops.restriction import (
+    ECORI,
+    HAEIII,
+    RestrictionEnzyme,
+    STANDARD_ENZYMES,
+    digest,
+    enzyme_by_name,
+    fragment_lengths,
+)
+from repro.core.types import DnaSequence
+from repro.errors import SequenceError
+
+
+class TestEnzyme:
+    def test_site_recognition(self):
+        dna = DnaSequence("AAGAATTCAA")
+        assert ECORI.recognition_sites(dna) == [2]
+
+    def test_cut_positions(self):
+        dna = DnaSequence("AAGAATTCAA")
+        assert ECORI.cut_positions(dna) == [3]  # G^AATTC
+
+    def test_ambiguous_site(self):
+        # XhoII-like enzyme with R/Y in the site.
+        enzyme = RestrictionEnzyme("XhoII", "RGATCY", 1)
+        assert enzyme.recognition_sites(DnaSequence("AAGGATCCAA")) == [2]
+        assert enzyme.recognition_sites(DnaSequence("AAAGATCTAA")) == [2]
+
+    def test_invalid_cut_offset(self):
+        with pytest.raises(SequenceError):
+            RestrictionEnzyme("bad", "GAATTC", 7)
+
+    def test_empty_site_rejected(self):
+        with pytest.raises(SequenceError):
+            RestrictionEnzyme("bad", "", 0)
+
+    def test_lookup_by_name(self):
+        assert enzyme_by_name("ecori") is ECORI
+        with pytest.raises(SequenceError):
+            enzyme_by_name("NopeI")
+
+    def test_catalogue_is_well_formed(self):
+        for enzyme in STANDARD_ENZYMES:
+            assert 0 <= enzyme.cut_offset <= len(enzyme.site)
+
+
+class TestDigest:
+    def test_single_cut(self):
+        dna = DnaSequence("AAGAATTCAA")
+        fragments = digest(dna, ECORI)
+        assert [str(f) for f in fragments] == ["AAG", "AATTCAA"]
+
+    def test_no_sites_returns_whole(self):
+        dna = DnaSequence("AAAA")
+        assert [str(f) for f in digest(dna, ECORI)] == ["AAAA"]
+
+    def test_multiple_cuts(self):
+        dna = DnaSequence("GAATTC" + "TTTT" + "GAATTC")
+        fragments = digest(dna, ECORI)
+        assert len(fragments) == 3
+        assert sum(len(f) for f in fragments) == len(dna)
+
+    def test_double_digest(self):
+        dna = DnaSequence("AAGAATTCAAGGCCAA")
+        fragments = digest(dna, [ECORI, HAEIII])
+        assert len(fragments) == 3
+        assert sum(len(f) for f in fragments) == len(dna)
+
+    def test_fragment_lengths(self):
+        dna = DnaSequence("AAGAATTCAA")
+        assert fragment_lengths(dna, ECORI) == [3, 7]
+
+    def test_fragments_reassemble(self):
+        dna = DnaSequence("GGCCAAGAATTCAAGGCCTTGAATTCTT")
+        fragments = digest(dna, list(STANDARD_ENZYMES))
+        assert "".join(str(f) for f in fragments) == str(dna)

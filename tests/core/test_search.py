@@ -1,0 +1,115 @@
+"""Tests for exact and ambiguity-aware motif search."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.ops.search import (
+    contains,
+    count_occurrences,
+    find_exact,
+    find_motif,
+    first_occurrence,
+)
+from repro.core.types import DnaSequence, ProteinSequence, RnaSequence
+from repro.errors import SequenceError
+
+strict_dna = st.text(alphabet="ACGT", min_size=0, max_size=120)
+
+
+class TestExactSearch:
+    def test_single_occurrence(self):
+        assert list(find_exact(DnaSequence("AACGTA"), "CGT")) == [2]
+
+    def test_multiple_occurrences(self):
+        assert list(find_exact(DnaSequence("ATATAT"), "AT")) == [0, 2, 4]
+
+    def test_overlapping_occurrences(self):
+        assert list(find_exact(DnaSequence("AAAA"), "AA")) == [0, 1, 2]
+
+    def test_no_occurrence(self):
+        assert list(find_exact(DnaSequence("ACGT"), "GGG")) == []
+
+    def test_empty_pattern(self):
+        assert list(find_exact(DnaSequence("ACGT"), "")) == []
+
+    def test_sequence_pattern(self):
+        pattern = DnaSequence("CG")
+        assert list(find_exact(DnaSequence("ACGCG"), pattern)) == [1, 3]
+
+    def test_alphabet_mismatch_rejected(self):
+        with pytest.raises(SequenceError):
+            list(find_exact(DnaSequence("ACGT"), RnaSequence("ACGU")))
+
+
+class TestAmbiguousSearch:
+    def test_n_in_pattern_matches_anything(self):
+        assert list(find_motif(DnaSequence("ACGT"), "ANG")) == [0]
+
+    def test_tata_box(self):
+        # TATAWAW: W = A or T.
+        subject = DnaSequence("GGTATATATGG")
+        assert contains(subject, "TATAWAW")
+
+    def test_r_matches_purines_only(self):
+        assert contains(DnaSequence("AG"), "RR")
+        assert not contains(DnaSequence("CT"), "RR")
+
+    def test_ambiguity_in_subject(self):
+        # Subject N can be the needed base.
+        assert contains(DnaSequence("ACNT"), "CGT")
+        assert contains(DnaSequence("ACNT"), "CAT")
+
+    def test_concrete_fast_path(self):
+        subject = DnaSequence("ACGTACGT")
+        assert list(find_motif(subject, "ACGT")) == [0, 4]
+
+    def test_pattern_longer_than_subject(self):
+        assert list(find_motif(DnaSequence("AC"), "ACGT")) == []
+
+    def test_protein_ambiguity(self):
+        # B = D or N.
+        assert contains(ProteinSequence("MDL"), "MBL")
+        assert contains(ProteinSequence("MNL"), "MBL")
+        assert not contains(ProteinSequence("MKL"), "MBL")
+
+
+class TestPredicates:
+    def test_contains(self):
+        assert contains(DnaSequence("ATGATTGCCATAGGG"), "ATTGCCATA")
+        assert not contains(DnaSequence("ATGATT"), "GGGG")
+
+    def test_count(self):
+        assert count_occurrences(DnaSequence("AAAA"), "AA") == 3
+        assert count_occurrences(DnaSequence("ACGT"), "NN") == 3
+
+    def test_first_occurrence(self):
+        assert first_occurrence(DnaSequence("CCATG"), "ATG") == 2
+        assert first_occurrence(DnaSequence("CC"), "ATG") == -1
+
+
+class TestProperties:
+    @given(strict_dna, strict_dna)
+    def test_matches_python_str_search(self, haystack, needle):
+        if not needle:
+            return
+        subject = DnaSequence(haystack)
+        positions = list(find_motif(subject, DnaSequence(needle)))
+        expected = [
+            i for i in range(len(haystack) - len(needle) + 1)
+            if haystack[i:i + len(needle)] == needle
+        ]
+        assert positions == expected
+
+    @given(strict_dna)
+    def test_sequence_contains_its_own_slices(self, text):
+        if len(text) < 4:
+            return
+        subject = DnaSequence(text)
+        assert contains(subject, text[1:4])
+
+    @given(strict_dna)
+    def test_n_pattern_matches_every_window(self, text):
+        if len(text) < 3:
+            return
+        subject = DnaSequence(text)
+        assert count_occurrences(subject, "NNN") == len(text) - 2

@@ -1,0 +1,194 @@
+"""Tests for packed sequences, including property-based invariants."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.types.sequence import (
+    DnaSequence,
+    ProteinSequence,
+    RnaSequence,
+    sequence_class_for,
+    sequence_from_bytes,
+)
+from repro.errors import SequenceError
+
+dna_text = st.text(alphabet="ACGTRYSWKMBDHVN-", max_size=200)
+strict_dna_text = st.text(alphabet="ACGT", max_size=200)
+protein_text = st.text(alphabet="ACDEFGHIKLMNPQRSTVWY*", max_size=120)
+
+
+class TestConstruction:
+    def test_from_string(self):
+        assert str(DnaSequence("ACGT")) == "ACGT"
+
+    def test_lower_case_normalized(self):
+        assert str(DnaSequence("acgt")) == "ACGT"
+
+    def test_empty(self):
+        sequence = DnaSequence("")
+        assert len(sequence) == 0
+        assert not sequence
+
+    def test_invalid_symbol_rejected(self):
+        with pytest.raises(Exception):
+            DnaSequence("ACGU")
+
+    def test_rna_accepts_u(self):
+        assert str(RnaSequence("ACGU")) == "ACGU"
+
+    def test_protein_with_stop(self):
+        assert str(ProteinSequence("MKL*")) == "MKL*"
+
+    def test_from_codes_validates_range(self):
+        with pytest.raises(SequenceError):
+            DnaSequence.from_codes(bytes([200]))
+
+
+class TestStringProtocol:
+    def test_len(self):
+        assert len(DnaSequence("ACGTA")) == 5
+
+    def test_index_positive_and_negative(self):
+        sequence = DnaSequence("ACGTN")
+        assert sequence[0] == "A"
+        assert sequence[4] == "N"
+        assert sequence[-1] == "N"
+        assert sequence[-5] == "A"
+
+    def test_index_out_of_range(self):
+        with pytest.raises(IndexError):
+            DnaSequence("ACG")[3]
+
+    def test_slice_returns_same_type(self):
+        sequence = DnaSequence("ACGTACGT")
+        piece = sequence[2:6]
+        assert isinstance(piece, DnaSequence)
+        assert str(piece) == "GTAC"
+
+    def test_slice_with_step(self):
+        assert str(DnaSequence("ACGTACGT")[::2]) == "AGAG"
+
+    def test_iteration(self):
+        assert list(DnaSequence("ACG")) == ["A", "C", "G"]
+
+    def test_concat(self):
+        assert str(DnaSequence("AC") + DnaSequence("GT")) == "ACGT"
+
+    def test_concat_type_mismatch(self):
+        with pytest.raises(SequenceError):
+            DnaSequence("AC") + RnaSequence("GU")
+
+    def test_repeat(self):
+        assert str(DnaSequence("AT") * 3) == "ATATAT"
+
+    def test_contains_string(self):
+        assert "CGT" in DnaSequence("ACGTA")
+        assert "GGG" not in DnaSequence("ACGTA")
+
+    def test_contains_sequence(self):
+        assert DnaSequence("CGT") in DnaSequence("ACGTA")
+
+    def test_equality(self):
+        assert DnaSequence("ACGT") == DnaSequence("acgt")
+        assert DnaSequence("ACGT") != DnaSequence("ACGA")
+
+    def test_cross_type_inequality(self):
+        assert DnaSequence("ACG") != ProteinSequence("ACG")
+
+    def test_hashable(self):
+        assert len({DnaSequence("ACGT"), DnaSequence("ACGT")}) == 1
+
+    def test_find_and_count(self):
+        sequence = DnaSequence("ATATAT")
+        assert sequence.find("TAT") == 1
+        assert sequence.find("GGG") == -1
+        assert sequence.count("AT") == 3
+
+    def test_count_symbol(self):
+        assert DnaSequence("AACCA").count_symbol("A") == 3
+
+    def test_reverse(self):
+        assert str(DnaSequence("ACGT").reverse()) == "TGCA"
+
+
+class TestSerialization:
+    def test_roundtrip(self):
+        sequence = DnaSequence("ACGTRYSWKMBDHVN-")
+        assert DnaSequence.from_bytes(sequence.to_bytes()) == sequence
+
+    def test_roundtrip_odd_length(self):
+        sequence = DnaSequence("ACGTA")
+        assert DnaSequence.from_bytes(sequence.to_bytes()) == sequence
+
+    def test_protein_roundtrip(self):
+        sequence = ProteinSequence("MKWVTFISLLFLFSSAYS")
+        assert ProteinSequence.from_bytes(sequence.to_bytes()) == sequence
+
+    def test_wrong_alphabet_rejected(self):
+        data = DnaSequence("ACGT").to_bytes()
+        with pytest.raises(SequenceError):
+            RnaSequence.from_bytes(data)
+
+    def test_truncated_rejected(self):
+        with pytest.raises(SequenceError):
+            DnaSequence.from_bytes(b"\x01")
+
+    def test_corrupt_payload_rejected(self):
+        data = DnaSequence("ACGT").to_bytes()
+        with pytest.raises(SequenceError):
+            DnaSequence.from_bytes(data + b"\x00\x00")
+
+    def test_generic_deserializer_dispatches(self):
+        for sequence in (DnaSequence("ACGT"), RnaSequence("ACGU"),
+                         ProteinSequence("MKL")):
+            restored = sequence_from_bytes(sequence.to_bytes())
+            assert restored == sequence
+
+    def test_dna_packs_two_bases_per_byte(self):
+        assert DnaSequence("A" * 100).nbytes == 50
+
+    def test_class_lookup(self):
+        assert sequence_class_for("dna") is DnaSequence
+        with pytest.raises(SequenceError):
+            sequence_class_for("nope")
+
+
+class TestProperties:
+    @given(dna_text)
+    def test_string_roundtrip(self, text):
+        assert str(DnaSequence(text)) == text
+
+    @given(dna_text)
+    def test_bytes_roundtrip(self, text):
+        sequence = DnaSequence(text)
+        assert DnaSequence.from_bytes(sequence.to_bytes()) == sequence
+
+    @given(protein_text)
+    def test_protein_roundtrip(self, text):
+        sequence = ProteinSequence(text)
+        assert str(sequence) == text
+        assert ProteinSequence.from_bytes(sequence.to_bytes()) == sequence
+
+    @given(dna_text, st.integers(-250, 250), st.integers(-250, 250))
+    def test_slicing_matches_string_slicing(self, text, start, stop):
+        sequence = DnaSequence(text)
+        assert str(sequence[start:stop]) == text[start:stop]
+
+    @given(dna_text, dna_text)
+    def test_concat_matches_string_concat(self, first, second):
+        combined = DnaSequence(first) + DnaSequence(second)
+        assert str(combined) == first + second
+
+    @given(dna_text)
+    def test_reverse_is_involution(self, text):
+        sequence = DnaSequence(text)
+        assert sequence.reverse().reverse() == sequence
+
+    @given(dna_text)
+    def test_length_preserved(self, text):
+        assert len(DnaSequence(text)) == len(text)
+
+    @given(strict_dna_text, strict_dna_text)
+    def test_find_matches_string_find(self, haystack, needle):
+        sequence = DnaSequence(haystack)
+        assert sequence.find(needle or "A") == haystack.find(needle or "A")

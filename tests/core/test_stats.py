@@ -1,0 +1,152 @@
+"""Tests for physico-chemical sequence statistics."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.ops.stats import (
+    codon_usage,
+    hydropathy,
+    hydropathy_profile,
+    isoelectric_point,
+    melting_temperature,
+    molecular_weight,
+    shannon_entropy,
+)
+from repro.core.types import DnaSequence, ProteinSequence, RnaSequence
+from repro.errors import SequenceError
+
+
+class TestMeltingTemperature:
+    def test_wallace_rule_short(self):
+        # 2*(A+T) + 4*(G+C): ACGT -> 2*2 + 4*2 = 12.
+        assert melting_temperature(DnaSequence("ACGT")) == 12.0
+
+    def test_long_sequence_formula(self):
+        tm = melting_temperature(DnaSequence("ACGT" * 10))
+        assert 40.0 < tm < 90.0
+
+    def test_gc_raises_tm(self):
+        low = melting_temperature(DnaSequence("AT" * 20))
+        high = melting_temperature(DnaSequence("GC" * 20))
+        assert high > low
+
+    def test_empty_rejected(self):
+        with pytest.raises(SequenceError):
+            melting_temperature(DnaSequence(""))
+
+    @given(st.text(alphabet="ACGT", min_size=1, max_size=50))
+    def test_tm_finite(self, text):
+        assert melting_temperature(DnaSequence(text)) == pytest.approx(
+            melting_temperature(DnaSequence(text))
+        )
+
+
+class TestMolecularWeight:
+    def test_protein_weight_scales(self):
+        one = molecular_weight(ProteinSequence("A"))
+        two = molecular_weight(ProteinSequence("AA"))
+        assert two > one
+
+    def test_glycine_lightest(self):
+        glycine = molecular_weight(ProteinSequence("G"))
+        tryptophan = molecular_weight(ProteinSequence("W"))
+        assert glycine < tryptophan
+
+    def test_known_ballpark(self):
+        # A 100-residue protein averages ~11 kDa with these residue masses.
+        weight = molecular_weight(ProteinSequence("A" * 100))
+        assert 7000 < weight < 12000
+
+    def test_dna_weight(self):
+        assert molecular_weight(DnaSequence("ACGT")) > 1000
+
+    def test_rna_heavier_than_dna(self):
+        dna = molecular_weight(DnaSequence("ACGT"))
+        rna = molecular_weight(RnaSequence("ACGU"))
+        assert rna > dna
+
+    def test_ambiguity_contributes_mean(self):
+        n_weight = molecular_weight(DnaSequence("N"))
+        base_weights = [molecular_weight(DnaSequence(b)) for b in "ACGT"]
+        assert min(base_weights) < n_weight < max(base_weights)
+
+    def test_gap_ignored(self):
+        assert molecular_weight(ProteinSequence("A-A")) == pytest.approx(
+            molecular_weight(ProteinSequence("AA"))
+        )
+
+
+class TestIsoelectricPoint:
+    def test_basic_protein_high_pi(self):
+        assert isoelectric_point(ProteinSequence("KKKKKKKK")) > 9.5
+
+    def test_acidic_protein_low_pi(self):
+        assert isoelectric_point(ProteinSequence("DDDDDDDD")) < 4.5
+
+    def test_neutral_in_between(self):
+        pi = isoelectric_point(ProteinSequence("GGGGGG"))
+        assert 4.0 < pi < 9.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(SequenceError):
+            isoelectric_point(ProteinSequence(""))
+
+    def test_within_ph_scale(self):
+        pi = isoelectric_point(ProteinSequence("MKWVTFISLLFLFSSAYS"))
+        assert 0.0 <= pi <= 14.0
+
+
+class TestHydropathy:
+    def test_hydrophobic_positive(self):
+        assert hydropathy(ProteinSequence("IIIVVVLLL")) > 3.0
+
+    def test_hydrophilic_negative(self):
+        assert hydropathy(ProteinSequence("RRRKKKDDD")) < -3.0
+
+    def test_profile_window(self):
+        profile = hydropathy_profile(ProteinSequence("I" * 20), window=9)
+        assert len(profile) == 12
+        assert all(value == pytest.approx(4.5) for value in profile)
+
+    def test_profile_shorter_than_window(self):
+        assert hydropathy_profile(ProteinSequence("IVL"), window=9) == []
+
+    def test_bad_window(self):
+        with pytest.raises(SequenceError):
+            hydropathy_profile(ProteinSequence("IVL"), window=0)
+
+    def test_no_scoreable_residues(self):
+        with pytest.raises(SequenceError):
+            hydropathy(ProteinSequence("XX"))
+
+
+class TestCodonUsage:
+    def test_single_family(self):
+        # GCU and GCC both encode Ala; 2:1 usage.
+        usage = codon_usage(RnaSequence("GCUGCUGCC"))
+        assert usage["GCU"] == pytest.approx(2 / 3)
+        assert usage["GCC"] == pytest.approx(1 / 3)
+
+    def test_lone_codon_is_one(self):
+        usage = codon_usage(RnaSequence("AUG"))
+        assert usage["AUG"] == 1.0
+
+    def test_partial_codon_ignored(self):
+        usage = codon_usage(RnaSequence("AUGGC"))
+        assert "AUG" in usage
+        assert len(usage) == 1
+
+
+class TestEntropy:
+    def test_uniform_dna_is_two_bits(self):
+        assert shannon_entropy(DnaSequence("ACGT")) == pytest.approx(2.0)
+
+    def test_homopolymer_is_zero(self):
+        assert shannon_entropy(DnaSequence("AAAA")) == 0.0
+
+    def test_empty_is_zero(self):
+        assert shannon_entropy(DnaSequence("")) == 0.0
+
+    @given(st.text(alphabet="ACGT", min_size=1, max_size=60))
+    def test_bounded_by_two_bits(self, text):
+        assert 0.0 <= shannon_entropy(DnaSequence(text)) <= 2.0 + 1e-9

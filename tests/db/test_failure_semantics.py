@@ -1,0 +1,99 @@
+"""Failure-injection tests: what happens when things go wrong mid-query."""
+
+import pytest
+
+from repro.db import Database
+from repro.errors import ConstraintError, DatabaseError, TypeCheckError
+
+
+@pytest.fixture
+def db():
+    database = Database()
+    database.execute(
+        "CREATE TABLE t (id INTEGER PRIMARY KEY, v INTEGER)"
+    )
+    database.execute("INSERT INTO t VALUES (1, 10), (2, 20)")
+    return database
+
+
+class TestUdfFailures:
+    def test_raising_udf_is_wrapped(self, db):
+        def explode(value):
+            raise ValueError("boom")
+
+        db.register_function("explode", explode)
+        with pytest.raises(DatabaseError) as excinfo:
+            db.query("SELECT explode(v) FROM t")
+        assert "boom" in str(excinfo.value)
+
+    def test_udf_failure_in_where_aborts_cleanly(self, db):
+        calls = []
+
+        def sometimes(value):
+            calls.append(value)
+            if value == 20:
+                raise RuntimeError("bad row")
+            return True
+
+        db.register_function("sometimes", sometimes)
+        with pytest.raises(DatabaseError):
+            db.query("SELECT id FROM t WHERE sometimes(v)")
+        # The table is untouched by a failed read.
+        assert db.query("SELECT count(*) FROM t").scalar() == 2
+
+    def test_udf_failure_during_update_leaves_partial_visible(self, db):
+        """Without a transaction, DML is statement-by-row (documented);
+        with one, rollback restores everything."""
+        def guard(value):
+            if value == 20:
+                raise RuntimeError("no")
+            return value + 1
+
+        db.register_function("guard", guard)
+        db.begin()
+        with pytest.raises(DatabaseError):
+            db.execute("UPDATE t SET v = guard(v)")
+        db.rollback()
+        assert sorted(db.query("SELECT v FROM t").column("v")) == [10, 20]
+
+
+class TestMultiRowInsertAtomicity:
+    def test_partial_insert_without_transaction(self, db):
+        # The third row violates the primary key; the first lands first.
+        with pytest.raises(ConstraintError):
+            db.execute("INSERT INTO t VALUES (3, 30), (1, 99)")
+        # Non-atomic outside a transaction: row 3 stays.
+        assert db.query("SELECT count(*) FROM t").scalar() == 3
+
+    def test_transaction_makes_multi_insert_atomic(self, db):
+        db.begin()
+        with pytest.raises(ConstraintError):
+            db.execute("INSERT INTO t VALUES (3, 30), (1, 99)")
+        db.rollback()
+        assert db.query("SELECT count(*) FROM t").scalar() == 2
+
+    def test_type_error_in_values(self, db):
+        with pytest.raises(TypeCheckError):
+            db.execute("INSERT INTO t VALUES ('x', 1)")
+
+
+class TestRecoveryAfterErrors:
+    def test_engine_usable_after_failed_statement(self, db):
+        with pytest.raises(Exception):
+            db.execute("INSERT INTO t VALUES (1, 1)")  # duplicate key
+        db.execute("INSERT INTO t VALUES (5, 50)")
+        assert db.query("SELECT count(*) FROM t").scalar() == 3
+
+    def test_index_consistent_after_failed_insert(self, db):
+        db.execute("CREATE INDEX iv ON t (v) USING hash")
+        with pytest.raises(ConstraintError):
+            db.execute("INSERT INTO t VALUES (1, 77)")
+        # The failed row's value must not be findable via the index.
+        assert len(db.query("SELECT id FROM t WHERE v = 77")) == 0
+
+    def test_transaction_state_clear_after_rollback(self, db):
+        db.begin()
+        db.execute("DELETE FROM t")
+        db.rollback()
+        db.begin()  # must not raise "already active"
+        db.commit()

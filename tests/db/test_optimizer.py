@@ -1,0 +1,213 @@
+"""Tests for plan selection: index usage, pushdown, join strategy."""
+
+import pytest
+
+from repro.db import Database
+
+
+@pytest.fixture
+def db():
+    database = Database()
+    database.execute(
+        "CREATE TABLE t (id INTEGER PRIMARY KEY, k INTEGER, v TEXT)"
+    )
+    database.executemany(
+        "INSERT INTO t VALUES (?, ?, ?)",
+        [(i, i % 10, f"row{i}") for i in range(100)],
+    )
+    return database
+
+
+class TestIndexSelection:
+    def test_no_index_means_seqscan(self, db):
+        assert "SeqScan" in db.explain("SELECT * FROM t WHERE k = 3")
+
+    def test_equality_uses_hash_index(self, db):
+        db.execute("CREATE INDEX ik ON t (k) USING hash")
+        plan = db.explain("SELECT * FROM t WHERE k = 3")
+        assert "IndexEqualScan" in plan
+        assert "SeqScan" not in plan
+
+    def test_equality_uses_btree_index(self, db):
+        db.execute("CREATE INDEX ik ON t (k) USING btree")
+        plan = db.explain("SELECT * FROM t WHERE k = 3")
+        assert "IndexEqualScan" in plan
+
+    def test_range_uses_btree(self, db):
+        db.execute("CREATE INDEX ik ON t (k) USING btree")
+        plan = db.explain("SELECT * FROM t WHERE k > 5")
+        assert "IndexRangeScan" in plan
+
+    def test_between_uses_btree(self, db):
+        db.execute("CREATE INDEX ik ON t (k) USING btree")
+        plan = db.explain("SELECT * FROM t WHERE k BETWEEN 2 AND 4")
+        assert "IndexRangeScan" in plan
+
+    def test_range_not_served_by_hash(self, db):
+        db.execute("CREATE INDEX ik ON t (k) USING hash")
+        plan = db.explain("SELECT * FROM t WHERE k > 5")
+        assert "SeqScan" in plan
+
+    def test_reversed_comparison_still_indexed(self, db):
+        db.execute("CREATE INDEX ik ON t (k) USING btree")
+        plan = db.explain("SELECT * FROM t WHERE 5 = k")
+        assert "IndexEqualScan" in plan
+
+    def test_residual_predicate_kept(self, db):
+        db.execute("CREATE INDEX ik ON t (k) USING hash")
+        plan = db.explain("SELECT * FROM t WHERE k = 3 AND id > 50")
+        assert "IndexEqualScan" in plan
+        assert "Filter" in plan
+
+    def test_index_results_correct(self, db):
+        without_index = db.query(
+            "SELECT id FROM t WHERE k = 3 ORDER BY id"
+        ).rows
+        db.execute("CREATE INDEX ik ON t (k) USING hash")
+        with_index = db.query(
+            "SELECT id FROM t WHERE k = 3 ORDER BY id"
+        ).rows
+        assert with_index == without_index
+
+    def test_range_results_correct(self, db):
+        expected = db.query(
+            "SELECT id FROM t WHERE k BETWEEN 3 AND 5 ORDER BY id"
+        ).rows
+        db.execute("CREATE INDEX ik ON t (k) USING btree")
+        assert db.query(
+            "SELECT id FROM t WHERE k BETWEEN 3 AND 5 ORDER BY id"
+        ).rows == expected
+
+    def test_index_maintained_under_dml(self, db):
+        db.execute("CREATE INDEX ik ON t (k) USING btree")
+        db.execute("UPDATE t SET k = 99 WHERE id = 0")
+        assert db.query("SELECT id FROM t WHERE k = 99").scalar() == 0
+        db.execute("DELETE FROM t WHERE id = 0")
+        assert len(db.query("SELECT id FROM t WHERE k = 99")) == 0
+
+    def test_drop_index_restores_seqscan(self, db):
+        db.execute("CREATE INDEX ik ON t (k) USING hash")
+        db.execute("DROP INDEX ik ON t")
+        assert "SeqScan" in db.explain("SELECT * FROM t WHERE k = 3")
+
+
+class TestGenomicIndexPlans:
+    @pytest.fixture
+    def gdb(self):
+        from repro.adapter import install_genomics
+        database = Database()
+        install_genomics(database)
+        database.execute(
+            "CREATE TABLE frags (id INTEGER PRIMARY KEY, seq DNA)"
+        )
+        from repro.core.types import DnaSequence
+        rows = [
+            (1, DnaSequence("ATGGCCATTGTAATGGGCCGC")),
+            (2, DnaSequence("TTTTTTTTTTTTTTTTTTTTT")),
+            (3, DnaSequence("ATGGCCATTAAAAAAAAAAAA")),
+        ]
+        database.executemany("INSERT INTO frags VALUES (?, ?)", rows)
+        return database
+
+    def test_kmer_index_plan_and_results(self, gdb):
+        expected = gdb.query(
+            "SELECT id FROM frags WHERE contains(seq, 'ATGGCCATT') "
+            "ORDER BY id"
+        ).rows
+        gdb.execute("CREATE INDEX iseq ON frags (seq) USING kmer WITH (k = 4)")
+        plan = gdb.explain(
+            "SELECT id FROM frags WHERE contains(seq, 'ATGGCCATT')"
+        )
+        assert "IndexContainsScan" in plan
+        assert "Filter(contains" in plan  # predicate re-checked
+        assert gdb.query(
+            "SELECT id FROM frags WHERE contains(seq, 'ATGGCCATT') "
+            "ORDER BY id"
+        ).rows == expected == [(1,), (3,)]
+
+    def test_suffix_index_plan_and_results(self, gdb):
+        gdb.execute("CREATE INDEX iseq ON frags (seq) USING suffix")
+        plan = gdb.explain(
+            "SELECT id FROM frags WHERE contains(seq, 'GGCCATTGTA')"
+        )
+        assert "IndexContainsScan" in plan
+        assert gdb.query(
+            "SELECT id FROM frags WHERE contains(seq, 'GGCCATTGTA')"
+        ).rows == [(1,)]
+
+    def test_short_pattern_falls_back_to_all_rows(self, gdb):
+        gdb.execute("CREATE INDEX iseq ON frags (seq) USING kmer WITH (k = 8)")
+        # Pattern shorter than k: candidates = None, scan everything,
+        # but results must still be correct.
+        assert gdb.query(
+            "SELECT id FROM frags WHERE contains(seq, 'ATG') ORDER BY id"
+        ).rows == [(1,), (3,)]
+
+    def test_ambiguous_pattern_correct_via_recheck(self, gdb):
+        gdb.execute("CREATE INDEX iseq ON frags (seq) USING kmer WITH (k = 4)")
+        # W = A or T; the re-check applies ambiguity matching.
+        result = gdb.query(
+            "SELECT id FROM frags WHERE contains(seq, 'ATGGCCATW') "
+            "ORDER BY id"
+        )
+        assert result.rows == [(1,), (3,)]
+
+
+class TestJoinStrategy:
+    def test_equi_join_uses_hash(self, db):
+        db.execute("CREATE TABLE u (id INTEGER, t_id INTEGER)")
+        plan = db.explain(
+            "SELECT * FROM t JOIN u ON t.id = u.t_id"
+        )
+        assert "HashJoin" in plan
+
+    def test_non_equi_join_uses_nested_loop(self, db):
+        db.execute("CREATE TABLE u (id INTEGER, t_id INTEGER)")
+        plan = db.explain("SELECT * FROM t JOIN u ON t.id < u.t_id")
+        assert "NestedLoopJoin" in plan
+
+    def test_left_join_uses_nested_loop(self, db):
+        db.execute("CREATE TABLE u (id INTEGER, t_id INTEGER)")
+        plan = db.explain("SELECT * FROM t LEFT JOIN u ON t.id = u.t_id")
+        assert "NestedLoopJoin" in plan
+
+    def test_pushdown_below_join(self, db):
+        db.execute("CREATE TABLE u (id INTEGER, t_id INTEGER)")
+        plan = db.explain(
+            "SELECT * FROM t JOIN u ON t.id = u.t_id WHERE t.k = 3"
+        )
+        # The filter on t must appear below the join.
+        join_line = next(i for i, line in enumerate(plan.splitlines())
+                         if "HashJoin" in line)
+        filter_line = next(i for i, line in enumerate(plan.splitlines())
+                           if "Filter" in line)
+        assert filter_line > join_line
+
+    def test_pushdown_uses_index_below_join(self, db):
+        db.execute("CREATE TABLE u (id INTEGER, t_id INTEGER)")
+        db.execute("CREATE INDEX ik ON t (k) USING hash")
+        plan = db.explain(
+            "SELECT * FROM t JOIN u ON t.id = u.t_id WHERE t.k = 3"
+        )
+        assert "IndexEqualScan" in plan
+
+    def test_left_join_where_on_right_not_pushed(self, db):
+        db.execute("CREATE TABLE u (id INTEGER, t_id INTEGER)")
+        db.execute("INSERT INTO u VALUES (1, 0)")
+        # WHERE on the right side of a LEFT JOIN filters padded rows.
+        result = db.query(
+            "SELECT t.id FROM t LEFT JOIN u ON t.id = u.t_id "
+            "WHERE u.id = 1"
+        )
+        assert result.rows == [(0,)]
+
+
+class TestExplain:
+    def test_explain_shows_estimates(self, db):
+        plan = db.explain("SELECT * FROM t")
+        assert "~100 rows" in plan
+
+    def test_explain_rejects_dml(self, db):
+        import pytest as _pytest
+        with _pytest.raises(Exception):
+            db.explain("DELETE FROM t")

@@ -1,0 +1,199 @@
+"""Property-based tests: the SQL engine against Python-model semantics."""
+
+from collections import defaultdict
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.db import Database, NULL
+
+values = st.one_of(st.none(), st.integers(-50, 50))
+rows_strategy = st.lists(
+    st.tuples(st.integers(0, 5), values), min_size=0, max_size=40
+)
+
+
+def make_db(rows):
+    database = Database()
+    database.execute("CREATE TABLE t (k INTEGER, v INTEGER)")
+    for k, v in rows:
+        database.execute("INSERT INTO t VALUES (?, ?)", [k, v])
+    return database
+
+
+class TestAggregateSemantics:
+    @settings(max_examples=60, deadline=None)
+    @given(rows_strategy)
+    def test_count_sum_avg_match_python(self, rows):
+        database = make_db(rows)
+        result = database.query(
+            "SELECT count(*), count(v), sum(v), min(v), max(v) FROM t"
+        ).first()
+        non_null = [v for __, v in rows if v is not None]
+        assert result[0] == len(rows)
+        assert result[1] == len(non_null)
+        assert result[2] == (sum(non_null) if non_null else NULL)
+        assert result[3] == (min(non_null) if non_null else NULL)
+        assert result[4] == (max(non_null) if non_null else NULL)
+
+    @settings(max_examples=60, deadline=None)
+    @given(rows_strategy)
+    def test_group_by_matches_python(self, rows):
+        database = make_db(rows)
+        result = database.query(
+            "SELECT k, count(*), sum(v) FROM t GROUP BY k ORDER BY k"
+        )
+        model: dict[int, list] = defaultdict(list)
+        for k, v in rows:
+            model[k].append(v)
+        expected = []
+        for k in sorted(model):
+            non_null = [v for v in model[k] if v is not None]
+            expected.append((
+                k, len(model[k]),
+                sum(non_null) if non_null else NULL,
+            ))
+        assert result.rows == expected
+
+    @settings(max_examples=40, deadline=None)
+    @given(rows_strategy, st.integers(-20, 20))
+    def test_having_matches_python(self, rows, threshold):
+        database = make_db(rows)
+        result = database.query(
+            "SELECT k FROM t GROUP BY k HAVING count(*) > ? ORDER BY k",
+            [threshold],
+        )
+        model: dict[int, int] = defaultdict(int)
+        for k, __ in rows:
+            model[k] += 1
+        expected = [(k,) for k in sorted(model) if model[k] > threshold]
+        assert result.rows == expected
+
+
+class TestFilterAndSort:
+    @settings(max_examples=60, deadline=None)
+    @given(rows_strategy, st.integers(-50, 50))
+    def test_where_matches_python(self, rows, bound):
+        database = make_db(rows)
+        result = database.query(
+            "SELECT k, v FROM t WHERE v >= ?", [bound]
+        )
+        expected = [(k, v) for k, v in rows
+                    if v is not None and v >= bound]
+        assert sorted(result.rows) == sorted(expected)
+
+    @settings(max_examples=60, deadline=None)
+    @given(rows_strategy)
+    def test_order_by_is_stable_total_order(self, rows):
+        database = make_db(rows)
+        result = database.query(
+            "SELECT v FROM t ORDER BY v ASC"
+        ).column("v")
+        non_null = sorted(v for __, v in rows if v is not None)
+        nulls = [NULL] * sum(1 for __, v in rows if v is None)
+        assert result == nulls + non_null  # NULLs first, then ascending
+
+    @settings(max_examples=40, deadline=None)
+    @given(rows_strategy, st.integers(0, 10), st.integers(0, 10))
+    def test_limit_offset_window(self, rows, limit, offset):
+        database = make_db(rows)
+        everything = database.query(
+            "SELECT k, v FROM t ORDER BY k, v"
+        ).rows
+        window = database.query(
+            f"SELECT k, v FROM t ORDER BY k, v LIMIT {limit} "
+            f"OFFSET {offset}"
+        ).rows
+        assert window == everything[offset:offset + limit]
+
+    @settings(max_examples=40, deadline=None)
+    @given(rows_strategy)
+    def test_distinct_matches_set_semantics(self, rows):
+        database = make_db(rows)
+        result = database.query("SELECT DISTINCT k FROM t").column("k")
+        assert sorted(result) == sorted({k for k, __ in rows})
+        assert len(result) == len(set(result))
+
+
+class TestJoinSemantics:
+    pairs = st.lists(st.tuples(st.integers(0, 4), st.integers(0, 20)),
+                     max_size=15)
+
+    @settings(max_examples=40, deadline=None)
+    @given(pairs, pairs)
+    def test_inner_join_matches_comprehension(self, left, right):
+        database = Database()
+        database.execute("CREATE TABLE a (k INTEGER, x INTEGER)")
+        database.execute("CREATE TABLE b (k INTEGER, y INTEGER)")
+        for k, x in left:
+            database.execute("INSERT INTO a VALUES (?, ?)", [k, x])
+        for k, y in right:
+            database.execute("INSERT INTO b VALUES (?, ?)", [k, y])
+        result = database.query(
+            "SELECT a.x, b.y FROM a JOIN b ON a.k = b.k"
+        )
+        expected = [(x, y) for k1, x in left for k2, y in right
+                    if k1 == k2]
+        assert sorted(result.rows) == sorted(expected)
+
+    @settings(max_examples=40, deadline=None)
+    @given(pairs, pairs)
+    def test_left_join_preserves_left_cardinality_at_least(self, left,
+                                                           right):
+        database = Database()
+        database.execute("CREATE TABLE a (k INTEGER, x INTEGER)")
+        database.execute("CREATE TABLE b (k INTEGER, y INTEGER)")
+        for k, x in left:
+            database.execute("INSERT INTO a VALUES (?, ?)", [k, x])
+        for k, y in right:
+            database.execute("INSERT INTO b VALUES (?, ?)", [k, y])
+        result = database.query(
+            "SELECT a.k FROM a LEFT JOIN b ON a.k = b.k"
+        )
+        right_counts: dict[int, int] = defaultdict(int)
+        for k, __ in right:
+            right_counts[k] += 1
+        expected_rows = sum(max(1, right_counts[k]) for k, __ in left)
+        assert len(result) == expected_rows
+
+
+class TestDmlInvariants:
+    @settings(max_examples=40, deadline=None)
+    @given(rows_strategy, st.integers(-50, 50))
+    def test_delete_plus_remainder_is_total(self, rows, bound):
+        database = make_db(rows)
+        deleted = database.execute("DELETE FROM t WHERE v < ?", [bound])
+        remaining = database.query("SELECT count(*) FROM t").scalar()
+        assert deleted + remaining == len(rows)
+        # Nothing below the bound survives.
+        assert database.query(
+            "SELECT count(*) FROM t WHERE v < ?", [bound]
+        ).scalar() == 0
+
+    @settings(max_examples=40, deadline=None)
+    @given(rows_strategy)
+    def test_update_touches_exactly_matching_rows(self, rows):
+        database = make_db(rows)
+        updated = database.execute(
+            "UPDATE t SET v = 999 WHERE v IS NOT NULL"
+        )
+        assert updated == sum(1 for __, v in rows if v is not None)
+        assert database.query(
+            "SELECT count(*) FROM t WHERE v = 999"
+        ).scalar() == updated
+
+    @settings(max_examples=30, deadline=None)
+    @given(rows_strategy)
+    def test_rollback_restores_exact_state(self, rows):
+        def ordered(result_rows):
+            return sorted(result_rows, key=repr)
+
+        database = make_db(rows)
+        before = ordered(database.query("SELECT k, v FROM t").rows)
+        database.begin()
+        database.execute("UPDATE t SET v = 1")
+        database.execute("DELETE FROM t WHERE k > 2")
+        database.execute("INSERT INTO t VALUES (9, 9)")
+        database.rollback()
+        after = ordered(database.query("SELECT k, v FROM t").rows)
+        assert after == before

@@ -1,0 +1,221 @@
+"""Tests for transactions, images, and the write-ahead log."""
+
+import os
+
+import pytest
+
+from repro.adapter import install_genomics
+from repro.core.types import DnaSequence
+from repro.db import Database
+from repro.db.storage import (
+    WriteAheadLog,
+    checkpoint,
+    load_database,
+    save_database,
+)
+from repro.errors import StorageError, TransactionError
+
+
+@pytest.fixture
+def db():
+    database = Database()
+    database.execute("CREATE TABLE t (id INTEGER PRIMARY KEY, v TEXT)")
+    database.execute("INSERT INTO t VALUES (1, 'a'), (2, 'b')")
+    return database
+
+
+class TestTransactions:
+    def test_commit_keeps_changes(self, db):
+        db.begin()
+        db.execute("INSERT INTO t VALUES (3, 'c')")
+        db.commit()
+        assert db.query("SELECT count(*) FROM t").scalar() == 3
+
+    def test_rollback_discards_changes(self, db):
+        db.begin()
+        db.execute("INSERT INTO t VALUES (3, 'c')")
+        db.execute("UPDATE t SET v = 'zzz' WHERE id = 1")
+        db.execute("DELETE FROM t WHERE id = 2")
+        db.rollback()
+        assert db.query("SELECT count(*) FROM t").scalar() == 2
+        assert db.query("SELECT v FROM t WHERE id = 1").scalar() == "a"
+
+    def test_rollback_restores_unique_state(self, db):
+        db.begin()
+        db.execute("DELETE FROM t WHERE id = 1")
+        db.rollback()
+        with pytest.raises(Exception):
+            db.execute("INSERT INTO t VALUES (1, 'dup')")
+
+    def test_nested_begin_rejected(self, db):
+        db.begin()
+        with pytest.raises(TransactionError):
+            db.begin()
+        db.rollback()
+
+    def test_commit_without_begin(self, db):
+        with pytest.raises(TransactionError):
+            db.commit()
+
+    def test_rollback_without_begin(self, db):
+        with pytest.raises(TransactionError):
+            db.rollback()
+
+    def test_in_transaction_flag(self, db):
+        assert not db.in_transaction
+        db.begin()
+        assert db.in_transaction
+        db.commit()
+        assert not db.in_transaction
+
+
+class TestImages:
+    def test_roundtrip(self, db, tmp_path):
+        path = str(tmp_path / "image.json")
+        db.execute("CREATE INDEX iv ON t (v) USING hash")
+        save_database(db, path)
+        restored = load_database(path)
+        assert restored.query("SELECT count(*) FROM t").scalar() == 2
+        assert restored.query("SELECT v FROM t WHERE id = 1").scalar() == "a"
+        assert "IndexEqualScan" in restored.explain(
+            "SELECT * FROM t WHERE v = 'a'"
+        )
+
+    def test_constraints_survive(self, db, tmp_path):
+        path = str(tmp_path / "image.json")
+        save_database(db, path)
+        restored = load_database(path)
+        with pytest.raises(Exception):
+            restored.execute("INSERT INTO t VALUES (1, 'dup')")
+
+    def test_udt_values_roundtrip(self, tmp_path):
+        database = Database()
+        install_genomics(database)
+        database.execute("CREATE TABLE s (id INTEGER, seq DNA)")
+        database.execute("INSERT INTO s VALUES (1, ?)",
+                         [DnaSequence("ATGGCC")])
+        path = str(tmp_path / "image.json")
+        save_database(database, path)
+        restored = Database()
+        install_genomics(restored)
+        load_database(path, restored)
+        value = restored.query("SELECT seq FROM s").scalar()
+        assert value == DnaSequence("ATGGCC")
+
+    def test_unregistered_value_rejected(self, tmp_path):
+        database = Database()
+        install_genomics(database)
+        database.execute("CREATE TABLE s (id INTEGER, seq DNA)")
+        database.execute("INSERT INTO s VALUES (1, ?)",
+                         [DnaSequence("ATGGCC")])
+        plain = Database()  # no UDTs registered
+        save_database(database, str(tmp_path / "a.json"))
+        with pytest.raises(Exception):
+            load_database(str(tmp_path / "a.json"), plain)
+
+    def test_missing_image(self, tmp_path):
+        with pytest.raises(StorageError):
+            load_database(str(tmp_path / "nope.json"))
+
+    def test_corrupt_image(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("{not json")
+        with pytest.raises(StorageError):
+            load_database(str(path))
+
+    def test_bytes_roundtrip(self, tmp_path):
+        database = Database()
+        database.execute("CREATE TABLE b (id INTEGER, payload BLOB)")
+        database.execute("INSERT INTO b VALUES (1, ?)", [b"\x00\xff"])
+        path = str(tmp_path / "image.json")
+        save_database(database, path)
+        restored = load_database(path)
+        assert restored.query("SELECT payload FROM b").scalar() == b"\x00\xff"
+
+
+class TestWal:
+    def test_logs_and_replays(self, db, tmp_path):
+        image = str(tmp_path / "image.json")
+        wal_path = str(tmp_path / "wal.jsonl")
+        save_database(db, image)
+
+        wal = WriteAheadLog(wal_path, db)
+        wal.attach()
+        db.execute("INSERT INTO t VALUES (3, 'c')")
+        db.execute("UPDATE t SET v = 'x' WHERE id = 1")
+
+        recovered = load_database(image)
+        WriteAheadLog(wal_path, recovered).replay()
+        assert recovered.query("SELECT count(*) FROM t").scalar() == 3
+        assert recovered.query("SELECT v FROM t WHERE id = 1").scalar() == "x"
+
+    def test_selects_not_logged(self, db, tmp_path):
+        wal_path = str(tmp_path / "wal.jsonl")
+        wal = WriteAheadLog(wal_path, db)
+        wal.attach()
+        db.query("SELECT * FROM t")
+        assert not os.path.exists(wal_path) or \
+            open(wal_path).read().strip() == ""
+
+    def test_rolled_back_statements_not_logged(self, db, tmp_path):
+        wal_path = str(tmp_path / "wal.jsonl")
+        wal = WriteAheadLog(wal_path, db)
+        wal.attach()
+        db.begin()
+        db.execute("INSERT INTO t VALUES (3, 'c')")
+        db.rollback()
+        assert wal.replay(Database()) == 0
+
+    def test_committed_transaction_logged(self, db, tmp_path):
+        image = str(tmp_path / "image.json")
+        save_database(db, image)
+        wal_path = str(tmp_path / "wal.jsonl")
+        wal = WriteAheadLog(wal_path, db)
+        wal.attach()
+        db.begin()
+        db.execute("INSERT INTO t VALUES (3, 'c')")
+        db.commit()
+        recovered = load_database(image)
+        WriteAheadLog(wal_path, recovered).replay()
+        assert recovered.query("SELECT count(*) FROM t").scalar() == 3
+
+    def test_torn_final_record_tolerated(self, db, tmp_path):
+        image = str(tmp_path / "image.json")
+        save_database(db, image)
+        wal_path = str(tmp_path / "wal.jsonl")
+        wal = WriteAheadLog(wal_path, db)
+        wal.attach()
+        db.execute("INSERT INTO t VALUES (3, 'c')")
+        with open(wal_path, "a") as handle:
+            handle.write('{"sql": "INSERT INTO t VAL')  # torn write
+        recovered = load_database(image)
+        assert WriteAheadLog(wal_path, recovered).replay() == 1
+
+    def test_checkpoint_truncates(self, db, tmp_path):
+        image = str(tmp_path / "image.json")
+        wal_path = str(tmp_path / "wal.jsonl")
+        wal = WriteAheadLog(wal_path, db)
+        wal.attach()
+        db.execute("INSERT INTO t VALUES (3, 'c')")
+        checkpoint(db, image, wal)
+        assert open(wal_path).read() == ""
+        restored = load_database(image)
+        assert restored.query("SELECT count(*) FROM t").scalar() == 3
+
+    def test_udt_parameters_in_wal(self, tmp_path):
+        database = Database()
+        install_genomics(database)
+        database.execute("CREATE TABLE s (id INTEGER, seq DNA)")
+        image = str(tmp_path / "image.json")
+        save_database(database, image)
+        wal_path = str(tmp_path / "wal.jsonl")
+        wal = WriteAheadLog(wal_path, database)
+        wal.attach()
+        database.execute("INSERT INTO s VALUES (1, ?)",
+                         [DnaSequence("ATGGCC")])
+        recovered = Database()
+        install_genomics(recovered)
+        load_database(image, recovered)
+        WriteAheadLog(wal_path, recovered).replay()
+        assert recovered.query("SELECT seq FROM s").scalar() \
+            == DnaSequence("ATGGCC")

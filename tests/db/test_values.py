@@ -1,0 +1,136 @@
+"""Tests for the SQL value model and three-valued logic."""
+
+import pytest
+
+from repro.db.values import (
+    BLOB,
+    BOOLEAN,
+    INTEGER,
+    NULL,
+    REAL,
+    TEXT,
+    UNKNOWN,
+    OpaqueType,
+    and3,
+    builtin_type,
+    compare,
+    not3,
+    or3,
+    sort_key,
+)
+from repro.errors import TypeCheckError
+
+
+class TestBuiltinTypes:
+    def test_integer(self):
+        assert INTEGER.contains(3)
+        assert not INTEGER.contains(3.5)
+        assert not INTEGER.contains(True)  # booleans are not integers
+        assert INTEGER.coerce(3.0) == 3
+        with pytest.raises(TypeCheckError):
+            INTEGER.coerce(3.5)
+        with pytest.raises(TypeCheckError):
+            INTEGER.coerce(True)
+
+    def test_real(self):
+        assert REAL.contains(3)
+        assert REAL.contains(3.5)
+        assert REAL.coerce(3) == 3.0
+        assert isinstance(REAL.coerce(3), float)
+
+    def test_text(self):
+        assert TEXT.contains("x")
+        assert not TEXT.contains(3)
+        with pytest.raises(TypeCheckError):
+            TEXT.coerce(3)
+
+    def test_boolean(self):
+        assert BOOLEAN.contains(True)
+        assert not BOOLEAN.contains(1)
+
+    def test_blob(self):
+        assert BLOB.contains(b"x")
+        assert BLOB.coerce(bytearray(b"x")) == b"x"
+
+    def test_null_always_coerces(self):
+        for sql_type in (INTEGER, REAL, TEXT, BOOLEAN, BLOB):
+            assert sql_type.coerce(NULL) is NULL
+
+    def test_name_aliases(self):
+        assert builtin_type("int") is INTEGER
+        assert builtin_type("VARCHAR") is TEXT
+        assert builtin_type("double") is REAL
+        assert builtin_type("nope") is None
+
+
+class TestOpaqueType:
+    def test_membership_and_roundtrip(self):
+        opaque = OpaqueType("PAIR", tuple,
+                            serialize=lambda v: repr(v).encode(),
+                            deserialize=lambda b: eval(b.decode()))
+        assert opaque.contains((1, 2))
+        assert not opaque.contains([1, 2])
+        assert opaque.deserialize(opaque.serialize((1, 2))) == (1, 2)
+
+    def test_name_uppercased(self):
+        opaque = OpaqueType("dna", str, str.encode, bytes.decode)
+        assert opaque.name == "DNA"
+
+
+class TestThreeValuedLogic:
+    def test_and_truth_table(self):
+        assert and3(True, True) is True
+        assert and3(True, False) is False
+        assert and3(False, UNKNOWN) is False
+        assert and3(True, UNKNOWN) is UNKNOWN
+        assert and3(UNKNOWN, UNKNOWN) is UNKNOWN
+
+    def test_or_truth_table(self):
+        assert or3(False, False) is False
+        assert or3(False, True) is True
+        assert or3(True, UNKNOWN) is True
+        assert or3(False, UNKNOWN) is UNKNOWN
+
+    def test_not(self):
+        assert not3(True) is False
+        assert not3(False) is True
+        assert not3(UNKNOWN) is UNKNOWN
+
+
+class TestCompare:
+    def test_null_propagates(self):
+        assert compare("=", NULL, 1) is UNKNOWN
+        assert compare("<", 1, NULL) is UNKNOWN
+
+    def test_numeric_comparisons(self):
+        assert compare("=", 1, 1.0) is True
+        assert compare("<", 1, 2) is True
+        assert compare(">=", 2, 2) is True
+        assert compare("!=", 1, 2) is True
+        assert compare("<>", 1, 1) is False
+
+    def test_text_comparison(self):
+        assert compare("<", "abc", "abd") is True
+
+    def test_mixed_types_rejected(self):
+        with pytest.raises(TypeCheckError):
+            compare("=", 1, "1")
+        with pytest.raises(TypeCheckError):
+            compare("=", True, 1)
+
+    def test_unknown_operator(self):
+        with pytest.raises(TypeCheckError):
+            compare("~", 1, 2)
+
+
+class TestSortKey:
+    def test_nulls_first(self):
+        values = [3, NULL, "a", 1]
+        ordered = sorted(values, key=sort_key)
+        assert ordered[0] is NULL
+
+    def test_numbers_before_text(self):
+        assert sorted(["b", 2, "a", 1], key=sort_key) == [1, 2, "a", "b"]
+
+    def test_total_order_on_anything(self):
+        sorted([object(), object(), NULL, 1], key=sort_key)  # must not raise

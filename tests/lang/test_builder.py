@@ -1,0 +1,166 @@
+"""Tests for the fluent query builder (the visual-language target)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.types import DnaSequence
+from repro.errors import BiqlError
+from repro.lang.biql import (
+    BiqlSession,
+    count,
+    field,
+    find,
+    parse_biql,
+    render_biql,
+    translate,
+)
+from repro.sources import EmblRepository, Universe
+from repro.warehouse import UnifyingDatabase
+
+
+@pytest.fixture(scope="module")
+def session():
+    universe = Universe(seed=61, size=30)
+    warehouse = UnifyingDatabase([EmblRepository(universe, coverage=0.9)])
+    warehouse.initial_load()
+    return BiqlSession(warehouse)
+
+
+class TestBuilding:
+    def test_minimal_find(self):
+        query = find("genes").build()
+        assert query.verb == "FIND"
+        assert query.entity == "genes"
+
+    def test_conditions_chain(self):
+        query = (find("genes")
+                 .where(field("organism").is_("E. coli"))
+                 .and_(field("length").gt(100))
+                 .or_(field("gc").ge(0.5))
+                 .build())
+        connectives = [c for c, __ in query.conditions]
+        assert connectives == ["AND", "AND", "OR"]
+
+    def test_all_field_operators(self):
+        f = field("length")
+        for condition, operator in (
+            (f.is_(1), "="), (f.is_not(1), "!="), (f.gt(1), ">"),
+            (f.ge(1), ">="), (f.lt(1), "<"), (f.le(1), "<="),
+        ):
+            assert condition.operator == operator
+
+    def test_sequence_conditions(self):
+        contains = field("sequence").contains("TATAAT")
+        assert contains.kind == "contains"
+        resembles = field("sequence").resembles("ATGC", within=0.4)
+        assert resembles.threshold == 0.4
+
+    def test_show_sort_limit(self):
+        query = (find("genes").show("accession", "gc")
+                 .sort_by("gc", descending=True).limit(5).build())
+        assert query.show == ["accession", "gc"]
+        assert not query.sort_ascending
+        assert query.limit == 5
+
+    def test_render_modes(self):
+        assert find("genes").as_fasta().build().render == "fasta"
+        histogram = find("genes").as_histogram("gc").build()
+        assert histogram.render == "histogram"
+        assert histogram.histogram_field == "gc"
+
+    def test_count_rejects_show(self):
+        with pytest.raises(BiqlError):
+            count("genes").show("accession")
+
+    def test_where_only_first(self):
+        builder = find("genes").where(field("length").gt(1))
+        with pytest.raises(BiqlError):
+            builder.where(field("gc").gt(0.1))
+
+    def test_or_needs_where(self):
+        with pytest.raises(BiqlError):
+            find("genes").or_(field("gc").gt(0.1))
+
+    def test_negative_limit(self):
+        with pytest.raises(BiqlError):
+            find("genes").limit(-1)
+
+
+class TestTextRoundTrip:
+    def test_renders_canonical_text(self):
+        builder = (find("genes")
+                   .where(field("organism").is_("E. coli"))
+                   .and_(field("sequence").contains("TATAAT"))
+                   .show("accession", "gc")
+                   .sort_by("gc", descending=True)
+                   .limit(10))
+        text = builder.to_biql()
+        assert text == ("FIND genes WHERE organism IS 'E. coli' "
+                        "AND sequence CONTAINS 'TATAAT' "
+                        "SHOW accession, gc SORT BY gc DESC LIMIT 10")
+
+    def test_text_parses_back_to_same_query(self):
+        builder = (find("genes")
+                   .where(field("length").between(10, 500))
+                   .or_(field("name").like("lac%"))
+                   .show("accession"))
+        reparsed = parse_biql(builder.to_biql())
+        assert translate(reparsed) == translate(builder.build())
+
+    def test_quotes_escaped(self):
+        text = find("genes").where(
+            field("name").is_("o'brien")
+        ).to_biql()
+        assert "o''brien" in text
+        assert parse_biql(text).conditions[0][1].value == "o'brien"
+
+    def test_resembles_within_round_trip(self):
+        builder = find("genes").where(
+            field("sequence").resembles("ATGGCC", within=0.25)
+        )
+        reparsed = parse_biql(builder.to_biql())
+        assert reparsed.conditions[0][1].threshold == 0.25
+
+    @given(st.integers(0, 3), st.booleans(), st.booleans())
+    def test_random_builders_round_trip(self, n_conditions, desc, use_count):
+        builder = count("genes") if use_count else find("genes")
+        conditions = [
+            field("length").gt(10),
+            field("organism").is_("x"),
+            field("gc").le(0.9),
+        ]
+        for index in range(n_conditions):
+            builder.and_(conditions[index % len(conditions)])
+        if not use_count:
+            builder.show("accession").sort_by("length", descending=desc)
+        reparsed = parse_biql(builder.to_biql())
+        assert translate(reparsed) == translate(builder.build())
+
+
+class TestExecution:
+    def test_builder_runs_through_session(self, session):
+        result = session.run_query(
+            find("genes").show("accession", "name").limit(3)
+        )
+        assert result.columns == ["accession", "name"]
+        assert 0 < len(result) <= 3
+
+    def test_builder_equals_text(self, session):
+        via_builder = session.run_query(
+            find("genes").where(field("length").gt(50)).show("accession")
+        ).rows
+        via_text = session.run(
+            "FIND genes WHERE length > 50 SHOW accession"
+        ).rows
+        assert via_builder == via_text
+
+    def test_count_query(self, session):
+        total = session.run_query(count("genes"))
+        assert total.scalar() == session.run("COUNT genes").scalar()
+
+    def test_contains_through_builder(self, session):
+        result = session.run_query(
+            find("genes").where(field("sequence").contains("ATG"))
+            .show("accession")
+        )
+        assert len(result) > 0

@@ -1,0 +1,155 @@
+"""Tests for GenAlgXML and the output description renderers."""
+
+import pytest
+
+from repro.core.ops import splice, transcribe
+from repro.core.types import (
+    Alternatives,
+    DnaSequence,
+    Gene,
+    Interval,
+    Protein,
+    ProteinSequence,
+    RnaSequence,
+    Uncertain,
+)
+from repro.db import ResultSet
+from repro.errors import BiqlError, GenAlgXmlError
+from repro.lang import genalgxml
+from repro.lang.output import render_fasta, render_histogram, render_table
+
+
+@pytest.fixture
+def demo_gene():
+    return Gene(
+        name="demo",
+        sequence=DnaSequence("ATGGCCATTGTAATGGGCCGCTGAAAGGGTGCCCGATAG"),
+        exons=(Interval(0, 12), Interval(18, 39)),
+        organism="E. coli",
+        accession="GA1",
+    )
+
+
+class TestGenAlgXml:
+    def test_sequences_roundtrip(self):
+        values = [DnaSequence("ACGTN"), RnaSequence("ACGU"),
+                  ProteinSequence("MKL*")]
+        assert genalgxml.loads(genalgxml.dumps(values)) == values
+
+    def test_gene_roundtrip(self, demo_gene):
+        (restored,) = genalgxml.loads(genalgxml.dumps([demo_gene]))
+        assert restored.name == demo_gene.name
+        assert restored.sequence == demo_gene.sequence
+        assert restored.exons == demo_gene.exons
+        assert restored.organism == "E. coli"
+        assert restored.accession == "GA1"
+
+    def test_transcript_and_mrna_roundtrip(self, demo_gene):
+        transcript = transcribe(demo_gene)
+        mrna = splice(transcript)
+        restored = genalgxml.loads(genalgxml.dumps([transcript, mrna]))
+        assert restored[0].rna == transcript.rna
+        assert restored[0].exons == transcript.exons
+        assert restored[1].rna == mrna.rna
+
+    def test_protein_roundtrip(self):
+        protein = Protein(sequence=ProteinSequence("MKLV"), name="p1",
+                          gene_name="g", organism="E. coli")
+        (restored,) = genalgxml.loads(genalgxml.dumps([protein]))
+        assert restored.sequence == protein.sequence
+        assert restored.name == "p1"
+        assert restored.gene_name == "g"
+
+    def test_alternatives_roundtrip(self):
+        alternatives = Alternatives([
+            Uncertain(DnaSequence("ATGA"), 0.75, "GenBank"),
+            Uncertain(DnaSequence("ATGC"), 0.25, "EMBL"),
+        ])
+        (restored,) = genalgxml.loads(genalgxml.dumps([alternatives]))
+        assert len(restored) == 2
+        assert restored.best().value == DnaSequence("ATGA")
+        assert restored.best().source == "GenBank"
+        assert restored.best().confidence == pytest.approx(0.75)
+
+    def test_scalars_roundtrip(self):
+        values = ["text", 42, 3.5, True]
+        assert genalgxml.loads(genalgxml.dumps(values)) == values
+
+    def test_file_roundtrip(self, demo_gene, tmp_path):
+        path = str(tmp_path / "values.xml")
+        genalgxml.dump_file([demo_gene], path)
+        (restored,) = genalgxml.load_file(path)
+        assert restored.sequence == demo_gene.sequence
+
+    def test_malformed_rejected(self):
+        with pytest.raises(GenAlgXmlError):
+            genalgxml.loads("<not xml")
+        with pytest.raises(GenAlgXmlError):
+            genalgxml.loads("<wrongroot/>")
+        with pytest.raises(GenAlgXmlError):
+            genalgxml.loads("<genalgxml><mystery/></genalgxml>")
+
+    def test_unsupported_value_rejected(self):
+        with pytest.raises(GenAlgXmlError):
+            genalgxml.dumps([object()])
+
+    def test_document_shape(self, demo_gene):
+        text = genalgxml.dumps([demo_gene])
+        assert text.startswith('<genalgxml version="1">')
+        assert "<exon" in text
+        assert 'name="demo"' in text
+
+
+class TestOutputRenderers:
+    @pytest.fixture
+    def result(self):
+        return ResultSet(
+            ["accession", "sequence", "gc"],
+            [
+                ("GA1", DnaSequence("ATGGCC"), 0.66),
+                ("GA2", DnaSequence("TTTTAA"), 0.0),
+                ("GA3", DnaSequence("GGGGCC"), 1.0),
+            ],
+        )
+
+    def test_table(self, result):
+        text = render_table(result)
+        assert "GA1" in text
+        assert "accession" in text
+
+    def test_fasta_autodetects_columns(self, result):
+        text = render_fasta(result)
+        assert text.splitlines()[0] == ">GA1"
+        assert "ATGGCC" in text
+
+    def test_fasta_explicit_columns(self, result):
+        text = render_fasta(result, sequence_column="sequence",
+                            id_column="accession")
+        assert text.count(">") == 3
+
+    def test_fasta_missing_column(self, result):
+        with pytest.raises(BiqlError):
+            render_fasta(result, sequence_column="nope")
+
+    def test_fasta_without_sequences(self):
+        bare = ResultSet(["x"], [(1,)])
+        with pytest.raises(BiqlError):
+            render_fasta(bare)
+
+    def test_histogram(self, result):
+        text = render_histogram(result, "gc", bins=2)
+        assert "#" in text
+        assert text.count("|") == 2
+
+    def test_histogram_constant_column(self):
+        flat = ResultSet(["v"], [(5,), (5,), (5,)])
+        text = render_histogram(flat, "v")
+        assert "(3)" in text
+
+    def test_histogram_no_numeric_data(self):
+        empty = ResultSet(["v"], [("a",)])
+        assert "no numeric data" in render_histogram(empty, "v")
+
+    def test_histogram_unknown_column(self, result):
+        with pytest.raises(BiqlError):
+            render_histogram(result, "nope")

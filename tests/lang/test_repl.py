@@ -1,0 +1,92 @@
+"""Tests for the BiQL shell."""
+
+import pytest
+
+from repro.lang.biql.repl import BiqlRepl, demo_session
+
+
+@pytest.fixture(scope="module")
+def repl():
+    return BiqlRepl(demo_session(seed=51, size=25))
+
+
+class TestCommands:
+    def test_help(self, repl):
+        text = repl.handle("\\help")
+        assert "FIND genes" in text
+        assert "\\entities" in text
+
+    def test_entities(self, repl):
+        text = repl.handle("\\entities")
+        assert "genes" in text
+        assert "public_genes" in text
+
+    def test_fields(self, repl):
+        text = repl.handle("\\fields genes")
+        assert "gc" in text
+        assert "melting_temperature(sequence)" in text
+
+    def test_fields_usage(self, repl):
+        assert "usage" in repl.handle("\\fields")
+        assert "unknown entity" in repl.handle("\\fields planets")
+
+    def test_sql_before_any_query(self):
+        fresh = BiqlRepl(demo_session(seed=52, size=10))
+        assert "no query yet" in fresh.handle("\\sql")
+
+    def test_sql_after_query(self, repl):
+        repl.handle("COUNT genes WHERE length > 10")
+        text = repl.handle("\\sql")
+        assert "SELECT count(*)" in text
+        assert "parameters: [10]" in text
+
+    def test_unknown_command(self, repl):
+        assert "unknown command" in repl.handle("\\frobnicate")
+
+    def test_quit_sets_finished(self):
+        repl = BiqlRepl(demo_session(seed=53, size=10))
+        assert repl.handle("\\quit") == "bye"
+        assert repl.finished
+
+    def test_empty_line(self, repl):
+        assert repl.handle("   ") == ""
+
+
+class TestQueries:
+    def test_query_renders_table(self, repl):
+        text = repl.handle("FIND genes SHOW accession, name LIMIT 3")
+        assert "accession" in text
+        assert "|" in text
+
+    def test_count(self, repl):
+        text = repl.handle("COUNT genes")
+        assert any(ch.isdigit() for ch in text)
+
+    def test_error_is_reported_not_raised(self, repl):
+        text = repl.handle("FIND planets")
+        assert text.startswith("error:")
+
+    def test_syntax_error_reported(self, repl):
+        assert repl.handle("SELECT * FROM x").startswith("error:")
+
+
+class TestLoop:
+    def test_scripted_session(self):
+        repl = BiqlRepl(demo_session(seed=54, size=10))
+        script = iter(["COUNT genes", "\\sql", "\\quit"])
+        outputs = []
+        repl.run(input_fn=lambda prompt: next(script),
+                 output_fn=outputs.append)
+        assert repl.finished
+        assert any("SELECT count(*)" in text for text in outputs)
+        assert outputs[-1] == "bye"
+
+    def test_eof_ends_loop(self):
+        repl = BiqlRepl(demo_session(seed=55, size=10))
+
+        def raise_eof(prompt):
+            raise EOFError
+
+        outputs = []
+        repl.run(input_fn=raise_eof, output_fn=outputs.append)
+        assert not repl.finished  # ended by EOF, not \quit

@@ -1,0 +1,154 @@
+"""Tests for the query-driven mediator baseline (Figure 1)."""
+
+import pytest
+
+from repro.errors import MediatorError
+from repro.mediator import Mediator
+from repro.sources import (
+    AceRepository,
+    EmblRepository,
+    GenBankRepository,
+    SwissProtRepository,
+    Universe,
+)
+
+
+@pytest.fixture(scope="module")
+def setting():
+    universe = Universe(seed=19, size=40)
+    sources = [
+        GenBankRepository(universe),
+        EmblRepository(universe),
+        AceRepository(universe),
+    ]
+    return universe, sources
+
+
+class TestConstruction:
+    def test_needs_sources(self):
+        with pytest.raises(MediatorError):
+            Mediator([])
+
+    def test_source_names(self, setting):
+        __, sources = setting
+        mediator = Mediator(sources)
+        assert mediator.source_names == ("GenBank", "EMBL", "AceDB")
+
+
+class TestQueries:
+    def test_find_all_genes(self, setting):
+        __, sources = setting
+        mediator = Mediator(sources)
+        rows = mediator.find_genes()
+        total = sum(len(s) for s in sources)
+        assert len(rows) == total  # one row per source view, unreconciled
+
+    def test_organism_filter(self, setting):
+        __, sources = setting
+        mediator = Mediator(sources)
+        rows = mediator.find_genes(organism="Escherichia coli")
+        assert all(row.organism == "Escherichia coli" for row in rows)
+
+    def test_motif_filter(self, setting):
+        __, sources = setting
+        mediator = Mediator(sources)
+        rows = mediator.find_genes(contains_motif="ATG")
+        assert rows
+        assert all("ATG" in row.sequence_text for row in rows)
+
+    def test_length_and_prefix_filters(self, setting):
+        __, sources = setting
+        mediator = Mediator(sources)
+        rows = mediator.find_genes(min_length=100, name_prefix="lac")
+        assert all(row.length >= 100 for row in rows)
+        assert all(row.name.startswith("lac") for row in rows)
+
+    def test_custom_predicate(self, setting):
+        __, sources = setting
+        mediator = Mediator(sources)
+        rows = mediator.find_genes(
+            predicate=lambda row: row.length % 2 == 0
+        )
+        assert all(row.length % 2 == 0 for row in rows)
+
+    def test_count(self, setting):
+        __, sources = setting
+        mediator = Mediator(sources)
+        assert mediator.count_genes() == len(mediator.find_genes())
+
+    def test_protein_sources_excluded_from_gene_view(self, setting):
+        universe, __ = setting
+        mediator = Mediator([SwissProtRepository(universe)])
+        assert mediator.find_genes() == []
+
+
+class TestFreshnessAndCost:
+    def test_sees_updates_immediately(self, setting):
+        universe, __ = setting
+        source = EmblRepository(universe, seed=9)
+        mediator = Mediator([source])
+        before = {row.accession for row in mediator.find_genes()}
+        source.advance(10)
+        after = {row.accession for row in mediator.find_genes()}
+        assert after == set(source.accessions())
+        assert before != after or True  # freshness: always current state
+
+    def test_every_query_pays_extraction(self, setting):
+        __, sources = setting
+        mediator = Mediator(sources)
+        mediator.find_genes()
+        first_cost = mediator.cost.bytes_shipped
+        mediator.find_genes()
+        assert mediator.cost.bytes_shipped == 2 * first_cost
+
+    def test_cost_grows_with_sources(self, setting):
+        universe, sources = setting
+        small = Mediator(sources[:1])
+        large = Mediator(sources)
+        small.find_genes()
+        large.find_genes()
+        assert large.cost.bytes_shipped > small.cost.bytes_shipped
+
+    def test_cost_reset(self, setting):
+        __, sources = setting
+        mediator = Mediator(sources)
+        mediator.find_genes()
+        snapshot = mediator.cost.reset()
+        assert snapshot.bytes_shipped > 0
+        assert mediator.cost.bytes_shipped == 0
+
+
+class TestUnreconciledSemantics:
+    def test_multiple_views_per_accession(self, setting):
+        __, sources = setting
+        mediator = Mediator(sources)
+        shared = (set(sources[0].accessions())
+                  & set(sources[1].accessions()))
+        if not shared:
+            pytest.skip("no overlap in this draw")
+        accession = sorted(shared)[0]
+        views = mediator.gene(accession)
+        assert len(views) >= 2
+        assert len({view.source for view in views}) == len(views)
+
+    def test_disagreements_exposed_not_resolved(self, setting):
+        __, sources = setting
+        mediator = Mediator(sources)
+        shared = (set(sources[0].accessions())
+                  & set(sources[1].accessions()))
+        disagreeing = [
+            accession for accession in sorted(shared)
+            if mediator.disagreements(accession)
+        ]
+        # With 30-40% error rates, some shared record must disagree.
+        assert disagreeing
+        fields = mediator.disagreements(disagreeing[0])
+        assert "sequence_text" in fields or "description" in fields
+
+    def test_single_record_fetch(self, setting):
+        __, sources = setting
+        mediator = Mediator(sources)
+        accession = sources[1].accessions()[0]  # EMBL is queryable
+        views = mediator.gene(accession)
+        assert any(view.source == "EMBL" for view in views)
+        assert mediator.gene("NOPE") == []

@@ -1,0 +1,197 @@
+"""Tests for the simulated repositories and their shared universe."""
+
+import pytest
+
+from repro.core.ops import express
+from repro.errors import SourceError
+from repro.sources import (
+    AceRepository,
+    Capabilities,
+    EmblRepository,
+    GenBankRepository,
+    RelationalRepository,
+    SwissProtRepository,
+    Universe,
+    corrupt_sequence,
+)
+
+
+@pytest.fixture(scope="module")
+def universe():
+    return Universe(seed=21, size=40)
+
+
+class TestUniverse:
+    def test_deterministic(self):
+        first = Universe(seed=9, size=10)
+        second = Universe(seed=9, size=10)
+        assert [g.accession for g in first.genes] \
+            == [g.accession for g in second.genes]
+        assert [g.sequence_text for g in first.genes] \
+            == [g.sequence_text for g in second.genes]
+
+    def test_different_seeds_differ(self):
+        first = Universe(seed=1, size=10)
+        second = Universe(seed=2, size=10)
+        assert [g.sequence_text for g in first.genes] \
+            != [g.sequence_text for g in second.genes]
+
+    def test_unique_accessions(self, universe):
+        accessions = [g.accession for g in universe.genes]
+        assert len(set(accessions)) == len(accessions)
+
+    def test_genes_express_cleanly(self, universe):
+        # Every ground-truth gene must translate start-to-stop.
+        for spec in universe.genes[:10]:
+            protein = express(spec.gene)
+            assert str(protein.sequence).startswith("M")
+            assert len(protein.sequence) > 3
+
+    def test_spec_protein_matches_expression(self, universe):
+        for spec in universe.genes[:10]:
+            assert spec.protein.sequence == express(spec.gene).sequence
+
+    def test_spec_lookup(self, universe):
+        spec = universe.genes[0]
+        assert universe.spec(spec.accession) is spec
+
+    def test_corrupt_sequence_changes_content(self):
+        import random
+        original = "ACGT" * 30
+        corrupted = corrupt_sequence(original, random.Random(5),
+                                     mutations=5)
+        assert len(corrupted) == len(original)
+        assert corrupted != original
+
+    def test_corrupt_empty_is_noop(self):
+        import random
+        assert corrupt_sequence("", random.Random(0)) == ""
+
+
+class TestRepositoryLifecycle:
+    def test_initial_coverage(self, universe):
+        repo = GenBankRepository(universe, coverage=0.5)
+        assert len(repo) == 20
+
+    def test_advance_produces_log(self, universe):
+        repo = GenBankRepository(universe)
+        events = repo.advance(10)
+        assert len(events) == 10
+        assert all(e.operation in ("insert", "update", "delete")
+                   for e in events)
+
+    def test_clock_monotonic(self, universe):
+        repo = GenBankRepository(universe)
+        before = repo.clock
+        repo.advance(5)
+        assert repo.clock > before
+
+    def test_update_bumps_version(self, universe):
+        repo = GenBankRepository(universe, error_rate=0.0)
+        for _ in range(50):
+            events = repo.advance(1)
+            if events[0].operation == "update":
+                record = repo.record_state(events[0].accession)
+                assert record.version >= 2
+                return
+        pytest.fail("no update event in 50 steps")
+
+    def test_delete_removes_record(self, universe):
+        repo = GenBankRepository(universe)
+        for _ in range(50):
+            events = repo.advance(1)
+            if events[0].operation == "delete":
+                with pytest.raises(SourceError):
+                    repo.record_state(events[0].accession)
+                return
+        pytest.fail("no delete event in 50 steps")
+
+    def test_error_rate_corrupts_some_records(self, universe):
+        noisy = GenBankRepository(universe, error_rate=1.0, seed=7)
+        clean = GenBankRepository(universe, error_rate=0.0, seed=7)
+        mismatches = sum(
+            1 for accession in noisy.accessions()
+            if noisy.record_state(accession).sequence_text
+            != universe.spec(accession).sequence_text
+        )
+        assert mismatches > 0
+        assert all(
+            clean.record_state(accession).sequence_text
+            == universe.spec(accession).sequence_text
+            for accession in clean.accessions()
+        )
+
+
+class TestCapabilities:
+    def test_genbank_is_snapshot_only(self, universe):
+        repo = GenBankRepository(universe)
+        assert repo.snapshot()
+        with pytest.raises(SourceError):
+            repo.query("GA100000")
+        with pytest.raises(SourceError):
+            repo.read_log()
+        with pytest.raises(SourceError):
+            repo.subscribe(lambda e, r: None)
+
+    def test_embl_is_queryable(self, universe):
+        repo = EmblRepository(universe)
+        accession = repo.accessions()[0]
+        assert repo.query(accession).startswith("ID")
+        assert repo.query("NOPE") is None
+        assert accession in repo.query_accessions()
+
+    def test_swissprot_pushes(self, universe):
+        repo = SwissProtRepository(universe)
+        received = []
+        repo.subscribe(lambda entry, text: received.append(entry))
+        repo.advance(4)
+        assert len(received) == 4
+
+    def test_relational_log(self, universe):
+        repo = RelationalRepository(universe)
+        repo.advance(5)
+        log = repo.read_log()
+        assert len(log) == 5
+        assert repo.read_log(since_sequence_number=3) == log[3:]
+
+    def test_capability_override(self, universe):
+        repo = GenBankRepository(
+            universe, capabilities=Capabilities(queryable=True)
+        )
+        assert repo.query(repo.accessions()[0]) is not None
+
+
+class TestFormats:
+    def test_genbank_record_shape(self, universe):
+        repo = GenBankRepository(universe)
+        record = repo.render_record(
+            repo.record_state(repo.accessions()[0])
+        )
+        for marker in ("LOCUS", "DEFINITION", "ACCESSION", "VERSION",
+                       "ORGANISM", "FEATURES", "ORIGIN", "//"):
+            assert marker in record
+
+    def test_embl_record_shape(self, universe):
+        repo = EmblRepository(universe)
+        record = repo.query(repo.accessions()[0])
+        for marker in ("ID ", "AC ", "DE ", "OS ", "FT ", "SQ ", "//"):
+            assert marker in record
+
+    def test_swissprot_stores_protein(self, universe):
+        repo = SwissProtRepository(universe)
+        record = repo.record_state(repo.accessions()[0])
+        # Protein sequences contain residues outside the DNA alphabet.
+        assert any(ch not in "ACGTN" for ch in record.sequence_text)
+
+    def test_ace_snapshot_is_blocked(self, universe):
+        repo = AceRepository(universe)
+        snapshot = repo.snapshot()
+        blocks = [b for b in snapshot.split("\n\n") if b.strip()]
+        assert len(blocks) == len(repo)
+        assert blocks[0].startswith("Gene :")
+
+    def test_relational_snapshot_has_header(self, universe):
+        repo = RelationalRepository(universe)
+        first_line = repo.snapshot().splitlines()[0]
+        assert first_line.startswith("accession,")
+        assert len(repo.query_rows()) == len(repo)

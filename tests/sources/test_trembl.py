@@ -1,0 +1,90 @@
+"""Tests for the TrEMBL archetype (computer-translated proteins)."""
+
+import pytest
+
+from repro.etl.wrappers import wrapper_for
+from repro.sources import (
+    SwissProtRepository,
+    TrEmblRepository,
+    Universe,
+)
+from repro.warehouse import UnifyingDatabase
+from repro.warehouse.integrator import DEFAULT_RELIABILITY
+
+
+@pytest.fixture(scope="module")
+def universe():
+    return Universe(seed=63, size=40)
+
+
+class TestTrEmbl:
+    def test_stores_derived_proteins(self, universe):
+        repository = TrEmblRepository(universe, coverage=0.8,
+                                      error_rate=0.0)
+        # With zero nucleotide noise the machine translation is exact.
+        for accession in repository.accessions()[:10]:
+            assert repository.record_state(accession).sequence_text \
+                == str(universe.spec(accession).protein.sequence)
+
+    def test_nucleotide_noise_propagates_to_proteins(self, universe):
+        noisy = TrEmblRepository(universe, coverage=0.9, error_rate=0.9)
+        divergent = sum(
+            1 for accession in noisy.accessions()
+            if noisy.record_state(accession).sequence_text
+            != str(universe.spec(accession).protein.sequence)
+        )
+        assert divergent > 0
+
+    def test_renders_swissprot_format(self, universe):
+        repository = TrEmblRepository(universe)
+        record = repository.render_record(
+            repository.record_state(repository.accessions()[0])
+        )
+        assert record.startswith("ID ")
+        assert "SQ   SEQUENCE" in record
+
+    def test_wrapper_parses_trembl(self, universe):
+        repository = TrEmblRepository(universe)
+        wrapper = wrapper_for("TrEMBL")
+        records = wrapper.parse_snapshot(repository.snapshot())
+        assert len(records) == len(repository)
+        assert all(record.protein is not None for record in records)
+
+    def test_not_push_capable_by_default(self, universe):
+        repository = TrEmblRepository(universe)
+        assert repository.capabilities.queryable
+        assert not repository.capabilities.active
+
+    def test_reliability_below_swissprot(self):
+        assert DEFAULT_RELIABILITY["TrEMBL"] < DEFAULT_RELIABILITY["SwissProt"]
+
+
+class TestTrEmblInWarehouse:
+    def test_swissprot_outvotes_trembl(self, universe):
+        swissprot = SwissProtRepository(universe, coverage=1.0,
+                                        error_rate=0.0, seed=3)
+        trembl = TrEmblRepository(universe, coverage=1.0,
+                                  error_rate=0.9, seed=6)
+        warehouse = UnifyingDatabase([swissprot, trembl],
+                                     with_indexes=False)
+        warehouse.initial_load()
+        # Every reconciled protein must equal the curated reading.
+        rows = warehouse.query(
+            "SELECT accession, seq_text(sequence) FROM public_proteins"
+        )
+        assert len(rows) > 0
+        for accession, text in rows:
+            assert text == str(universe.spec(accession).protein.sequence)
+
+    def test_conflicts_recorded_between_protein_sources(self, universe):
+        swissprot = SwissProtRepository(universe, coverage=1.0,
+                                        error_rate=0.0, seed=3)
+        trembl = TrEmblRepository(universe, coverage=1.0,
+                                  error_rate=0.9, seed=6)
+        warehouse = UnifyingDatabase([swissprot, trembl],
+                                     with_indexes=False)
+        warehouse.initial_load()
+        protein_conflicts = warehouse.query(
+            "SELECT count(*) FROM conflicts WHERE field = 'protein'"
+        ).scalar()
+        assert protein_conflicts > 0

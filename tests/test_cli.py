@@ -1,0 +1,34 @@
+"""Tests for the ``python -m repro`` command-line entry point."""
+
+import pytest
+
+from repro.__main__ import main
+
+
+class TestCli:
+    def test_demo_runs(self, capsys):
+        assert main(["demo"]) == 0
+        output = capsys.readouterr().out
+        assert "MAIVR" in output
+        assert "contains" in output
+
+    def test_matrix_runs_and_reproduces(self, capsys):
+        assert main(["matrix"]) == 0
+        output = capsys.readouterr().out
+        assert "GenAlg+UDB" in output
+        assert "Table 1 reproduced: True" in output
+
+    def test_quality_runs(self, capsys):
+        assert main(["quality"]) == 0
+        output = capsys.readouterr().out
+        assert "warehouse" in output
+        assert "%" in output
+
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["frobnicate"])
+        assert excinfo.value.code != 0
+
+    def test_no_command_rejected(self):
+        with pytest.raises(SystemExit):
+            main([])

@@ -1,0 +1,87 @@
+"""Meta-tests: the public API surface is importable and documented."""
+
+import importlib
+import inspect
+
+import pytest
+
+PUBLIC_MODULES = [
+    "repro",
+    "repro.core",
+    "repro.core.types",
+    "repro.core.ops",
+    "repro.core.algebra",
+    "repro.core.ontology",
+    "repro.db",
+    "repro.db.index",
+    "repro.db.storage",
+    "repro.adapter",
+    "repro.sources",
+    "repro.etl",
+    "repro.etl.diff",
+    "repro.etl.wrappers",
+    "repro.warehouse",
+    "repro.mediator",
+    "repro.lang",
+    "repro.lang.biql",
+    "repro.lang.genalgxml",
+    "repro.lang.output",
+    "repro.evaluation",
+]
+
+
+@pytest.mark.parametrize("module_name", PUBLIC_MODULES)
+def test_module_imports_and_has_docstring(module_name):
+    module = importlib.import_module(module_name)
+    assert module.__doc__, f"{module_name} lacks a module docstring"
+
+
+@pytest.mark.parametrize("module_name", [
+    name for name in PUBLIC_MODULES
+    if name not in ("repro.lang.genalgxml", "repro.lang.output",
+                    "repro.db.storage")
+])
+def test_all_exports_resolve(module_name):
+    module = importlib.import_module(module_name)
+    exported = getattr(module, "__all__", None)
+    assert exported is not None, f"{module_name} defines no __all__"
+    for name in exported:
+        assert hasattr(module, name), f"{module_name}.{name} missing"
+
+
+@pytest.mark.parametrize("module_name", PUBLIC_MODULES)
+def test_public_callables_are_documented(module_name):
+    """Every public class/function reachable from __all__ has a docstring."""
+    module = importlib.import_module(module_name)
+    for name in getattr(module, "__all__", []):
+        member = getattr(module, name)
+        if inspect.isclass(member) or inspect.isfunction(member):
+            assert member.__doc__, (
+                f"{module_name}.{name} is public but undocumented"
+            )
+
+
+def test_top_level_exports():
+    import repro
+
+    assert repro.__version__
+    assert callable(repro.genomics_algebra)
+    assert callable(repro.install_genomics)
+    # The headline classes are constructible.
+    algebra = repro.genomics_algebra()
+    assert algebra.signature.has_sort("gene")
+    database = repro.Database()
+    assert database.query("SELECT 1 + 1").scalar() == 2
+
+
+def test_version_matches_pyproject():
+    import re
+    from pathlib import Path
+
+    import repro
+
+    pyproject = Path(__file__).resolve().parent.parent / "pyproject.toml"
+    text = pyproject.read_text()
+    match = re.search(r'version = "([^"]+)"', text)
+    assert match is not None
+    assert repro.__version__ == match.group(1)

@@ -1,0 +1,112 @@
+"""Tests for genome assembly from warehouse contents."""
+
+import pytest
+
+from repro.core import genomics_algebra
+from repro.core.types import Chromosome, DnaSequence, Gene, Genome
+from repro.errors import IntegrationError
+from repro.sources import EmblRepository, Universe
+from repro.warehouse import (
+    UnifyingDatabase,
+    build_chromosome,
+    build_genome,
+    gene_density,
+)
+from repro.warehouse.assembly import SPACER
+
+
+@pytest.fixture(scope="module")
+def warehouse():
+    universe = Universe(seed=91, size=60)
+    warehouse = UnifyingDatabase(
+        [EmblRepository(universe, coverage=1.0, error_rate=0.0)],
+        with_indexes=False,
+    )
+    warehouse.initial_load()
+    return warehouse
+
+
+@pytest.fixture(scope="module")
+def organism(warehouse):
+    return warehouse.query(
+        "SELECT organism FROM public_genes GROUP BY organism "
+        "ORDER BY count(*) DESC LIMIT 1"
+    ).scalar()
+
+
+class TestBuildChromosome:
+    def test_layout(self):
+        genes = [
+            Gene(name="a", sequence=DnaSequence("ATGAAA")),
+            Gene(name="b", sequence=DnaSequence("ATGCCC")),
+        ]
+        chromosome = build_chromosome("chr1", genes)
+        assert isinstance(chromosome, Chromosome)
+        assert str(chromosome.sequence) == ("ATGAAA" + SPACER + "ATGCCC")
+        assert chromosome.genes == tuple(genes)
+
+    def test_features_anchor_genes(self):
+        genes = [
+            Gene(name="a", sequence=DnaSequence("ATGAAA")),
+            Gene(name="b", sequence=DnaSequence("ATGCCC")),
+        ]
+        chromosome = build_chromosome("chr1", genes)
+        features = chromosome.annotations.of_kind("gene")
+        assert len(features) == 2
+        first, second = features
+        assert first.location.start == 0
+        assert second.location.start == 6 + len(SPACER)
+        text = str(chromosome.sequence)
+        span = second.location
+        assert text[span.start:span.end] == "ATGCCC"
+
+    def test_gene_density(self):
+        genes = [Gene(name="a", sequence=DnaSequence("A" * 80))]
+        chromosome = build_chromosome("chr1", genes)
+        assert gene_density(chromosome) == 1.0
+        two = build_chromosome("chr2", genes + [
+            Gene(name="b", sequence=DnaSequence("C" * 80)),
+        ])
+        assert gene_density(two) == pytest.approx(160 / (160 + len(SPACER)))
+
+
+class TestBuildGenome:
+    def test_materializes_all_organism_genes(self, warehouse, organism):
+        genome = build_genome(warehouse, organism)
+        expected = warehouse.query(
+            "SELECT count(*) FROM public_genes WHERE organism = ?",
+            [organism],
+        ).scalar()
+        assert isinstance(genome, Genome)
+        assert sum(len(c.genes) for c in genome.chromosomes) == expected
+
+    def test_chromosome_packing(self, warehouse, organism):
+        genome = build_genome(warehouse, organism,
+                              genes_per_chromosome=2)
+        assert all(len(c.genes) <= 2 for c in genome.chromosomes)
+        assert genome.chromosomes[0].name == "chr1"
+
+    def test_unknown_organism(self, warehouse):
+        with pytest.raises(IntegrationError):
+            build_genome(warehouse, "Martian microbe")
+
+    def test_bad_packing(self, warehouse, organism):
+        with pytest.raises(IntegrationError):
+            build_genome(warehouse, organism, genes_per_chromosome=0)
+
+    def test_algebra_navigates_the_genome(self, warehouse, organism):
+        genome = build_genome(warehouse, organism)
+        algebra = genomics_algebra()
+        gene_name = genome.chromosomes[0].genes[0].name
+        term = algebra.parse(
+            "express(gene_of(chromosome_of(g, 'chr1'), n))",
+            variables={"g": "genome", "n": "string"},
+        )
+        protein = algebra.evaluate(term, {"g": genome, "n": gene_name})
+        assert str(protein.sequence).startswith("M")
+
+    def test_deterministic(self, warehouse, organism):
+        first = build_genome(warehouse, organism)
+        second = build_genome(warehouse, organism)
+        assert [str(c.sequence) for c in first.chromosomes] \
+            == [str(c.sequence) for c in second.chromosomes]

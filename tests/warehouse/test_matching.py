@@ -1,0 +1,127 @@
+"""Tests for the semantic-heterogeneity schema matcher."""
+
+import pytest
+
+from repro.warehouse.matching import (
+    SchemaMatcher,
+    levenshtein,
+    name_similarity,
+    value_overlap,
+)
+
+
+class TestLevenshtein:
+    def test_identical(self):
+        assert levenshtein("abc", "abc") == 0
+
+    def test_classic(self):
+        assert levenshtein("kitten", "sitting") == 3
+
+    def test_empty(self):
+        assert levenshtein("", "abc") == 3
+        assert levenshtein("abc", "") == 3
+
+    def test_symmetric(self):
+        assert levenshtein("organism", "organysm") \
+            == levenshtein("organysm", "organism")
+
+
+class TestNameSimilarity:
+    def test_identical_names(self):
+        assert name_similarity("organism", "organism") == 1.0
+
+    def test_case_and_separators_normalized(self):
+        assert name_similarity("Organism_Name", "organism name") == 1.0
+
+    def test_unrelated_names_score_low(self):
+        assert name_similarity("sequence", "owner") < 0.5
+
+    def test_bounded(self):
+        assert 0.0 <= name_similarity("abc", "xyz") <= 1.0
+
+
+class TestValueOverlap:
+    def test_identical_value_sets(self):
+        assert value_overlap(["E. coli", "yeast"],
+                             ["yeast", "E. coli"]) == 1.0
+
+    def test_disjoint(self):
+        assert value_overlap(["a"], ["b"]) == 0.0
+
+    def test_case_insensitive(self):
+        assert value_overlap(["E. Coli"], ["e. coli"]) == 1.0
+
+    def test_empty_columns(self):
+        assert value_overlap([], ["a"]) == 0.0
+
+    def test_nones_ignored(self):
+        assert value_overlap([None, "a"], ["a", None]) == 1.0
+
+
+class TestSchemaMatcher:
+    @pytest.fixture
+    def matcher(self):
+        return SchemaMatcher()
+
+    def test_exact_name_match(self, matcher):
+        matches = matcher.match(
+            {"organism": ["E. coli"]},
+            {"organism": ["E. coli"], "name": ["lacZ"]},
+        )
+        assert len(matches) == 1
+        assert matches[0].target_field == "organism"
+
+    def test_ontology_synonym_match(self, matcher):
+        # "pre-mRNA" and "primary transcript" are synonyms of GA:0011.
+        match = matcher.score("pre-mRNA", "primary transcript")
+        assert match.ontology_hit
+        assert match.score >= matcher.threshold
+
+    def test_ontology_beats_string_distance(self, matcher):
+        # "cistron" (synonym of gene) vs "gene": no string similarity,
+        # pure ontology hit.
+        match = matcher.score("cistron", "gene")
+        assert match.ontology_hit
+        assert match.name_score < 0.5
+        assert match.score >= matcher.threshold
+
+    def test_value_overlap_contributes(self, matcher):
+        shared = ["Escherichia coli", "Homo sapiens"]
+        with_values = matcher.score("os", "organism", shared, shared)
+        without = matcher.score("os", "organism")
+        assert with_values.score > without.score
+
+    def test_greedy_one_to_one(self, matcher):
+        matches = matcher.match(
+            {"Organism": ["E. coli"], "organism_name": ["E. coli"]},
+            {"organism": ["E. coli"]},
+        )
+        assert len(matches) == 1  # one target used once
+
+    def test_threshold_filters_noise(self, matcher):
+        matches = matcher.match(
+            {"zzz_field": ["1", "2"]},
+            {"organism": ["E. coli"]},
+        )
+        assert matches == []
+
+    def test_realistic_source_alignment(self, matcher):
+        # EMBL-ish field names against the warehouse schema.
+        source = {
+            "OS": ["Escherichia coli", "Mus musculus"],
+            "DE": ["lacZ gene, complete cds"],
+            "sequence_dna": ["ATGC"],
+        }
+        target = {
+            "organism": ["Escherichia coli", "Homo sapiens"],
+            "description": ["trpA gene, partial sequence"],
+            "dna": ["TTAA"],
+        }
+        matches = {m.source_field: m.target_field
+                   for m in matcher.match(source, target)}
+        assert matches.get("OS") == "organism"
+        assert matches.get("sequence_dna") == "dna"
+
+    def test_match_rendering(self, matcher):
+        match = matcher.score("organism", "organism")
+        assert "organism -> organism" in str(match)

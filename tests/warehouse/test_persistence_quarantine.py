@@ -1,0 +1,138 @@
+"""Tests for warehouse persistence and the quarantine path (B10)."""
+
+import pytest
+
+from repro.errors import WrapperError
+from repro.etl.delta import Delta
+from repro.sources import EmblRepository, GenBankRepository, Universe
+from repro.warehouse import UnifyingDatabase
+from repro.warehouse.warehouse import RefreshReport
+
+
+@pytest.fixture
+def setting():
+    universe = Universe(seed=71, size=30)
+    sources = [GenBankRepository(universe), EmblRepository(universe)]
+    warehouse = UnifyingDatabase(sources, with_indexes=False)
+    warehouse.initial_load()
+    return universe, sources, warehouse
+
+
+class TestQuarantine:
+    def test_clean_load_quarantines_nothing(self, setting):
+        __, __, warehouse = setting
+        assert len(warehouse.quarantined()) == 0
+
+    def test_garbage_record_in_snapshot_is_parked(self):
+        universe = Universe(seed=72, size=20)
+        source = GenBankRepository(universe, coverage=0.5)
+        # Sabotage the rendered snapshot: inject an unparseable record.
+        original_snapshot = source.snapshot
+
+        def broken_snapshot():
+            return ("LOCUS       BROKEN\nACCESSION   ZZZ\n"
+                    "VERSION     ZZZ.banana\n//\n" + original_snapshot())
+
+        source.snapshot = broken_snapshot
+        warehouse = UnifyingDatabase([source], with_indexes=False)
+        report = warehouse.initial_load()
+        assert report.records_quarantined == 1
+        assert report.genes_upserted == len(source)
+        parked = warehouse.quarantined()
+        assert len(parked) == 1
+        assert parked.rows[0][0] == "GenBank"
+        assert "VERSION" in parked.rows[0][2]
+
+    def test_bad_delta_is_parked_and_refresh_continues(self, setting):
+        __, sources, warehouse = setting
+        wrapper = warehouse.wrappers["GenBank"]
+        bad_delta = Delta("GenBank", "GAXXXX", "insert", None,
+                          "not parseable at all", 999)
+        report = RefreshReport(mode="incremental")
+        warehouse._apply_delta("GenBank", wrapper, bad_delta, report)
+        assert report.records_quarantined == 1
+        assert report.deltas_processed == 0
+        parked = warehouse.quarantined()
+        assert parked.rows[-1][1] == "GAXXXX"
+        # A good refresh afterwards still works.
+        for source in sources:
+            source.advance(3)
+        assert warehouse.refresh().deltas_processed >= 0
+
+    def test_quarantine_is_public_readonly(self, setting):
+        __, __, warehouse = setting
+        with pytest.raises(Exception):
+            warehouse.execute_user("DELETE FROM quarantine")
+
+
+class TestPersistence:
+    def test_save_restore_round_trip(self, setting, tmp_path):
+        universe, sources, warehouse = setting
+        accession = warehouse.query(
+            "SELECT accession FROM public_genes LIMIT 1"
+        ).scalar()
+        warehouse.annotate("alice", accession, "note before save")
+        path = str(tmp_path / "warehouse.json")
+        warehouse.save(path)
+
+        restored = UnifyingDatabase.restore(path, sources)
+        assert restored.query(
+            "SELECT count(*) FROM public_genes"
+        ).scalar() == warehouse.query(
+            "SELECT count(*) FROM public_genes"
+        ).scalar()
+        assert restored.query(
+            "SELECT note FROM annotations WHERE accession = ?",
+            [accession],
+        ).scalar() == "note before save"
+        # GDT values survive: the gene accessor works.
+        assert restored.gene(accession).accession == accession
+
+    def test_restored_warehouse_refreshes(self, setting, tmp_path):
+        __, sources, warehouse = setting
+        path = str(tmp_path / "warehouse.json")
+        warehouse.save(path)
+        restored = UnifyingDatabase.restore(path, sources)
+        for source in sources:
+            source.advance(5)
+        report = restored.refresh()
+        assert report.deltas_processed > 0
+        covered = set()
+        for source in sources:
+            covered.update(source.accessions())
+        assert set(restored.query(
+            "SELECT accession FROM public_genes"
+        ).column("accession")) == covered
+
+    def test_clock_resumes_past_saved_timestamps(self, setting, tmp_path):
+        __, sources, warehouse = setting
+        path = str(tmp_path / "warehouse.json")
+        warehouse.save(path)
+        restored = UnifyingDatabase.restore(path, sources)
+        assert restored._clock >= warehouse.query(
+            "SELECT max(updated_at) FROM public_genes"
+        ).scalar()
+
+    def test_restore_without_sources_is_queryable(self, setting, tmp_path):
+        __, __, warehouse = setting
+        path = str(tmp_path / "warehouse.json")
+        warehouse.save(path)
+        frozen = UnifyingDatabase.restore(path)
+        # A disappeared repository's knowledge is preserved (C15).
+        assert frozen.query(
+            "SELECT count(*) FROM public_genes"
+        ).scalar() > 0
+        assert len(frozen.sources) == 0
+
+    def test_annotations_writable_after_restore(self, setting, tmp_path):
+        __, sources, warehouse = setting
+        path = str(tmp_path / "warehouse.json")
+        warehouse.save(path)
+        restored = UnifyingDatabase.restore(path, sources)
+        accession = restored.query(
+            "SELECT accession FROM public_genes LIMIT 1"
+        ).scalar()
+        restored.annotate("bob", accession, "post-restore note")
+        assert len(restored.query(
+            "SELECT id FROM annotations WHERE owner = 'bob'"
+        )) == 1

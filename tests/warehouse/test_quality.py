@@ -1,0 +1,84 @@
+"""Tests for the data-quality measurement module (B10/C8)."""
+
+import pytest
+
+from repro.sources import (
+    AceRepository,
+    EmblRepository,
+    GenBankRepository,
+    RelationalRepository,
+    Universe,
+)
+from repro.warehouse import (
+    UnifyingDatabase,
+    accuracy_against_truth,
+    source_quality_report,
+)
+
+
+def build(error_rate, n_sources=4, seed=88, size=40):
+    classes = (GenBankRepository, EmblRepository, AceRepository,
+               RelationalRepository)
+    universe = Universe(seed=seed, size=size)
+    sources = [
+        cls(universe, coverage=0.9, error_rate=error_rate, seed=i + 1)
+        for i, cls in enumerate(classes[:n_sources])
+    ]
+    warehouse = UnifyingDatabase(sources, with_indexes=False)
+    warehouse.initial_load()
+    return universe, warehouse
+
+
+class TestSourceQualityReport:
+    def test_clean_sources_fully_agree(self):
+        __, warehouse = build(error_rate=0.0)
+        report = source_quality_report(warehouse)
+        assert report
+        assert all(entry.sequence_disagreements == 0 for entry in report)
+        assert all(entry.disagreement_rate == 0.0 for entry in report)
+
+    def test_noisy_sources_disagree(self):
+        __, warehouse = build(error_rate=0.5)
+        report = source_quality_report(warehouse)
+        assert sum(entry.sequence_disagreements for entry in report) > 0
+
+    def test_one_entry_per_dna_source(self):
+        __, warehouse = build(error_rate=0.3)
+        report = source_quality_report(warehouse)
+        assert {entry.source for entry in report} == {
+            "GenBank", "EMBL", "AceDB", "RelationalDB",
+        }
+
+    def test_rendering(self):
+        __, warehouse = build(error_rate=0.3)
+        text = str(source_quality_report(warehouse)[0])
+        assert "records" in text
+        assert "%" in text
+
+
+class TestAccuracyAgainstTruth:
+    def test_clean_world_is_perfect(self):
+        universe, warehouse = build(error_rate=0.0)
+        report = accuracy_against_truth(warehouse, universe)
+        assert report.warehouse_accuracy == 1.0
+        assert all(value == 1.0
+                   for value in report.source_accuracy.values())
+
+    def test_noise_lowers_source_accuracy(self):
+        universe, warehouse = build(error_rate=0.5)
+        report = accuracy_against_truth(warehouse, universe)
+        assert report.best_single_source() < 1.0
+
+    def test_voting_beats_mean_source_at_high_noise(self):
+        universe, warehouse = build(error_rate=0.5)
+        report = accuracy_against_truth(warehouse, universe)
+        mean_source = (sum(report.source_accuracy.values())
+                       / len(report.source_accuracy))
+        assert report.warehouse_accuracy > mean_source
+
+    def test_scored_count_matches_public_genes(self):
+        universe, warehouse = build(error_rate=0.2)
+        report = accuracy_against_truth(warehouse, universe)
+        assert report.genes_scored == warehouse.query(
+            "SELECT count(*) FROM public_genes"
+        ).scalar()
