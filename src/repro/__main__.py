@@ -7,7 +7,10 @@ Commands:
 - ``matrix``  — reproduce Table 1 (live capability probes);
 - ``shell``   — an interactive BiQL session over a demo warehouse;
 - ``quality`` — build a noisy multi-source warehouse and print the
-  measured per-source quality report (B10).
+  measured per-source quality report (B10);
+- ``recover`` — rebuild a database from ``image + WAL`` after a crash
+  (``--image``/``--wal``), or run the fault-injection crash matrix
+  (``--self-test``).
 """
 
 from __future__ import annotations
@@ -99,6 +102,38 @@ def _run_quality() -> int:
     return 0
 
 
+def _run_recover(arguments) -> int:
+    from repro.db.recovery import recover, self_test
+
+    if arguments.self_test:
+        return 0 if self_test(verbose=True) else 1
+    if arguments.wal is None:
+        print("recover: --wal is required (or use --self-test)",
+              file=sys.stderr)
+        return 2
+    database = None
+    if arguments.genomics:
+        from repro.adapter import install_genomics
+        from repro.db import Database
+
+        database = Database()
+        install_genomics(database)
+    recovered, report = recover(arguments.image or "", arguments.wal,
+                                database=database)
+    print(f"recovered: {report.summary()}")
+    for name in recovered.catalog.table_names:
+        count = recovered.query(
+            f"SELECT count(*) FROM {name}"
+        ).scalar()
+        print(f"  {name:<20} {count} rows")
+    if arguments.output:
+        from repro.db.storage import save_database
+
+        save_database(recovered, arguments.output)
+        print(f"checkpointed recovered state to {arguments.output}")
+    return 0
+
+
 _COMMANDS = {
     "demo": _run_demo,
     "matrix": _run_matrix,
@@ -114,9 +149,28 @@ def main(argv: "list[str] | None" = None) -> int:
         description="Genomics Algebra + Unifying Database "
                     "(CIDR 2003 reproduction)",
     )
-    parser.add_argument("command", choices=sorted(_COMMANDS),
-                        help="what to run")
+    subparsers = parser.add_subparsers(dest="command", required=True)
+    for name in sorted(_COMMANDS):
+        subparsers.add_parser(name)
+    recover_parser = subparsers.add_parser(
+        "recover", help="rebuild a database from image + WAL",
+    )
+    recover_parser.add_argument("--image", default=None,
+                                help="checkpoint image path")
+    recover_parser.add_argument("--wal", default=None,
+                                help="write-ahead log path")
+    recover_parser.add_argument("--output", default=None,
+                                help="write the recovered state to a "
+                                     "fresh image")
+    recover_parser.add_argument("--genomics", action="store_true",
+                                help="register the genomic UDTs/UDFs "
+                                     "before restoring")
+    recover_parser.add_argument("--self-test", action="store_true",
+                                help="run the fault-injection crash "
+                                     "matrix and exit")
     arguments = parser.parse_args(argv)
+    if arguments.command == "recover":
+        return _run_recover(arguments)
     return _COMMANDS[arguments.command]()
 
 

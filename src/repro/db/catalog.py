@@ -61,6 +61,9 @@ class Catalog:
         self._types: dict[str, OpaqueType] = {}
         self._functions: dict[str, SqlFunction] = {}
         self._aggregates: dict[str, SqlAggregate] = {}
+        # value class -> OpaqueType (or None), so hot serialization paths
+        # don't scan every registered UDT per cell.
+        self._opaque_by_class: dict[type, OpaqueType | None] = {}
 
     # -- tables -----------------------------------------------------------------
 
@@ -100,6 +103,7 @@ class Catalog:
         if opaque.name in self._types:
             raise CatalogError(f"type {opaque.name!r} already registered")
         self._types[opaque.name] = opaque
+        self._opaque_by_class.clear()
 
     def resolve_type(self, name: str) -> SqlType:
         """Look up a type name: built-ins first, then registered UDTs."""
@@ -116,6 +120,22 @@ class Catalog:
             return self._types[name.upper()]
         except KeyError:
             raise CatalogError(f"unknown opaque type {name!r}") from None
+
+    def opaque_type_for(self, value: Any) -> OpaqueType | None:
+        """The registered UDT containing *value*, or ``None`` — memoised
+        per value class (registration order breaks ties, as before)."""
+        klass = type(value)
+        try:
+            return self._opaque_by_class[klass]
+        except KeyError:
+            pass
+        found = None
+        for opaque in self._types.values():
+            if opaque.contains(value):
+                found = opaque
+                break
+        self._opaque_by_class[klass] = found
+        return found
 
     @property
     def type_names(self) -> tuple[str, ...]:

@@ -18,6 +18,7 @@ the whole Genomics Algebra in.
 
 from __future__ import annotations
 
+from contextlib import contextmanager
 from typing import Any, Callable, Iterator, Sequence
 
 from repro.db.catalog import Catalog, SqlAggregate
@@ -148,6 +149,26 @@ class Database:
     def attach_wal(self, writer: Callable[[str, Sequence[Any]], None]) -> None:
         """Attach a write-ahead log sink (called per mutating statement)."""
         self._wal = writer
+
+    def detach_wal(self) -> None:
+        """Remove the write-ahead log sink, if any."""
+        self._wal = None
+
+    @property
+    def wal_sink(self) -> "Callable[[str, Sequence[Any]], None] | None":
+        """The currently attached WAL sink (``None`` when detached)."""
+        return self._wal
+
+    @contextmanager
+    def suppress_wal(self) -> Iterator[None]:
+        """Mute the WAL sink for a block — used by WAL replay so recovery
+        never re-appends the statements it is reading back to their own
+        log."""
+        saved, self._wal = self._wal, None
+        try:
+            yield
+        finally:
+            self._wal = saved
 
     # -- transactions --------------------------------------------------------------
 

@@ -8,18 +8,35 @@ and disk".  At the engine level that means:
   database as one JSON document; opaque UDT values are stored as the hex
   of their own compact serializers (the engine never interprets them);
 - **WAL** (:class:`WriteAheadLog`): every mutating statement appended as
-  one JSON line, replayable after a crash; :func:`checkpoint` writes an
-  image and truncates the log.
+  one JSON line through a persistent handle with buffered **group
+  commit** (``flush_every_n`` / explicit :meth:`~WriteAheadLog.flush` /
+  optional ``fsync``), replayable after a crash;
+- **checkpoints** (:func:`checkpoint`): write an image and *rotate* the
+  log — the active segment is sealed under its generation number, the
+  image records the generation it covers, and only then are covered
+  segments purged.  A crash at any point between those steps loses
+  nothing: recovery (:mod:`repro.db.recovery`) applies the image plus
+  every segment the image does not cover.
 
 Because UDTs and UDFs are *code*, images record only type **names**; a
 loader must re-register the same types and functions first (the adapter
 does this in one call), then :func:`load_database` re-attaches values.
+
+The durability contract of one WAL file:
+
+- the first line is a header record ``{"$wal": 1, "generation": N}``;
+- every other line is ``{"sql": ..., "params": [...]}``;
+- a torn **final** line is a crash mid-append and is dropped on replay;
+- a torn line **followed by valid lines** cannot be a crashed append and
+  is reported as :class:`~repro.errors.StorageError` — silently skipping
+  it would replay a history with a hole in the middle.
 """
 
 from __future__ import annotations
 
 import json
 import os
+import re
 from typing import Any, Sequence
 
 from repro.db.database import Database
@@ -28,6 +45,24 @@ from repro.db.sql import ast
 from repro.db.values import NULL, OpaqueType
 from repro.errors import StorageError
 
+#: The keys every image table/column/index spec must carry; a truncated
+#: or hand-edited image fails with StorageError, never a bare KeyError.
+_TABLE_KEYS = ("name", "columns", "primary_key", "unique", "rows")
+_COLUMN_KEYS = ("name", "type", "not_null", "default")
+_INDEX_KEYS = ("name", "table", "column", "using", "parameters")
+
+_SEGMENT_SUFFIX = re.compile(r"\.(\d{6})$")
+
+
+def _require_keys(spec: Any, keys: Sequence[str], what: str) -> None:
+    if not isinstance(spec, dict) or any(key not in spec for key in keys):
+        missing = ([key for key in keys if key not in spec]
+                   if isinstance(spec, dict) else list(keys))
+        raise StorageError(
+            f"malformed image: {what} is missing {missing!r} "
+            f"(truncated or foreign file?)"
+        )
+
 
 def _encode_value(value: Any, database: Database) -> Any:
     """JSON-encode one cell value, tagging bytes and UDT payloads."""
@@ -35,11 +70,9 @@ def _encode_value(value: Any, database: Database) -> Any:
         return value
     if isinstance(value, (bytes, bytearray)):
         return {"$bytes": bytes(value).hex()}
-    for type_name in database.catalog.type_names:
-        opaque = database.catalog.opaque_type(type_name)
-        if opaque.contains(value):
-            return {"$udt": opaque.name,
-                    "data": opaque.serialize(value).hex()}
+    opaque = database.catalog.opaque_type_for(value)
+    if opaque is not None:
+        return {"$udt": opaque.name, "data": opaque.serialize(value).hex()}
     raise StorageError(
         f"cannot serialize value of type {type(value).__name__}; "
         f"register an OpaqueType for it first"
@@ -57,15 +90,16 @@ def _decode_value(encoded: Any, database: Database) -> Any:
     return encoded
 
 
-def _type_name(column: Column, database: Database) -> str:
-    if isinstance(column.sql_type, OpaqueType):
-        return column.sql_type.name
+def _type_name(column: Column) -> str:
     return column.sql_type.name
 
 
-def save_database(database: Database, path: str) -> None:
-    """Write the full database image (schema + data + index defs) to disk."""
+def build_image(database: Database,
+                wal_generation: int | None = None) -> dict[str, Any]:
+    """The image of *database* as a JSON-ready dict (what gets saved)."""
     image: dict[str, Any] = {"format": 1, "tables": [], "indexes": []}
+    if wal_generation is not None:
+        image["wal_generation"] = wal_generation
     for table_name in database.catalog.table_names:
         table = database.catalog.table(table_name)
         schema = table.schema
@@ -74,7 +108,7 @@ def save_database(database: Database, path: str) -> None:
             "columns": [
                 {
                     "name": column.name,
-                    "type": _type_name(column, database),
+                    "type": _type_name(column),
                     "not_null": column.not_null,
                     "default": _encode_value(column.default, database),
                 }
@@ -95,38 +129,60 @@ def save_database(database: Database, path: str) -> None:
             "using": definition.using,
             "parameters": definition.parameters,
         })
+    return image
+
+
+def save_database(database: Database, path: str,
+                  wal_generation: int | None = None) -> None:
+    """Write the full database image (schema + data + index defs) to disk.
+
+    The write is atomic (temp file + rename), so a crash mid-save leaves
+    the previous image intact.  ``wal_generation`` records which WAL
+    generation this image covers; recovery skips older sealed segments.
+    """
+    image = build_image(database, wal_generation)
     temporary = path + ".tmp"
     with open(temporary, "w", encoding="utf-8") as handle:
         json.dump(image, handle)
+        handle.flush()
+        os.fsync(handle.fileno())
     os.replace(temporary, path)
 
 
-def load_database(path: str, database: Database | None = None) -> Database:
-    """Rebuild a database from an image.
-
-    Pass a *database* that already has the needed UDTs and UDFs
-    registered; a fresh one is created otherwise (then only built-in
-    column types can be restored).
-    """
-    database = database or Database()
+def read_image(path: str) -> dict[str, Any]:
+    """Read and format-check an image document without restoring it."""
     try:
         with open(path, encoding="utf-8") as handle:
             image = json.load(handle)
     except (OSError, json.JSONDecodeError) as exc:
-        raise StorageError(f"cannot read database image {path!r}: {exc}")
-    if image.get("format") != 1:
-        raise StorageError(f"unsupported image format {image.get('format')!r}")
+        raise StorageError(
+            f"cannot read database image {path!r}: {exc}"
+        ) from exc
+    if not isinstance(image, dict) or image.get("format") != 1:
+        raise StorageError(
+            f"unsupported image format "
+            f"{image.get('format') if isinstance(image, dict) else image!r}"
+        )
+    _require_keys(image, ("tables", "indexes"), "image")
+    return image
 
+
+def restore_image(image: dict[str, Any],
+                  database: Database | None = None) -> Database:
+    """Rebuild a database from an already-read image document."""
+    database = database or Database()
     for table_spec in image["tables"]:
-        columns = [
-            Column(
+        _require_keys(table_spec, _TABLE_KEYS, "table spec")
+        columns = []
+        for column_spec in table_spec["columns"]:
+            _require_keys(column_spec, _COLUMN_KEYS,
+                          f"column spec of table {table_spec['name']!r}")
+            columns.append(Column(
                 column_spec["name"],
                 database.catalog.resolve_type(column_spec["type"]),
                 not_null=column_spec["not_null"],
                 default=_decode_value(column_spec["default"], database),
-            )
-            for column_spec in table_spec["columns"]
-        ]
+            ))
         schema = TableSchema(
             table_spec["name"], columns,
             table_spec["primary_key"], tuple(table_spec["unique"]),
@@ -138,6 +194,7 @@ def load_database(path: str, database: Database | None = None) -> Database:
             ])
 
     for index_spec in image["indexes"]:
+        _require_keys(index_spec, _INDEX_KEYS, "index spec")
         statement = ast.CreateIndex(
             index_spec["name"], index_spec["table"], index_spec["column"],
             index_spec["using"], dict(index_spec["parameters"]),
@@ -146,61 +203,309 @@ def load_database(path: str, database: Database | None = None) -> Database:
     return database
 
 
-class WriteAheadLog:
-    """A JSON-lines statement log.
+def load_database(path: str, database: Database | None = None) -> Database:
+    """Rebuild a database from an image.
 
-    Attach with :meth:`attach`; every mutating statement outside a
-    transaction (and every committed transaction's statements) is
-    appended with its parameters.  :meth:`replay` re-executes the log
-    against a database restored from the last checkpoint image.
+    Pass a *database* that already has the needed UDTs and UDFs
+    registered; a fresh one is created otherwise (then only built-in
+    column types can be restored).
     """
+    return restore_image(read_image(path), database)
 
-    def __init__(self, path: str, database: Database) -> None:
-        self.path = path
-        self._database = database
 
-    def attach(self) -> None:
-        self._database.attach_wal(self._write)
+def _header_record(generation: int) -> str:
+    return json.dumps({"$wal": 1, "generation": generation}) + "\n"
 
-    def _write(self, sql: str, parameters: Sequence[Any]) -> None:
-        record = {
-            "sql": sql,
-            "params": [_encode_value(value, self._database)
-                       for value in parameters],
-        }
-        with open(self.path, "a", encoding="utf-8") as handle:
-            handle.write(json.dumps(record) + "\n")
 
-    def replay(self, target: Database | None = None) -> int:
-        """Re-execute logged statements; returns how many were applied."""
-        target = target or self._database
-        if not os.path.exists(self.path):
-            return 0
-        applied = 0
-        with open(self.path, encoding="utf-8") as handle:
-            for line_number, line in enumerate(handle, 1):
+def segment_generation(path: str) -> int | None:
+    """The generation stamped in a WAL file's header line, or ``None``."""
+    try:
+        with open(path, encoding="utf-8") as handle:
+            for line in handle:
                 line = line.strip()
                 if not line:
                     continue
                 try:
                     record = json.loads(line)
                 except json.JSONDecodeError:
-                    # A torn final record (crash mid-append) ends replay.
-                    break
-                parameters = [_decode_value(value, target)
-                              for value in record["params"]]
-                target.execute(record["sql"], parameters)
-                applied += 1
+                    return None
+                if isinstance(record, dict) and "$wal" in record:
+                    return int(record.get("generation", 0))
+                return None
+    except OSError:
+        return None
+    return None
+
+
+def read_wal_records(path: str, *,
+                     allow_torn_tail: bool = True) -> tuple[list[dict], bool]:
+    """Parse one WAL file into records (headers dropped).
+
+    Returns ``(records, torn_tail)``.  A torn record anywhere but the
+    final line — or a torn final line when ``allow_torn_tail`` is false —
+    raises :class:`StorageError`: a hole in the middle of the history is
+    corruption, not a crashed append.
+    """
+    with open(path, encoding="utf-8") as handle:
+        lines = handle.readlines()
+    records: list[dict] = []
+    for index, line in enumerate(lines):
+        stripped = line.strip()
+        if not stripped:
+            continue
+        try:
+            record = json.loads(stripped)
+        except json.JSONDecodeError as exc:
+            if any(later.strip() for later in lines[index + 1:]):
+                raise StorageError(
+                    f"torn WAL record at {path}:{index + 1} is followed "
+                    f"by valid records; the log is corrupt, refusing to "
+                    f"replay around the hole"
+                ) from exc
+            if not allow_torn_tail:
+                raise StorageError(
+                    f"torn WAL record at {path}:{index + 1}"
+                ) from exc
+            return records, True
+        if isinstance(record, dict) and "$wal" in record:
+            continue
+        if not isinstance(record, dict) or "sql" not in record \
+                or "params" not in record:
+            raise StorageError(
+                f"malformed WAL record at {path}:{index + 1}: {record!r}"
+            )
+        records.append(record)
+    return records, False
+
+
+def apply_wal_records(records: Sequence[dict], target: Database) -> int:
+    """Re-execute parsed WAL records with the target's WAL sink muted."""
+    applied = 0
+    with target.suppress_wal():
+        for record in records:
+            parameters = [_decode_value(value, target)
+                          for value in record["params"]]
+            target.execute(record["sql"], parameters)
+            applied += 1
+    return applied
+
+
+class WriteAheadLog:
+    """A JSON-lines statement log with group commit and rotation.
+
+    Attach with :meth:`attach`; every mutating statement outside a
+    transaction (and every committed transaction's statements) is
+    appended with its parameters.  Appends go through one persistent
+    handle; ``flush_every_n`` batches them into group commits (an
+    explicit :meth:`flush` or :meth:`close` always drains, ``fsync=True``
+    additionally forces the records to stable storage on each flush).
+    ``reopen_each=True`` restores the legacy open-append-close behaviour
+    per statement — kept only as the ablation baseline for
+    ``benchmarks/bench_ablation_recovery.py``.
+
+    :meth:`replay` re-executes the log against a database restored from
+    the last checkpoint image, with the target's WAL sink suppressed so
+    replay never re-appends to the log it is reading.
+    """
+
+    def __init__(self, path: str, database: Database, *,
+                 flush_every_n: int = 1, fsync: bool = False,
+                 reopen_each: bool = False) -> None:
+        self.path = path
+        self._database = database
+        self.flush_every_n = max(1, int(flush_every_n))
+        self.fsync = fsync
+        self._reopen_each = reopen_each
+        self._handle = None
+        self._pending = 0
+        self._generation = self._initial_generation()
+
+    # -- lifecycle -------------------------------------------------------------
+
+    @property
+    def generation(self) -> int:
+        """The generation of the active (appendable) segment."""
+        return self._generation
+
+    def _initial_generation(self) -> int:
+        if os.path.exists(self.path):
+            header = segment_generation(self.path)
+            if header is not None:
+                return header
+        sealed = self.sealed_segments()
+        if sealed:
+            return sealed[-1][0] + 1
+        return 0
+
+    def attach(self) -> None:
+        self._database.attach_wal(self.append)
+
+    def __enter__(self) -> "WriteAheadLog":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
+
+    def flush(self) -> None:
+        """Drain buffered records to the OS (and to disk with ``fsync``)."""
+        if self._handle is not None:
+            self._handle.flush()
+            if self.fsync:
+                os.fsync(self._handle.fileno())
+        self._pending = 0
+
+    def close(self) -> None:
+        """Flush and release the persistent handle."""
+        if self._handle is not None:
+            self.flush()
+            self._handle.close()
+            self._handle = None
+
+    # -- appending -------------------------------------------------------------
+
+    def _file_is_blank(self) -> bool:
+        return (not os.path.exists(self.path)
+                or os.path.getsize(self.path) == 0)
+
+    def append(self, sql: str, parameters: Sequence[Any]) -> None:
+        """Log one mutating statement (the attached sink entry point)."""
+        record = {
+            "sql": sql,
+            "params": [_encode_value(value, self._database)
+                       for value in parameters],
+        }
+        line = json.dumps(record) + "\n"
+        if self._reopen_each:
+            blank = self._file_is_blank()
+            with open(self.path, "a", encoding="utf-8") as handle:
+                if blank:
+                    handle.write(_header_record(self._generation))
+                handle.write(line)
+            return
+        if self._handle is None:
+            blank = self._file_is_blank()
+            self._handle = open(self.path, "a", encoding="utf-8")
+            if blank:
+                self._handle.write(_header_record(self._generation))
+        self._handle.write(line)
+        self._pending += 1
+        if self._pending >= self.flush_every_n:
+            self.flush()
+
+    # -- segments ---------------------------------------------------------------
+
+    def sealed_segments(self) -> list[tuple[int, str]]:
+        """Sealed segment files next to the log, ``(generation, path)``
+        in ascending generation order."""
+        directory, base = os.path.split(self.path)
+        directory = directory or "."
+        segments: list[tuple[int, str]] = []
+        try:
+            entries = os.listdir(directory)
+        except OSError:
+            return []
+        for entry in entries:
+            if not entry.startswith(base + "."):
+                continue
+            match = _SEGMENT_SUFFIX.search(entry)
+            if match and entry == f"{base}.{match.group(1)}":
+                segments.append((int(match.group(1)),
+                                 os.path.join(directory, entry)))
+        segments.sort()
+        return segments
+
+    def rotate(self) -> str | None:
+        """Seal the active segment and start a fresh one.
+
+        Returns the sealed segment's path, or ``None`` when the active
+        log holds no records (nothing to seal).  Statements appended
+        after rotation land in the new segment, so a checkpoint image
+        written *after* :meth:`rotate` can never swallow them.
+        """
+        self.close()
+        if self._file_is_blank():
+            open(self.path, "a", encoding="utf-8").close()
+            return None
+        if not read_wal_records(self.path)[0]:
+            # Header-only (or blank-line) file: nothing to seal.
+            open(self.path, "w", encoding="utf-8").close()
+            return None
+        sealed_path = f"{self.path}.{self._generation:06d}"
+        os.replace(self.path, sealed_path)
+        self._generation += 1
+        open(self.path, "w", encoding="utf-8").close()
+        return sealed_path
+
+    def purge(self, before_generation: int | None = None) -> list[str]:
+        """Delete sealed segments older than *before_generation*
+        (default: everything the current image generation covers)."""
+        horizon = (self._generation if before_generation is None
+                   else before_generation)
+        removed = []
+        for generation, path in self.sealed_segments():
+            if generation < horizon:
+                os.remove(path)
+                removed.append(path)
+        return removed
+
+    # -- replay ------------------------------------------------------------------
+
+    def replay(self, target: Database | None = None, *,
+               suppress: bool = True) -> int:
+        """Re-execute logged statements; returns how many were applied.
+
+        The target's WAL sink is suppressed for the duration, so replay
+        is idempotent with respect to the log file itself.  With
+        ``suppress=False`` the call refuses to proceed when the target's
+        sink is this log (or another log over the same file): replaying
+        into your own sink doubles the log on every recovery.
+        """
+        target = target or self._database
+        if not suppress:
+            sink = target.wal_sink
+            owner = getattr(sink, "__self__", None)
+            if isinstance(owner, WriteAheadLog) and \
+                    os.path.abspath(owner.path) == os.path.abspath(self.path):
+                raise StorageError(
+                    f"refusing to replay {self.path!r} into a database "
+                    f"whose WAL sink appends to the same file; replay "
+                    f"with suppress=True (the default)"
+                )
+        self.flush()
+        if not os.path.exists(self.path):
+            return 0
+        records, _ = read_wal_records(self.path, allow_torn_tail=True)
+        if suppress:
+            return apply_wal_records(records, target)
+        applied = 0
+        for record in records:
+            parameters = [_decode_value(value, target)
+                          for value in record["params"]]
+            target.execute(record["sql"], parameters)
+            applied += 1
         return applied
 
     def truncate(self) -> None:
+        """Reset the active segment in place (generation unchanged)."""
+        self.close()
         with open(self.path, "w", encoding="utf-8"):
             pass
 
 
 def checkpoint(database: Database, image_path: str,
                wal: WriteAheadLog | None = None) -> None:
-    """Write an image and (if given) truncate the WAL."""
-    save_database(database, image_path)
-    if wal is not None:
-        wal.truncate()
+    """Write an image and (if given) rotate-then-purge the WAL.
+
+    The order is crash-safe: (1) the active segment is sealed under its
+    generation, so statements logged while the image is being written go
+    to the *next* segment; (2) the image records the new generation;
+    (3) only segments the image covers are purged.  A crash after any
+    single step leaves a state :func:`repro.db.recovery.recover` restores
+    exactly — nothing is blindly truncated.
+    """
+    if wal is None:
+        save_database(database, image_path)
+        return
+    wal.rotate()
+    save_database(database, image_path, wal_generation=wal.generation)
+    wal.purge(before_generation=wal.generation)

@@ -22,8 +22,9 @@ round-trips.
 
 from __future__ import annotations
 
+from contextlib import contextmanager
 from dataclasses import dataclass, field
-from typing import Callable, Iterable, Sequence
+from typing import Callable, Iterable, Iterator, Sequence
 
 from repro.core.ops import contains as motif_contains
 from repro.errors import MediatorError
@@ -62,9 +63,31 @@ class LiveSourceWrapper:
         self.repository = repository
         self.wrapper: Wrapper = wrapper_for(repository.name)
         self._cost = cost
+        self._memo: list[ParsedRecord] | None = None
+        self._memo_active = False
+
+    def begin_query(self) -> None:
+        """Open a per-query memo scope: repeated extractions within one
+        mediator query reuse the first dump, so a non-queryable source
+        is shipped and parsed at most once per query.  Freshness is
+        untouched — the memo dies with the query."""
+        self._memo_active = True
+        self._memo = None
+
+    def end_query(self) -> None:
+        self._memo_active = False
+        self._memo = None
 
     def fetch_all(self) -> list[ParsedRecord]:
         """Extract every record, at query time."""
+        if self._memo is not None:
+            return self._memo
+        records = self._extract_all()
+        if self._memo_active:
+            self._memo = records
+        return records
+
+    def _extract_all(self) -> list[ParsedRecord]:
         if self.repository.capabilities.queryable:
             records = []
             for accession in self.repository.query_accessions():
@@ -133,6 +156,17 @@ class Mediator:
     def source_names(self) -> tuple[str, ...]:
         return tuple(w.repository.name for w in self.wrappers)
 
+    @contextmanager
+    def _query_scope(self) -> Iterator[None]:
+        """One mediator query = one extraction per source, at most."""
+        for wrapper in self.wrappers:
+            wrapper.begin_query()
+        try:
+            yield
+        finally:
+            for wrapper in self.wrappers:
+                wrapper.end_query()
+
     # -- the global-schema query API ----------------------------------------------
 
     def _gene_rows(self) -> Iterable[MediatedGene]:
@@ -164,29 +198,28 @@ class Mediator:
         """
         self.cost.queries_answered += 1
         answers: list[MediatedGene] = []
-        for row in self._gene_rows():
-            if organism is not None and row.organism != organism:
-                continue
-            if name_prefix is not None and not (
-                row.name or ""
-            ).startswith(name_prefix):
-                continue
-            if min_length is not None and row.length < min_length:
-                continue
-            if contains_motif is not None:
-                from repro.core.types import DnaSequence
-
-                if not motif_contains(DnaSequence(row.sequence_text),
-                                      contains_motif):
+        with self._query_scope():
+            for row in self._gene_rows():
+                if organism is not None and row.organism != organism:
                     continue
-            if predicate is not None and not predicate(row):
-                continue
-            answers.append(row)
+                if name_prefix is not None and not (
+                    row.name or ""
+                ).startswith(name_prefix):
+                    continue
+                if min_length is not None and row.length < min_length:
+                    continue
+                if contains_motif is not None:
+                    from repro.core.types import DnaSequence
+
+                    if not motif_contains(DnaSequence(row.sequence_text),
+                                          contains_motif):
+                        continue
+                if predicate is not None and not predicate(row):
+                    continue
+                answers.append(row)
         return answers
 
-    def gene(self, accession: str) -> list[MediatedGene]:
-        """All source views of one accession (unreconciled, C8)."""
-        self.cost.queries_answered += 1
+    def _gene_views(self, accession: str) -> list[MediatedGene]:
         answers = []
         for wrapper in self.wrappers:
             record = wrapper.fetch(accession)
@@ -200,6 +233,25 @@ class Mediator:
                     sequence_text=str(record.dna),
                 ))
         return answers
+
+    def gene(self, accession: str) -> list[MediatedGene]:
+        """All source views of one accession (unreconciled, C8)."""
+        self.cost.queries_answered += 1
+        with self._query_scope():
+            return self._gene_views(accession)
+
+    def genes(self, accessions: Sequence[str]) -> dict[str,
+                                                       list[MediatedGene]]:
+        """Batch lookup: many accessions, ONE query.
+
+        Inside the shared query scope a non-queryable source ships its
+        dump once for the whole batch, not once per accession — the
+        per-query memo is what keeps :class:`MediationCost` honest here.
+        """
+        self.cost.queries_answered += 1
+        with self._query_scope():
+            return {accession: self._gene_views(accession)
+                    for accession in accessions}
 
     def count_genes(self, **filters) -> int:
         return len(self.find_genes(**filters))

@@ -87,6 +87,7 @@ class UnifyingDatabase:
         self.integrator = Integrator(reliability)
         self.refresh_policy = refresh_policy
         self._clock = 0
+        self.wal = None
         self.sources: dict[str, Repository] = {}
         self.monitors: dict[str, SourceMonitor] = {}
         self.wrappers: dict[str, Wrapper] = {}
@@ -488,6 +489,27 @@ class UnifyingDatabase:
 
         save_database(self.db, path)
 
+    def attach_wal(self, path: str, *, flush_every_n: int = 1,
+                   fsync: bool = False):
+        """Log every warehouse mutation to a write-ahead log at *path*.
+
+        ``flush_every_n`` enables group commit for heavy load paths; call
+        :meth:`checkpoint` periodically to bound the log (the WAL is
+        rotated, never blindly truncated).
+        """
+        from repro.db.storage import WriteAheadLog
+
+        self.wal = WriteAheadLog(path, self.db,
+                                 flush_every_n=flush_every_n, fsync=fsync)
+        self.wal.attach()
+        return self.wal
+
+    def checkpoint(self, image_path: str) -> None:
+        """Write an image and rotate the attached WAL (crash-safe)."""
+        from repro.db.storage import checkpoint
+
+        checkpoint(self.db, image_path, self.wal)
+
     @classmethod
     def restore(
         cls,
@@ -495,8 +517,13 @@ class UnifyingDatabase:
         sources: Sequence[Repository] = (),
         reliability: dict[str, float] | None = None,
         refresh_policy: str = "auto",
+        wal_path: str | None = None,
     ) -> "UnifyingDatabase":
         """Rebuild a warehouse from a saved image.
+
+        With *wal_path*, the image is treated as the last checkpoint and
+        every write-ahead-log segment it does not cover is replayed on
+        top — the full crash-recovery path, UDTs included.
 
         Monitors re-baseline against the *current* source state, so only
         changes after the restore are picked up incrementally; to also
@@ -508,9 +535,15 @@ class UnifyingDatabase:
         warehouse = cls.__new__(cls)
         warehouse.db = Database()
         install_genomics(warehouse.db)
-        load_database(path, warehouse.db)
+        if wal_path is not None:
+            from repro.db.recovery import recover
+
+            recover(path, wal_path, database=warehouse.db)
+        else:
+            load_database(path, warehouse.db)
         warehouse.integrator = Integrator(reliability)
         warehouse.refresh_policy = refresh_policy
+        warehouse.wal = None
         warehouse.sources = {}
         warehouse.monitors = {}
         warehouse.wrappers = {}

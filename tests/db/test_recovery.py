@@ -1,0 +1,415 @@
+"""Recovery-matrix tests: crash consistency of image + WAL + checkpoint.
+
+The headline regression: ``WriteAheadLog.replay()`` used to drive every
+replayed statement through ``Database.execute``, whose WAL hook appended
+it straight back to the log file being read — doubling the log on every
+recovery.  These tests pin the fixed contract: replay never grows the
+log, recovery is idempotent across repeated crashes, and every corner
+of the crash matrix (torn tail, torn middle, mid-checkpoint crash,
+generation skew, missing image) restores the reference state exactly.
+"""
+
+import json
+import os
+
+import pytest
+
+from repro.adapter import install_genomics
+from repro.core.types import DnaSequence
+from repro.db import Database
+from repro.db.recovery import (
+    databases_equal,
+    recover,
+    run_crash_matrix,
+    self_test,
+)
+from repro.db.storage import (
+    WriteAheadLog,
+    checkpoint,
+    load_database,
+    read_wal_records,
+    save_database,
+)
+from repro.errors import StorageError
+
+
+@pytest.fixture
+def db():
+    database = Database()
+    database.execute("CREATE TABLE t (id INTEGER PRIMARY KEY, v TEXT)")
+    database.execute("INSERT INTO t VALUES (1, 'a'), (2, 'b')")
+    return database
+
+
+def genomic_db():
+    database = Database()
+    install_genomics(database)
+    return database
+
+
+class TestReplaySelfAppendRegression:
+    def test_replay_leaves_log_bytes_unchanged(self, db, tmp_path):
+        image = str(tmp_path / "image.json")
+        wal_path = str(tmp_path / "wal.jsonl")
+        save_database(db, image)
+        wal = WriteAheadLog(wal_path, db)
+        wal.attach()
+        db.execute("INSERT INTO t VALUES (3, 'c')")
+        db.execute("UPDATE t SET v = 'x' WHERE id = 1")
+        wal.close()
+        size_before = os.path.getsize(wal_path)
+
+        recovered = load_database(image)
+        attached = WriteAheadLog(wal_path, recovered)
+        attached.attach()  # the sink points at the log being replayed
+        applied = attached.replay()
+        attached.flush()
+
+        assert applied == 2
+        assert os.path.getsize(wal_path) == size_before
+
+    def test_replay_crash_replay_is_idempotent(self, db, tmp_path):
+        image = str(tmp_path / "image.json")
+        wal_path = str(tmp_path / "wal.jsonl")
+        save_database(db, image)
+        wal = WriteAheadLog(wal_path, db)
+        wal.attach()
+        db.execute("INSERT INTO t VALUES (3, 'c')")
+        wal.close()
+        size = os.path.getsize(wal_path)
+
+        for _ in range(3):  # recover, "crash", recover again ...
+            recovered = load_database(image)
+            attached = WriteAheadLog(wal_path, recovered)
+            attached.attach()
+            attached.replay()
+            attached.flush()
+            assert os.path.getsize(wal_path) == size
+            assert recovered.query(
+                "SELECT count(*) FROM t"
+            ).scalar() == 3
+
+    def test_unsuppressed_replay_into_own_sink_refused(self, db, tmp_path):
+        wal_path = str(tmp_path / "wal.jsonl")
+        wal = WriteAheadLog(wal_path, db)
+        wal.attach()
+        db.execute("INSERT INTO t VALUES (3, 'c')")
+        wal.close()
+        with pytest.raises(StorageError):
+            wal.replay(suppress=False)
+
+    def test_unsuppressed_replay_into_other_log_allowed(self, db, tmp_path):
+        first = str(tmp_path / "a.jsonl")
+        second = str(tmp_path / "b.jsonl")
+        wal = WriteAheadLog(first, db)
+        wal.attach()
+        db.execute("INSERT INTO t VALUES (3, 'c')")
+        wal.close()
+
+        target = Database()
+        target.execute("CREATE TABLE t (id INTEGER PRIMARY KEY, v TEXT)")
+        other = WriteAheadLog(second, target)
+        other.attach()
+        assert WriteAheadLog(first, target).replay(
+            target, suppress=False
+        ) == 1
+        other.close()
+        records, _ = read_wal_records(second)
+        assert len(records) == 1  # forwarded to the *other* log
+
+    def test_suppression_restored_after_replay(self, db, tmp_path):
+        wal_path = str(tmp_path / "wal.jsonl")
+        wal = WriteAheadLog(wal_path, db)
+        wal.attach()
+        db.execute("INSERT INTO t VALUES (3, 'c')")
+        target = Database()
+        target.execute("CREATE TABLE t (id INTEGER PRIMARY KEY, v TEXT)")
+        wal.replay(target)  # replays elsewhere, sink must survive
+        db.execute("INSERT INTO t VALUES (4, 'd')")
+        wal.close()
+        records, _ = read_wal_records(wal_path)
+        assert [r["params"][0] if r["params"] else None
+                for r in records] == [None, None]
+        assert len(records) == 2
+
+
+class TestTornRecordTaxonomy:
+    def _logged(self, db, tmp_path, count=4):
+        wal_path = str(tmp_path / "wal.jsonl")
+        wal = WriteAheadLog(wal_path, db)
+        wal.attach()
+        for index in range(count):
+            db.execute("INSERT INTO t VALUES (?, 'x')", [10 + index])
+        wal.close()
+        return wal_path
+
+    def test_torn_final_record_dropped(self, db, tmp_path):
+        wal_path = self._logged(db, tmp_path)
+        with open(wal_path, "a", encoding="utf-8") as handle:
+            handle.write('{"sql": "INSERT INTO t VAL')
+        target = Database()
+        target.execute("CREATE TABLE t (id INTEGER PRIMARY KEY, v TEXT)")
+        assert WriteAheadLog(wal_path, target).replay(target) == 4
+
+    def test_torn_middle_record_is_corruption(self, db, tmp_path):
+        wal_path = self._logged(db, tmp_path)
+        lines = open(wal_path, encoding="utf-8").readlines()
+        lines[2] = lines[2][: len(lines[2]) // 2].rstrip() + "\n"
+        with open(wal_path, "w", encoding="utf-8") as handle:
+            handle.writelines(lines)
+        target = Database()
+        target.execute("CREATE TABLE t (id INTEGER PRIMARY KEY, v TEXT)")
+        with pytest.raises(StorageError):
+            WriteAheadLog(wal_path, target).replay(target)
+
+    def test_malformed_but_valid_json_record_rejected(self, db, tmp_path):
+        wal_path = self._logged(db, tmp_path, count=1)
+        with open(wal_path, "a", encoding="utf-8") as handle:
+            handle.write(json.dumps({"not": "a record"}) + "\n")
+        with pytest.raises(StorageError):
+            read_wal_records(wal_path)
+
+    def test_strict_mode_rejects_torn_tail(self, db, tmp_path):
+        wal_path = self._logged(db, tmp_path)
+        with open(wal_path, "a", encoding="utf-8") as handle:
+            handle.write('{"sql": "INSERT INTO t VAL')
+        with pytest.raises(StorageError):
+            read_wal_records(wal_path, allow_torn_tail=False)
+
+
+class TestGroupCommit:
+    def test_unflushed_records_invisible_flushed_visible(self, db,
+                                                         tmp_path):
+        wal_path = str(tmp_path / "wal.jsonl")
+        wal = WriteAheadLog(wal_path, db, flush_every_n=3)
+        wal.attach()
+        db.execute("INSERT INTO t VALUES (10, 'x')")
+        db.execute("INSERT INTO t VALUES (11, 'x')")
+        on_disk, _ = (read_wal_records(wal_path)
+                      if os.path.exists(wal_path) else ([], False))
+        assert len(on_disk) < 2  # still inside the group-commit window
+        db.execute("INSERT INTO t VALUES (12, 'x')")
+        on_disk, _ = read_wal_records(wal_path)
+        assert len(on_disk) == 3  # the third append crossed the boundary
+        wal.close()
+
+    def test_explicit_flush_drains(self, db, tmp_path):
+        wal_path = str(tmp_path / "wal.jsonl")
+        wal = WriteAheadLog(wal_path, db, flush_every_n=100)
+        wal.attach()
+        db.execute("INSERT INTO t VALUES (10, 'x')")
+        wal.flush()
+        records, _ = read_wal_records(wal_path)
+        assert len(records) == 1
+        wal.close()
+
+    def test_close_drains(self, db, tmp_path):
+        wal_path = str(tmp_path / "wal.jsonl")
+        with WriteAheadLog(wal_path, db, flush_every_n=100) as wal:
+            wal.attach()
+            db.execute("INSERT INTO t VALUES (10, 'x')")
+        records, _ = read_wal_records(wal_path)
+        assert len(records) == 1
+
+    def test_fsync_mode_writes_records(self, db, tmp_path):
+        wal_path = str(tmp_path / "wal.jsonl")
+        wal = WriteAheadLog(wal_path, db, fsync=True)
+        wal.attach()
+        db.execute("INSERT INTO t VALUES (10, 'x')")
+        wal.close()
+        records, _ = read_wal_records(wal_path)
+        assert len(records) == 1
+
+
+class TestExecutemanyLogging:
+    def test_executemany_outside_transaction(self, db, tmp_path):
+        wal_path = str(tmp_path / "wal.jsonl")
+        wal = WriteAheadLog(wal_path, db, flush_every_n=4)
+        wal.attach()
+        db.executemany("INSERT INTO t VALUES (?, ?)",
+                       [(10, "x"), (11, "y"), (12, "z")])
+        wal.close()
+        records, _ = read_wal_records(wal_path)
+        assert len(records) == 3
+        target = Database()
+        target.execute("CREATE TABLE t (id INTEGER PRIMARY KEY, v TEXT)")
+        assert WriteAheadLog(wal_path, target).replay(target) == 3
+
+    def test_executemany_inside_committed_transaction(self, db, tmp_path):
+        wal_path = str(tmp_path / "wal.jsonl")
+        wal = WriteAheadLog(wal_path, db)
+        wal.attach()
+        db.begin()
+        db.executemany("INSERT INTO t VALUES (?, ?)",
+                       [(10, "x"), (11, "y")])
+        db.commit()
+        wal.close()
+        records, _ = read_wal_records(wal_path)
+        assert len(records) == 2
+
+    def test_executemany_inside_rolled_back_transaction(self, db,
+                                                        tmp_path):
+        wal_path = str(tmp_path / "wal.jsonl")
+        wal = WriteAheadLog(wal_path, db)
+        wal.attach()
+        db.begin()
+        db.executemany("INSERT INTO t VALUES (?, ?)", [(10, "x")])
+        db.rollback()
+        wal.close()
+        assert not os.path.exists(wal_path) \
+            or read_wal_records(wal_path)[0] == []
+
+
+class TestCheckpointRotation:
+    def test_checkpoint_seals_and_purges(self, db, tmp_path):
+        image = str(tmp_path / "image.json")
+        wal_path = str(tmp_path / "wal.jsonl")
+        wal = WriteAheadLog(wal_path, db)
+        wal.attach()
+        db.execute("INSERT INTO t VALUES (3, 'c')")
+        checkpoint(db, image, wal)
+        assert wal.generation == 1
+        assert wal.sealed_segments() == []  # covered segment purged
+        assert read_wal_records(wal_path)[0] == []
+
+    def test_statements_after_checkpoint_survive(self, db, tmp_path):
+        image = str(tmp_path / "image.json")
+        wal_path = str(tmp_path / "wal.jsonl")
+        wal = WriteAheadLog(wal_path, db)
+        wal.attach()
+        db.execute("INSERT INTO t VALUES (3, 'c')")
+        checkpoint(db, image, wal)
+        db.execute("INSERT INTO t VALUES (4, 'd')")
+        wal.close()
+        recovered, report = recover(image, wal_path)
+        assert recovered.query("SELECT count(*) FROM t").scalar() == 4
+        assert report.statements_applied == 1
+
+    def test_crash_between_rotate_and_image(self, db, tmp_path):
+        image = str(tmp_path / "image.json")
+        wal_path = str(tmp_path / "wal.jsonl")
+        save_database(db, image, wal_generation=0)
+        wal = WriteAheadLog(wal_path, db)
+        wal.attach()
+        db.execute("INSERT INTO t VALUES (3, 'c')")
+        wal.rotate()  # checkpoint began ... and the process died here
+        db.execute("INSERT INTO t VALUES (4, 'd')")
+        wal.close()
+        recovered, report = recover(image, wal_path)
+        assert recovered.query("SELECT count(*) FROM t").scalar() == 4
+        assert report.segments_replayed == 2
+
+    def test_repeated_checkpoints_advance_generation(self, db, tmp_path):
+        image = str(tmp_path / "image.json")
+        wal_path = str(tmp_path / "wal.jsonl")
+        wal = WriteAheadLog(wal_path, db)
+        wal.attach()
+        for index in range(3):
+            db.execute("INSERT INTO t VALUES (?, 'c')", [10 + index])
+            checkpoint(db, image, wal)
+        assert wal.generation == 3
+        recovered, report = recover(image, wal_path)
+        assert recovered.query("SELECT count(*) FROM t").scalar() == 5
+        assert report.statements_applied == 0  # image covers everything
+
+
+class TestRecoveryWithUdts:
+    def test_checkpoint_crash_replay_roundtrip_with_udt_columns(
+        self, tmp_path
+    ):
+        image = str(tmp_path / "image.json")
+        wal_path = str(tmp_path / "wal.jsonl")
+        database = genomic_db()
+        database.execute(
+            "CREATE TABLE s (id INTEGER PRIMARY KEY, seq DNA)"
+        )
+        wal = WriteAheadLog(wal_path, database, flush_every_n=2)
+        wal.attach()
+        database.execute("INSERT INTO s VALUES (1, ?)",
+                         [DnaSequence("ATGGCC")])
+        checkpoint(database, image, wal)
+        database.execute("INSERT INTO s VALUES (2, ?)",
+                         [DnaSequence("TTAACC")])
+        database.execute("UPDATE s SET seq = ? WHERE id = 1",
+                         [DnaSequence("ATGGCCAAA")])
+        wal.close()
+
+        recovered, __ = recover(image, wal_path, database=genomic_db())
+        assert databases_equal(recovered, database)
+        assert recovered.query(
+            "SELECT seq FROM s WHERE id = 1"
+        ).scalar() == DnaSequence("ATGGCCAAA")
+
+
+class TestImageValidation:
+    def test_unreadable_image_chains_cause(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("{not json")
+        with pytest.raises(StorageError) as excinfo:
+            load_database(str(path))
+        assert excinfo.value.__cause__ is not None
+
+    def test_truncated_table_spec_is_storage_error(self, tmp_path):
+        path = tmp_path / "trunc.json"
+        path.write_text(json.dumps({
+            "format": 1,
+            "tables": [{"name": "t", "columns": []}],  # keys missing
+            "indexes": [],
+        }))
+        with pytest.raises(StorageError):
+            load_database(str(path))
+
+    def test_truncated_column_spec_is_storage_error(self, tmp_path):
+        path = tmp_path / "trunc.json"
+        path.write_text(json.dumps({
+            "format": 1,
+            "tables": [{
+                "name": "t", "columns": [{"name": "id"}],
+                "primary_key": None, "unique": [], "rows": [],
+            }],
+            "indexes": [],
+        }))
+        with pytest.raises(StorageError):
+            load_database(str(path))
+
+    def test_missing_top_level_keys_is_storage_error(self, tmp_path):
+        path = tmp_path / "trunc.json"
+        path.write_text(json.dumps({"format": 1, "tables": []}))
+        with pytest.raises(StorageError):
+            load_database(str(path))
+
+
+class TestOpaqueLookupMemo:
+    def test_memo_hits_after_first_scan(self):
+        database = genomic_db()
+        value = DnaSequence("ATG")
+        first = database.catalog.opaque_type_for(value)
+        assert first is not None and first.name == "DNA"
+        assert database.catalog.opaque_type_for(value) is first
+        assert type(value) in database.catalog._opaque_by_class
+
+    def test_memo_invalidated_by_new_registration(self):
+        from repro.db import OpaqueType
+
+        database = Database()
+        assert database.catalog.opaque_type_for(DnaSequence("A")) is None
+        database.register_type(OpaqueType(
+            "DNA", DnaSequence,
+            lambda v: v.to_bytes(), DnaSequence.from_bytes,
+        ))
+        assert database.catalog.opaque_type_for(
+            DnaSequence("A")
+        ).name == "DNA"
+
+
+class TestCrashMatrixHarness:
+    def test_every_scenario_recovers(self, tmp_path):
+        results = run_crash_matrix(str(tmp_path))
+        assert len(results) >= 6
+        failed = [r.name for r in results if not r.passed]
+        assert not failed, f"scenarios failed: {failed}"
+
+    def test_self_test_smoke(self, capsys):
+        assert self_test(verbose=True)
+        out = capsys.readouterr().out
+        assert "scenarios recovered correctly" in out

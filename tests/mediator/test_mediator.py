@@ -152,3 +152,56 @@ class TestUnreconciledSemantics:
         views = mediator.gene(accession)
         assert any(view.source == "EMBL" for view in views)
         assert mediator.gene("NOPE") == []
+
+
+class TestPerQueryMemo:
+    def test_batch_query_ships_one_dump_per_source(self, setting):
+        universe, __ = setting
+        source = AceRepository(universe)  # non-queryable: dump-only
+        mediator = Mediator([source])
+        accessions = source.accessions()[:3]
+
+        mediator.genes(accessions)
+        batched = mediator.cost.reset()
+        for accession in accessions:
+            mediator.gene(accession)
+        sequential = mediator.cost.reset()
+
+        # One query = one dump; three queries = three dumps.
+        assert batched.source_requests == 1
+        assert sequential.source_requests == 3
+        assert sequential.bytes_shipped == 3 * batched.bytes_shipped
+
+    def test_memo_does_not_leak_across_queries(self, setting):
+        universe, __ = setting
+        source = AceRepository(universe)
+        mediator = Mediator([source])
+        mediator.find_genes()
+        first = mediator.cost.bytes_shipped
+        source.advance(5)  # the source moves on ...
+        rows = mediator.find_genes()  # ... and the next query sees it
+        assert {row.accession for row in rows} \
+            == {a for a in source.accessions()
+                if mediatable(source, a)}
+        assert mediator.cost.bytes_shipped > first
+
+    def test_batch_results_match_single_lookups(self, setting):
+        __, sources = setting
+        mediator = Mediator(sources)
+        accessions = sources[0].accessions()[:2]
+        batch = mediator.genes(accessions)
+        for accession in accessions:
+            single = mediator.gene(accession)
+            assert [v.source for v in batch[accession]] \
+                == [v.source for v in single]
+
+
+def mediatable(source, accession):
+    """Accessions whose record parses to a DNA-bearing gene view."""
+    from repro.etl.wrappers import wrapper_for
+
+    wrapper = wrapper_for(source.name)
+    for record in wrapper.parse_snapshot(source.snapshot()):
+        if record.accession == accession and record.dna is not None:
+            return True
+    return False

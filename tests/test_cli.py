@@ -24,6 +24,36 @@ class TestCli:
         assert "warehouse" in output
         assert "%" in output
 
+    def test_recover_self_test_runs(self, capsys):
+        assert main(["recover", "--self-test"]) == 0
+        output = capsys.readouterr().out
+        assert "scenarios recovered correctly" in output
+        assert "FAIL" not in output
+
+    def test_recover_restores_image_and_wal(self, capsys, tmp_path):
+        from repro.db import Database
+        from repro.db.storage import WriteAheadLog, save_database
+
+        database = Database()
+        database.execute("CREATE TABLE t (id INTEGER PRIMARY KEY)")
+        image = str(tmp_path / "image.json")
+        save_database(database, image)
+        wal = WriteAheadLog(str(tmp_path / "wal.jsonl"), database)
+        wal.attach()
+        database.execute("INSERT INTO t VALUES (1)")
+        wal.close()
+
+        output_image = str(tmp_path / "recovered.json")
+        assert main(["recover", "--image", image,
+                     "--wal", str(tmp_path / "wal.jsonl"),
+                     "--output", output_image]) == 0
+        out = capsys.readouterr().out
+        assert "statements=1" in out
+        assert "t " in out and "1 rows" in out
+
+    def test_recover_requires_wal_or_self_test(self, capsys):
+        assert main(["recover"]) == 2
+
     def test_unknown_command_rejected(self):
         with pytest.raises(SystemExit) as excinfo:
             main(["frobnicate"])

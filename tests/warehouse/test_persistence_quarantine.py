@@ -104,6 +104,43 @@ class TestPersistence:
             "SELECT accession FROM public_genes"
         ).column("accession")) == covered
 
+    def test_restore_with_wal_replays_post_checkpoint_writes(
+        self, setting, tmp_path
+    ):
+        __, sources, warehouse = setting
+        image = str(tmp_path / "warehouse.json")
+        wal_path = str(tmp_path / "warehouse.wal")
+        accession = warehouse.query(
+            "SELECT accession FROM public_genes LIMIT 1"
+        ).scalar()
+
+        warehouse.attach_wal(wal_path, flush_every_n=8)
+        warehouse.checkpoint(image)
+        warehouse.annotate("bob", accession, "written after checkpoint")
+        warehouse.wal.close()  # the crash: image is stale, WAL is not
+
+        restored = UnifyingDatabase.restore(image, sources,
+                                            wal_path=wal_path)
+        assert restored.query(
+            "SELECT note FROM annotations WHERE accession = ?",
+            [accession],
+        ).scalar() == "written after checkpoint"
+
+    def test_checkpoint_bounds_the_wal(self, setting, tmp_path):
+        __, __, warehouse = setting
+        image = str(tmp_path / "warehouse.json")
+        wal_path = str(tmp_path / "warehouse.wal")
+        accession = warehouse.query(
+            "SELECT accession FROM public_genes LIMIT 1"
+        ).scalar()
+        wal = warehouse.attach_wal(wal_path)
+        warehouse.annotate("alice", accession, "pre-checkpoint noise")
+        warehouse.checkpoint(image)
+        assert wal.sealed_segments() == []
+        from repro.db.storage import read_wal_records
+
+        assert read_wal_records(wal_path)[0] == []
+
     def test_clock_resumes_past_saved_timestamps(self, setting, tmp_path):
         __, sources, warehouse = setting
         path = str(tmp_path / "warehouse.json")
