@@ -1,0 +1,134 @@
+"""Experiment A8 — answer completeness and latency vs. source fault rate.
+
+The federation layer promises degraded answers, not absent ones: with
+flaky sources, a query should return everything the live sources can
+derive, and retries should buy completeness back at the price of
+(virtual) backoff latency.  This ablation sweeps the per-call failure
+rate of every source in a three-source federation and measures, per
+resilience configuration:
+
+- **completeness** — rows answered / rows a fault-free federation
+  answers, averaged over the query workload;
+- **virtual latency** — modelled backoff delay per query (the compute
+  cost of mediation is measured by ``bench_fig1_mediation``; this
+  measures what the *faults* add);
+- **work** — retries, terminal source failures, and breaker rejections
+  from :class:`~repro.mediator.MediationCost`.
+
+Configurations: ``no-retries`` (one attempt, the pre-resilience
+behaviour minus the crash), ``retries`` (3 attempts, exponential
+backoff), and ``retries+breaker`` (ditto plus a circuit breaker that
+stops hammering a source that keeps failing).
+
+Standalone report:  python benchmarks/bench_ablation_faults.py
+"""
+
+import sys
+
+from repro.mediator import BreakerPolicy, Mediator, RetryPolicy
+from repro.sources import (
+    AceRepository,
+    EmblRepository,
+    FaultyRepository,
+    GenBankRepository,
+    Universe,
+    VirtualClock,
+)
+
+FAULT_RATES = (0.0, 0.005, 0.01, 0.02, 0.05)
+QUERIES = 12
+UNIVERSE_SEED = 1301
+UNIVERSE_SIZE = 60
+
+CONFIGURATIONS = (
+    ("no-retries", RetryPolicy.no_retries(), BreakerPolicy(999, 1e9)),
+    ("retries", RetryPolicy(max_attempts=3), BreakerPolicy(999, 1e9)),
+    ("retries+breaker", RetryPolicy(max_attempts=3),
+     BreakerPolicy(failure_threshold=6, reset_timeout=30.0)),
+)
+
+
+def _build_federation(rate, retry_policy, breaker_policy):
+    universe = Universe(seed=UNIVERSE_SEED, size=UNIVERSE_SIZE)
+    timeline = VirtualClock()
+    sources = [
+        FaultyRepository(GenBankRepository(universe), timeline, seed=21),
+        FaultyRepository(EmblRepository(universe), timeline, seed=22),
+        FaultyRepository(AceRepository(universe), timeline, seed=23),
+    ]
+    for proxy in sources:
+        proxy.fail_with_rate(rate)
+    mediator = Mediator(sources, retry_policy=retry_policy,
+                        breaker_policy=breaker_policy, timeline=timeline)
+    return mediator, sources
+
+
+def run_sweep(rate, retry_policy, breaker_policy, queries=QUERIES):
+    """One configuration at one fault rate; returns a metrics dict."""
+    mediator, sources = _build_federation(rate, retry_policy, breaker_policy)
+    expected = len(Mediator([proxy.inner for proxy in sources]).find_genes())
+    answered = 0
+    degraded_queries = 0
+    for __ in range(queries):
+        answers = mediator.find_genes()
+        answered += len(answers)
+        degraded_queries += answers.health.degraded
+    cost = mediator.cost
+    return {
+        "completeness": answered / (expected * queries),
+        "virtual_latency": cost.backoff_delay / queries,
+        "degraded_queries": degraded_queries,
+        "retries": cost.retries,
+        "failures": cost.source_failures,
+        "rejections": cost.breaker_rejections,
+    }
+
+
+class TestA8Shape:
+    """Sanity of the curve, pinned by the shared seeds."""
+
+    def test_fault_free_federation_is_complete_and_free(self):
+        for __, retry_policy, breaker_policy in CONFIGURATIONS:
+            metrics = run_sweep(0.0, retry_policy, breaker_policy, queries=3)
+            assert metrics["completeness"] == 1.0
+            assert metrics["virtual_latency"] == 0.0
+            assert metrics["retries"] == 0
+
+    def test_retries_buy_completeness_back(self):
+        rate = 0.02
+        bare = run_sweep(rate, *CONFIGURATIONS[0][1:])
+        retried = run_sweep(rate, *CONFIGURATIONS[1][1:])
+        assert retried["completeness"] > bare["completeness"]
+        assert retried["virtual_latency"] > 0.0
+
+    def test_breaker_sheds_work_under_heavy_faults(self):
+        rate = 0.05
+        without = run_sweep(rate, *CONFIGURATIONS[1][1:])
+        with_breaker = run_sweep(rate, *CONFIGURATIONS[2][1:])
+        shed = (with_breaker["retries"] + with_breaker["failures"]
+                < without["retries"] + without["failures"])
+        assert shed or with_breaker["rejections"] > 0
+
+
+def report():
+    print(f"A8: answer completeness vs. fault rate "
+          f"({QUERIES} queries, 3 sources, universe size {UNIVERSE_SIZE})")
+    for label, retry_policy, breaker_policy in CONFIGURATIONS:
+        print()
+        print(f"{label}")
+        print(f"{'fault rate':>11} {'completeness':>13} {'degraded':>9} "
+              f"{'vlat/query':>11} {'retries':>8} {'failures':>9} "
+              f"{'rejected':>9}")
+        print("-" * 76)
+        for rate in FAULT_RATES:
+            metrics = run_sweep(rate, retry_policy, breaker_policy)
+            print(f"{rate:>11.3f} {metrics['completeness']:>12.1%} "
+                  f"{metrics['degraded_queries']:>9} "
+                  f"{metrics['virtual_latency']:>11.2f} "
+                  f"{metrics['retries']:>8} {metrics['failures']:>9} "
+                  f"{metrics['rejections']:>9}")
+
+
+if __name__ == "__main__":
+    report()
+    sys.exit(0)

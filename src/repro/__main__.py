@@ -10,7 +10,10 @@ Commands:
   measured per-source quality report (B10);
 - ``recover`` — rebuild a database from ``image + WAL`` after a crash
   (``--image``/``--wal``), or run the fault-injection crash matrix
-  (``--self-test``).
+  (``--self-test``);
+- ``chaos``   — run the federation fault-injection scenario matrix
+  (``--self-test``): flaky sources, outages, corrupt dumps, channel
+  loss, circuit-breaker recovery, deadline budgets.
 """
 
 from __future__ import annotations
@@ -134,6 +137,16 @@ def _run_recover(arguments) -> int:
     return 0
 
 
+def _run_chaos(arguments) -> int:
+    from repro.chaos import self_test
+
+    if arguments.self_test:
+        return 0 if self_test(verbose=True) else 1
+    print("chaos: --self-test is the only mode (runs the scenario matrix)",
+          file=sys.stderr)
+    return 2
+
+
 _COMMANDS = {
     "demo": _run_demo,
     "matrix": _run_matrix,
@@ -168,9 +181,17 @@ def main(argv: "list[str] | None" = None) -> int:
     recover_parser.add_argument("--self-test", action="store_true",
                                 help="run the fault-injection crash "
                                      "matrix and exit")
+    chaos_parser = subparsers.add_parser(
+        "chaos", help="federation fault-injection scenario matrix",
+    )
+    chaos_parser.add_argument("--self-test", action="store_true",
+                              help="run the fault/degradation scenario "
+                                   "matrix and exit")
     arguments = parser.parse_args(argv)
     if arguments.command == "recover":
         return _run_recover(arguments)
+    if arguments.command == "chaos":
+        return _run_chaos(arguments)
     return _COMMANDS[arguments.command]()
 
 

@@ -1,0 +1,346 @@
+"""Chaos harness: the federation-layer fault-injection scenario matrix.
+
+``python -m repro chaos --self-test`` (and ``tests/test_cli.py``) runs
+every scenario below against seeded :class:`~repro.sources.faults.
+FaultyRepository` proxies and asserts the degraded-answer contract the
+mediator and the ETL monitors promise:
+
+1. **intermittent-retry** — a source that fails twice then answers is
+   transparently retried; the answer is complete and the retries are
+   reported, not hidden.
+2. **outage-window** — with one of three sources down, the non-strict
+   mediator still returns every answer derivable from the two live
+   sources, names the dead one in ``QueryHealth``, and ``strict=True``
+   raises instead.
+3. **breaker-recovery** — repeated failures open the per-source circuit
+   (later queries skip the source without touching it); after the reset
+   timeout a half-open probe recloses it and answers are complete again.
+4. **corrupt-snapshot** — a monitor fed truncated/garbled dumps
+   quarantines what it cannot parse, never fabricates deletions, and
+   converges to the true source state once dumps are clean again.
+5. **log-channel-loss** — a :class:`~repro.etl.monitors.LogMonitor`
+   whose log stops answering degrades to snapshot-diff polling and,
+   when the log returns, resyncs without losing or double-delivering a
+   single delta.
+6. **deadline-exhaustion** — a per-query backoff budget stops retries
+   from stretching an answer forever; the health report says the
+   deadline was hit and the live sources still answer.
+7. **push-channel-loss** — a :class:`~repro.etl.monitors.TriggerMonitor`
+   whose push channel goes quiet falls back to snapshot differentials
+   and recovers the dropped notifications exactly once.
+
+Every scenario is deterministic under its fixed seed: same faults, same
+retries, same answers, bit for bit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import MediatorError
+from repro.etl.delta import DELETE
+from repro.etl.monitors import LogMonitor, SnapshotMonitor, TriggerMonitor
+from repro.mediator import BreakerPolicy, Mediator, RetryPolicy
+from repro.sources import (
+    AceRepository,
+    EmblRepository,
+    FaultyRepository,
+    GenBankRepository,
+    RelationalRepository,
+    SwissProtRepository,
+    Universe,
+    VirtualClock,
+)
+
+
+@dataclass
+class ScenarioResult:
+    """Outcome of one chaos scenario."""
+
+    name: str
+    passed: bool
+    detail: str
+
+    def line(self) -> str:
+        status = "PASS" if self.passed else "FAIL"
+        return f"  {status:<4} {self.name:<22} {self.detail}"
+
+
+class _ScenarioFailure(AssertionError):
+    """A scenario expectation that did not hold."""
+
+
+def _expect(condition: bool, message: str) -> None:
+    if not condition:
+        raise _ScenarioFailure(message)
+
+
+def _federation(seed: int = 101, size: int = 24):
+    """Three overlapping faultable sources on one shared timeline."""
+    universe = Universe(seed=seed, size=size)
+    timeline = VirtualClock()
+    sources = [
+        FaultyRepository(GenBankRepository(universe), timeline, seed=1),
+        FaultyRepository(EmblRepository(universe), timeline, seed=2),
+        FaultyRepository(AceRepository(universe), timeline, seed=3),
+    ]
+    return universe, timeline, sources
+
+
+def _answer_keys(rows) -> set[tuple[str, str]]:
+    return {(row.source, row.accession) for row in rows}
+
+
+def _baseline_keys(faulty_sources) -> set[tuple[str, str]]:
+    """What a fault-free mediator over the same repositories answers."""
+    return _answer_keys(
+        Mediator([proxy.inner for proxy in faulty_sources]).find_genes()
+    )
+
+
+# ---------------------------------------------------------------------------
+# Scenarios
+# ---------------------------------------------------------------------------
+
+def scenario_intermittent_retry() -> str:
+    __, timeline, sources = _federation(seed=201)
+    genbank = sources[0]
+    genbank.fail_next(2, "snapshot")
+    mediator = Mediator(sources, timeline=timeline)
+    answers = mediator.find_genes()
+    health = answers.health
+    _expect(_answer_keys(answers) == _baseline_keys(sources),
+            "retried answer differs from the fault-free answer")
+    _expect(health.complete, f"health not complete: {health.summary()}")
+    _expect(health.sources_retried == ("GenBank",),
+            f"expected GenBank retried, got {health.sources_retried}")
+    _expect(health.outcome("GenBank").retries == 2,
+            f"expected 2 retries, got {health.outcome('GenBank').retries}")
+    _expect(mediator.cost.retries == 2 and mediator.cost.source_failures == 2,
+            "retry/failure counters not folded into MediationCost")
+    return (f"2 injected failures absorbed; "
+            f"{len(answers)} rows, {health.summary()}")
+
+
+def scenario_outage_window() -> str:
+    __, timeline, sources = _federation(seed=202)
+    embl = sources[1]
+    embl.schedule_outage(0.0, 1_000.0)
+    mediator = Mediator(sources, timeline=timeline)
+    answers = mediator.find_genes()
+    health = answers.health
+    live_keys = _answer_keys(
+        Mediator([sources[0].inner, sources[2].inner]).find_genes()
+    )
+    _expect(_answer_keys(answers) == live_keys,
+            "degraded answer lost rows derivable from the live sources")
+    _expect(health.sources_failed == ("EMBL",),
+            f"expected EMBL failed, got {health.sources_failed}")
+    _expect(not health.complete, "health claims completeness in an outage")
+    try:
+        mediator.find_genes(strict=True)
+    except MediatorError as error:
+        _expect("EMBL" in str(error), "strict error does not name EMBL")
+    else:
+        raise _ScenarioFailure("strict=True did not raise on a dead source")
+    return (f"{len(answers)} rows from 2 live sources; "
+            f"failed={','.join(health.sources_failed)}; strict raised")
+
+
+def scenario_breaker_recovery() -> str:
+    __, timeline, sources = _federation(seed=203)
+    embl = sources[1]
+    embl.schedule_outage(0.0, 60.0)
+    mediator = Mediator(
+        sources,
+        retry_policy=RetryPolicy(max_attempts=2, base_delay=1.0,
+                                 multiplier=2.0, jitter=0.0),
+        breaker_policy=BreakerPolicy(failure_threshold=3, reset_timeout=20.0),
+        timeline=timeline,
+    )
+    breaker = mediator.breaker_for("EMBL")
+    mediator.find_genes()          # 2 failures: breaker still closed
+    _expect(breaker.state == "closed", "breaker opened below its threshold")
+    mediator.find_genes()          # 3rd failure opens the circuit
+    _expect(breaker.state == "open",
+            f"breaker should be open, is {breaker.state}")
+    skipped = mediator.find_genes()
+    _expect(skipped.health.sources_skipped == ("EMBL",),
+            "open breaker did not short-circuit the source")
+    _expect(mediator.cost.breaker_rejections >= 1,
+            "breaker rejection not folded into MediationCost")
+    timeline.advance(100.0)        # outage over, reset timeout elapsed
+    recovered = mediator.find_genes()
+    _expect(breaker.state == "closed",
+            f"half-open probe did not reclose, state={breaker.state}")
+    _expect(recovered.health.complete
+            and _answer_keys(recovered) == _baseline_keys(sources),
+            "post-recovery answer incomplete")
+    return (f"closed→open after 3 failures, skipped while open, "
+            f"half-open probe reclosed at t={timeline.now():.0f}")
+
+
+def scenario_corrupt_snapshot() -> str:
+    universe = Universe(seed=204, size=24)
+    timeline = VirtualClock()
+    genbank = FaultyRepository(GenBankRepository(universe), timeline, seed=7)
+    monitor = SnapshotMonitor(genbank)
+    baseline = set(genbank.accessions())
+    genbank.corrupt_with_rate(1.0)
+    delivered = []
+    for __ in range(3):
+        genbank.advance(3)
+        delivered.extend(monitor.poll())
+    truly_deleted = baseline - set(genbank.accessions())
+    fabricated = {delta.accession for delta in delivered
+                  if delta.operation == DELETE} - truly_deleted
+    _expect(not fabricated,
+            f"corrupt dumps fabricated deletions: {sorted(fabricated)}")
+    _expect(monitor.health.quarantined > 0,
+            "three corrupt dumps produced no quarantined record")
+    genbank.corrupt_with_rate(0.0)
+    monitor.poll()
+    clean_state = monitor._split_snapshot(genbank.inner.snapshot())
+    _expect(monitor._images == clean_state,
+            "monitor did not converge to the true state after a clean poll")
+    return (f"{monitor.health.quarantined} quarantined, "
+            f"0 fabricated deletes, converged after clean poll")
+
+
+def scenario_log_channel_loss() -> str:
+    universe = Universe(seed=205, size=24)
+    timeline = VirtualClock()
+    relational = FaultyRepository(RelationalRepository(universe),
+                                  timeline, seed=9)
+    monitor = LogMonitor(relational)
+    delivered = []
+    relational.advance(4)
+    delivered.extend(monitor.poll())            # healthy log poll
+    relational.drop_log_channel()
+    relational.advance(4)
+    fallback = monitor.poll()                   # snapshot-diff fallback
+    delivered.extend(fallback)
+    _expect(monitor.health.degraded_polls == 1,
+            "log loss did not degrade to snapshot polling")
+    _expect(fallback, "fallback poll missed the outage-window changes")
+    relational.restore_log_channel()
+    relational.advance(4)
+    delivered.extend(monitor.poll())            # log again; no re-delivery
+    ids = [delta.delta_id for delta in delivered]
+    _expect(len(ids) == len(set(ids)),
+            "a delta was delivered twice across the fallback boundary")
+    expected = {
+        accession: monitor._normalize(relational.render_record(
+            relational.record_state(accession)))
+        for accession in relational.accessions()
+    }
+    _expect(monitor._images == expected,
+            "monitor images diverged from the source after resync")
+    return (f"{len(delivered)} deltas across log loss + resync, "
+            f"0 lost, 0 double-delivered")
+
+
+def scenario_deadline_exhaustion() -> str:
+    __, timeline, sources = _federation(seed=206)
+    embl = sources[1]
+    embl.schedule_outage(0.0, 100_000.0)
+    mediator = Mediator(
+        sources,
+        retry_policy=RetryPolicy(max_attempts=10, base_delay=30.0,
+                                 multiplier=2.0, jitter=0.0, deadline=40.0),
+        timeline=timeline,
+    )
+    answers = mediator.find_genes()
+    health = answers.health
+    _expect(health.deadline_hit, "deadline budget was never enforced")
+    _expect("EMBL" in health.sources_failed,
+            f"expected EMBL failed on deadline, got {health.sources_failed}")
+    _expect(health.outcome("EMBL").attempts < 10,
+            "deadline did not cap the attempt count")
+    _expect(health.elapsed <= 40.0 + 30.0,
+            f"query overshot its budget: t+{health.elapsed:.0f}")
+    live_keys = _answer_keys(
+        Mediator([sources[0].inner, sources[2].inner]).find_genes()
+    )
+    _expect(_answer_keys(answers) == live_keys,
+            "deadline-degraded answer lost live-source rows")
+    return (f"budget 40.0 capped EMBL at "
+            f"{health.outcome('EMBL').attempts} attempts; "
+            f"{len(answers)} rows, t+{health.elapsed:.0f}")
+
+
+def scenario_push_channel_loss() -> str:
+    universe = Universe(seed=207, size=24)
+    timeline = VirtualClock()
+    swissprot = FaultyRepository(SwissProtRepository(universe),
+                                 timeline, seed=11)
+    monitor = TriggerMonitor(swissprot)
+    delivered = []
+    swissprot.advance(3)
+    delivered.extend(monitor.poll())            # push delivery
+    _expect(len(delivered) == 3, "healthy push channel lost notifications")
+    swissprot.drop_push_channel()
+    swissprot.advance(4)                        # notifications dropped
+    _expect(swissprot.stats.dropped_notifications == 4,
+            "proxy failed to drop notifications while the channel was down")
+    recovered = monitor.poll()                  # snapshot-diff fallback
+    delivered.extend(recovered)
+    _expect(monitor.health.degraded_polls >= 1,
+            "dead push channel did not degrade the monitor")
+    _expect(recovered, "fallback poll missed the dropped notifications")
+    swissprot.restore_push_channel()
+    swissprot.advance(2)
+    delivered.extend(monitor.poll())            # resync + fresh pushes
+    ids = [delta.delta_id for delta in delivered]
+    _expect(len(ids) == len(set(ids)),
+            "a notification was re-delivered after the channel recovered")
+    expected = {
+        accession: monitor._normalize(swissprot.render_record(
+            swissprot.record_state(accession)))
+        for accession in swissprot.accessions()
+    }
+    _expect(monitor._images == expected,
+            "monitor images diverged from the source after resync")
+    return (f"4 dropped notifications recovered via snapshot diff, "
+            f"{len(delivered)} deltas total, none doubled")
+
+
+_SCENARIOS = (
+    ("intermittent-retry", scenario_intermittent_retry),
+    ("outage-window", scenario_outage_window),
+    ("breaker-recovery", scenario_breaker_recovery),
+    ("corrupt-snapshot", scenario_corrupt_snapshot),
+    ("log-channel-loss", scenario_log_channel_loss),
+    ("deadline-exhaustion", scenario_deadline_exhaustion),
+    ("push-channel-loss", scenario_push_channel_loss),
+)
+
+
+def run_chaos_matrix() -> list[ScenarioResult]:
+    """Run every scenario; never raises — failures land in the results."""
+    results = []
+    for name, scenario in _SCENARIOS:
+        try:
+            detail = scenario()
+        except _ScenarioFailure as failure:
+            results.append(ScenarioResult(name, False, str(failure)))
+        except Exception as error:  # a crash is also a failed scenario
+            results.append(ScenarioResult(
+                name, False, f"crashed: {type(error).__name__}: {error}"
+            ))
+        else:
+            results.append(ScenarioResult(name, True, detail))
+    return results
+
+
+def self_test(verbose: bool = True) -> bool:
+    """The ``python -m repro chaos --self-test`` smoke target."""
+    results = run_chaos_matrix()
+    if verbose:
+        print("federation fault-injection scenario matrix:")
+        for result in results:
+            print(result.line())
+        passed = sum(result.passed for result in results)
+        print(f"{passed}/{len(results)} scenarios degraded and "
+              f"recovered correctly")
+    return all(result.passed for result in results)

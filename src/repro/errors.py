@@ -106,7 +106,25 @@ class WrapperError(ReproError):
 
 
 class SourceError(ReproError):
-    """A (simulated) external repository refused or failed an operation."""
+    """A (simulated) external repository refused or failed an operation.
+
+    Carries structured context — which source, which operation, which
+    attempt — so retry loops, circuit breakers, and quarantine reports
+    can be asserted on without parsing message strings.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        source: "str | None" = None,
+        operation: "str | None" = None,
+        attempt: "int | None" = None,
+    ) -> None:
+        super().__init__(message)
+        self.source = source
+        self.operation = operation
+        self.attempt = attempt
 
 
 class IntegrationError(ReproError):

@@ -4,7 +4,9 @@ from repro.etl.delta import DELETE, INSERT, UPDATE, Delta
 from repro.etl.monitors import (
     LogMonitor,
     MonitorCost,
+    MonitorHealth,
     PollingMonitor,
+    QuarantinedRecord,
     SnapshotMonitor,
     SourceMonitor,
     TriggerMonitor,
@@ -27,6 +29,8 @@ __all__ = [
     "PollingMonitor",
     "SnapshotMonitor",
     "MonitorCost",
+    "MonitorHealth",
+    "QuarantinedRecord",
     "choose_monitor",
     "ParsedRecord",
     "Wrapper",

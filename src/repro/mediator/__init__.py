@@ -1,15 +1,29 @@
 """Query-driven integration baseline (the architecture of Figure 1)."""
 
 from repro.mediator.mediator import (
+    BreakerPolicy,
+    CircuitBreaker,
     LiveSourceWrapper,
+    MediatedAnswer,
+    MediatedBatch,
     MediatedGene,
     MediationCost,
     Mediator,
+    QueryHealth,
+    RetryPolicy,
+    SourceOutcome,
 )
 
 __all__ = [
     "Mediator",
     "MediatedGene",
+    "MediatedAnswer",
+    "MediatedBatch",
     "MediationCost",
     "LiveSourceWrapper",
+    "RetryPolicy",
+    "BreakerPolicy",
+    "CircuitBreaker",
+    "QueryHealth",
+    "SourceOutcome",
 ]

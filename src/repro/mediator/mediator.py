@@ -1,4 +1,4 @@
-"""The query-driven integration baseline (Figure 1).
+"""The query-driven integration baseline (Figure 1), fault-tolerant.
 
 "Middleware systems, in which the bulk of the query and result
 processing takes place in a different location from where the data is
@@ -15,21 +15,51 @@ the trade-off it embodies:
 - **no reconciliation**: conflicting source answers are returned side by
   side (Table 1, row C8, for the query-driven systems).
 
+Because the underlying repositories are autonomous and unreliable
+("simply collections of flat files" that change, disappear, and answer
+inconsistently), the mediator treats partial source failure as the
+normal case:
+
+- every source call runs under a :class:`RetryPolicy` (exponential
+  backoff, deterministic jitter, per-call attempt cap, optional
+  per-query deadline budget on the shared virtual clock);
+- each source sits behind a :class:`CircuitBreaker`
+  (closed → open → half-open) so a dead source stops being hammered;
+- queries return **partial answers** plus a :class:`QueryHealth`
+  provenance report naming which sources answered, retried, were
+  skipped (breaker open), or failed — ``strict=True`` turns a degraded
+  answer into a :class:`~repro.errors.MediatorError` instead.
+
 Per-request latency is modelled virtually (a counter, not a sleep), so
 benchmarks can report both measured compute time and modelled network
-round-trips.
+round-trips + backoff delay.
 """
 
 from __future__ import annotations
 
+import random
 from contextlib import contextmanager
-from dataclasses import dataclass, field
-from typing import Callable, Iterable, Iterator, Sequence
+from dataclasses import dataclass, field, fields
+from typing import Callable, Iterator, Sequence, TypeVar
 
 from repro.core.ops import contains as motif_contains
-from repro.errors import MediatorError
+from repro.errors import MediatorError, SourceError, WrapperError
 from repro.etl.wrappers import ParsedRecord, Wrapper, wrapper_for
 from repro.sources.base import Repository
+from repro.sources.faults import VirtualClock
+
+_T = TypeVar("_T")
+
+#: Per-source outcome states in a :class:`QueryHealth` report.
+OK = "ok"                 # answered on the first attempt
+RETRIED = "retried"       # answered, but only after at least one retry
+SKIPPED = "skipped"       # not asked: its circuit breaker was open
+FAILED = "failed"         # asked, retried, and still failed
+
+#: Circuit-breaker states.
+CLOSED = "closed"
+OPEN = "open"
+HALF_OPEN = "half-open"
 
 
 @dataclass
@@ -40,14 +70,227 @@ class MediationCost:
     bytes_shipped: int = 0
     records_wrapped: int = 0
     queries_answered: int = 0
+    retries: int = 0
+    source_failures: int = 0
+    breaker_rejections: int = 0
+    backoff_delay: float = 0.0
 
     def reset(self) -> "MediationCost":
         snapshot = MediationCost(**vars(self))
-        self.source_requests = 0
-        self.bytes_shipped = 0
-        self.records_wrapped = 0
-        self.queries_answered = 0
+        for spec in fields(self):
+            setattr(self, spec.name, spec.default)
         return snapshot
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How hard to try a flaky source before giving up on it.
+
+    Delays are virtual-clock units, jitter is deterministic (seeded from
+    source, operation, and attempt number), and ``deadline`` caps the
+    *whole query's* backoff budget — once spent, remaining sources fail
+    fast instead of stretching the answer forever.
+    """
+
+    max_attempts: int = 3
+    base_delay: float = 1.0
+    multiplier: float = 2.0
+    max_delay: float = 60.0
+    jitter: float = 0.5
+    deadline: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise MediatorError("a retry policy needs at least one attempt")
+
+    def delay_before(self, attempt: int, source: str = "",
+                     operation: str = "") -> float:
+        """Backoff before *attempt* (attempt 2 waits ``base_delay``…)."""
+        exponent = max(0, attempt - 2)
+        raw = min(self.max_delay, self.base_delay * self.multiplier ** exponent)
+        if not self.jitter:
+            return raw
+        rng = random.Random((source, operation, attempt).__repr__())
+        return raw * (1.0 - self.jitter * rng.random())
+
+    @classmethod
+    def no_retries(cls) -> "RetryPolicy":
+        """The ablation baseline: one attempt, fail immediately."""
+        return cls(max_attempts=1)
+
+
+@dataclass(frozen=True)
+class BreakerPolicy:
+    """When a source's circuit opens and how long it stays open."""
+
+    failure_threshold: int = 3
+    reset_timeout: float = 30.0
+
+
+class CircuitBreaker:
+    """Per-source closed → open → half-open breaker on the virtual clock.
+
+    ``failure_threshold`` consecutive failures open the circuit; while
+    open, calls are rejected without touching the source.  After
+    ``reset_timeout`` virtual seconds one probe call is let through
+    (half-open): success recloses the circuit, failure reopens it.
+    """
+
+    def __init__(self, policy: BreakerPolicy, timeline: VirtualClock) -> None:
+        self.policy = policy
+        self.timeline = timeline
+        self.state = CLOSED
+        self.consecutive_failures = 0
+        self.opened_at: float | None = None
+        self.times_opened = 0
+
+    def allow(self) -> bool:
+        if self.state == OPEN:
+            if (self.timeline.now() - self.opened_at
+                    >= self.policy.reset_timeout):
+                self.state = HALF_OPEN
+                return True
+            return False
+        return True
+
+    def record_success(self) -> None:
+        self.state = CLOSED
+        self.consecutive_failures = 0
+        self.opened_at = None
+
+    def record_failure(self) -> None:
+        self.consecutive_failures += 1
+        if (self.state == HALF_OPEN
+                or self.consecutive_failures >= self.policy.failure_threshold):
+            if self.state != OPEN:
+                self.times_opened += 1
+            self.state = OPEN
+            self.opened_at = self.timeline.now()
+
+    def retry_at(self) -> float:
+        """Virtual instant at which the next half-open probe is allowed."""
+        return (self.opened_at or 0.0) + self.policy.reset_timeout
+
+    def __repr__(self) -> str:
+        return (f"CircuitBreaker({self.state}, "
+                f"failures={self.consecutive_failures})")
+
+
+@dataclass
+class SourceOutcome:
+    """How one source behaved during one mediator query."""
+
+    source: str
+    status: str = OK
+    attempts: int = 0
+    retries: int = 0
+    error: str | None = None
+
+
+@dataclass
+class QueryHealth:
+    """Provenance of a (possibly degraded) mediated answer.
+
+    Failure states are sticky: a source that failed terminally for any
+    part of a query stays ``failed`` even if later calls in the same
+    query succeeded, so ``complete`` never overstates the answer.
+    """
+
+    outcomes: dict[str, SourceOutcome] = field(default_factory=dict)
+    deadline_hit: bool = False
+    elapsed: float = 0.0
+
+    def outcome(self, source: str) -> SourceOutcome:
+        if source not in self.outcomes:
+            self.outcomes[source] = SourceOutcome(source=source)
+        return self.outcomes[source]
+
+    def _with_status(self, *statuses: str) -> tuple[str, ...]:
+        return tuple(sorted(name for name, outcome in self.outcomes.items()
+                            if outcome.status in statuses))
+
+    @property
+    def sources_ok(self) -> tuple[str, ...]:
+        return self._with_status(OK, RETRIED)
+
+    @property
+    def sources_retried(self) -> tuple[str, ...]:
+        return self._with_status(RETRIED)
+
+    @property
+    def sources_skipped(self) -> tuple[str, ...]:
+        return self._with_status(SKIPPED)
+
+    @property
+    def sources_failed(self) -> tuple[str, ...]:
+        return self._with_status(FAILED)
+
+    @property
+    def complete(self) -> bool:
+        """True when every source contributed to the answer."""
+        return not self.sources_failed and not self.sources_skipped
+
+    @property
+    def degraded(self) -> bool:
+        return not self.complete
+
+    @property
+    def total_retries(self) -> int:
+        return sum(outcome.retries for outcome in self.outcomes.values())
+
+    def summary(self) -> str:
+        pieces = [f"ok={','.join(self.sources_ok) or '-'}"]
+        if self.sources_skipped:
+            pieces.append(f"skipped={','.join(self.sources_skipped)}")
+        if self.sources_failed:
+            pieces.append(f"failed={','.join(self.sources_failed)}")
+        if self.total_retries:
+            pieces.append(f"retries={self.total_retries}")
+        if self.deadline_hit:
+            pieces.append("deadline hit")
+        pieces.append(f"t+{self.elapsed:.1f}")
+        return " ".join(pieces)
+
+
+class MediatedAnswer(list):
+    """A list of answers that also carries its :class:`QueryHealth`."""
+
+    health: QueryHealth
+
+    def __init__(self, rows=(), health: QueryHealth | None = None) -> None:
+        super().__init__(rows)
+        self.health = health or QueryHealth()
+
+
+class MediatedBatch(dict):
+    """A batch-lookup result that also carries its :class:`QueryHealth`."""
+
+    health: QueryHealth
+
+    def __init__(self, items=(), health: QueryHealth | None = None) -> None:
+        super().__init__(items)
+        self.health = health or QueryHealth()
+
+
+@dataclass
+class MediatedGene:
+    """A gene answer in the mediator's global schema (one per source!).
+
+    The mediator does not reconcile: the same accession seen in three
+    sources yields three rows, possibly disagreeing.
+    """
+
+    accession: str
+    source: str
+    name: str | None
+    organism: str | None
+    description: str | None
+    sequence_text: str
+
+    @property
+    def length(self) -> int:
+        """Sequence length, always in step with ``sequence_text``."""
+        return len(self.sequence_text)
 
 
 class LiveSourceWrapper:
@@ -56,12 +299,24 @@ class LiveSourceWrapper:
     Queryable sources are asked record by record; non-queryable sources
     can only ship their full dump per request — exactly the asymmetry
     that makes query-driven integration expensive over flat-file
-    archives.
+    archives.  Every outward call runs through :meth:`resilient`, which
+    owns the retry loop and the circuit breaker.
     """
 
-    def __init__(self, repository: Repository, cost: MediationCost) -> None:
+    def __init__(
+        self,
+        repository: Repository,
+        cost: MediationCost,
+        retry_policy: RetryPolicy | None = None,
+        breaker_policy: BreakerPolicy | None = None,
+        timeline: VirtualClock | None = None,
+    ) -> None:
         self.repository = repository
         self.wrapper: Wrapper = wrapper_for(repository.name)
+        self.timeline = timeline if timeline is not None else VirtualClock()
+        self.retry_policy = retry_policy or RetryPolicy()
+        self.breaker = CircuitBreaker(breaker_policy or BreakerPolicy(),
+                                      self.timeline)
         self._cost = cost
         self._memo: list[ParsedRecord] | None = None
         self._memo_active = False
@@ -77,6 +332,67 @@ class LiveSourceWrapper:
     def end_query(self) -> None:
         self._memo_active = False
         self._memo = None
+
+    def resilient(
+        self,
+        operation: str,
+        call: Callable[[], _T],
+        health: QueryHealth,
+        deadline_at: float | None = None,
+    ) -> _T:
+        """Run *call* under the retry policy and the circuit breaker.
+
+        Raises :class:`~repro.errors.SourceError` once the source is
+        given up on (breaker open, attempts exhausted, or deadline
+        budget spent); the health report is updated either way.
+        """
+        name = self.repository.name
+        outcome = health.outcome(name)
+        if not self.breaker.allow():
+            outcome.status = SKIPPED
+            outcome.error = (f"circuit open until "
+                             f"t={self.breaker.retry_at():.1f}")
+            self._cost.breaker_rejections += 1
+            raise SourceError(f"{name} skipped: circuit breaker open",
+                              source=name, operation=operation)
+        attempt = 0
+        while True:
+            attempt += 1
+            outcome.attempts += 1
+            try:
+                result = call()
+            except (SourceError, WrapperError) as error:
+                self.breaker.record_failure()
+                self._cost.source_failures += 1
+                outcome.error = str(error)
+                if attempt >= self.retry_policy.max_attempts:
+                    outcome.status = FAILED
+                    raise SourceError(
+                        f"{name} failed {operation} after "
+                        f"{attempt} attempt(s): {error}",
+                        source=name, operation=operation, attempt=attempt,
+                    ) from error
+                delay = self.retry_policy.delay_before(attempt + 1, name,
+                                                       operation)
+                if (deadline_at is not None
+                        and self.timeline.now() + delay > deadline_at):
+                    outcome.status = FAILED
+                    outcome.error = (f"deadline budget exhausted after "
+                                     f"attempt {attempt}: {error}")
+                    health.deadline_hit = True
+                    raise SourceError(
+                        f"{name}: {outcome.error}",
+                        source=name, operation=operation, attempt=attempt,
+                    ) from error
+                self.timeline.advance(delay)
+                self._cost.retries += 1
+                self._cost.backoff_delay += delay
+                outcome.retries += 1
+            else:
+                self.breaker.record_success()
+                if outcome.status not in (FAILED, SKIPPED):
+                    outcome.status = RETRIED if outcome.retries else OK
+                return result
 
     def fetch_all(self) -> list[ParsedRecord]:
         """Extract every record, at query time."""
@@ -122,39 +438,60 @@ class LiveSourceWrapper:
         return None
 
 
-@dataclass
-class MediatedGene:
-    """A gene answer in the mediator's global schema (one per source!).
+class Mediator:
+    """The integration system of Figure 1: decompose, ship, fuse.
 
-    The mediator does not reconcile: the same accession seen in three
-    sources yields three rows, possibly disagreeing.
+    Non-strict queries implement degraded-answer semantics: every row
+    derivable from the sources that answered is returned, and the
+    accompanying :class:`QueryHealth` (``result.health``, also kept as
+    ``mediator.last_health``) names the sources that did not.
     """
 
-    accession: str
-    source: str
-    name: str | None
-    organism: str | None
-    description: str | None
-    sequence_text: str
-    length: int = field(init=False)
-
-    def __post_init__(self) -> None:
-        self.length = len(self.sequence_text)
-
-
-class Mediator:
-    """The integration system of Figure 1: decompose, ship, fuse."""
-
-    def __init__(self, sources: Sequence[Repository]) -> None:
+    def __init__(
+        self,
+        sources: Sequence[Repository],
+        retry_policy: RetryPolicy | None = None,
+        breaker_policy: BreakerPolicy | None = None,
+        timeline: VirtualClock | None = None,
+    ) -> None:
         if not sources:
             raise MediatorError("a mediator needs at least one source")
+        names = [repository.name for repository in sources]
+        duplicates = sorted({name for name in names if names.count(name) > 1})
+        if duplicates:
+            raise MediatorError(
+                f"duplicate source names {duplicates}: each repository "
+                f"must be mediated at most once or answers double-count"
+            )
+        if timeline is None:
+            timeline = next(
+                (candidate for candidate in
+                 (getattr(repository, "timeline", None)
+                  for repository in sources)
+                 if isinstance(candidate, VirtualClock)),
+                None,
+            ) or VirtualClock()
+        self.timeline = timeline
+        self.retry_policy = retry_policy or RetryPolicy()
         self.cost = MediationCost()
-        self.wrappers = [LiveSourceWrapper(repository, self.cost)
-                         for repository in sources]
+        self.wrappers = [
+            LiveSourceWrapper(repository, self.cost,
+                              retry_policy=self.retry_policy,
+                              breaker_policy=breaker_policy,
+                              timeline=timeline)
+            for repository in sources
+        ]
+        self.last_health = QueryHealth()
 
     @property
     def source_names(self) -> tuple[str, ...]:
         return tuple(w.repository.name for w in self.wrappers)
+
+    def breaker_for(self, source: str) -> CircuitBreaker:
+        for wrapper in self.wrappers:
+            if wrapper.repository.name == source:
+                return wrapper.breaker
+        raise MediatorError(f"no mediated source named {source!r}")
 
     @contextmanager
     def _query_scope(self) -> Iterator[None]:
@@ -167,21 +504,37 @@ class Mediator:
             for wrapper in self.wrappers:
                 wrapper.end_query()
 
+    def _begin_health(self) -> tuple[QueryHealth, float, float | None]:
+        health = QueryHealth()
+        started = self.timeline.now()
+        deadline_at = (started + self.retry_policy.deadline
+                       if self.retry_policy.deadline is not None else None)
+        return health, started, deadline_at
+
+    def _finish(self, health: QueryHealth, started: float,
+                strict: bool) -> None:
+        health.elapsed = self.timeline.now() - started
+        self.last_health = health
+        if strict and health.degraded:
+            unavailable = health.sources_failed + health.sources_skipped
+            raise MediatorError(
+                "strict mediation failed; unavailable sources: "
+                + ", ".join(unavailable)
+                + f" ({health.summary()})"
+            )
+
     # -- the global-schema query API ----------------------------------------------
 
-    def _gene_rows(self) -> Iterable[MediatedGene]:
-        for wrapper in self.wrappers:
-            for record in wrapper.fetch_all():
-                if record.dna is None:
-                    continue  # protein databanks don't serve the gene view
-                yield MediatedGene(
-                    accession=record.accession,
-                    source=wrapper.repository.name,
-                    name=record.name,
-                    organism=record.organism,
-                    description=record.description,
-                    sequence_text=str(record.dna),
-                )
+    @staticmethod
+    def _as_gene(record: ParsedRecord, source: str) -> MediatedGene:
+        return MediatedGene(
+            accession=record.accession,
+            source=source,
+            name=record.name,
+            organism=record.organism,
+            description=record.description,
+            sequence_text=str(record.dna),
+        )
 
     def find_genes(
         self,
@@ -190,58 +543,95 @@ class Mediator:
         contains_motif: str | None = None,
         min_length: int | None = None,
         predicate: Callable[[MediatedGene], bool] | None = None,
-    ) -> list[MediatedGene]:
+        strict: bool = False,
+    ) -> MediatedAnswer:
         """Answer a selection over the virtual ``genes`` view.
 
         All filtering happens in the middleware, after extraction — the
-        defining property of the architecture.
+        defining property of the architecture.  Sources that stay down
+        after retries are reported in ``result.health`` and, under
+        ``strict=True``, raise :class:`~repro.errors.MediatorError`.
         """
         self.cost.queries_answered += 1
-        answers: list[MediatedGene] = []
+        health, started, deadline_at = self._begin_health()
+        answers = MediatedAnswer(health=health)
         with self._query_scope():
-            for row in self._gene_rows():
-                if organism is not None and row.organism != organism:
+            for wrapper in self.wrappers:
+                try:
+                    records = wrapper.resilient(
+                        "fetch_all", wrapper.fetch_all, health, deadline_at
+                    )
+                except SourceError:
                     continue
-                if name_prefix is not None and not (
-                    row.name or ""
-                ).startswith(name_prefix):
-                    continue
-                if min_length is not None and row.length < min_length:
-                    continue
-                if contains_motif is not None:
-                    from repro.core.types import DnaSequence
-
-                    if not motif_contains(DnaSequence(row.sequence_text),
-                                          contains_motif):
-                        continue
-                if predicate is not None and not predicate(row):
-                    continue
-                answers.append(row)
+                for record in records:
+                    if record.dna is None:
+                        continue  # protein databanks don't serve genes
+                    row = self._as_gene(record, wrapper.repository.name)
+                    if self._matches(row, organism, name_prefix,
+                                     contains_motif, min_length, predicate):
+                        answers.append(row)
+        self._finish(health, started, strict)
         return answers
 
-    def _gene_views(self, accession: str) -> list[MediatedGene]:
+    @staticmethod
+    def _matches(
+        row: MediatedGene,
+        organism: str | None,
+        name_prefix: str | None,
+        contains_motif: str | None,
+        min_length: int | None,
+        predicate: Callable[[MediatedGene], bool] | None,
+    ) -> bool:
+        if organism is not None and row.organism != organism:
+            return False
+        if name_prefix is not None and not (
+            row.name or ""
+        ).startswith(name_prefix):
+            return False
+        if min_length is not None and row.length < min_length:
+            return False
+        if contains_motif is not None:
+            from repro.core.types import DnaSequence
+
+            if not motif_contains(DnaSequence(row.sequence_text),
+                                  contains_motif):
+                return False
+        if predicate is not None and not predicate(row):
+            return False
+        return True
+
+    def _gene_views(
+        self,
+        accession: str,
+        health: QueryHealth,
+        deadline_at: float | None,
+    ) -> list[MediatedGene]:
         answers = []
         for wrapper in self.wrappers:
-            record = wrapper.fetch(accession)
+            try:
+                record = wrapper.resilient(
+                    "fetch", lambda w=wrapper: w.fetch(accession),
+                    health, deadline_at,
+                )
+            except SourceError:
+                continue
             if record is not None and record.dna is not None:
-                answers.append(MediatedGene(
-                    accession=record.accession,
-                    source=wrapper.repository.name,
-                    name=record.name,
-                    organism=record.organism,
-                    description=record.description,
-                    sequence_text=str(record.dna),
-                ))
+                answers.append(self._as_gene(record,
+                                             wrapper.repository.name))
         return answers
 
-    def gene(self, accession: str) -> list[MediatedGene]:
+    def gene(self, accession: str, strict: bool = False) -> MediatedAnswer:
         """All source views of one accession (unreconciled, C8)."""
         self.cost.queries_answered += 1
+        health, started, deadline_at = self._begin_health()
         with self._query_scope():
-            return self._gene_views(accession)
+            views = self._gene_views(accession, health, deadline_at)
+        self._finish(health, started, strict)
+        return MediatedAnswer(views, health=health)
 
-    def genes(self, accessions: Sequence[str]) -> dict[str,
-                                                       list[MediatedGene]]:
+    def genes(
+        self, accessions: Sequence[str], strict: bool = False
+    ) -> MediatedBatch:
         """Batch lookup: many accessions, ONE query.
 
         Inside the shared query scope a non-queryable source ships its
@@ -249,9 +639,16 @@ class Mediator:
         per-query memo is what keeps :class:`MediationCost` honest here.
         """
         self.cost.queries_answered += 1
+        health, started, deadline_at = self._begin_health()
         with self._query_scope():
-            return {accession: self._gene_views(accession)
-                    for accession in accessions}
+            batch = MediatedBatch(
+                ((accession,
+                  self._gene_views(accession, health, deadline_at))
+                 for accession in accessions),
+                health=health,
+            )
+        self._finish(health, started, strict)
+        return batch
 
     def count_genes(self, **filters) -> int:
         return len(self.find_genes(**filters))

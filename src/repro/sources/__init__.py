@@ -11,6 +11,13 @@ from repro.sources.base import (
     SourceRecord,
 )
 from repro.sources.embl import EmblRepository
+from repro.sources.faults import (
+    GUARDED_OPERATIONS,
+    FaultStats,
+    FaultyRepository,
+    OutageWindow,
+    VirtualClock,
+)
 from repro.sources.genbank import GenBankRepository
 from repro.sources.relational import RelationalRepository
 from repro.sources.swissprot import SwissProtRepository
@@ -34,4 +41,9 @@ __all__ = [
     "TrEmblRepository",
     "AceRepository",
     "RelationalRepository",
+    "FaultyRepository",
+    "FaultStats",
+    "OutageWindow",
+    "VirtualClock",
+    "GUARDED_OPERATIONS",
 ]

@@ -157,7 +157,8 @@ class Repository:
             return self._records[accession]
         except KeyError:
             raise SourceError(
-                f"{self.name} has no record {accession!r}"
+                f"{self.name} has no record {accession!r}",
+                source=self.name, operation="record_state",
             ) from None
 
     # -- the update stream -------------------------------------------------------------
@@ -234,19 +235,22 @@ class Repository:
     def query(self, accession: str) -> str | None:
         """Record-level lookup (queryable sources only)."""
         if not self.capabilities.queryable:
-            raise SourceError(f"{self.name} is not queryable")
+            raise SourceError(f"{self.name} is not queryable",
+                              source=self.name, operation="query")
         record = self._records.get(accession)
         return self.render_record(record) if record else None
 
     def query_accessions(self) -> tuple[str, ...]:
         if not self.capabilities.queryable:
-            raise SourceError(f"{self.name} is not queryable")
+            raise SourceError(f"{self.name} is not queryable",
+                              source=self.name, operation="query_accessions")
         return self.accessions()
 
     def read_log(self, since_sequence_number: int = 0) -> list[LogEntry]:
         """Inspect the change log (logged sources only)."""
         if not self.capabilities.logged:
-            raise SourceError(f"{self.name} keeps no inspectable log")
+            raise SourceError(f"{self.name} keeps no inspectable log",
+                              source=self.name, operation="read_log")
         return [entry for entry in self._log
                 if entry.sequence_number > since_sequence_number]
 
@@ -255,8 +259,18 @@ class Repository:
     ) -> None:
         """Register a push subscriber (active sources only)."""
         if not self.capabilities.active:
-            raise SourceError(f"{self.name} offers no push notifications")
+            raise SourceError(f"{self.name} offers no push notifications",
+                              source=self.name, operation="subscribe")
         self._subscribers.append(callback)
+
+    def push_channel_available(self) -> bool:
+        """Whether push notifications are currently being delivered.
+
+        Always true for a healthy active source; a fault-injection
+        proxy overrides this so monitors can notice a dead channel and
+        degrade to snapshot-diff polling (Figure 2's fallback ladder).
+        """
+        return self.capabilities.active
 
     # -- format rendering (subclasses) ---------------------------------------------------
 

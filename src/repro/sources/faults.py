@@ -1,0 +1,274 @@
+"""Deterministic fault injection for simulated repositories.
+
+The paper's sources are autonomous archives that "change, disappear, and
+answer inconsistently"; every federation component must therefore treat
+partial source failure as the normal case.  This module makes that
+failure mode *reproducible*: :class:`FaultyRepository` wraps any
+:class:`~repro.sources.base.Repository` behind a proxy whose faults are
+seeded and schedulable, so chaos scenarios, resilience tests, and the
+fault-rate ablation benchmark all replay bit for bit.
+
+Fault modes (freely combinable):
+
+- **intermittent failure** — each guarded call (``snapshot``, ``query``,
+  ``query_accessions``, ``read_log``) fails with a structured
+  :class:`~repro.errors.SourceError` at a seeded probability, or the
+  next *n* calls fail deterministically (:meth:`FaultyRepository.fail_next`);
+- **outage windows** — intervals on a shared :class:`VirtualClock`
+  during which every guarded call fails and push notifications are
+  dropped (flapping availability);
+- **injected latency** — each guarded call advances the virtual clock,
+  so retry backoff and per-query deadline budgets interact with slow
+  sources without any real sleeping;
+- **corruption** — snapshot / query payloads are truncated or garbled
+  at a seeded probability (the quarantine path's raw material);
+- **channel loss** — the change log or the push channel alone can be
+  taken down, forcing monitors onto the Figure 2 degradation ladder.
+
+All fault decisions come from one ``random.Random`` seeded from the
+wrapped source's name, never from wall-clock time.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.errors import SourceError
+from repro.sources.base import LogEntry, Repository
+
+#: Operations the proxy guards (every remote round-trip a caller can make).
+GUARDED_OPERATIONS = ("snapshot", "query", "query_accessions", "read_log")
+
+
+class VirtualClock:
+    """A shared simulated timeline (floats, no real sleeping).
+
+    Latency injection, retry backoff, breaker reset timeouts, and
+    outage windows all advance / read the same clock, so their
+    interactions are deterministic and instantaneous to test.
+    """
+
+    def __init__(self, start: float = 0.0) -> None:
+        self._now = float(start)
+
+    def now(self) -> float:
+        return self._now
+
+    def advance(self, amount: float) -> float:
+        if amount < 0:
+            raise ValueError("a virtual clock cannot run backwards")
+        self._now += amount
+        return self._now
+
+    def __repr__(self) -> str:
+        return f"VirtualClock(t={self._now:.2f})"
+
+
+@dataclass
+class FaultStats:
+    """What the proxy actually did to its caller (per proxy lifetime)."""
+
+    calls: int = 0
+    failures: int = 0
+    corruptions: int = 0
+    dropped_notifications: int = 0
+    injected_latency: float = 0.0
+
+
+@dataclass(frozen=True)
+class OutageWindow:
+    """A half-open ``[start, end)`` interval of unavailability."""
+
+    start: float
+    end: float
+
+    def covers(self, instant: float) -> bool:
+        return self.start <= instant < self.end
+
+
+class FaultyRepository:
+    """A :class:`Repository` proxy with seeded, schedulable faults.
+
+    Everything not explicitly guarded (``accessions``, ``record_state``,
+    ``render_record``, ``advance``, ``clock`` …) delegates to the
+    wrapped repository untouched — ground-truth inspection in tests
+    stays fault-free.
+    """
+
+    def __init__(
+        self,
+        repository: Repository,
+        timeline: VirtualClock | None = None,
+        seed: int = 0,
+    ) -> None:
+        self.inner = repository
+        self.timeline = timeline if timeline is not None else VirtualClock()
+        self._rng = random.Random(("faults", repository.name, seed).__repr__())
+        self.stats = FaultStats()
+        self._fail_rates: dict[str, float] = {}
+        self._forced_failures: dict[str, int] = {}
+        self._outages: list[OutageWindow] = []
+        self._latency = 0.0
+        self._corrupt_rate = 0.0
+        self._log_channel_down = False
+        self._push_channel_down = False
+
+    # -- scheduling API ---------------------------------------------------------
+
+    def fail_with_rate(self, rate: float, *operations: str) -> None:
+        """Fail each guarded call with probability *rate* (seeded)."""
+        for operation in operations or GUARDED_OPERATIONS:
+            self._fail_rates[operation] = rate
+
+    def fail_next(self, count: int, *operations: str) -> None:
+        """Deterministically fail the next *count* calls per operation."""
+        for operation in operations or GUARDED_OPERATIONS:
+            self._forced_failures[operation] = (
+                self._forced_failures.get(operation, 0) + count
+            )
+
+    def schedule_outage(self, start: float, end: float) -> None:
+        """Every guarded call in ``[start, end)`` virtual time fails."""
+        if end <= start:
+            raise ValueError(f"empty outage window [{start}, {end})")
+        self._outages.append(OutageWindow(start, end))
+
+    def add_latency(self, amount: float) -> None:
+        """Each guarded call advances the virtual clock by *amount*."""
+        self._latency = amount
+
+    def corrupt_with_rate(self, rate: float) -> None:
+        """Truncate or garble returned record text with probability *rate*."""
+        self._corrupt_rate = rate
+
+    def drop_log_channel(self) -> None:
+        self._log_channel_down = True
+
+    def restore_log_channel(self) -> None:
+        self._log_channel_down = False
+
+    def drop_push_channel(self) -> None:
+        self._push_channel_down = True
+
+    def restore_push_channel(self) -> None:
+        self._push_channel_down = False
+
+    # -- fault machinery --------------------------------------------------------
+
+    def in_outage(self, instant: float | None = None) -> bool:
+        when = self.timeline.now() if instant is None else instant
+        return any(window.covers(when) for window in self._outages)
+
+    def _fail(self, operation: str, reason: str) -> None:
+        self.stats.failures += 1
+        raise SourceError(
+            f"{self.name} failed {operation}: {reason}",
+            source=self.name, operation=operation,
+        )
+
+    def _guard(self, operation: str) -> None:
+        self.stats.calls += 1
+        if self._latency:
+            self.timeline.advance(self._latency)
+            self.stats.injected_latency += self._latency
+        if self.in_outage():
+            self._fail(operation, "source unavailable (outage window)")
+        forced = self._forced_failures.get(operation, 0)
+        if forced > 0:
+            self._forced_failures[operation] = forced - 1
+            self._fail(operation, "injected failure")
+        rate = self._fail_rates.get(operation, 0.0)
+        if rate and self._rng.random() < rate:
+            self._fail(operation, "intermittent failure")
+
+    def _maybe_corrupt(self, text: str) -> str:
+        if not text or not self._corrupt_rate:
+            return text
+        if self._rng.random() >= self._corrupt_rate:
+            return text
+        self.stats.corruptions += 1
+        if self._rng.random() < 0.5 and len(text) > 1:
+            # Truncation: the transfer died mid-payload.
+            return text[:self._rng.randrange(1, len(text))]
+        # Garbling: a window of the payload is overwritten with junk.
+        chars = list(text)
+        width = max(1, len(chars) // 8)
+        start = self._rng.randrange(max(1, len(chars) - width))
+        for index in range(start, min(len(chars), start + width)):
+            if chars[index] != "\n":
+                chars[index] = "#"
+        return "".join(chars)
+
+    # -- guarded access paths ---------------------------------------------------
+
+    def snapshot(self) -> str:
+        self._guard("snapshot")
+        return self._maybe_corrupt(self.inner.snapshot())
+
+    def query(self, accession: str) -> str | None:
+        self._guard("query")
+        text = self.inner.query(accession)
+        return self._maybe_corrupt(text) if text is not None else None
+
+    def query_accessions(self) -> tuple[str, ...]:
+        self._guard("query_accessions")
+        return self.inner.query_accessions()
+
+    def read_log(self, since_sequence_number: int = 0) -> list[LogEntry]:
+        if self._log_channel_down:
+            self.stats.calls += 1
+            self._fail("read_log", "log channel unavailable")
+        self._guard("read_log")
+        return self.inner.read_log(since_sequence_number)
+
+    def subscribe(
+        self, callback: Callable[[LogEntry, str | None], None]
+    ) -> None:
+        def guarded(entry: LogEntry, rendered: str | None) -> None:
+            if not self.push_channel_available():
+                self.stats.dropped_notifications += 1
+                return
+            callback(entry, rendered)
+
+        self.inner.subscribe(guarded)
+
+    def push_channel_available(self) -> bool:
+        return (self.inner.push_channel_available()
+                and not self._push_channel_down
+                and not self.in_outage())
+
+    # -- transparent delegation -------------------------------------------------
+
+    @property
+    def name(self) -> str:
+        return self.inner.name
+
+    @property
+    def capabilities(self):
+        return self.inner.capabilities
+
+    @property
+    def representation(self) -> str:
+        return self.inner.representation
+
+    @property
+    def stores_protein(self) -> bool:
+        return self.inner.stores_protein
+
+    @property
+    def clock(self) -> int:
+        return self.inner.clock
+
+    def __len__(self) -> int:
+        return len(self.inner)
+
+    def __getattr__(self, attribute: str):
+        # accessions / record_state / render_record / advance / universe …
+        return getattr(self.inner, attribute)
+
+    def __repr__(self) -> str:
+        return (f"FaultyRepository({self.inner!r}, "
+                f"failures={self.stats.failures}, "
+                f"corruptions={self.stats.corruptions})")

@@ -1,0 +1,224 @@
+"""Monitors under fault injection: resumable cursors, quarantine,
+degradation down the Figure 2 capability ladder."""
+
+import pytest
+
+from repro.etl.delta import DELETE
+from repro.etl.monitors import (
+    LogMonitor,
+    PollingMonitor,
+    SnapshotMonitor,
+    TriggerMonitor,
+)
+from repro.sources import (
+    EmblRepository,
+    FaultyRepository,
+    GenBankRepository,
+    RelationalRepository,
+    SwissProtRepository,
+    Universe,
+)
+
+
+def _truth_images(monitor):
+    """What the monitor's images must equal once it has caught up."""
+    repository = monitor.repository
+    return {
+        accession: monitor._normalize(repository.render_record(
+            repository.record_state(accession)
+        ))
+        for accession in repository.accessions()
+    }
+
+
+def _assert_unique(deltas):
+    identifiers = [delta.delta_id for delta in deltas]
+    assert len(identifiers) == len(set(identifiers))
+
+
+class TestSnapshotMonitorFaults:
+    def _monitor(self, seed=41):
+        proxy = FaultyRepository(GenBankRepository(Universe(seed=seed,
+                                                           size=16)))
+        return SnapshotMonitor(proxy), proxy
+
+    def test_failed_poll_coalesces_into_the_next(self):
+        monitor, proxy = self._monitor()
+        before = dict(monitor._images)
+        proxy.advance(2)
+        proxy.fail_next(1, "snapshot")
+        assert monitor.poll() == []
+        assert monitor.health.failed_polls == 1
+        assert monitor._images == before  # nothing half-applied
+        recovered = monitor.poll()
+        assert monitor._images == monitor._split_snapshot(
+            proxy.inner.snapshot()
+        )
+        if monitor._images != before:
+            assert recovered  # the missed changes arrived late, not never
+
+    def test_corrupt_dump_never_fabricates_deletes(self):
+        monitor, proxy = self._monitor()
+        proxy.corrupt_with_rate(1.0)
+        for __ in range(3):
+            proxy.advance(1)
+            deltas = monitor.poll()
+            still_there = monitor._split_snapshot(proxy.inner.snapshot())
+            for delta in deltas:
+                if delta.operation == DELETE:
+                    assert delta.accession not in still_there
+        assert monitor.health.quarantined > 0
+        proxy.corrupt_with_rate(0.0)
+        monitor.poll()
+        assert monitor._images == monitor._split_snapshot(
+            proxy.inner.snapshot()
+        )
+
+    def test_quarantine_report_is_readable(self):
+        monitor, proxy = self._monitor()
+        proxy.corrupt_with_rate(1.0)
+        proxy.advance(1)
+        monitor.poll()
+        report = monitor.quarantine_report()
+        assert report.startswith("GenBank:")
+        assert f"{len(monitor.quarantine)} quarantined" in report
+        for item in monitor.quarantine:
+            assert item.reason in report
+
+
+class TestPollingMonitorFaults:
+    def _monitor(self, seed=43):
+        proxy = FaultyRepository(EmblRepository(Universe(seed=seed,
+                                                         size=16)))
+        return PollingMonitor(proxy), proxy
+
+    def test_query_failure_degrades_to_snapshot_diff(self):
+        monitor, proxy = self._monitor()
+        control = PollingMonitor(proxy.inner)
+        proxy.advance(2)
+        proxy.fail_next(1, "query_accessions")
+        degraded = monitor.poll()
+        assert monitor.health.degraded_polls == 1
+        expected = control.poll()
+        key = lambda d: (d.accession, d.operation)  # noqa: E731
+        assert sorted(map(key, degraded)) == sorted(map(key, expected))
+        assert monitor._images == control._images
+
+    def test_dead_source_fails_the_poll_and_keeps_state(self):
+        monitor, proxy = self._monitor()
+        proxy.advance(2)
+        before = dict(monitor._images)
+        proxy.fail_next(1, "query_accessions")
+        proxy.fail_next(1, "snapshot")  # the fallback rung dies too
+        assert monitor.poll() == []
+        assert monitor.health.failed_polls == 1
+        assert monitor._images == before
+        monitor.poll()
+        assert monitor._images == _truth_images(monitor)
+
+
+class TestLogMonitorFaults:
+    def _monitor(self, seed=47):
+        proxy = FaultyRepository(RelationalRepository(Universe(seed=seed,
+                                                               size=16)))
+        return LogMonitor(proxy), proxy
+
+    def test_midpoll_fetch_failure_resumes_without_loss(self):
+        monitor, proxy = self._monitor()
+        control = LogMonitor(proxy.inner)
+        proxy.advance(3)
+        proxy.fail_next(1, "query")
+        partial = monitor.poll()
+        assert monitor.health.failed_polls == 1
+        resumed = monitor.poll()
+        combined = partial + resumed
+        _assert_unique(combined)
+        expected = control.poll()
+        key = lambda d: (d.accession, d.operation, d.timestamp)  # noqa: E731
+        assert sorted(map(key, combined)) == sorted(map(key, expected))
+        assert monitor._last_sequence == control._last_sequence
+        assert monitor._images == _truth_images(monitor)
+
+    def test_log_loss_degrades_then_resyncs_cleanly(self):
+        monitor, proxy = self._monitor()
+        collected = []
+        proxy.advance(2)
+        collected += monitor.poll()
+        proxy.drop_log_channel()
+        proxy.advance(2)
+        collected += monitor.poll()  # snapshot-diff fallback
+        assert monitor.health.degraded_polls == 1
+        proxy.restore_log_channel()
+        proxy.advance(2)
+        collected += monitor.poll()
+        _assert_unique(collected)
+        assert monitor._images == _truth_images(monitor)
+        assert (monitor._last_sequence
+                == proxy.inner.read_log()[-1].sequence_number)
+
+    def test_resync_clock_skips_entries_the_fallback_covered(self):
+        monitor, proxy = self._monitor()
+        proxy.drop_log_channel()
+        proxy.advance(2)
+        fallback = monitor.poll()
+        proxy.restore_log_channel()
+        read_before = monitor.cost.log_entries_read
+        assert monitor.poll() == []  # log replays nothing already shipped
+        assert monitor.cost.log_entries_read > read_before
+        assert {d.delta_id for d in fallback} == {
+            d.delta_id for d in fallback
+        }
+
+    def test_corrupt_record_image_is_quarantined_not_ingested(self):
+        monitor, proxy = self._monitor()
+        stored = dict(monitor._images)
+        accession = next(iter(stored))
+        assert not monitor._validate(accession, "definitely,not,a,row")
+        assert monitor.health.quarantined == 1
+        item = monitor.quarantine[0]
+        assert item.accession == accession
+        assert item.source == "RelationalDB"
+        assert monitor._images == stored  # nothing ingested
+
+    def test_corruption_storm_still_advances_the_cursor(self):
+        monitor, proxy = self._monitor()
+        proxy.corrupt_with_rate(1.0)
+        proxy.advance(2)
+        monitor.poll()
+        assert (monitor._last_sequence
+                == proxy.inner.read_log()[-1].sequence_number)
+        proxy.corrupt_with_rate(0.0)
+        proxy.advance(1)
+        monitor.poll()
+        assert monitor._images == _truth_images(monitor)
+
+
+class TestTriggerMonitorFaults:
+    def _run_outage(self, seed=53):
+        proxy = FaultyRepository(SwissProtRepository(Universe(seed=seed,
+                                                              size=16)))
+        monitor = TriggerMonitor(proxy)
+        collected = []
+        proxy.advance(1)
+        collected += monitor.poll()
+        proxy.drop_push_channel()
+        proxy.advance(2)
+        collected += monitor.poll()  # observes the dead channel
+        proxy.restore_push_channel()
+        proxy.advance(1)
+        collected += monitor.poll()  # drains pushes + resync sweep
+        return monitor, proxy, collected
+
+    def test_push_loss_is_recovered_by_snapshot_fallback(self):
+        monitor, proxy, collected = self._run_outage()
+        assert proxy.stats.dropped_notifications > 0
+        assert monitor.health.degraded_polls >= 1
+        assert collected  # the outage did not eat the changes
+
+    def test_nothing_is_delivered_twice_across_the_outage(self):
+        monitor, proxy, collected = self._run_outage()
+        _assert_unique(collected)
+
+    def test_images_converge_to_the_source(self):
+        monitor, proxy, collected = self._run_outage()
+        assert monitor._images == _truth_images(monitor)

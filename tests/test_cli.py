@@ -54,6 +54,15 @@ class TestCli:
     def test_recover_requires_wal_or_self_test(self, capsys):
         assert main(["recover"]) == 2
 
+    def test_chaos_self_test_runs(self, capsys):
+        assert main(["chaos", "--self-test"]) == 0
+        output = capsys.readouterr().out
+        assert "scenarios degraded and recovered correctly" in output
+        assert "FAIL" not in output
+
+    def test_chaos_requires_self_test(self, capsys):
+        assert main(["chaos"]) == 2
+
     def test_unknown_command_rejected(self):
         with pytest.raises(SystemExit) as excinfo:
             main(["frobnicate"])
