@@ -98,6 +98,24 @@ class QuarantinedRecord:
     timestamp: int
 
 
+@dataclass(frozen=True)
+class IngestReport:
+    """What one dump ingest established — and what it had to defer.
+
+    ``deferred_deletes`` are accessions missing from a corrupt/torn dump
+    whose old images were kept (the dump is not trusted about absences);
+    ``corrupt`` are accessions whose new image failed validation and was
+    reverted.  Both sets empty means the dump was ingested cleanly.
+    """
+
+    deferred_deletes: frozenset[str] = frozenset()
+    corrupt: frozenset[str] = frozenset()
+
+    @property
+    def clean(self) -> bool:
+        return not (self.deferred_deletes or self.corrupt)
+
+
 _SPLITTERS = {
     "flat": split_flat_snapshot,
     "hierarchical": split_ace_snapshot,
@@ -171,7 +189,7 @@ class SourceMonitor:
 
     def _ingest_dump(
         self, old: dict[str, str], dump: str
-    ) -> tuple[list[Delta], dict[str, str]]:
+    ) -> tuple[list[Delta], dict[str, str], IngestReport]:
         """Split, truncation-check, validate, and diff one full dump."""
         self.cost.bytes_scanned += len(dump)
         current = self._split_snapshot(dump)
@@ -236,31 +254,38 @@ class SourceMonitor:
     def _validated_differential(
         self, old: dict[str, str], new: dict[str, str],
         assume_corrupt: bool = False,
-    ) -> tuple[list[Delta], dict[str, str]]:
+    ) -> tuple[list[Delta], dict[str, str], IngestReport]:
         """Diff *old* → *new* with corrupt new images quarantined.
 
         A corrupt image reverts to its previous version (or is excluded
         when new), so it produces no delta now and surfaces as an update
         once the source serves it cleanly.  A dump that quarantined
         anything is not trusted about missing records either: suspected
-        deletes are deferred until a clean poll confirms them.
+        deletes are deferred until a clean poll confirms them.  The
+        returned :class:`IngestReport` names both kinds of deferral so
+        callers know whether the ingest fully caught them up.
         """
         sanitized = dict(new)
+        corrupt: set[str] = set()
         saw_corruption = assume_corrupt
         for accession, text in new.items():
             if old.get(accession) == text:
                 continue
             if not self._validate(accession, text):
                 saw_corruption = True
+                corrupt.add(accession)
                 if accession in old:
                     sanitized[accession] = old[accession]
                 else:
                     del sanitized[accession]
+        deferred: set[str] = set()
         if saw_corruption:
             for accession, text in old.items():
                 if accession not in sanitized:
                     sanitized[accession] = text
-        return self._differential_deltas(old, sanitized), sanitized
+                    deferred.add(accession)
+        report = IngestReport(frozenset(deferred), frozenset(corrupt))
+        return self._differential_deltas(old, sanitized), sanitized, report
 
     def _failed_poll(self, error: SourceError) -> list[Delta]:
         """Record a poll the source refused; state stays resumable."""
@@ -270,20 +295,21 @@ class SourceMonitor:
 
     def _snapshot_fallback(
         self, images: dict[str, str], error: SourceError
-    ) -> tuple[list[Delta], dict[str, str]]:
+    ) -> tuple[list[Delta], dict[str, str], IngestReport | None]:
         """Degrade one poll to a snapshot differential against *images*.
 
         Snapshots are the capability every source guarantees (Figure 2),
         so this is the bottom rung of the degradation ladder; if even
-        the snapshot fails, the poll counts as failed and *images* are
-        returned unchanged.
+        the snapshot fails, the poll counts as failed, *images* are
+        returned unchanged and the report is ``None`` — callers must
+        not advance any resync state in that case.
         """
         self.health.degraded_polls += 1
         self.health.last_error = str(error)
         try:
             dump = self.repository.snapshot()
         except SourceError as second:
-            return self._failed_poll(second), images
+            return self._failed_poll(second), images, None
         return self._ingest_dump(images, dump)
 
 
@@ -337,14 +363,20 @@ class TriggerMonitor(SourceMonitor):
         available = self.repository.push_channel_available()
         if available and not self._channel_was_down:
             return drained
-        extra, self._images = self._snapshot_fallback(
+        extra, self._images, report = self._snapshot_fallback(
             self._images,
             SourceError(
                 f"{self.repository.name} push channel unavailable",
                 source=self.repository.name, operation="subscribe",
             ),
         )
-        self._channel_was_down = not available
+        # The resync debt is paid only once a snapshot was ingested
+        # *cleanly* — a failed or corrupt/torn fallback may still owe
+        # deltas that were dropped with the channel, and no notification
+        # will ever replay them, so keep degrading until a clean sweep.
+        self._channel_was_down = (not available
+                                  or report is None
+                                  or not report.clean)
         return drained + extra
 
 
@@ -357,7 +389,10 @@ class LogMonitor(SourceMonitor):
     lost, none is delivered twice.  When the log channel itself dies,
     the monitor degrades to a snapshot differential and remembers the
     resync clock, so log entries it already covered are skipped once
-    the channel returns.
+    the channel returns — but only entries a dump *actually* covered: a
+    fallback whose snapshot also failed advances nothing, and DELETE
+    entries confirming a delete the torn dump deferred are delivered,
+    not skipped.
     """
 
     strategy = "log"
@@ -375,6 +410,7 @@ class LogMonitor(SourceMonitor):
         )
         self._resync_clock = 0
         self._pending_refetch: set[str] = set()
+        self._deferred_deletes: set[str] = set()
         self._images: dict[str, str] = {
             accession: self._normalize(repository.render_record(
                 repository.record_state(accession)
@@ -405,18 +441,33 @@ class LogMonitor(SourceMonitor):
         try:
             entries = self.repository.read_log(self._last_sequence)
         except SourceError as error:
-            deltas, self._images = self._snapshot_fallback(self._images,
-                                                           error)
-            self._resync_clock = self.repository.clock
-            self._pending_refetch.clear()  # the full re-ingest covered them
+            deltas, self._images, report = self._snapshot_fallback(
+                self._images, error)
+            if report is not None:
+                # Only a resync that actually ingested a dump may later
+                # skip the log entries it covered; after a failed
+                # fallback the state stays put so the next poll retries.
+                self._resync_clock = self.repository.clock
+                self._deferred_deletes = set(report.deferred_deletes)
+                # The dump covered every record it served cleanly; what
+                # it served corrupt is pending again, and what it left
+                # out (deferred deletes) keeps its previous status.
+                self._pending_refetch = set(report.corrupt) | (
+                    self._pending_refetch & report.deferred_deletes
+                )
             return deltas
         deltas: list[Delta] = []
         for entry in entries:
             if entry.timestamp <= self._resync_clock:
-                # Its effect was already delivered by a snapshot resync
-                # while the log channel was down.
-                self._consume(entry)
-                continue
+                if (entry.operation != DELETE
+                        or entry.accession not in self._deferred_deletes):
+                    # Its effect was already delivered by a snapshot
+                    # resync while the log channel was down.
+                    self._consume(entry)
+                    continue
+                # A suspected delete the torn resync deferred: this log
+                # entry is exactly the confirmation it was waiting for,
+                # so fall through and deliver it.
             before = self._images.get(entry.accession)
             after = None
             if entry.operation == DELETE:
@@ -448,6 +499,7 @@ class LogMonitor(SourceMonitor):
                     continue
             self._consume(entry)
             self._pending_refetch.discard(entry.accession)
+            self._deferred_deletes.discard(entry.accession)
             deltas.append(Delta(
                 self.repository.name, entry.accession, entry.operation,
                 before, after, entry.timestamp,
@@ -528,11 +580,11 @@ class PollingMonitor(SourceMonitor):
         try:
             current = self._fetch_all()
         except SourceError as error:
-            deltas, self._images = self._snapshot_fallback(self._images,
-                                                           error)
+            deltas, self._images, _ = self._snapshot_fallback(self._images,
+                                                              error)
             return deltas
-        deltas, self._images = self._validated_differential(self._images,
-                                                            current)
+        deltas, self._images, _ = self._validated_differential(self._images,
+                                                               current)
         return deltas
 
 
@@ -554,7 +606,7 @@ class SnapshotMonitor(SourceMonitor):
             dump = self.repository.snapshot()
         except SourceError as error:
             return self._failed_poll(error)
-        deltas, self._images = self._ingest_dump(self._images, dump)
+        deltas, self._images, _ = self._ingest_dump(self._images, dump)
         return deltas
 
 

@@ -11,6 +11,7 @@ from repro.etl.monitors import (
     TriggerMonitor,
 )
 from repro.sources import (
+    Capabilities,
     EmblRepository,
     FaultyRepository,
     GenBankRepository,
@@ -156,6 +157,27 @@ class TestLogMonitorFaults:
         assert (monitor._last_sequence
                 == proxy.inner.read_log()[-1].sequence_number)
 
+    def test_failed_fallback_does_not_advance_the_resync_clock(self):
+        # Outage window: log channel down AND the snapshot rung dying on
+        # the same poll.  Nothing was delivered, so nothing may be
+        # marked as covered — the deltas must arrive once any channel
+        # returns, not be skipped by a phantom resync.
+        monitor, proxy = self._monitor()
+        control = LogMonitor(proxy.inner)
+        proxy.advance(4)
+        proxy.drop_log_channel()
+        proxy.fail_next(1, "snapshot")
+        assert monitor.poll() == []
+        assert monitor.health.failed_polls == 1
+        assert monitor.health.degraded_polls == 1
+        assert monitor._resync_clock == 0  # the failed fallback covered nothing
+        proxy.restore_log_channel()
+        recovered = monitor.poll()
+        expected = control.poll()
+        key = lambda d: (d.accession, d.operation, d.timestamp)  # noqa: E731
+        assert sorted(map(key, recovered)) == sorted(map(key, expected))
+        assert monitor._images == _truth_images(monitor)
+
     def test_resync_clock_skips_entries_the_fallback_covered(self):
         monitor, proxy = self._monitor()
         proxy.drop_log_channel()
@@ -168,6 +190,38 @@ class TestLogMonitorFaults:
         assert {d.delta_id for d in fallback} == {
             d.delta_id for d in fallback
         }
+
+    def test_torn_dump_deferred_delete_is_confirmed_by_the_log(self):
+        # A torn dump is not trusted about absences, so the fallback
+        # keeps the deleted record's image.  When the log channel comes
+        # back, the confirming DELETE entry sits *inside* the resync
+        # window — it must be delivered anyway, not skipped, or the
+        # stale record would be reported as present forever.
+        inner = SwissProtRepository(
+            Universe(seed=61, size=16),
+            capabilities=Capabilities(queryable=True, logged=True),
+        )
+        proxy = FaultyRepository(inner)
+        monitor = LogMonitor(proxy)
+        victim = min(monitor._images)
+        del inner._records[victim]
+        inner._emit(DELETE, victim)
+        proxy.drop_log_channel()
+        torn = inner.snapshot().rstrip()
+        assert torn.endswith("//")
+        inner.snapshot = lambda: torn[:-2].rstrip()  # tear the terminator
+        deferred = monitor.poll()  # degraded poll ingests the torn dump
+        del inner.__dict__["snapshot"]
+        assert monitor.health.degraded_polls == 1
+        assert all(delta.operation != DELETE for delta in deferred)
+        assert victim in monitor._images  # absence deferred, not believed
+        assert victim in monitor._deferred_deletes
+        proxy.restore_log_channel()
+        confirmed = monitor.poll()  # the returning log confirms the delete
+        assert [delta.accession for delta in confirmed
+                if delta.operation == DELETE] == [victim]
+        assert victim not in monitor._images
+        assert monitor._images == _truth_images(monitor)
 
     def test_corrupt_record_image_is_quarantined_not_ingested(self):
         monitor, proxy = self._monitor()
@@ -221,4 +275,22 @@ class TestTriggerMonitorFaults:
 
     def test_images_converge_to_the_source(self):
         monitor, proxy, collected = self._run_outage()
+        assert monitor._images == _truth_images(monitor)
+
+    def test_failed_resync_keeps_the_channel_debt(self):
+        proxy = FaultyRepository(SwissProtRepository(Universe(seed=53,
+                                                              size=16)))
+        monitor = TriggerMonitor(proxy)
+        proxy.drop_push_channel()
+        proxy.advance(2)  # these notifications are dropped for good
+        proxy.fail_next(1, "snapshot")
+        assert monitor.poll() == []  # dead channel AND dead snapshot
+        assert monitor._channel_was_down
+        proxy.restore_push_channel()
+        proxy.fail_next(1, "snapshot")
+        assert monitor.poll() == []  # channel is back, resync still dies
+        assert monitor._channel_was_down  # the debt is not forgotten
+        recovered = monitor.poll()  # a clean resync finally pays it off
+        assert not monitor._channel_was_down
+        assert recovered  # the dropped notifications arrived late, not never
         assert monitor._images == _truth_images(monitor)
