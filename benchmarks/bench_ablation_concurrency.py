@@ -1,0 +1,189 @@
+"""Experiment A9 — concurrent fan-out and answer caching vs. F1's costs.
+
+F1 shows mediation latency growing with source count because the
+sequential mediator pays every source's round-trips back to back.  This
+ablation sweeps the two fixes of the concurrency PR:
+
+- **fan-out width** — the same federation queried at
+  ``max_concurrency`` 1, 2, and 4.  Latency is *modelled* round-trip
+  time on the shared :class:`~repro.sources.VirtualClock` with a
+  differentiated RTT per access path: a full snapshot dump is one
+  expensive transfer, a record-level query is one cheap round trip.
+  The answers are bit-identical across widths; only the makespan
+  shrinks.
+- **answer cache** — a :class:`~repro.mediator.CachedMediator` serving
+  the same query again.  Hits are measured in *real*
+  ``time.perf_counter`` seconds, because a hit does no modelled I/O at
+  all — the interesting cost is the Python work of copying an answer
+  out of the LRU versus re-running mediation.
+
+Sweep axes: sources × concurrency × fault rate × cache on/off.
+
+Standalone report:  python benchmarks/bench_ablation_concurrency.py
+"""
+
+import sys
+import time
+
+from repro.mediator import CachedMediator, Mediator, RetryPolicy
+from repro.sources import (
+    AceRepository,
+    EmblRepository,
+    FaultyRepository,
+    GenBankRepository,
+    SwissProtRepository,
+    Universe,
+    VirtualClock,
+)
+
+UNIVERSE_SEED = 1302
+UNIVERSE_SIZE = 60
+QUERIES = 6
+CACHE_HITS = 30
+
+#: Modelled round-trip costs (virtual ms) per guarded source call.
+SNAPSHOT_RTT = 150.0   # one full flat-file dump
+QUERY_RTT = 2.0        # one record-level query
+
+SOURCE_COUNTS = (1, 2, 3, 4)
+CONCURRENCY_LEVELS = (1, 2, 4)
+FAULT_RATES = (0.0, 0.02)
+
+_SOURCE_BUILDERS = (GenBankRepository, EmblRepository, AceRepository,
+                    SwissProtRepository)
+
+
+def _build_sources(source_count, rate):
+    universe = Universe(seed=UNIVERSE_SEED, size=UNIVERSE_SIZE)
+    timeline = VirtualClock()
+    proxies = []
+    for index, builder in enumerate(_SOURCE_BUILDERS[:source_count]):
+        proxy = FaultyRepository(builder(universe), timeline,
+                                 seed=31 + index)
+        proxy.add_latency(QUERY_RTT if proxy.capabilities.queryable
+                          else SNAPSHOT_RTT)
+        if rate:
+            proxy.fail_with_rate(rate)
+        proxies.append(proxy)
+    return timeline, proxies
+
+
+def _retry_policy():
+    return RetryPolicy(max_attempts=3, base_delay=20.0, jitter=0.0)
+
+
+def run_sweep(source_count, concurrency, rate, queries=QUERIES):
+    """Mediate *queries* times; returns modelled latency + answer shape."""
+    timeline, proxies = _build_sources(source_count, rate)
+    width = min(concurrency, source_count)
+    mediator = Mediator(proxies, retry_policy=_retry_policy(),
+                        timeline=timeline, max_concurrency=width)
+    expected = len(Mediator([proxy.inner for proxy in proxies]).find_genes())
+    elapsed = 0.0
+    answered = 0
+    rows = None
+    for __ in range(queries):
+        answers = mediator.find_genes()
+        elapsed += answers.health.elapsed
+        answered += len(answers)
+        rows = [(row.source, row.accession) for row in answers]
+    return {
+        "virtual_latency": elapsed / queries,
+        "completeness": answered / (expected * queries),
+        "rows": rows,
+        "retries": mediator.cost.retries,
+    }
+
+
+def run_cache(source_count, rate, hits=CACHE_HITS):
+    """Miss vs. hit cost of the answer cache, in real seconds."""
+    timeline, proxies = _build_sources(source_count, rate)
+    cached = CachedMediator(proxies, retry_policy=_retry_policy(),
+                            timeline=timeline)
+    started = time.perf_counter()
+    first = cached.find_genes()
+    miss_seconds = time.perf_counter() - started
+    virtual_miss = first.health.elapsed
+
+    started = time.perf_counter()
+    for __ in range(hits):
+        answer = cached.find_genes()
+    hit_seconds = (time.perf_counter() - started) / hits
+    return {
+        "miss_ms": miss_seconds * 1e3,
+        "hit_ms": hit_seconds * 1e3,
+        "speedup": miss_seconds / max(hit_seconds, 1e-9),
+        "virtual_miss": virtual_miss,
+        "virtual_hit": answer.health.elapsed if answer.from_cache else None,
+        "hits": cached.cost.cache_hits,
+        "misses": cached.cost.cache_misses,
+    }
+
+
+class TestA9Shape:
+    """The acceptance numbers, pinned by the shared seeds."""
+
+    def test_four_sources_at_width_four_speed_up_at_least_2_5x(self):
+        sequential = run_sweep(4, 1, 0.0, queries=2)
+        concurrent = run_sweep(4, 4, 0.0, queries=2)
+        speedup = (sequential["virtual_latency"]
+                   / concurrent["virtual_latency"])
+        assert speedup >= 2.5, f"speedup {speedup:.2f}x"
+
+    def test_concurrency_changes_no_answer(self):
+        for rate in FAULT_RATES:
+            sequential = run_sweep(4, 1, rate, queries=2)
+            concurrent = run_sweep(4, 4, rate, queries=2)
+            assert concurrent["rows"] == sequential["rows"]
+            assert concurrent["completeness"] \
+                == sequential["completeness"]
+
+    def test_cache_hit_is_at_least_10x_cheaper_than_a_miss(self):
+        metrics = run_cache(4, 0.0)
+        assert metrics["speedup"] >= 10.0, \
+            f"hit only {metrics['speedup']:.1f}x cheaper"
+        assert metrics["hits"] == CACHE_HITS
+        assert metrics["misses"] == 1
+
+    def test_faults_cost_latency_not_rows_at_full_width(self):
+        clean = run_sweep(4, 4, 0.0, queries=2)
+        faulty = run_sweep(4, 4, 0.02, queries=2)
+        assert faulty["virtual_latency"] > clean["virtual_latency"]
+        assert faulty["completeness"] >= 0.9
+
+
+def report():
+    print(f"A9: concurrent fan-out + answer caching "
+          f"({QUERIES} queries, universe size {UNIVERSE_SIZE}, "
+          f"snapshot RTT {SNAPSHOT_RTT:.0f}, query RTT {QUERY_RTT:.0f})")
+    for rate in FAULT_RATES:
+        print()
+        print(f"fault rate {rate:.2f} — modelled latency per query "
+              f"(virtual ms)")
+        header = " ".join(f"width {width:>2}" for width in
+                          CONCURRENCY_LEVELS)
+        print(f"{'sources':>8} {header} {'speedup@4':>10}")
+        print("-" * 50)
+        for source_count in SOURCE_COUNTS:
+            cells = {
+                width: run_sweep(source_count, width,
+                                 rate)["virtual_latency"]
+                for width in CONCURRENCY_LEVELS
+            }
+            speedup = cells[1] / cells[4]
+            row = " ".join(f"{cells[width]:>8.1f}"
+                           for width in CONCURRENCY_LEVELS)
+            print(f"{source_count:>8} {row} {speedup:>9.2f}x")
+    print()
+    print("answer cache (fault-free, real milliseconds)")
+    print(f"{'sources':>8} {'miss ms':>9} {'hit ms':>9} {'speedup':>9}")
+    print("-" * 40)
+    for source_count in SOURCE_COUNTS:
+        metrics = run_cache(source_count, 0.0)
+        print(f"{source_count:>8} {metrics['miss_ms']:>9.3f} "
+              f"{metrics['hit_ms']:>9.4f} {metrics['speedup']:>8.0f}x")
+
+
+if __name__ == "__main__":
+    report()
+    sys.exit(0)

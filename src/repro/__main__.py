@@ -140,8 +140,12 @@ def _run_recover(arguments) -> int:
 def _run_chaos(arguments) -> int:
     from repro.chaos import self_test
 
+    if arguments.concurrency is not None and arguments.concurrency < 1:
+        print("chaos: --concurrency must be >= 1", file=sys.stderr)
+        return 2
     if arguments.self_test:
-        return 0 if self_test(verbose=True) else 1
+        passed = self_test(verbose=True, concurrency=arguments.concurrency)
+        return 0 if passed else 1
     print("chaos: --self-test is the only mode (runs the scenario matrix)",
           file=sys.stderr)
     return 2
@@ -187,6 +191,10 @@ def main(argv: "list[str] | None" = None) -> int:
     chaos_parser.add_argument("--self-test", action="store_true",
                               help="run the fault/degradation scenario "
                                    "matrix and exit")
+    chaos_parser.add_argument("--concurrency", type=int, default=None,
+                              help="mediator fan-out width for the "
+                                   "scenarios (default: one worker per "
+                                   "source)")
     arguments = parser.parse_args(argv)
     if arguments.command == "recover":
         return _run_recover(arguments)

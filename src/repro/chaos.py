@@ -28,9 +28,19 @@ mediator and the ETL monitors promise:
 7. **push-channel-loss** — a :class:`~repro.etl.monitors.TriggerMonitor`
    whose push channel goes quiet falls back to snapshot differentials
    and recovers the dropped notifications exactly once.
+8. **concurrent-fanout** — concurrent source fan-out returns the same
+   rows in the same order as the sequential mediator, shortens modelled
+   wall-clock latency, and replays bit for bit across runs.
+9. **cache-invalidation-storm** — a delta storm plus an outage window
+   against a :class:`~repro.mediator.CachedMediator`: every served
+   answer matches the post-delta source state (zero staleness), while
+   entries nothing touched survive in cache — precise invalidation,
+   no blanket flush.
 
 Every scenario is deterministic under its fixed seed: same faults, same
-retries, same answers, bit for bit.
+retries, same answers, bit for bit.  ``--concurrency N`` re-runs the
+mediator-driven scenarios with an explicit fan-out width (default: one
+worker per source).
 """
 
 from __future__ import annotations
@@ -40,7 +50,13 @@ from dataclasses import dataclass
 from repro.errors import MediatorError
 from repro.etl.delta import DELETE
 from repro.etl.monitors import LogMonitor, SnapshotMonitor, TriggerMonitor
-from repro.mediator import BreakerPolicy, Mediator, RetryPolicy
+from repro.mediator import (
+    BreakerPolicy,
+    CachedMediator,
+    Mediator,
+    RetryPolicy,
+)
+from repro.mediator.cache import normalize_query
 from repro.sources import (
     AceRepository,
     EmblRepository,
@@ -102,11 +118,12 @@ def _baseline_keys(faulty_sources) -> set[tuple[str, str]]:
 # Scenarios
 # ---------------------------------------------------------------------------
 
-def scenario_intermittent_retry() -> str:
+def scenario_intermittent_retry(concurrency: int | None = None) -> str:
     __, timeline, sources = _federation(seed=201)
     genbank = sources[0]
     genbank.fail_next(2, "snapshot")
-    mediator = Mediator(sources, timeline=timeline)
+    mediator = Mediator(sources, timeline=timeline,
+                        max_concurrency=concurrency)
     answers = mediator.find_genes()
     health = answers.health
     _expect(_answer_keys(answers) == _baseline_keys(sources),
@@ -122,11 +139,12 @@ def scenario_intermittent_retry() -> str:
             f"{len(answers)} rows, {health.summary()}")
 
 
-def scenario_outage_window() -> str:
+def scenario_outage_window(concurrency: int | None = None) -> str:
     __, timeline, sources = _federation(seed=202)
     embl = sources[1]
     embl.schedule_outage(0.0, 1_000.0)
-    mediator = Mediator(sources, timeline=timeline)
+    mediator = Mediator(sources, timeline=timeline,
+                        max_concurrency=concurrency)
     answers = mediator.find_genes()
     health = answers.health
     live_keys = _answer_keys(
@@ -147,7 +165,7 @@ def scenario_outage_window() -> str:
             f"failed={','.join(health.sources_failed)}; strict raised")
 
 
-def scenario_breaker_recovery() -> str:
+def scenario_breaker_recovery(concurrency: int | None = None) -> str:
     __, timeline, sources = _federation(seed=203)
     embl = sources[1]
     embl.schedule_outage(0.0, 60.0)
@@ -156,7 +174,7 @@ def scenario_breaker_recovery() -> str:
         retry_policy=RetryPolicy(max_attempts=2, base_delay=1.0,
                                  multiplier=2.0, jitter=0.0),
         breaker_policy=BreakerPolicy(failure_threshold=3, reset_timeout=20.0),
-        timeline=timeline,
+        timeline=timeline, max_concurrency=concurrency,
     )
     breaker = mediator.breaker_for("EMBL")
     mediator.find_genes()          # 2 failures: breaker still closed
@@ -180,7 +198,8 @@ def scenario_breaker_recovery() -> str:
             f"half-open probe reclosed at t={timeline.now():.0f}")
 
 
-def scenario_corrupt_snapshot() -> str:
+def scenario_corrupt_snapshot(concurrency: int | None = None) -> str:
+    del concurrency                    # monitor-only scenario, no fan-out
     universe = Universe(seed=204, size=24)
     timeline = VirtualClock()
     genbank = FaultyRepository(GenBankRepository(universe), timeline, seed=7)
@@ -207,7 +226,8 @@ def scenario_corrupt_snapshot() -> str:
             f"0 fabricated deletes, converged after clean poll")
 
 
-def scenario_log_channel_loss() -> str:
+def scenario_log_channel_loss(concurrency: int | None = None) -> str:
+    del concurrency                    # monitor-only scenario, no fan-out
     universe = Universe(seed=205, size=24)
     timeline = VirtualClock()
     relational = FaultyRepository(RelationalRepository(universe),
@@ -240,7 +260,7 @@ def scenario_log_channel_loss() -> str:
             f"0 lost, 0 double-delivered")
 
 
-def scenario_deadline_exhaustion() -> str:
+def scenario_deadline_exhaustion(concurrency: int | None = None) -> str:
     __, timeline, sources = _federation(seed=206)
     embl = sources[1]
     embl.schedule_outage(0.0, 100_000.0)
@@ -248,7 +268,7 @@ def scenario_deadline_exhaustion() -> str:
         sources,
         retry_policy=RetryPolicy(max_attempts=10, base_delay=30.0,
                                  multiplier=2.0, jitter=0.0, deadline=40.0),
-        timeline=timeline,
+        timeline=timeline, max_concurrency=concurrency,
     )
     answers = mediator.find_genes()
     health = answers.health
@@ -269,7 +289,8 @@ def scenario_deadline_exhaustion() -> str:
             f"{len(answers)} rows, t+{health.elapsed:.0f}")
 
 
-def scenario_push_channel_loss() -> str:
+def scenario_push_channel_loss(concurrency: int | None = None) -> str:
+    del concurrency                    # monitor-only scenario, no fan-out
     universe = Universe(seed=207, size=24)
     timeline = VirtualClock()
     swissprot = FaultyRepository(SwissProtRepository(universe),
@@ -305,6 +326,115 @@ def scenario_push_channel_loss() -> str:
             f"{len(delivered)} deltas total, none doubled")
 
 
+def scenario_concurrent_fanout(concurrency: int | None = None) -> str:
+    def run(width: int):
+        __, timeline, sources = _federation(seed=208)
+        for source in sources:
+            source.add_latency(2.0)
+            source.fail_with_rate(0.05)
+        mediator = Mediator(
+            sources,
+            retry_policy=RetryPolicy(max_attempts=3, base_delay=1.0,
+                                     multiplier=2.0, jitter=0.0),
+            timeline=timeline, max_concurrency=width,
+        )
+        answers = mediator.find_genes()
+        rows = [(row.source, row.accession, row.sequence_text)
+                for row in answers]
+        return rows, answers.health.elapsed
+
+    width = concurrency if concurrency is not None else 3
+    sequential_rows, sequential_elapsed = run(1)
+    rows, elapsed = run(width)
+    _expect(rows == sequential_rows,
+            "concurrent fusion changed the rows or their order")
+    _expect(run(width) == (rows, elapsed),
+            "a concurrent run did not replay bit for bit")
+    if width > 1:
+        _expect(elapsed < sequential_elapsed,
+                f"fan-out did not shorten modelled latency "
+                f"(t+{elapsed:.0f} vs t+{sequential_elapsed:.0f})")
+    return (f"width {width}: rows bit-identical to sequential, "
+            f"latency t+{sequential_elapsed:.0f}→t+{elapsed:.0f}, "
+            f"replay exact")
+
+
+def scenario_cache_invalidation_storm(concurrency: int | None = None) -> str:
+    __, timeline, sources = _federation(seed=209)
+    genbank = sources[0]
+    cached = CachedMediator(
+        sources,
+        retry_policy=RetryPolicy(max_attempts=2, base_delay=1.0,
+                                 multiplier=2.0, jitter=0.0),
+        breaker_policy=BreakerPolicy(failure_threshold=99,
+                                     reset_timeout=25.0),
+        timeline=timeline, max_concurrency=concurrency,
+    )
+
+    # Prime the cache: one extent scan plus a spread of point lookups.
+    cached.find_genes()
+    lookups = sorted({accession
+                      for source in sources
+                      for accession in source.accessions()})[:8]
+    for accession in lookups:
+        cached.gene(accession)
+
+    # The storm: every source churns while GenBank sits in an outage.
+    outage_start = timeline.now()
+    genbank.schedule_outage(outage_start, outage_start + 50.0)
+    touched = set()
+    for source in sources:
+        for entry in source.advance(5):
+            touched.add(entry.accession)
+
+    # Mid-storm sweep: GenBank's poll dies inside the outage, so it goes
+    # suspect — its dependent entries are bypassed, never flushed.
+    cached.sync()
+    _expect("GenBank" in cached.suspect_sources,
+            "a failed poll did not mark GenBank suspect")
+    _expect(len(cached.cache) > 0,
+            "the mid-storm sweep flushed the whole cache")
+    probe = cached.gene(lookups[0])
+    _expect(probe.from_cache is False,
+            "an entry depending on a suspect source was served from cache")
+
+    timeline.advance(60.0)             # outage over
+    cached.sync()                      # clean sweep: snapshot diff lands
+    _expect(not cached.suspect_sources, "suspicion survived a clean sweep")
+    _expect(cached.staleness_bound() == 0.0,
+            "a clean sweep did not reset the staleness bound")
+
+    # Precision: entries the storm never touched are still cached.
+    untouched = [accession for accession in lookups
+                 if accession not in touched]
+    _expect(untouched, "the storm touched every primed lookup (seed)")
+    for accession in untouched:
+        _expect(normalize_query("gene", accession=accession) in cached.cache,
+                f"untouched entry {accession} was flushed")
+
+    # Zero staleness: every served answer matches a fault-free mediation
+    # over the post-storm sources.
+    truth = Mediator([source.inner for source in sources])
+    stale = []
+    if (_answer_keys(cached.find_genes())
+            != _answer_keys(truth.find_genes())):
+        stale.append("find_genes")
+    hits = 0
+    for accession in lookups:
+        served = cached.gene(accession)
+        hits += served.from_cache
+        if ([(view.source, view.sequence_text) for view in served]
+                != [(view.source, view.sequence_text)
+                    for view in truth.gene(accession)]):
+            stale.append(accession)
+    _expect(not stale, f"stale cached answers served: {stale}")
+    _expect(hits >= len(untouched),
+            "surviving entries were not served from cache")
+    return (f"storm touched {len(touched)} accessions; "
+            f"{cached.cost.cache_invalidations} precise evictions, "
+            f"{len(untouched)} untouched entries survived, 0 stale")
+
+
 _SCENARIOS = (
     ("intermittent-retry", scenario_intermittent_retry),
     ("outage-window", scenario_outage_window),
@@ -313,15 +443,19 @@ _SCENARIOS = (
     ("log-channel-loss", scenario_log_channel_loss),
     ("deadline-exhaustion", scenario_deadline_exhaustion),
     ("push-channel-loss", scenario_push_channel_loss),
+    ("concurrent-fanout", scenario_concurrent_fanout),
+    ("cache-invalidation-storm", scenario_cache_invalidation_storm),
 )
 
 
-def run_chaos_matrix() -> list[ScenarioResult]:
+def run_chaos_matrix(
+    concurrency: int | None = None,
+) -> list[ScenarioResult]:
     """Run every scenario; never raises — failures land in the results."""
     results = []
     for name, scenario in _SCENARIOS:
         try:
-            detail = scenario()
+            detail = scenario(concurrency)
         except _ScenarioFailure as failure:
             results.append(ScenarioResult(name, False, str(failure)))
         except Exception as error:  # a crash is also a failed scenario
@@ -333,9 +467,9 @@ def run_chaos_matrix() -> list[ScenarioResult]:
     return results
 
 
-def self_test(verbose: bool = True) -> bool:
+def self_test(verbose: bool = True, concurrency: int | None = None) -> bool:
     """The ``python -m repro chaos --self-test`` smoke target."""
-    results = run_chaos_matrix()
+    results = run_chaos_matrix(concurrency)
     if verbose:
         print("federation fault-injection scenario matrix:")
         for result in results:

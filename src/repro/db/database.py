@@ -112,9 +112,10 @@ class ResultSet:
 class Database:
     """An in-memory extensible relational database."""
 
-    def __init__(self) -> None:
+    def __init__(self, optimize: bool = True) -> None:
         self.catalog = Catalog()
-        self._planner = Planner(self)
+        self.optimize = optimize
+        self._planner = Planner(self, optimize=optimize)
         self._evaluator = Evaluator(self)
         self._index_owner: dict[str, str] = {}  # index name -> table name
         self._index_definitions: dict[str, ast.CreateIndex] = {}

@@ -77,11 +77,18 @@ def conjoin(conjuncts: Iterable[ast.Expression]) -> ast.Expression | None:
 
 
 class Planner:
-    """Builds an executable plan from a parsed SELECT."""
+    """Builds an executable plan from a parsed SELECT.
 
-    def __init__(self, database: "Database") -> None:
+    With ``optimize=False`` every rule above is disabled — sequential
+    scans, no predicate pushdown, nested-loop joins only — which gives
+    the differential test suite a naive oracle plan for every query the
+    optimizer handles; both plans must return the same multiset of rows.
+    """
+
+    def __init__(self, database: "Database", optimize: bool = True) -> None:
         self._database = database
         self._evaluator = Evaluator(database)
+        self.optimize = optimize
 
     # ------------------------------------------------------------------ helpers
 
@@ -309,7 +316,8 @@ class Planner:
         schemas: dict[str, Table],
     ) -> PlanNode:
         """Best single-table plan for *table* given its local conjuncts."""
-        indexed = self._try_index_path(table, binding, conjuncts, schemas)
+        indexed = (self._try_index_path(table, binding, conjuncts, schemas)
+                   if self.optimize else None)
         if indexed is not None:
             plan, remaining = indexed
         else:
@@ -465,7 +473,8 @@ class Planner:
             has_left_join = any(j.kind == "left" for j in select.joins)
             for conjunct in conjuncts:
                 bindings = self._bindings_of(conjunct, schemas)
-                if (bindings is not None and len(bindings) == 1
+                if (self.optimize
+                        and bindings is not None and len(bindings) == 1
                         and not self._evaluator.contains_aggregate(conjunct)):
                     owner = next(iter(bindings))
                     # Pushing below a LEFT JOIN changes semantics for the
@@ -489,7 +498,7 @@ class Planner:
                     pushable[join.table.binding], schemas,
                 )
                 equi = None
-                if join.kind == "inner":
+                if self.optimize and join.kind == "inner":
                     equi = self._split_equi_condition(
                         join.condition, plan.frame,
                         join.table.binding, schemas,

@@ -13,6 +13,13 @@ from repro.mediator.mediator import (
     RetryPolicy,
     SourceOutcome,
 )
+from repro.mediator.pool import (
+    SequentialPool,
+    ThreadedPool,
+    WorkerPool,
+    bounded_makespan,
+)
+from repro.mediator.cache import CachedMediator, CacheStats, QueryCache
 
 __all__ = [
     "Mediator",
@@ -26,4 +33,11 @@ __all__ = [
     "CircuitBreaker",
     "QueryHealth",
     "SourceOutcome",
+    "WorkerPool",
+    "SequentialPool",
+    "ThreadedPool",
+    "bounded_makespan",
+    "QueryCache",
+    "CacheStats",
+    "CachedMediator",
 ]

@@ -1,0 +1,353 @@
+"""Delta-invalidated answer caching for the mediator.
+
+The ROADMAP's north star — mediation under heavy traffic — needs the
+second classic fix next to concurrent fan-out: stop re-asking the
+sources questions whose answers cannot have changed.  The ETL layer
+already knows *exactly* what changed (monitors emit
+:class:`~repro.etl.delta.Delta` records per source accession), so the
+cache can be precise instead of timer-based:
+
+- every cached answer carries its **provenance**: the set of
+  ``("record", source, accession)`` keys it read plus, for extent
+  queries (``find_genes``), ``("extent", source)`` keys — a full scan
+  depends on every record a source holds, including records that do
+  not exist yet;
+- a delta for accession X at source S evicts exactly the entries whose
+  provenance intersects ``{("extent", S), ("record", S, X)}``; unrelated
+  entries survive — there is no blanket flush anywhere;
+- a monitor poll that *fails* makes its source **suspect**: entries
+  depending on it are bypassed (answered live) but not evicted, so one
+  flaky poll doesn't destroy the rest of the working set; a later clean
+  poll lifts the suspicion;
+- :meth:`CachedMediator.staleness_bound` reports the only staleness a
+  served answer can have: the virtual time since the last clean
+  monitor sweep.
+
+Only *complete* answers are cached — a degraded answer is a fact about
+source availability, not about the data — and only predicate-free
+queries (an opaque callable cannot be a cache key).
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Callable, Hashable, Sequence
+
+from repro.errors import MediatorError
+from repro.etl.delta import Delta
+from repro.etl.monitors import SourceMonitor, choose_monitor
+from repro.mediator.mediator import (
+    MediatedAnswer,
+    MediatedBatch,
+    MediationCost,
+    Mediator,
+)
+
+#: Provenance key kinds.
+EXTENT = "extent"    # depends on everything a source holds (full scans)
+RECORD = "record"    # depends on one record's state at one source
+
+
+def extent_key(source: str) -> tuple:
+    return (EXTENT, source)
+
+
+def record_key(source: str, accession: str) -> tuple:
+    return (RECORD, source, accession)
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss/eviction/invalidation counters (lifetime of one cache)."""
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+    invalidations: int = 0
+
+    def __post_init__(self) -> None:
+        self._lock = threading.Lock()
+
+    def bump(self, counter: str, amount: int = 1) -> None:
+        with self._lock:
+            setattr(self, counter, getattr(self, counter) + amount)
+
+
+class CacheEntry:
+    """One cached answer plus the provenance that can invalidate it."""
+
+    __slots__ = ("key", "answer", "provenance", "cached_at")
+
+    def __init__(self, key: Hashable, answer, provenance: frozenset,
+                 cached_at: float) -> None:
+        self.key = key
+        self.answer = answer
+        self.provenance = provenance
+        self.cached_at = cached_at
+
+    def touched_by(self, delta: Delta) -> bool:
+        return bool(self.provenance & {extent_key(delta.source),
+                                       record_key(delta.source,
+                                                  delta.accession)})
+
+    def depends_on(self, source: str) -> bool:
+        return any(piece[1] == source for piece in self.provenance)
+
+
+class QueryCache:
+    """A size-bounded LRU of mediated answers, invalidated by deltas.
+
+    Thread-safe: lookups, inserts, and invalidations all hold one lock,
+    so a reader racing an invalidation either sees the entry before the
+    delta (and the delta evicts it for the *next* reader) or not at all
+    — never a torn entry.  Counters are mirrored into an optional
+    :class:`~repro.mediator.mediator.MediationCost` so mediation work
+    accounting and cache behaviour read from one place.
+    """
+
+    def __init__(self, max_entries: int = 128,
+                 cost: MediationCost | None = None) -> None:
+        if max_entries < 1:
+            raise MediatorError("a query cache needs room for one entry")
+        self.max_entries = max_entries
+        self.stats = CacheStats()
+        self._cost = cost
+        self._entries: OrderedDict[Hashable, CacheEntry] = OrderedDict()
+        self._lock = threading.RLock()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def __contains__(self, key: Hashable) -> bool:
+        with self._lock:
+            return key in self._entries
+
+    def keys(self) -> tuple:
+        with self._lock:
+            return tuple(self._entries)
+
+    def _count(self, counter: str, amount: int = 1) -> None:
+        self.stats.bump(counter, amount)
+        if self._cost is not None:
+            self._cost.bump(f"cache_{counter}", amount)
+
+    def get(self, key: Hashable) -> CacheEntry | None:
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                self._count("misses")
+                return None
+            self._entries.move_to_end(key)
+            self._count("hits")
+            return entry
+
+    def put(self, key: Hashable, answer, provenance,
+            cached_at: float = 0.0) -> CacheEntry:
+        entry = CacheEntry(key, answer, frozenset(provenance), cached_at)
+        with self._lock:
+            self._entries[key] = entry
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.max_entries:
+                self._entries.popitem(last=False)
+                self._count("evictions")
+        return entry
+
+    def invalidate(self, delta: Delta) -> int:
+        """Evict exactly the entries whose provenance *delta* touches."""
+        with self._lock:
+            stale = [key for key, entry in self._entries.items()
+                     if entry.touched_by(delta)]
+            for key in stale:
+                del self._entries[key]
+            if stale:
+                self._count("invalidations", len(stale))
+            return len(stale)
+
+    def invalidate_source(self, source: str) -> int:
+        """Evict every entry depending on *source* (monitor resync)."""
+        with self._lock:
+            stale = [key for key, entry in self._entries.items()
+                     if entry.depends_on(source)]
+            for key in stale:
+                del self._entries[key]
+            if stale:
+                self._count("invalidations", len(stale))
+            return len(stale)
+
+
+def normalize_query(kind: str, **params) -> tuple:
+    """Canonical hashable key for one mediator query.
+
+    ``None`` parameters are dropped and the rest sorted by name, so
+    ``find_genes(organism=None, name_prefix="p")`` and
+    ``find_genes(name_prefix="p")`` share an entry.
+    """
+    pieces = tuple(sorted(
+        (name, tuple(value) if isinstance(value, (list, tuple)) else value)
+        for name, value in params.items() if value is not None
+    ))
+    return (kind,) + pieces
+
+
+class CachedMediator:
+    """A :class:`Mediator` fronted by a delta-invalidated answer cache.
+
+    One ETL monitor per source (the cheapest strategy Figure 2 allows,
+    via :func:`~repro.etl.monitors.choose_monitor`) supplies the delta
+    stream; :meth:`sync` drains it into precise invalidations.  Serving
+    stays mediator-shaped: answers carry their ``health``, and a
+    ``from_cache`` attribute says whether the sources were consulted.
+    """
+
+    def __init__(
+        self,
+        sources: Sequence,
+        *,
+        max_entries: int = 128,
+        monitors: dict[str, SourceMonitor] | None = None,
+        **mediator_options,
+    ) -> None:
+        self.mediator = Mediator(sources, **mediator_options)
+        self.cache = QueryCache(max_entries, cost=self.mediator.cost)
+        if monitors is None:
+            monitors = {repository.name: choose_monitor(repository)
+                        for repository in sources}
+        self.monitors = monitors
+        self.suspect_sources: set[str] = set()
+        self.last_sync = self.timeline.now()
+
+    # -- plumbing ---------------------------------------------------------------
+
+    @property
+    def timeline(self):
+        return self.mediator.timeline
+
+    @property
+    def cost(self) -> MediationCost:
+        return self.mediator.cost
+
+    @property
+    def last_health(self):
+        return self.mediator.last_health
+
+    @property
+    def source_names(self) -> tuple[str, ...]:
+        return self.mediator.source_names
+
+    def staleness_bound(self) -> float:
+        """Virtual time since the last clean monitor sweep — the maximum
+        age a served cached answer's provenance can have."""
+        return self.timeline.now() - self.last_sync
+
+    # -- the delta stream -------------------------------------------------------
+
+    def sync(self) -> list[Delta]:
+        """Poll every monitor; apply the deltas as precise invalidations.
+
+        A failed poll leaves its source *suspect* (bypassed, not
+        flushed) until a later poll succeeds; the staleness bound only
+        resets once every monitor answered cleanly.
+        """
+        deltas: list[Delta] = []
+        suspect: set[str] = set()
+        for name in sorted(self.monitors):
+            monitor = self.monitors[name]
+            failed_before = monitor.health.failed_polls
+            batch = monitor.poll()
+            if monitor.health.failed_polls > failed_before:
+                suspect.add(name)
+            deltas.extend(batch)
+        for delta in deltas:
+            self.cache.invalidate(delta)
+        self.suspect_sources = suspect
+        if not suspect:
+            self.last_sync = self.timeline.now()
+        return deltas
+
+    def _serviceable(self, entry) -> bool:
+        return not any(entry.depends_on(source)
+                       for source in self.suspect_sources)
+
+    # -- cached query API -------------------------------------------------------
+
+    def _lookup(self, key):
+        entry = self.cache.get(key)
+        if entry is not None and self._serviceable(entry):
+            return entry
+        return None
+
+    def find_genes(
+        self,
+        organism: str | None = None,
+        name_prefix: str | None = None,
+        contains_motif: str | None = None,
+        min_length: int | None = None,
+        predicate: Callable | None = None,
+        strict: bool = False,
+    ) -> MediatedAnswer:
+        if predicate is not None:
+            # An opaque callable cannot key a cache entry; go live.
+            return self.mediator.find_genes(
+                organism, name_prefix, contains_motif, min_length,
+                predicate, strict)
+        key = normalize_query("find_genes", organism=organism,
+                              name_prefix=name_prefix,
+                              contains_motif=contains_motif,
+                              min_length=min_length)
+        entry = self._lookup(key)
+        if entry is not None:
+            answer = MediatedAnswer(list(entry.answer),
+                                    health=entry.answer.health)
+            answer.from_cache = True
+            return answer
+        answer = self.mediator.find_genes(
+            organism, name_prefix, contains_motif, min_length,
+            None, strict)
+        if answer.health.complete:
+            provenance = {extent_key(name) for name in self.source_names}
+            self.cache.put(key, answer, provenance, self.timeline.now())
+        answer.from_cache = False
+        return answer
+
+    def gene(self, accession: str, strict: bool = False) -> MediatedAnswer:
+        key = normalize_query("gene", accession=accession)
+        entry = self._lookup(key)
+        if entry is not None:
+            answer = MediatedAnswer(list(entry.answer),
+                                    health=entry.answer.health)
+            answer.from_cache = True
+            return answer
+        answer = self.mediator.gene(accession, strict)
+        if answer.health.complete:
+            provenance = {record_key(name, accession)
+                          for name in self.source_names}
+            self.cache.put(key, answer, provenance, self.timeline.now())
+        answer.from_cache = False
+        return answer
+
+    def genes(
+        self, accessions: Sequence[str], strict: bool = False
+    ) -> MediatedBatch:
+        key = normalize_query("genes", accessions=tuple(accessions))
+        entry = self._lookup(key)
+        if entry is not None:
+            batch = MediatedBatch(
+                {accession: list(views)
+                 for accession, views in entry.answer.items()},
+                health=entry.answer.health)
+            batch.from_cache = True
+            return batch
+        batch = self.mediator.genes(accessions, strict)
+        if batch.health.complete:
+            provenance = {record_key(name, accession)
+                          for name in self.source_names
+                          for accession in accessions}
+            self.cache.put(key, batch, provenance, self.timeline.now())
+        batch.from_cache = False
+        return batch
+
+    def count_genes(self, **filters) -> int:
+        return len(self.find_genes(**filters))

@@ -38,6 +38,7 @@ round-trips + backoff delay.
 from __future__ import annotations
 
 import random
+import threading
 from contextlib import contextmanager
 from dataclasses import dataclass, field, fields
 from typing import Callable, Iterator, Sequence, TypeVar
@@ -45,6 +46,12 @@ from typing import Callable, Iterator, Sequence, TypeVar
 from repro.core.ops import contains as motif_contains
 from repro.errors import MediatorError, SourceError, WrapperError
 from repro.etl.wrappers import ParsedRecord, Wrapper, wrapper_for
+from repro.mediator.pool import (
+    SequentialPool,
+    ThreadedPool,
+    WorkerPool,
+    bounded_makespan,
+)
 from repro.sources.base import Repository
 from repro.sources.faults import VirtualClock
 
@@ -64,7 +71,13 @@ HALF_OPEN = "half-open"
 
 @dataclass
 class MediationCost:
-    """Work accounting across one mediator's lifetime."""
+    """Work accounting across one mediator's lifetime.
+
+    Updates go through :meth:`bump`, which holds a lock so concurrent
+    fan-out never loses an increment.  The lock is a plain attribute
+    rather than a dataclass field, keeping ``fields()``-based iteration
+    (and :meth:`reset`) exactly as cheap as before.
+    """
 
     source_requests: int = 0
     bytes_shipped: int = 0
@@ -74,11 +87,26 @@ class MediationCost:
     source_failures: int = 0
     breaker_rejections: int = 0
     backoff_delay: float = 0.0
+    cache_hits: int = 0
+    cache_misses: int = 0
+    cache_evictions: int = 0
+    cache_invalidations: int = 0
+
+    def __post_init__(self) -> None:
+        self._lock = threading.Lock()
+
+    def bump(self, counter: str, amount: float = 1) -> None:
+        with self._lock:
+            setattr(self, counter, getattr(self, counter) + amount)
 
     def reset(self) -> "MediationCost":
-        snapshot = MediationCost(**vars(self))
-        for spec in fields(self):
-            setattr(self, spec.name, spec.default)
+        with self._lock:
+            snapshot = MediationCost(
+                **{spec.name: getattr(self, spec.name)
+                   for spec in fields(self)}
+            )
+            for spec in fields(self):
+                setattr(self, spec.name, spec.default)
         return snapshot
 
 
@@ -132,8 +160,13 @@ class CircuitBreaker:
 
     ``failure_threshold`` consecutive failures open the circuit; while
     open, calls are rejected without touching the source.  After
-    ``reset_timeout`` virtual seconds one probe call is let through
-    (half-open): success recloses the circuit, failure reopens it.
+    ``reset_timeout`` virtual seconds **exactly one** probe call is let
+    through (half-open): success recloses the circuit, failure reopens
+    it.  All state transitions happen under a lock, and the half-open
+    probe slot is leased — concurrent callers racing :meth:`allow` see
+    one winner, and a probe that never reports back frees the slot
+    after another ``reset_timeout``, so a crashed probe cannot strand
+    queued callers forever.
     """
 
     def __init__(self, policy: BreakerPolicy, timeline: VirtualClock) -> None:
@@ -143,33 +176,50 @@ class CircuitBreaker:
         self.consecutive_failures = 0
         self.opened_at: float | None = None
         self.times_opened = 0
+        self._probe_started: float | None = None
+        self._lock = threading.RLock()
 
     def allow(self) -> bool:
-        if self.state == OPEN:
-            if (self.timeline.now() - self.opened_at
-                    >= self.policy.reset_timeout):
-                self.state = HALF_OPEN
+        with self._lock:
+            now = self.timeline.now()
+            if self.state == OPEN:
+                if now - self.opened_at >= self.policy.reset_timeout:
+                    self.state = HALF_OPEN
+                    self._probe_started = now
+                    return True
+                return False
+            if self.state == HALF_OPEN:
+                if (self._probe_started is not None
+                        and now - self._probe_started
+                        < self.policy.reset_timeout):
+                    return False  # another caller holds the probe slot
+                self._probe_started = now  # lease expired: new probe
                 return True
-            return False
-        return True
+            return True
 
     def record_success(self) -> None:
-        self.state = CLOSED
-        self.consecutive_failures = 0
-        self.opened_at = None
+        with self._lock:
+            self.state = CLOSED
+            self.consecutive_failures = 0
+            self.opened_at = None
+            self._probe_started = None
 
     def record_failure(self) -> None:
-        self.consecutive_failures += 1
-        if (self.state == HALF_OPEN
-                or self.consecutive_failures >= self.policy.failure_threshold):
-            if self.state != OPEN:
-                self.times_opened += 1
-            self.state = OPEN
-            self.opened_at = self.timeline.now()
+        with self._lock:
+            self.consecutive_failures += 1
+            if (self.state == HALF_OPEN
+                    or self.consecutive_failures
+                    >= self.policy.failure_threshold):
+                if self.state != OPEN:
+                    self.times_opened += 1
+                self.state = OPEN
+                self.opened_at = self.timeline.now()
+                self._probe_started = None
 
     def retry_at(self) -> float:
         """Virtual instant at which the next half-open probe is allowed."""
-        return (self.opened_at or 0.0) + self.policy.reset_timeout
+        with self._lock:
+            return (self.opened_at or 0.0) + self.policy.reset_timeout
 
     def __repr__(self) -> str:
         return (f"CircuitBreaker({self.state}, "
@@ -178,12 +228,22 @@ class CircuitBreaker:
 
 @dataclass
 class SourceOutcome:
-    """How one source behaved during one mediator query."""
+    """How one source behaved during one mediator query.
+
+    ``attempts`` numbers attempts *per query*, not per call: a batch
+    lookup that asks the same source four times reports attempts 1–4,
+    and a fresh query starts again at 1.  ``backoff`` accumulates this
+    source's virtual backoff delay; the mediator folds the per-source
+    sums into :class:`MediationCost` in sorted source order at query
+    end, so the float total is bit-identical no matter how concurrent
+    fan-out interleaved the additions.
+    """
 
     source: str
     status: str = OK
     attempts: int = 0
     retries: int = 0
+    backoff: float = 0.0
     error: str | None = None
 
 
@@ -200,10 +260,14 @@ class QueryHealth:
     deadline_hit: bool = False
     elapsed: float = 0.0
 
+    def __post_init__(self) -> None:
+        self._lock = threading.Lock()
+
     def outcome(self, source: str) -> SourceOutcome:
-        if source not in self.outcomes:
-            self.outcomes[source] = SourceOutcome(source=source)
-        return self.outcomes[source]
+        with self._lock:
+            if source not in self.outcomes:
+                self.outcomes[source] = SourceOutcome(source=source)
+            return self.outcomes[source]
 
     def _with_status(self, *statuses: str) -> tuple[str, ...]:
         return tuple(sorted(name for name, outcome in self.outcomes.items()
@@ -352,7 +416,7 @@ class LiveSourceWrapper:
             outcome.status = SKIPPED
             outcome.error = (f"circuit open until "
                              f"t={self.breaker.retry_at():.1f}")
-            self._cost.breaker_rejections += 1
+            self._cost.bump("breaker_rejections")
             raise SourceError(f"{name} skipped: circuit breaker open",
                               source=name, operation=operation)
         attempt = 0
@@ -363,14 +427,15 @@ class LiveSourceWrapper:
                 result = call()
             except (SourceError, WrapperError) as error:
                 self.breaker.record_failure()
-                self._cost.source_failures += 1
+                self._cost.bump("source_failures")
                 outcome.error = str(error)
                 if attempt >= self.retry_policy.max_attempts:
                     outcome.status = FAILED
                     raise SourceError(
                         f"{name} failed {operation} after "
-                        f"{attempt} attempt(s): {error}",
-                        source=name, operation=operation, attempt=attempt,
+                        f"{outcome.attempts} attempt(s) this query: {error}",
+                        source=name, operation=operation,
+                        attempt=outcome.attempts,
                     ) from error
                 delay = self.retry_policy.delay_before(attempt + 1, name,
                                                        operation)
@@ -378,15 +443,16 @@ class LiveSourceWrapper:
                         and self.timeline.now() + delay > deadline_at):
                     outcome.status = FAILED
                     outcome.error = (f"deadline budget exhausted after "
-                                     f"attempt {attempt}: {error}")
+                                     f"attempt {outcome.attempts}: {error}")
                     health.deadline_hit = True
                     raise SourceError(
                         f"{name}: {outcome.error}",
-                        source=name, operation=operation, attempt=attempt,
+                        source=name, operation=operation,
+                        attempt=outcome.attempts,
                     ) from error
                 self.timeline.advance(delay)
-                self._cost.retries += 1
-                self._cost.backoff_delay += delay
+                self._cost.bump("retries")
+                outcome.backoff += delay
                 outcome.retries += 1
             else:
                 self.breaker.record_success()
@@ -407,30 +473,30 @@ class LiveSourceWrapper:
         if self.repository.capabilities.queryable:
             records = []
             for accession in self.repository.query_accessions():
-                self._cost.source_requests += 1
+                self._cost.bump("source_requests")
                 text = self.repository.query(accession)
                 if text is None:
                     continue
-                self._cost.bytes_shipped += len(text)
+                self._cost.bump("bytes_shipped", len(text))
                 records.append(self.wrapper.parse_record(text))
-            self._cost.records_wrapped += len(records)
+            self._cost.bump("records_wrapped", len(records))
             return records
-        self._cost.source_requests += 1
+        self._cost.bump("source_requests")
         dump = self.repository.snapshot()
-        self._cost.bytes_shipped += len(dump)
+        self._cost.bump("bytes_shipped", len(dump))
         records = self.wrapper.parse_snapshot(dump)
-        self._cost.records_wrapped += len(records)
+        self._cost.bump("records_wrapped", len(records))
         return records
 
     def fetch(self, accession: str) -> ParsedRecord | None:
         """Extract one record (cheap only for queryable sources)."""
         if self.repository.capabilities.queryable:
-            self._cost.source_requests += 1
+            self._cost.bump("source_requests")
             text = self.repository.query(accession)
             if text is None:
                 return None
-            self._cost.bytes_shipped += len(text)
-            self._cost.records_wrapped += 1
+            self._cost.bump("bytes_shipped", len(text))
+            self._cost.bump("records_wrapped")
             return self.wrapper.parse_record(text)
         for record in self.fetch_all():
             if record.accession == accession:
@@ -453,9 +519,15 @@ class Mediator:
         retry_policy: RetryPolicy | None = None,
         breaker_policy: BreakerPolicy | None = None,
         timeline: VirtualClock | None = None,
+        max_concurrency: int | None = None,
+        pool: WorkerPool | None = None,
     ) -> None:
         if not sources:
             raise MediatorError("a mediator needs at least one source")
+        if max_concurrency is None:
+            max_concurrency = len(sources)
+        if max_concurrency < 1:
+            raise MediatorError("max_concurrency must be at least 1")
         names = [repository.name for repository in sources]
         duplicates = sorted({name for name in names if names.count(name) > 1})
         if duplicates:
@@ -473,6 +545,11 @@ class Mediator:
             ) or VirtualClock()
         self.timeline = timeline
         self.retry_policy = retry_policy or RetryPolicy()
+        self.max_concurrency = max_concurrency
+        if pool is None:
+            pool = (SequentialPool() if max_concurrency == 1
+                    else ThreadedPool(max_concurrency))
+        self.pool = pool
         self.cost = MediationCost()
         self.wrappers = [
             LiveSourceWrapper(repository, self.cost,
@@ -511,9 +588,47 @@ class Mediator:
                        if self.retry_policy.deadline is not None else None)
         return health, started, deadline_at
 
+    def _fan_out(self, jobs: Sequence[Callable[[], _T]]) -> list[_T]:
+        """Run one job per source on the pool; results in job order.
+
+        Under a parallel pool every job gets a private clock track
+        branched off the query's start instant, so each source's
+        backoff and deadline arithmetic is independent of how its
+        siblings are scheduled.  At the join, the shared clock advances
+        by the greedy makespan of the per-job virtual durations over
+        ``pool.max_workers`` lanes — modelled latency is wall-clock
+        under bounded parallelism, not the per-source sum.
+        """
+        if not self.pool.parallel or len(jobs) <= 1:
+            return [job() for job in jobs]
+        origin = self.timeline.now()
+        durations = [0.0] * len(jobs)
+        results: list = [None] * len(jobs)
+
+        def tracked(index: int, job: Callable[[], _T]) -> Callable[[], None]:
+            def run() -> None:
+                track = self.timeline.open_track(origin)
+                try:
+                    results[index] = job()
+                finally:
+                    durations[index] = self.timeline.close_track(track)
+            return run
+
+        self.pool.run([tracked(index, job)
+                       for index, job in enumerate(jobs)])
+        span = bounded_makespan(durations, self.pool.max_workers)
+        if span:
+            self.timeline.advance(span)
+        return results
+
     def _finish(self, health: QueryHealth, started: float,
                 strict: bool) -> None:
         health.elapsed = self.timeline.now() - started
+        backoff = 0.0
+        for name in sorted(health.outcomes):
+            backoff += health.outcomes[name].backoff
+        if backoff:
+            self.cost.bump("backoff_delay", backoff)
         self.last_health = health
         if strict and health.degraded:
             unavailable = health.sources_failed + health.sources_skipped
@@ -552,24 +667,33 @@ class Mediator:
         after retries are reported in ``result.health`` and, under
         ``strict=True``, raise :class:`~repro.errors.MediatorError`.
         """
-        self.cost.queries_answered += 1
+        self.cost.bump("queries_answered")
         health, started, deadline_at = self._begin_health()
         answers = MediatedAnswer(health=health)
-        with self._query_scope():
-            for wrapper in self.wrappers:
+
+        def job_for(wrapper: LiveSourceWrapper) -> Callable[[], list]:
+            def job() -> list[MediatedGene]:
                 try:
                     records = wrapper.resilient(
                         "fetch_all", wrapper.fetch_all, health, deadline_at
                     )
                 except SourceError:
-                    continue
+                    return []
+                rows = []
                 for record in records:
                     if record.dna is None:
                         continue  # protein databanks don't serve genes
                     row = self._as_gene(record, wrapper.repository.name)
                     if self._matches(row, organism, name_prefix,
                                      contains_motif, min_length, predicate):
-                        answers.append(row)
+                        rows.append(row)
+                return rows
+            return job
+
+        with self._query_scope():
+            for rows in self._fan_out([job_for(wrapper)
+                                       for wrapper in self.wrappers]):
+                answers.extend(rows)
         self._finish(health, started, strict)
         return answers
 
@@ -600,34 +724,63 @@ class Mediator:
             return False
         return True
 
-    def _gene_views(
+    def _views_job(
         self,
-        accession: str,
+        wrapper: LiveSourceWrapper,
+        accessions: Sequence[str],
         health: QueryHealth,
         deadline_at: float | None,
-    ) -> list[MediatedGene]:
-        answers = []
-        for wrapper in self.wrappers:
-            try:
-                record = wrapper.resilient(
-                    "fetch", lambda w=wrapper: w.fetch(accession),
-                    health, deadline_at,
-                )
-            except SourceError:
-                continue
-            if record is not None and record.dna is not None:
-                answers.append(self._as_gene(record,
-                                             wrapper.repository.name))
-        return answers
+    ) -> Callable[[], dict]:
+        """One source's share of a (batch) lookup: accession → view.
+
+        The whole batch runs on the source's worker, looping accessions
+        in input order, so the per-source call sequence is identical to
+        the sequential mediator's and the source's seeded fault stream
+        replays bit for bit at any concurrency.
+        """
+        def job() -> dict[str, MediatedGene]:
+            views: dict[str, MediatedGene] = {}
+            for accession in accessions:
+                try:
+                    record = wrapper.resilient(
+                        "fetch", lambda: wrapper.fetch(accession),
+                        health, deadline_at,
+                    )
+                except SourceError:
+                    continue
+                if record is not None and record.dna is not None:
+                    views[accession] = self._as_gene(
+                        record, wrapper.repository.name)
+            return views
+        return job
+
+    def _fan_out_views(
+        self,
+        accessions: Sequence[str],
+        health: QueryHealth,
+        deadline_at: float | None,
+    ) -> dict[str, list[MediatedGene]]:
+        """Per-accession views fused in wrapper order, fanned per source."""
+        per_wrapper = self._fan_out(
+            [self._views_job(wrapper, accessions, health, deadline_at)
+             for wrapper in self.wrappers]
+        )
+        fused: dict[str, list[MediatedGene]] = {
+            accession: [] for accession in accessions
+        }
+        for views in per_wrapper:  # pool order == wrapper order
+            for accession, view in views.items():
+                fused[accession].append(view)
+        return fused
 
     def gene(self, accession: str, strict: bool = False) -> MediatedAnswer:
         """All source views of one accession (unreconciled, C8)."""
-        self.cost.queries_answered += 1
+        self.cost.bump("queries_answered")
         health, started, deadline_at = self._begin_health()
         with self._query_scope():
-            views = self._gene_views(accession, health, deadline_at)
+            fused = self._fan_out_views([accession], health, deadline_at)
         self._finish(health, started, strict)
-        return MediatedAnswer(views, health=health)
+        return MediatedAnswer(fused[accession], health=health)
 
     def genes(
         self, accessions: Sequence[str], strict: bool = False
@@ -638,13 +791,12 @@ class Mediator:
         dump once for the whole batch, not once per accession — the
         per-query memo is what keeps :class:`MediationCost` honest here.
         """
-        self.cost.queries_answered += 1
+        self.cost.bump("queries_answered")
         health, started, deadline_at = self._begin_health()
         with self._query_scope():
             batch = MediatedBatch(
-                ((accession,
-                  self._gene_views(accession, health, deadline_at))
-                 for accession in accessions),
+                self._fan_out_views(list(dict.fromkeys(accessions)),
+                                    health, deadline_at),
                 health=health,
             )
         self._finish(health, started, strict)

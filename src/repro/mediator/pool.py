@@ -1,0 +1,97 @@
+"""Bounded worker pools for concurrent mediator fan-out.
+
+The mediator fans one job per source out over a pool.  Three pools
+share the interface:
+
+- :class:`SequentialPool` — the legacy baseline: jobs run inline, in
+  order, on the caller's thread, advancing the shared virtual clock
+  directly (summed per-source time);
+- :class:`ThreadedPool` — a bounded ``ThreadPoolExecutor``; each job
+  runs on its own :class:`~repro.sources.faults.ClockTrack`, and the
+  mediator joins the tracks back into the shared clock with
+  :func:`bounded_makespan`, so modelled latency reflects wall-clock
+  under ``max_workers``-way parallelism;
+- ``DeterministicPool`` (in ``tests/concurrency``) — runs jobs serially
+  in a *seeded permutation* of submission order while still reporting
+  ``parallel = True``, which makes every interleaving-sensitive code
+  path replayable without threads.
+
+A pool's :meth:`~WorkerPool.run` returns results **in submission
+order** regardless of completion order — answer fusion stays
+deterministic by construction.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ThreadPoolExecutor
+from typing import Callable, Sequence, TypeVar
+
+from repro.errors import MediatorError
+
+_T = TypeVar("_T")
+
+
+def bounded_makespan(durations: Sequence[float], workers: int) -> float:
+    """Virtual wall-clock of running *durations* on *workers* lanes.
+
+    Greedy list scheduling in submission order — each job starts on the
+    lane that frees up first, which is exactly how a bounded thread pool
+    drains its queue.  With one lane this degenerates to ``sum()``; with
+    ``workers >= len(durations)`` to ``max()``.
+    """
+    if not durations:
+        return 0.0
+    lanes = [0.0] * max(1, min(workers, len(durations)))
+    for duration in durations:
+        index = min(range(len(lanes)), key=lanes.__getitem__)
+        lanes[index] += duration
+    return max(lanes)
+
+
+class WorkerPool:
+    """Interface: run a batch of thunks, return results in order."""
+
+    #: Whether jobs may observe each other mid-flight (drives the
+    #: mediator's decision to isolate each job on a clock track).
+    parallel: bool = False
+    #: Lane count used for the makespan join.
+    max_workers: int = 1
+
+    def run(self, tasks: Sequence[Callable[[], _T]]) -> list[_T]:
+        raise NotImplementedError
+
+
+class SequentialPool(WorkerPool):
+    """Jobs run inline on the caller's thread, in submission order."""
+
+    parallel = False
+    max_workers = 1
+
+    def run(self, tasks: Sequence[Callable[[], _T]]) -> list[_T]:
+        return [task() for task in tasks]
+
+
+class ThreadedPool(WorkerPool):
+    """A bounded thread pool; one short-lived executor per batch.
+
+    The executor is created and torn down inside :meth:`run` so that
+    the many mediators a test suite builds never leak idle worker
+    threads past their last query.
+    """
+
+    parallel = True
+
+    def __init__(self, max_workers: int) -> None:
+        if max_workers < 1:
+            raise MediatorError("a worker pool needs at least one worker")
+        self.max_workers = max_workers
+
+    def run(self, tasks: Sequence[Callable[[], _T]]) -> list[_T]:
+        if len(tasks) <= 1:
+            return [task() for task in tasks]
+        with ThreadPoolExecutor(max_workers=self.max_workers) as executor:
+            futures = [executor.submit(task) for task in tasks]
+            return [future.result() for future in futures]
+
+    def __repr__(self) -> str:
+        return f"ThreadedPool(max_workers={self.max_workers})"

@@ -32,7 +32,8 @@ wrapped source's name, never from wall-clock time.
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass, field
+import threading
+from dataclasses import dataclass
 from typing import Callable
 
 from repro.errors import SourceError
@@ -42,39 +43,109 @@ from repro.sources.base import LogEntry, Repository
 GUARDED_OPERATIONS = ("snapshot", "query", "query_accessions", "read_log")
 
 
+class ClockTrack:
+    """A private branch of virtual time for one concurrent task.
+
+    While a track is open on a thread, that thread's ``now()`` /
+    ``advance()`` calls read and grow ``origin + offset`` instead of the
+    shared timeline, so parallel tasks each accumulate their *own*
+    virtual elapsed time from a common starting instant.  The mediator
+    joins tracks back into the shared clock with a makespan computed
+    from the per-track offsets (see ``repro.mediator.pool``).
+    """
+
+    __slots__ = ("origin", "offset")
+
+    def __init__(self, origin: float) -> None:
+        self.origin = float(origin)
+        self.offset = 0.0
+
+    @property
+    def elapsed(self) -> float:
+        return self.offset
+
+
 class VirtualClock:
     """A shared simulated timeline (floats, no real sleeping).
 
     Latency injection, retry backoff, breaker reset timeouts, and
     outage windows all advance / read the same clock, so their
     interactions are deterministic and instantaneous to test.
+
+    The clock is thread-safe.  Concurrent fan-out additionally uses
+    *tracks* (:meth:`open_track` / :meth:`close_track`): a task running
+    on its own track sees virtual time progress independently of its
+    siblings, which keeps per-task backoff and deadline arithmetic
+    deterministic no matter how the OS schedules the worker threads.
     """
 
     def __init__(self, start: float = 0.0) -> None:
         self._now = float(start)
+        self._lock = threading.Lock()
+        self._local = threading.local()
+
+    def _active_track(self) -> ClockTrack | None:
+        return getattr(self._local, "track", None)
 
     def now(self) -> float:
-        return self._now
+        track = self._active_track()
+        if track is not None:
+            return track.origin + track.offset
+        with self._lock:
+            return self._now
 
     def advance(self, amount: float) -> float:
         if amount < 0:
             raise ValueError("a virtual clock cannot run backwards")
-        self._now += amount
-        return self._now
+        track = self._active_track()
+        if track is not None:
+            track.offset += amount
+            return track.origin + track.offset
+        with self._lock:
+            self._now += amount
+            return self._now
+
+    def open_track(self, origin: float | None = None) -> ClockTrack:
+        """Branch this thread's virtual time off at *origin* (default: now)."""
+        if self._active_track() is not None:
+            raise RuntimeError("a clock track is already open on this thread")
+        track = ClockTrack(self.now() if origin is None else origin)
+        self._local.track = track
+        return track
+
+    def close_track(self, track: ClockTrack) -> float:
+        """End *track* on this thread; returns its virtual elapsed time."""
+        if self._active_track() is not track:
+            raise RuntimeError("closing a clock track that is not open here")
+        self._local.track = None
+        return track.offset
 
     def __repr__(self) -> str:
-        return f"VirtualClock(t={self._now:.2f})"
+        return f"VirtualClock(t={self.now():.2f})"
 
 
 @dataclass
 class FaultStats:
-    """What the proxy actually did to its caller (per proxy lifetime)."""
+    """What the proxy actually did to its caller (per proxy lifetime).
+
+    Counter updates go through :meth:`bump`, which holds a lock so
+    concurrent fan-out over many proxies sharing a stats object never
+    loses an increment.  The lock is a plain attribute, not a dataclass
+    field, so ``fields()``-based iteration and copying stay unchanged.
+    """
 
     calls: int = 0
     failures: int = 0
     corruptions: int = 0
     dropped_notifications: int = 0
     injected_latency: float = 0.0
+
+    def __post_init__(self) -> None:
+        self._lock = threading.Lock()
+
+    def bump(self, counter: str, amount: float = 1) -> None:
+        with self._lock:
+            setattr(self, counter, getattr(self, counter) + amount)
 
 
 @dataclass(frozen=True)
@@ -162,17 +233,17 @@ class FaultyRepository:
         return any(window.covers(when) for window in self._outages)
 
     def _fail(self, operation: str, reason: str) -> None:
-        self.stats.failures += 1
+        self.stats.bump("failures")
         raise SourceError(
             f"{self.name} failed {operation}: {reason}",
             source=self.name, operation=operation,
         )
 
     def _guard(self, operation: str) -> None:
-        self.stats.calls += 1
+        self.stats.bump("calls")
         if self._latency:
             self.timeline.advance(self._latency)
-            self.stats.injected_latency += self._latency
+            self.stats.bump("injected_latency", self._latency)
         if self.in_outage():
             self._fail(operation, "source unavailable (outage window)")
         forced = self._forced_failures.get(operation, 0)
@@ -188,7 +259,7 @@ class FaultyRepository:
             return text
         if self._rng.random() >= self._corrupt_rate:
             return text
-        self.stats.corruptions += 1
+        self.stats.bump("corruptions")
         if self._rng.random() < 0.5 and len(text) > 1:
             # Truncation: the transfer died mid-payload.
             return text[:self._rng.randrange(1, len(text))]
@@ -218,7 +289,7 @@ class FaultyRepository:
 
     def read_log(self, since_sequence_number: int = 0) -> list[LogEntry]:
         if self._log_channel_down:
-            self.stats.calls += 1
+            self.stats.bump("calls")
             self._fail("read_log", "log channel unavailable")
         self._guard("read_log")
         return self.inner.read_log(since_sequence_number)
@@ -228,7 +299,7 @@ class FaultyRepository:
     ) -> None:
         def guarded(entry: LogEntry, rendered: str | None) -> None:
             if not self.push_channel_available():
-                self.stats.dropped_notifications += 1
+                self.stats.bump("dropped_notifications")
                 return
             callback(entry, rendered)
 

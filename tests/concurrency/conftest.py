@@ -1,0 +1,9 @@
+import pytest
+
+from tests.concurrency.scheduler import harness_seed
+
+
+@pytest.fixture
+def seed() -> int:
+    """Suite-wide harness seed (REPRO_TEST_SEED, default 0)."""
+    return harness_seed()

@@ -1,0 +1,205 @@
+"""Property-based round-trips for the flat-file and tree wrappers.
+
+For each source archetype (GenBank, EMBL, SwissProt, AceDB) a generated
+:class:`~repro.sources.base.SourceRecord` — IUPAC ambiguity codes
+included — is rendered by its repository and parsed back by its wrapper:
+
+- the parse must recover the identity fields and the exact sequence;
+- parse ∘ serialize ∘ parse is a fixpoint: re-rendering from the parsed
+  fields and parsing again changes nothing;
+- CRLF line endings and B10-style noise (blank lines, trailing
+  whitespace) must not change what is parsed.
+"""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.etl.wrappers import (
+    AceWrapper,
+    EmblWrapper,
+    GenBankWrapper,
+    SwissProtWrapper,
+)
+from repro.sources import (
+    AceRepository,
+    EmblRepository,
+    GenBankRepository,
+    SwissProtRepository,
+    Universe,
+)
+from repro.sources.base import SourceRecord
+
+_UNIVERSE = Universe(seed=1, size=2)   # renderers only; never mutated
+
+FORMATS = {
+    "genbank": (GenBankRepository(_UNIVERSE), GenBankWrapper(), "dna"),
+    "embl": (EmblRepository(_UNIVERSE), EmblWrapper(), "dna"),
+    "acedb": (AceRepository(_UNIVERSE), AceWrapper(), "dna"),
+    "swissprot": (SwissProtRepository(_UNIVERSE), SwissProtWrapper(),
+                  "protein"),
+}
+
+#: Full IUPAC nucleotide ambiguity codes — not just ACGT.
+_DNA_ALPHABET = "ACGTRYSWKMBDHVN"
+_PROTEIN_ALPHABET = "ACDEFGHIKLMNPQRSTVWYBZX"
+_WORD = st.text(alphabet="abcdefghijklmnopqrstuvwxyz",
+                min_size=1, max_size=8)
+
+accessions = st.builds(
+    lambda prefix, number: f"{prefix}{number}",
+    st.text(alphabet="ABCDEFGHIJKLMNOPQRSTUVWXYZ", min_size=1, max_size=2),
+    st.integers(10_000, 99_999),
+)
+names = st.builds(lambda word, number: f"{word}-{number}",
+                  _WORD, st.integers(1, 99))
+organisms = st.builds(lambda genus, species: f"{genus.capitalize()} {species}",
+                      _WORD, _WORD)
+descriptions = st.builds(" ".join, st.lists(_WORD, min_size=1, max_size=5))
+
+
+@st.composite
+def _exons(draw, length):
+    count = draw(st.integers(0, 3))
+    if count == 0 or length < 2 * count:
+        return ()
+    cuts = sorted(draw(st.lists(
+        st.integers(0, length), min_size=2 * count, max_size=2 * count,
+        unique=True,
+    )))
+    return tuple((cuts[2 * i], cuts[2 * i + 1]) for i in range(count))
+
+
+@st.composite
+def source_records(draw, molecule="dna"):
+    alphabet = _DNA_ALPHABET if molecule == "dna" else _PROTEIN_ALPHABET
+    sequence = draw(st.text(alphabet=alphabet, min_size=1, max_size=200))
+    exons = draw(_exons(len(sequence))) if molecule == "dna" else ()
+    return SourceRecord(
+        accession=draw(accessions),
+        version=draw(st.integers(1, 9)),
+        name=draw(names),
+        organism=draw(organisms),
+        description=draw(descriptions),
+        sequence_text=sequence,
+        exons=exons,
+        timestamp=0,
+    )
+
+
+def _sequence_of(parsed, molecule):
+    value = parsed.dna if molecule == "dna" else parsed.protein
+    return str(value)
+
+
+def _exon_pairs(parsed):
+    return tuple((exon.start, exon.end) for exon in parsed.exons)
+
+
+def _semantics(parsed, molecule):
+    """Everything a round-trip must preserve (i.e. all but ``raw``)."""
+    return (parsed.accession, parsed.version, parsed.name, parsed.organism,
+            parsed.description, _sequence_of(parsed, molecule),
+            _exon_pairs(parsed))
+
+
+def _as_source_record(parsed, molecule):
+    """Rebuild the renderer's input type from what the wrapper parsed."""
+    return SourceRecord(
+        accession=parsed.accession,
+        version=parsed.version,
+        name=parsed.name,
+        organism=parsed.organism,
+        description=parsed.description,
+        sequence_text=_sequence_of(parsed, molecule),
+        exons=_exon_pairs(parsed),
+        timestamp=0,
+    )
+
+
+def _noisy(text, seed):
+    """B10-style transfer noise: blank lines and trailing whitespace."""
+    rng = random.Random(("wrapper-noise", seed).__repr__())
+    lines = []
+    for index, line in enumerate(text.splitlines()):
+        lines.append(line + " " * rng.randint(0, 3))
+        if index > 0 and rng.random() < 0.2:
+            lines.append(" " * rng.randint(0, 2))
+    return "\n".join(lines) + "\n"
+
+
+_CASES = sorted(FORMATS)
+
+
+@pytest.mark.parametrize("format_name", _CASES)
+class TestWrapperRoundTrip:
+    @settings(max_examples=40, deadline=None)
+    @given(data=st.data())
+    def test_parse_recovers_the_record(self, format_name, data):
+        repository, wrapper, molecule = FORMATS[format_name]
+        record = data.draw(source_records(molecule=molecule))
+        parsed = wrapper.parse_record(repository.render_record(record))
+        assert parsed.accession == record.accession
+        assert parsed.name == record.name
+        assert parsed.organism == record.organism
+        assert _sequence_of(parsed, molecule) == record.sequence_text
+        if format_name != "swissprot":
+            assert parsed.version == record.version
+            if record.exons or format_name == "acedb":
+                assert _exon_pairs(parsed) == record.exons
+        if format_name == "swissprot":
+            # SwissProt derives its DE line from the gene name.
+            assert parsed.description == f"{record.name} protein"
+        else:
+            assert parsed.description == record.description
+
+    @settings(max_examples=40, deadline=None)
+    @given(data=st.data())
+    def test_parse_serialize_parse_is_a_fixpoint(self, format_name, data):
+        repository, wrapper, molecule = FORMATS[format_name]
+        record = data.draw(source_records(molecule=molecule))
+        first = wrapper.parse_record(repository.render_record(record))
+        second = wrapper.parse_record(
+            repository.render_record(_as_source_record(first, molecule))
+        )
+        assert _semantics(first, molecule) == _semantics(second, molecule)
+
+    @settings(max_examples=30, deadline=None)
+    @given(data=st.data())
+    def test_crlf_line_endings_parse_identically(self, format_name, data):
+        repository, wrapper, molecule = FORMATS[format_name]
+        record = data.draw(source_records(molecule=molecule))
+        text = repository.render_record(record)
+        unix = wrapper.parse_record(text)
+        dos = wrapper.parse_record(text.replace("\n", "\r\n"))
+        assert _semantics(unix, molecule) == _semantics(dos, molecule)
+
+    @settings(max_examples=30, deadline=None)
+    @given(data=st.data(), seed=st.integers(0, 2**16))
+    def test_noise_does_not_change_the_parse(self, format_name, data, seed):
+        repository, wrapper, molecule = FORMATS[format_name]
+        record = data.draw(source_records(molecule=molecule))
+        text = repository.render_record(record)
+        clean = wrapper.parse_record(text)
+        noisy = wrapper.parse_record(_noisy(text, seed))
+        assert _semantics(clean, molecule) == _semantics(noisy, molecule)
+
+
+class TestSnapshotRoundTrip:
+    @settings(max_examples=20, deadline=None)
+    @given(data=st.data())
+    def test_snapshot_parses_every_record_in_order(self, data):
+        for format_name in _CASES:
+            repository, wrapper, molecule = FORMATS[format_name]
+            records = data.draw(st.lists(
+                source_records(molecule=molecule), min_size=1, max_size=4,
+                unique_by=lambda record: record.accession,
+            ))
+            dump = "".join(repository.render_record(record)
+                           for record in records)
+            parsed = wrapper.parse_snapshot(dump)
+            assert [entry.accession for entry in parsed] \
+                == [record.accession for record in records]
+            for entry, record in zip(parsed, records):
+                assert _sequence_of(entry, molecule) == record.sequence_text

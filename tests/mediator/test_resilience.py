@@ -234,6 +234,66 @@ class TestQueryHealth:
         assert "retries=" in summary
 
 
+class TestPerQueryAttemptNumbering:
+    """`SourceError.attempt` must count attempts per *query*, not per
+    call — a reused mediator used to restart the numbering on every
+    internal call, so a batch's fourth attempt reported ``attempt=2``."""
+
+    def _wrapper(self):
+        from repro.mediator.mediator import QueryHealth
+
+        timeline, proxies = _federation()
+        proxies[1].fail_with_rate(1.0)
+        mediator = Mediator(
+            proxies,
+            RetryPolicy(max_attempts=2, jitter=0.0),
+            BreakerPolicy(failure_threshold=999, reset_timeout=1e9),
+        )
+        wrapper = next(candidate for candidate in mediator.wrappers
+                       if candidate.repository.name == "EMBL")
+        return wrapper, QueryHealth
+
+    def test_attempt_numbering_continues_within_a_query(self):
+        from repro.errors import SourceError
+
+        wrapper, QueryHealth = self._wrapper()
+        health = QueryHealth()
+        call = wrapper.repository.snapshot
+        with pytest.raises(SourceError) as first:
+            wrapper.resilient("snapshot", call, health)
+        assert first.value.attempt == 2
+        with pytest.raises(SourceError) as second:
+            wrapper.resilient("snapshot", call, health)
+        assert second.value.attempt == 4  # same query: numbering continues
+        assert health.outcome("EMBL").attempts == 4
+
+    def test_attempt_numbering_resets_on_a_fresh_query(self):
+        from repro.errors import SourceError
+
+        wrapper, QueryHealth = self._wrapper()
+        call = wrapper.repository.snapshot
+        with pytest.raises(SourceError) as spent:
+            wrapper.resilient("snapshot", call, QueryHealth())
+        assert spent.value.attempt == 2
+        with pytest.raises(SourceError) as fresh:
+            wrapper.resilient("snapshot", call, QueryHealth())
+        assert fresh.value.attempt == 2   # new query: numbering resets
+
+    def test_batch_outcome_reports_per_query_attempts(self):
+        timeline, proxies = _federation()
+        embl = proxies[1]
+        embl.fail_with_rate(1.0)
+        mediator = Mediator(
+            proxies,
+            RetryPolicy(max_attempts=2, jitter=0.0),
+            BreakerPolicy(failure_threshold=999, reset_timeout=1e9),
+        )
+        first, second = embl.inner.accessions()[:2]
+        batch = mediator.genes([first, second])
+        # Two lookups × two attempts each, all within one query.
+        assert batch.health.outcome("EMBL").attempts == 4
+
+
 class TestSatellites:
     def test_mediated_gene_length_tracks_its_sequence(self):
         gene = MediatedGene(accession="X", source="S", name=None,

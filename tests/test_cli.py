@@ -60,6 +60,16 @@ class TestCli:
         assert "scenarios degraded and recovered correctly" in output
         assert "FAIL" not in output
 
+    def test_chaos_self_test_accepts_concurrency(self, capsys):
+        assert main(["chaos", "--self-test", "--concurrency", "1"]) == 0
+        output = capsys.readouterr().out
+        assert "width 1" in output
+        assert "FAIL" not in output
+
+    def test_chaos_rejects_zero_concurrency(self, capsys):
+        assert main(["chaos", "--self-test", "--concurrency", "0"]) == 2
+        assert "--concurrency" in capsys.readouterr().err
+
     def test_chaos_requires_self_test(self, capsys):
         assert main(["chaos"]) == 2
 

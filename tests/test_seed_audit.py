@@ -1,0 +1,74 @@
+"""Seed audit: no unseeded randomness or wall-clock nondeterminism.
+
+Everything in this reproduction must replay bit for bit: simulated
+sources draw from ``random.Random`` seeded with stable strings, tests
+take their seeds from ``REPRO_TEST_SEED``, and time is the shared
+``VirtualClock``.  This test greps the tree for the constructs that
+silently break that — the module-level ``random`` functions (global,
+unseeded RNG), ``random.Random()`` with no arguments (seeded from the
+OS), and wall-clock reads used as data (``datetime.now``,
+``time.time``).  ``time.perf_counter`` stays allowed: measuring how
+long something took is not nondeterministic *behaviour*.
+
+A line that must legitimately break the rule can carry the marker
+comment ``# seed-audit: ok`` with a reason.
+"""
+
+import re
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+SCANNED = ("src", "tests", "benchmarks")
+MARKER = "# seed-audit: ok"
+
+_BANNED = (
+    (re.compile(r"\brandom\.Random\(\s*\)"),
+     "random.Random() without a seed"),
+    (re.compile(r"(?<![\w.])random\.(random|randint|randrange|choice|"
+                r"choices|shuffle|sample|uniform|gauss|getrandbits)\("),
+     "module-level random.* call (global unseeded RNG)"),
+    (re.compile(r"\bdatetime\.now\(|\bdatetime\.today\(|"
+                r"\bdatetime\.utcnow\("),
+     "wall-clock datetime read"),
+    (re.compile(r"\btime\.time\(|\btime\.time_ns\("),
+     "wall-clock time read (use the VirtualClock or perf_counter)"),
+)
+
+
+def _python_files():
+    for root in SCANNED:
+        yield from (REPO / root).rglob("*.py")
+
+
+def test_no_unseeded_nondeterminism():
+    offences = []
+    for path in _python_files():
+        if path.name == Path(__file__).name:
+            continue  # this file spells the banned patterns out
+        for number, line in enumerate(
+                path.read_text().splitlines(), start=1):
+            if MARKER in line:
+                continue
+            for pattern, why in _BANNED:
+                if pattern.search(line):
+                    offences.append(
+                        f"{path.relative_to(REPO)}:{number}: {why}\n"
+                        f"    {line.strip()}"
+                    )
+    assert not offences, (
+        "unseeded/nondeterministic constructs found "
+        f"(annotate '{MARKER}' only with a reason):\n" + "\n".join(offences)
+    )
+
+
+def test_audit_actually_fires():
+    # The audit must catch what it claims to catch.
+    sample = "rng = random.Random()"
+    assert any(pattern.search(sample) for pattern, __ in _BANNED)
+    assert any(pattern.search("t = time.time()") for pattern, __ in _BANNED)
+    assert not any(pattern.search("t = time.perf_counter()")
+                   for pattern, __ in _BANNED)
+    assert not any(pattern.search("rng = random.Random(('x', 3).__repr__())")
+                   for pattern, __ in _BANNED)
+    assert not any(pattern.search("value = self._rng.random()")
+                   for pattern, __ in _BANNED)
