@@ -88,7 +88,7 @@ class TestA5Shape:
         assert term < 3 * direct
 
 
-def report() -> None:
+def report() -> dict:
     import time
 
     algebra = genomics_algebra()
@@ -123,7 +123,18 @@ def report() -> None:
     print(f"{'parse + evaluate from text':<34} {full_us:>9.1f} "
           f"{full_us / direct_us:>8.2f}x")
     print(f"{'(term parsing alone)':<34} {parse_us:>9.1f}")
+    return {
+        "gene_bp": len(GENE),
+        "direct_us": direct_us,
+        "term_us": term_us,
+        "full_us": full_us,
+        "parse_us": parse_us,
+        "term_overhead": term_us / direct_us,
+        "full_overhead": full_us / direct_us,
+    }
 
 
 if __name__ == "__main__":
-    report()
+    from conftest import write_bench_json
+
+    write_bench_json("ablation_algebra", report())

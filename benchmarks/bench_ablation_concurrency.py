@@ -152,7 +152,15 @@ class TestA9Shape:
         assert faulty["completeness"] >= 0.9
 
 
-def report():
+def report() -> dict:
+    payload = {
+        "queries": QUERIES,
+        "universe_size": UNIVERSE_SIZE,
+        "snapshot_rtt": SNAPSHOT_RTT,
+        "query_rtt": QUERY_RTT,
+        "fan_out": [],
+        "cache": [],
+    }
     print(f"A9: concurrent fan-out + answer caching "
           f"({QUERIES} queries, universe size {UNIVERSE_SIZE}, "
           f"snapshot RTT {SNAPSHOT_RTT:.0f}, query RTT {QUERY_RTT:.0f})")
@@ -171,6 +179,14 @@ def report():
                 for width in CONCURRENCY_LEVELS
             }
             speedup = cells[1] / cells[4]
+            payload["fan_out"].append({
+                "fault_rate": rate,
+                "sources": source_count,
+                "virtual_latency_by_width": {str(width): cells[width]
+                                             for width in
+                                             CONCURRENCY_LEVELS},
+                "speedup_at_4": speedup,
+            })
             row = " ".join(f"{cells[width]:>8.1f}"
                            for width in CONCURRENCY_LEVELS)
             print(f"{source_count:>8} {row} {speedup:>9.2f}x")
@@ -180,10 +196,14 @@ def report():
     print("-" * 40)
     for source_count in SOURCE_COUNTS:
         metrics = run_cache(source_count, 0.0)
+        payload["cache"].append({"sources": source_count, **metrics})
         print(f"{source_count:>8} {metrics['miss_ms']:>9.3f} "
               f"{metrics['hit_ms']:>9.4f} {metrics['speedup']:>8.0f}x")
+    return payload
 
 
 if __name__ == "__main__":
-    report()
+    from conftest import write_bench_json
+
+    write_bench_json("ablation_concurrency", report())
     sys.exit(0)

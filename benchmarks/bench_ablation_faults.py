@@ -110,10 +110,15 @@ class TestA8Shape:
         assert shed or with_breaker["rejections"] > 0
 
 
-def report():
+def report() -> dict:
+    payload = {"queries": QUERIES, "universe_size": UNIVERSE_SIZE,
+               "configurations": []}
     print(f"A8: answer completeness vs. fault rate "
           f"({QUERIES} queries, 3 sources, universe size {UNIVERSE_SIZE})")
     for label, retry_policy, breaker_policy in CONFIGURATIONS:
+        sweeps = []
+        payload["configurations"].append({"label": label,
+                                          "sweeps": sweeps})
         print()
         print(f"{label}")
         print(f"{'fault rate':>11} {'completeness':>13} {'degraded':>9} "
@@ -122,13 +127,17 @@ def report():
         print("-" * 76)
         for rate in FAULT_RATES:
             metrics = run_sweep(rate, retry_policy, breaker_policy)
+            sweeps.append({"fault_rate": rate, **metrics})
             print(f"{rate:>11.3f} {metrics['completeness']:>12.1%} "
                   f"{metrics['degraded_queries']:>9} "
                   f"{metrics['virtual_latency']:>11.2f} "
                   f"{metrics['retries']:>8} {metrics['failures']:>9} "
                   f"{metrics['rejections']:>9}")
+    return payload
 
 
 if __name__ == "__main__":
-    report()
+    from conftest import write_bench_json
+
+    write_bench_json("ablation_faults", report())
     sys.exit(0)

@@ -148,7 +148,9 @@ def test_bench_naive_smith_waterman(benchmark, similarity_setting):
     assert ranked[0][0] == "s0"
 
 
-def report() -> None:
+def report() -> dict:
+    payload = {"rows": ROWS, "seq_length": SEQ_LENGTH, "motif": MOTIF,
+               "access_paths": []}
     print(f"A2: contains({MOTIF!r}) over {ROWS} x {SEQ_LENGTH} bp rows")
     print()
     print(f"{'access path':<14} {'ms/query':>9} {'speedup':>9}")
@@ -163,6 +165,9 @@ def report() -> None:
         times[kind] = (time.perf_counter() - start) / 5 * 1000
         assert {r[0] for r in rows} == expected
         speedup = times[None] / times[kind]
+        payload["access_paths"].append({"path": label,
+                                        "ms_per_query": times[kind],
+                                        "speedup": speedup})
         print(f"{label:<14} {times[kind]:>9.2f} {speedup:>8.1f}x")
 
     print()
@@ -184,7 +189,12 @@ def report() -> None:
     print(f"{'seed-and-extend':<22} {blast_ms:>9.2f} ms")
     print(f"{'full Smith-Waterman':<22} {naive_ms:>9.2f} ms "
           f"({naive_ms / blast_ms:.0f}x slower)")
+    payload["similarity"] = {"blast_ms": blast_ms, "naive_ms": naive_ms,
+                             "blast_speedup": naive_ms / blast_ms}
+    return payload
 
 
 if __name__ == "__main__":
-    report()
+    from conftest import write_bench_json
+
+    write_bench_json("ablation_genomic_index", report())

@@ -104,7 +104,8 @@ class TestA1Shape:
         assert fetched <= len(sources[1])
 
 
-def report() -> None:
+def report() -> dict:
+    payload = {"universe_size": 120, "sweeps": []}
     print("A1: incremental refresh vs full reload "
           "(two sources, 120-gene universe)")
     print()
@@ -130,9 +131,19 @@ def report() -> None:
 
         winner = ("incremental" if incremental_ms < full_ms
                   else "full reload")
+        payload["sweeps"].append({
+            "updates_per_source": updates,
+            "changed_rows": refresh.deltas_processed,
+            "incremental_ms": incremental_ms,
+            "full_reload_ms": full_ms,
+            "winner": winner,
+        })
         print(f"{updates:>15} {refresh.deltas_processed:>13} "
               f"{incremental_ms:>15.1f} {full_ms:>15.1f} {winner:>12}")
+    return payload
 
 
 if __name__ == "__main__":
-    report()
+    from conftest import write_bench_json
+
+    write_bench_json("ablation_maintenance", report())

@@ -150,7 +150,7 @@ class TestA4Shape:
         assert f"~{actual} rows" in after  # 4 organisms -> exact quarter
 
 
-def report() -> None:
+def report() -> dict:
     print("A4: selectivity-aware plan choice "
           f"({ROWS} rows, combined genomic + scalar predicate)")
     print()
@@ -200,7 +200,16 @@ def report() -> None:
         estimate = ROWS / stats[column]
         print(f"  {column + ' equality':<22} estimated ~{estimate:>5.0f}"
               f"   actual {actual:>4}")
+    return {
+        "rows": ROWS,
+        "indexed_ms": fast_ms,
+        "seq_scan_ms": slow_ms,
+        "speedup": slow_ms / fast_ms,
+        "matching_rows": count,
+    }
 
 
 if __name__ == "__main__":
-    report()
+    from conftest import write_bench_json
+
+    write_bench_json("ablation_optimizer", report())

@@ -90,7 +90,8 @@ class TestA6Shape:
                    for entry in report)
 
 
-def report() -> None:
+def report() -> dict:
+    payload = {"sweeps": []}
     print("A6: reconciliation accuracy vs source count and noise (C8/B10)")
     print()
     header = (f"{'noise':>6} {'sources':>8} {'warehouse acc':>14} "
@@ -103,12 +104,22 @@ def report() -> None:
             quality = accuracy_against_truth(warehouse, universe)
             mean_source = (sum(quality.source_accuracy.values())
                            / len(quality.source_accuracy))
+            payload["sweeps"].append({
+                "noise": error_rate,
+                "sources": n_sources,
+                "warehouse_accuracy": quality.warehouse_accuracy,
+                "best_source_accuracy": quality.best_single_source(),
+                "mean_source_accuracy": mean_source,
+            })
             print(f"{error_rate:>6.1f} {n_sources:>8} "
                   f"{quality.warehouse_accuracy:>13.0%} "
                   f"{quality.best_single_source():>11.0%} "
                   f"{mean_source:>11.0%}")
         print()
+    return payload
 
 
 if __name__ == "__main__":
-    report()
+    from conftest import write_bench_json
+
+    write_bench_json("ablation_reconciliation", report())

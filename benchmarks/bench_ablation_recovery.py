@@ -145,7 +145,9 @@ class TestA7Shape:
         assert report.statements_applied == 0
 
 
-def report():
+def report() -> dict:
+    results = {"statements": STATEMENTS, "append_modes": [],
+               "recovery": []}
     rows = _parameter_rows(STATEMENTS)
     payload_bytes = sum(len(SQL) + sum(len(str(v)) for v in row)
                         for row in rows)
@@ -172,6 +174,13 @@ def report():
             _append_workload(wal_path, rows, **options)
             elapsed = time.perf_counter() - start
             size = os.path.getsize(wal_path)
+            results["append_modes"].append({
+                "mode": label,
+                "seconds": elapsed,
+                "statements_per_second": STATEMENTS / elapsed,
+                "wal_bytes": size,
+                "amplification": size / payload_bytes,
+            })
             print(f"{label:<22} {elapsed:>9.3f} "
                   f"{STATEMENTS / elapsed:>11,.0f} {size:>11,} "
                   f"{size / payload_bytes:>14.2f}x")
@@ -197,11 +206,21 @@ def report():
             elapsed = time.perf_counter() - start
             after = os.path.getsize(wal_path)
             unchanged = "unchanged" if before == after else "GREW!"
+            results["recovery"].append({
+                "crashed_statements": crashed,
+                "recover_ms": elapsed * 1000,
+                "statements_per_second":
+                    rec.statements_applied / elapsed,
+                "log_unchanged": before == after,
+            })
             print(f"{crashed:>19,} {elapsed * 1000:>11.1f} "
                   f"{rec.statements_applied / elapsed:>11,.0f} "
                   f"{unchanged:>17}")
+    return results
 
 
 if __name__ == "__main__":
-    report()
+    from conftest import write_bench_json
+
+    write_bench_json("ablation_recovery", report())
     sys.exit(0)

@@ -115,9 +115,10 @@ class TestA3Shape:
         assert len(data) <= LENGTH // 2 + 16  # payload + header
 
 
-def report() -> None:
+def report() -> dict:
     import time
 
+    payload = {"length_bp": LENGTH, "representations": []}
     text = _text()
     packed = DnaSequence(text)
     objects = list(text)
@@ -135,9 +136,21 @@ def report() -> None:
             result = fn()
         return result, (time.perf_counter() - start) / repeats * 1000
 
+    def record(label, in_memory, serialized, ser_ms, deser_ms, gc_ms):
+        payload["representations"].append({
+            "representation": label,
+            "bytes_in_memory": in_memory,
+            "serialized_bytes": serialized,
+            "serialize_ms": ser_ms,
+            "deserialize_ms": deser_ms,
+            "gc_content_ms": gc_ms,
+        })
+
     data, ser_ms = timed(packed.to_bytes)
     __, deser_ms = timed(lambda: DnaSequence.from_bytes(data))
     __, gc_ms = timed(lambda: gc_content(packed))
+    record("packed (GDT)", _deep_size(packed), len(data),
+           ser_ms, deser_ms, gc_ms)
     print(f"{'packed (GDT)':<16} {_deep_size(packed):>16,} "
           f"{len(data):>11,} {ser_ms:>8.2f} {deser_ms:>9.2f} "
           f"{gc_ms:>7.2f}")
@@ -146,6 +159,8 @@ def report() -> None:
     __, deser_ms = timed(lambda: data.decode())
     __, gc_ms = timed(lambda: (text.count("G") + text.count("C"))
                       / len(text))
+    record("text (str)", _deep_size(text), len(data),
+           ser_ms, deser_ms, gc_ms)
     print(f"{'text (str)':<16} {_deep_size(text):>16,} "
           f"{len(data):>11,} {ser_ms:>8.2f} {deser_ms:>9.2f} "
           f"{gc_ms:>7.2f}")
@@ -154,10 +169,15 @@ def report() -> None:
     __, deser_ms = timed(lambda: json.loads(data))
     __, gc_ms = timed(lambda: sum(1 for ch in objects
                                   if ch in ("G", "C")) / len(objects))
+    record("object list", _deep_size(objects), len(data),
+           ser_ms, deser_ms, gc_ms)
     print(f"{'object list':<16} {_deep_size(objects):>16,} "
           f"{len(data):>11,} {ser_ms:>8.2f} {deser_ms:>9.2f} "
           f"{gc_ms:>7.2f}")
+    return payload
 
 
 if __name__ == "__main__":
-    report()
+    from conftest import write_bench_json
+
+    write_bench_json("ablation_storage", report())

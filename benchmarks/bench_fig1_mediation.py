@@ -121,7 +121,8 @@ class TestFig1Shape:
         ).scalar() == len(sources[0])
 
 
-def report() -> None:
+def report() -> dict:
+    payload = {"motif": MOTIF, "sweeps": []}
     universe = Universe(seed=1771, size=150)
     print("Figure 1 benchmark: mediator vs Unifying Database, "
           f"motif query {MOTIF!r}")
@@ -149,13 +150,23 @@ def report() -> None:
         warehouse_ms = (time.perf_counter() - start) / 3 * 1000
 
         ratio = mediator_ms / warehouse_ms if warehouse_ms else float("inf")
+        payload["sweeps"].append({
+            "sources": count,
+            "mediator_ms": mediator_ms,
+            "warehouse_ms": warehouse_ms,
+            "ratio": ratio,
+            "bytes_shipped": mediator.cost.bytes_shipped // 3,
+        })
         print(f"{count:>8} {mediator_ms:>12.2f} {warehouse_ms:>13.2f} "
               f"{ratio:>6.0f}x {mediator.cost.bytes_shipped // 3:>14,}")
     print()
     print("staleness: mediator 0 updates behind by construction; the")
     print("warehouse lags until refresh() — see TestFig1Shape for the")
     print("executable check.")
+    return payload
 
 
 if __name__ == "__main__":
-    report()
+    from conftest import write_bench_json
+
+    write_bench_json("fig1_mediation", report())

@@ -173,7 +173,8 @@ def test_bench_tree_diff_scaling(benchmark, size):
     assert edits
 
 
-def report() -> None:
+def report() -> dict:
+    payload = {"burst": BURST, "strategies": [], "polling_sweep": []}
     print(f"Figure 2 benchmark: detection cost per strategy "
           f"({BURST} source updates)")
     print()
@@ -191,6 +192,14 @@ def report() -> None:
         start = time.perf_counter()
         deltas = monitor.poll()
         elapsed = (time.perf_counter() - start) * 1000
+        payload["strategies"].append({
+            "capability": capability,
+            "representation": representation,
+            "strategy": monitor.strategy,
+            "deltas": len(deltas),
+            "cost_units": monitor.cost.total_units(),
+            "ms": elapsed,
+        })
         print(f"{capability:<14} {representation:<15} "
               f"{monitor.strategy:<10} {len(deltas):>7} "
               f"{monitor.cost.total_units():>11,} {elapsed:>8.2f}")
@@ -207,8 +216,16 @@ def report() -> None:
             events += len(repository.advance(interval))
             deltas += len(monitor.poll())
         cost = monitor.cost.total_units() / max(1, deltas)
+        payload["polling_sweep"].append({
+            "interval": interval,
+            "recall": deltas / events,
+            "cost_per_delta": cost,
+        })
         print(f"{interval:>9} {deltas / events:>8.2f} {cost:>11,.0f}")
+    return payload
 
 
 if __name__ == "__main__":
-    report()
+    from conftest import write_bench_json
+
+    write_bench_json("fig2_change_detection", report())

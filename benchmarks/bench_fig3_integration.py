@@ -148,7 +148,7 @@ class TestFig3Shape:
         assert incremental < full
 
 
-def report() -> None:
+def report() -> dict:
     print("Figure 3 benchmark: the integrated architecture")
     print()
     universe = Universe(seed=31, size=200)
@@ -209,7 +209,27 @@ def report() -> None:
     print(f"{'BiQL -> extended SQL (same query)':<38} {biql_ms:>9.2f}")
     print()
     print(f"BiQL translation overhead: {biql_ms - gdt_ms:+.2f} ms")
+    return {
+        "initial_load": {
+            "records": load.deltas_processed,
+            "genes": load.genes_upserted,
+            "proteins": load.proteins_upserted,
+            "seconds": load_seconds,
+        },
+        "refresh": {
+            "deltas": refresh.deltas_processed,
+            "ms": refresh_seconds * 1000,
+        },
+        "query_paths": {
+            "gdt_indexed_ms": gdt_ms,
+            "text_like_ms": text_ms,
+            "biql_ms": biql_ms,
+            "biql_overhead_ms": biql_ms - gdt_ms,
+        },
+    }
 
 
 if __name__ == "__main__":
-    report()
+    from conftest import write_bench_json
+
+    write_bench_json("fig3_integration", report())

@@ -67,7 +67,7 @@ def test_bench_single_query_probe(benchmark, environment):
     assert result[0] == YES
 
 
-def report() -> None:
+def report() -> dict:
     environment = ProbeEnvironment.build(seed=1203, size=60)
     matrix = CapabilityMatrix.build(environment)
     print(matrix.to_text())
@@ -76,7 +76,14 @@ def report() -> None:
           f"{matrix.genalg_matches_claim()}")
     print(f"literature columns match Table 1:    "
           f"{matrix.literature_matches_paper()}")
+    return {
+        "genalg_matches_claim": matrix.genalg_matches_claim(),
+        "literature_matches_paper": matrix.literature_matches_paper(),
+        "matrix": matrix.to_text(),
+    }
 
 
 if __name__ == "__main__":
-    report()
+    from conftest import write_bench_json
+
+    write_bench_json("table1_capabilities", report())

@@ -1,8 +1,15 @@
-"""Shared fixtures for the benchmark suite.
+"""Shared fixtures and helpers for the benchmark suite.
 
 Every benchmark runs against deterministic, seeded environments so the
-printed series in EXPERIMENTS.md are reproducible bit for bit.
+printed series in EXPERIMENTS.md are reproducible bit for bit.  Each
+``report()`` returns its numbers as a plain dict, and the standalone
+``__main__`` blocks hand that to :func:`write_bench_json` so every run
+leaves a machine-readable ``BENCH_<name>.json`` at the repo root next
+to the printed table.
 """
+
+import json
+from pathlib import Path
 
 import pytest
 
@@ -15,6 +22,24 @@ from repro.sources import (
     Universe,
 )
 from repro.warehouse import UnifyingDatabase
+
+#: Where ``BENCH_<name>.json`` files land: the repository root.
+BENCH_OUTPUT_DIR = Path(__file__).resolve().parent.parent
+
+
+def write_bench_json(name, payload):
+    """Write *payload* as ``BENCH_<name>.json``; returns the path.
+
+    The payload is whatever dict the benchmark's ``report()`` returned;
+    a ``benchmark`` key naming the run is added so downstream tooling
+    can mix files without caring about file names.
+    """
+    document = dict(payload)
+    document.setdefault("benchmark", name)
+    path = BENCH_OUTPUT_DIR / f"BENCH_{name}.json"
+    path.write_text(json.dumps(document, indent=2, sort_keys=True) + "\n")
+    print(f"\nwrote {path.name}")
+    return path
 
 
 def build_sources(universe, which=("GenBank", "EMBL", "AceDB")):

@@ -13,7 +13,13 @@ Commands:
   (``--self-test``);
 - ``chaos``   — run the federation fault-injection scenario matrix
   (``--self-test``): flaky sources, outages, corrupt dumps, channel
-  loss, circuit-breaker recovery, deadline budgets.
+  loss, circuit-breaker recovery, deadline budgets;
+- ``trace``   — run one BiQL query plus a mediated fan-out against a
+  4-source faulty federation with tracing on, render the span tree
+  (per-source attempts, retries, breaker state, cache hits) and the
+  per-layer time breakdown, optionally exporting JSONL (``--jsonl``);
+- ``stats``   — run a small federated workload with the metrics
+  registry on and print the Prometheus-style text dump.
 """
 
 from __future__ import annotations
@@ -151,6 +157,115 @@ def _run_chaos(arguments) -> int:
     return 2
 
 
+def _build_observed_federation(seed: int, size: int):
+    """Four faultable sources, a warehouse over them, a cached mediator.
+
+    The shared fixture behind ``trace`` and ``stats``: GenBank, EMBL,
+    AceDB and SwissProt behind :class:`FaultyRepository` proxies on one
+    ``VirtualClock``, loaded into a :class:`UnifyingDatabase` *before*
+    any faults are scheduled, plus a :class:`CachedMediator` with tight
+    retry/breaker policies so injected faults play out within a few
+    queries.
+    """
+    from repro.mediator import BreakerPolicy, CachedMediator, RetryPolicy
+    from repro.sources import (
+        AceRepository,
+        EmblRepository,
+        FaultyRepository,
+        GenBankRepository,
+        SwissProtRepository,
+        Universe,
+        VirtualClock,
+    )
+    from repro.warehouse import UnifyingDatabase
+
+    universe = Universe(seed=seed, size=size)
+    timeline = VirtualClock()
+    sources = [
+        FaultyRepository(GenBankRepository(universe), timeline, seed=31),
+        FaultyRepository(EmblRepository(universe), timeline, seed=32),
+        FaultyRepository(AceRepository(universe), timeline, seed=33),
+        FaultyRepository(SwissProtRepository(universe), timeline, seed=34),
+    ]
+    warehouse = UnifyingDatabase(sources, with_indexes=False)
+    warehouse.initial_load()
+    mediator = CachedMediator(
+        sources,
+        retry_policy=RetryPolicy(max_attempts=3, base_delay=5.0,
+                                 multiplier=2.0, jitter=0.0),
+        breaker_policy=BreakerPolicy(failure_threshold=3,
+                                     reset_timeout=30.0),
+        timeline=timeline,
+    )
+    return timeline, sources, warehouse, mediator
+
+
+def _run_trace(arguments) -> int:
+    from repro import obs
+    from repro.lang.biql import BiqlSession
+
+    timeline, sources, warehouse, mediator = _build_observed_federation(
+        arguments.seed, arguments.size)
+    genbank, swissprot = sources[0], sources[3]
+    # Mild chaos, scheduled after the initial load so the warehouse is
+    # whole: GenBank's two failures are absorbed by retries, SwissProt's
+    # three exhaust them and open its circuit breaker.  GenBank is a
+    # snapshot-only source; SwissProt is queryable.
+    genbank.fail_next(2, "snapshot")
+    swissprot.fail_next(3, "query_accessions")
+    sink = obs.JsonlTraceSink(arguments.jsonl) if arguments.jsonl else None
+    tracer = obs.enable(sample_rate=1.0, clock=timeline, sink=sink)
+    try:
+        session = BiqlSession(warehouse)
+        with obs.span("federated.query", query=arguments.query):
+            warehouse_rows = session.run(arguments.query)
+            retried = mediator.find_genes()   # GenBank retried, SwissProt
+            #                                   fails; breaker opens
+            skipped = mediator.find_genes()   # SwissProt skipped: breaker
+            #                                   open, degraded answer
+            timeline.advance(60.0)            # reset timeout elapses
+            recovered = mediator.find_genes()  # half-open probe recloses;
+            #                                    complete answer, cached
+            cached = mediator.find_genes()     # served from cache
+    finally:
+        obs.disable()
+    trace_id, spans = next(reversed(tracer.traces.items()))
+    print(f"trace {trace_id} — {len(spans)} spans, one federated query "
+          f"over {len(sources)} faulty sources\n")
+    print(obs.render_trace([record.to_dict() for record in spans]))
+    print(f"\nwarehouse (BiQL): {len(warehouse_rows.rows)} rows")
+    for label, answers in (("retry+failure ", retried),
+                           ("breaker-open  ", skipped),
+                           ("recovered     ", recovered),
+                           ("cache-hit     ", cached)):
+        health = answers.health
+        print(f"mediated {label} {health.summary():<60} "
+              f"trace={health.trace_id}  from_cache={answers.from_cache}")
+    if sink is not None:
+        print(f"\n{sink.exported} spans exported to {arguments.jsonl}")
+    return 0
+
+
+def _run_stats(arguments) -> int:
+    from repro import obs
+
+    registry = obs.enable_metrics()
+    try:
+        __, sources, warehouse, mediator = _build_observed_federation(
+            arguments.seed, arguments.size)
+        sources[0].fail_next(2)
+        mediator.find_genes()
+        mediator.find_genes()                 # second pass hits the cache
+        for source in sources:
+            source.advance(2)
+        mediator.sync()
+        warehouse.refresh()
+        print(registry.to_prometheus_text())
+    finally:
+        obs.disable_metrics()
+    return 0
+
+
 _COMMANDS = {
     "demo": _run_demo,
     "matrix": _run_matrix,
@@ -195,11 +310,37 @@ def main(argv: "list[str] | None" = None) -> int:
                               help="mediator fan-out width for the "
                                    "scenarios (default: one worker per "
                                    "source)")
+    trace_parser = subparsers.add_parser(
+        "trace", help="trace one federated query end to end",
+    )
+    trace_parser.add_argument("query", nargs="?",
+                              default="FIND genes SHOW accession, name "
+                                      "LIMIT 5",
+                              help="BiQL query to run against the "
+                                   "warehouse leg")
+    trace_parser.add_argument("--jsonl", default=None,
+                              help="also export the trace as JSONL "
+                                   "(one span per line)")
+    trace_parser.add_argument("--seed", type=int, default=11,
+                              help="universe seed (default 11)")
+    trace_parser.add_argument("--size", type=int, default=24,
+                              help="universe size (default 24)")
+    stats_parser = subparsers.add_parser(
+        "stats", help="Prometheus-style metrics dump of a small workload",
+    )
+    stats_parser.add_argument("--seed", type=int, default=11,
+                              help="universe seed (default 11)")
+    stats_parser.add_argument("--size", type=int, default=24,
+                              help="universe size (default 24)")
     arguments = parser.parse_args(argv)
     if arguments.command == "recover":
         return _run_recover(arguments)
     if arguments.command == "chaos":
         return _run_chaos(arguments)
+    if arguments.command == "trace":
+        return _run_trace(arguments)
+    if arguments.command == "stats":
+        return _run_stats(arguments)
     return _COMMANDS[arguments.command]()
 
 

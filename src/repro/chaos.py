@@ -36,6 +36,11 @@ mediator and the ETL monitors promise:
    answer matches the post-delta source state (zero staleness), while
    entries nothing touched survive in cache — precise invalidation,
    no blanket flush.
+10. **trace-correlation** — an outage window plus the retry storm it
+    provokes, run with :mod:`repro.obs` tracing on: the captured trace
+    must contain the breaker-open and degraded-answer annotations, and
+    every ``QueryHealth.trace_id`` must name the trace whose spans
+    describe that very query.
 
 Every scenario is deterministic under its fixed seed: same faults, same
 retries, same answers, bit for bit.  ``--concurrency N`` re-runs the
@@ -435,6 +440,71 @@ def scenario_cache_invalidation_storm(concurrency: int | None = None) -> str:
             f"{len(untouched)} untouched entries survived, 0 stale")
 
 
+def scenario_trace_correlation(concurrency: int | None = None) -> str:
+    from repro import obs
+
+    __, timeline, sources = _federation(seed=210)
+    embl = sources[1]
+    embl.schedule_outage(0.0, 1_000.0)        # outage spanning the storm
+    mediator = Mediator(
+        sources,
+        retry_policy=RetryPolicy(max_attempts=2, base_delay=1.0,
+                                 multiplier=2.0, jitter=0.0),
+        breaker_policy=BreakerPolicy(failure_threshold=3,
+                                     reset_timeout=10_000.0),
+        timeline=timeline, max_concurrency=concurrency,
+    )
+    sink = obs.InMemorySink()
+    obs.enable(sample_rate=1.0, clock=timeline, sink=sink)
+    try:
+        storm = mediator.find_genes()         # retry storm: 2 attempts fail
+        mediator.find_genes()                 # 3rd failure opens the breaker
+        skipped = mediator.find_genes()       # breaker-open short-circuit
+    finally:
+        obs.disable()
+
+    _expect(len(sink.traces) == 3, f"expected 3 traces, got {len(sink.traces)}")
+    for answers in (storm, skipped):
+        _expect(answers.health.trace_id is not None,
+                "a traced query's health carries no trace id")
+    trace_of = {trace[0]["trace"]: trace for trace in sink.traces}
+    _expect(storm.health.trace_id != skipped.health.trace_id
+            and {storm.health.trace_id,
+                 skipped.health.trace_id} <= trace_of.keys(),
+            "health.trace_id does not name a captured trace")
+
+    def attempts(trace, source):
+        return [span for span in trace
+                if span["name"] == "source.attempt"
+                and span["attrs"].get("source") == source]
+
+    storm_trace = trace_of[storm.health.trace_id]
+    (storm_attempt,) = attempts(storm_trace, "EMBL")
+    _expect(storm_attempt["status"] == "error"
+            and storm_attempt["attrs"].get("status") == "failed"
+            and storm_attempt["attrs"].get("retries") == 1,
+            f"retry storm not annotated: {storm_attempt['attrs']}")
+
+    skipped_trace = trace_of[skipped.health.trace_id]
+    (skip_attempt,) = attempts(skipped_trace, "EMBL")
+    _expect(skip_attempt["attrs"].get("status") == "skipped"
+            and skip_attempt["attrs"].get("breaker") == "open",
+            f"breaker-open not annotated: {skip_attempt['attrs']}")
+    degraded = [span for span in skipped_trace
+                if span["attrs"].get("degraded") is True]
+    _expect(degraded and all("EMBL" in span["attrs"]["unavailable"]
+                             for span in degraded),
+            "degraded answer not annotated on the mediator span")
+    live = attempts(skipped_trace, "GenBank") + attempts(skipped_trace,
+                                                         "AceDB")
+    _expect(len(live) == 2
+            and all(span["attrs"].get("status") == "ok" for span in live),
+            "live-source attempts missing from the skipped query's trace")
+    return (f"3 traces captured; retry storm, breaker-open and "
+            f"degraded-answer annotations all on "
+            f"{skipped.health.trace_id}")
+
+
 _SCENARIOS = (
     ("intermittent-retry", scenario_intermittent_retry),
     ("outage-window", scenario_outage_window),
@@ -445,6 +515,7 @@ _SCENARIOS = (
     ("push-channel-loss", scenario_push_channel_loss),
     ("concurrent-fanout", scenario_concurrent_fanout),
     ("cache-invalidation-storm", scenario_cache_invalidation_storm),
+    ("trace-correlation", scenario_trace_correlation),
 )
 
 

@@ -36,6 +36,7 @@ from repro.errors import (
     SqlSyntaxError,
     TransactionError,
 )
+from repro.obs.trace import span as _span
 
 
 class ResultSet:
@@ -213,7 +214,8 @@ class Database:
         Returns a :class:`ResultSet` for SELECT, the number of affected
         rows for DML, and ``None`` for DDL.
         """
-        statement = parse(sql)
+        with _span("sql.parse"):
+            statement = parse(sql)
         mutating = not isinstance(statement, ast.Select)
         result = self._dispatch(statement, parameters)
         if mutating:
@@ -282,8 +284,11 @@ class Database:
 
     def _run_select(self, select: ast.Select,
                     parameters: Sequence[Any]) -> ResultSet:
-        plan = self._planner.plan_select(select)
-        rows = list(plan.execute(parameters, None))
+        with _span("sql.plan"):
+            plan = self._planner.plan_select(select)
+        with _span("sql.execute") as spn:
+            rows = list(plan.execute(parameters, None))
+            spn.annotate(rows=len(rows))
         columns = [column for _, column in plan.frame.slots]
         return ResultSet(columns, rows)
 

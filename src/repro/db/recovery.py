@@ -47,6 +47,8 @@ from repro.db.storage import (
     segment_generation,
 )
 from repro.errors import StorageError
+from repro.obs.metrics import count as _metric, observe as _observe
+from repro.obs.trace import span as _span
 
 
 @dataclass
@@ -93,37 +95,45 @@ def recover(image_path: str, wal_path: str,
     started = time.perf_counter()
     database = database or Database()
 
-    if os.path.exists(image_path):
-        image = read_image(image_path)
-        restore_image(image, database)
-        report.image_loaded = True
-        report.image_generation = int(image.get("wal_generation", 0))
+    with _span("storage.recover") as spn:
+        if os.path.exists(image_path):
+            image = read_image(image_path)
+            restore_image(image, database)
+            report.image_loaded = True
+            report.image_generation = int(image.get("wal_generation", 0))
 
-    log = WriteAheadLog(wal_path, database)
-    replayable: list[str] = []
-    for generation, path in log.sealed_segments():
-        if generation < report.image_generation:
-            report.segments_skipped += 1
-            continue
-        replayable.append(path)
-    if os.path.exists(wal_path) and os.path.getsize(wal_path) > 0:
-        active_generation = segment_generation(wal_path)
-        if active_generation is not None \
-                and active_generation < report.image_generation:
-            # A stale log left over from before the checkpoint that
-            # produced this image: everything in it is already applied.
-            report.skew_skipped = True
-        else:
-            replayable.append(wal_path)
+        log = WriteAheadLog(wal_path, database)
+        replayable: list[str] = []
+        for generation, path in log.sealed_segments():
+            if generation < report.image_generation:
+                report.segments_skipped += 1
+                continue
+            replayable.append(path)
+        if os.path.exists(wal_path) and os.path.getsize(wal_path) > 0:
+            active_generation = segment_generation(wal_path)
+            if active_generation is not None \
+                    and active_generation < report.image_generation:
+                # A stale log left over from before the checkpoint that
+                # produced this image: everything in it is already applied.
+                report.skew_skipped = True
+            else:
+                replayable.append(wal_path)
 
-    for position, path in enumerate(replayable):
-        final = position == len(replayable) - 1
-        records, torn = read_wal_records(path, allow_torn_tail=final)
-        report.statements_applied += apply_wal_records(records, database)
-        report.segments_replayed += 1
-        report.torn_tail_dropped = report.torn_tail_dropped or torn
+        for position, path in enumerate(replayable):
+            final = position == len(replayable) - 1
+            records, torn = read_wal_records(path, allow_torn_tail=final)
+            report.statements_applied += apply_wal_records(records, database)
+            report.segments_replayed += 1
+            report.torn_tail_dropped = report.torn_tail_dropped or torn
 
-    report.elapsed_ms = (time.perf_counter() - started) * 1000.0
+        report.elapsed_ms = (time.perf_counter() - started) * 1000.0
+        _metric("storage", "recoveries")
+        _metric("storage", "recovery_statements",
+                report.statements_applied)
+        _observe("storage", "recovery_ms", report.elapsed_ms)
+        spn.annotate(image_loaded=report.image_loaded,
+                     segments_replayed=report.segments_replayed,
+                     statements=report.statements_applied)
     return database, report
 
 

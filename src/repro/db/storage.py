@@ -44,6 +44,7 @@ from repro.db.schema import Column, TableSchema
 from repro.db.sql import ast
 from repro.db.values import NULL, OpaqueType
 from repro.errors import StorageError
+from repro.obs.metrics import count as _metric
 
 #: The keys every image table/column/index spec must carry; a truncated
 #: or hand-edited image fails with StorageError, never a bare KeyError.
@@ -147,6 +148,7 @@ def save_database(database: Database, path: str,
         handle.flush()
         os.fsync(handle.fileno())
     os.replace(temporary, path)
+    _metric("storage", "images_saved")
 
 
 def read_image(path: str) -> dict[str, Any]:
@@ -352,6 +354,7 @@ class WriteAheadLog:
             self._handle.flush()
             if self.fsync:
                 os.fsync(self._handle.fileno())
+            _metric("storage", "wal_flushes")
         self._pending = 0
 
     def close(self) -> None:
@@ -375,6 +378,7 @@ class WriteAheadLog:
                        for value in parameters],
         }
         line = json.dumps(record) + "\n"
+        _metric("storage", "wal_appends")
         if self._reopen_each:
             blank = self._file_is_blank()
             with open(self.path, "a", encoding="utf-8") as handle:
@@ -434,6 +438,7 @@ class WriteAheadLog:
         os.replace(self.path, sealed_path)
         self._generation += 1
         open(self.path, "w", encoding="utf-8").close()
+        _metric("storage", "wal_rotations")
         return sealed_path
 
     def purge(self, before_generation: int | None = None) -> list[str]:

@@ -110,7 +110,9 @@ class SourceError(ReproError):
 
     Carries structured context — which source, which operation, which
     attempt — so retry loops, circuit breakers, and quarantine reports
-    can be asserted on without parsing message strings.
+    can be asserted on without parsing message strings.  When the error
+    happens inside a traced query, ``trace_id`` names the trace whose
+    JSONL spans tell the full story of the failed attempts.
     """
 
     def __init__(
@@ -120,11 +122,13 @@ class SourceError(ReproError):
         source: "str | None" = None,
         operation: "str | None" = None,
         attempt: "int | None" = None,
+        trace_id: "str | None" = None,
     ) -> None:
         super().__init__(message)
         self.source = source
         self.operation = operation
         self.attempt = attempt
+        self.trace_id = trace_id
 
 
 class IntegrationError(ReproError):

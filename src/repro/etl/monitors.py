@@ -56,6 +56,8 @@ from repro.etl.diff.snapshot import (
     split_relational_snapshot,
 )
 from repro.etl.wrappers import wrapper_for
+from repro.obs.metrics import count as _metric
+from repro.obs.trace import span as _span
 from repro.sources.base import LogEntry, Repository
 
 
@@ -143,7 +145,31 @@ class SourceMonitor:
                 f"{self.cost.polls} polls)")
 
     def poll(self) -> list[Delta]:
-        """Changes since the previous poll (empty when nothing happened)."""
+        """Changes since the previous poll (empty when nothing happened).
+
+        The public entry point is concrete: it owns the poll counter,
+        the ``monitor.poll`` span, and metrics publication, and
+        delegates the strategy-specific work to :meth:`_poll` — so each
+        subclass is instrumented identically without repeating itself.
+        """
+        with _span("monitor.poll", source=self.repository.name,
+                   strategy=self.strategy) as spn:
+            self.cost.polls += 1
+            failed_before = self.health.failed_polls
+            degraded_before = self.health.degraded_polls
+            deltas = self._poll()
+            spn.annotate(deltas=len(deltas))
+            if self.health.failed_polls > failed_before:
+                spn.annotate(failed=True)
+            if self.health.degraded_polls > degraded_before:
+                spn.annotate(degraded=True)
+            _metric("monitor", "polls")
+            if deltas:
+                _metric("monitor", "deltas", len(deltas))
+            return deltas
+
+    def _poll(self) -> list[Delta]:
+        """Strategy-specific change detection (see subclasses)."""
         raise NotImplementedError
 
     def quarantine_report(self) -> str:
@@ -357,8 +383,7 @@ class TriggerMonitor(SourceMonitor):
         else:
             self._images[entry.accession] = rendered
 
-    def poll(self) -> list[Delta]:
-        self.cost.polls += 1
+    def _poll(self) -> list[Delta]:
         drained, self._buffer = self._buffer, []
         available = self.repository.push_channel_available()
         if available and not self._channel_was_down:
@@ -436,8 +461,7 @@ class LogMonitor(SourceMonitor):
         self.cost.log_entries_read += 1
         self._last_sequence = entry.sequence_number
 
-    def poll(self) -> list[Delta]:
-        self.cost.polls += 1
+    def _poll(self) -> list[Delta]:
         try:
             entries = self.repository.read_log(self._last_sequence)
         except SourceError as error:
@@ -575,8 +599,7 @@ class PollingMonitor(SourceMonitor):
                 self.cost.bytes_scanned += len(record)
         return images
 
-    def poll(self) -> list[Delta]:
-        self.cost.polls += 1
+    def _poll(self) -> list[Delta]:
         try:
             current = self._fetch_all()
         except SourceError as error:
@@ -600,8 +623,7 @@ class SnapshotMonitor(SourceMonitor):
         super().__init__(repository)
         self._images = self._split_snapshot(repository.snapshot())
 
-    def poll(self) -> list[Delta]:
-        self.cost.polls += 1
+    def _poll(self) -> list[Delta]:
         try:
             dump = self.repository.snapshot()
         except SourceError as error:

@@ -3,6 +3,11 @@
 This is the user-facing surface of the paper's vision statement: "Our
 high-level Genomics Algebra allows biologists to pose questions using
 biological terms, not SQL statements."
+
+Every session entry point runs under a ``biql.query`` span with
+``biql.parse`` / ``biql.translate`` children, so a traced query shows
+the language layer's share of the time next to the SQL engine's and the
+mediator's (see :mod:`repro.obs`).
 """
 
 from __future__ import annotations
@@ -13,6 +18,7 @@ from repro.db import ResultSet
 from repro.lang.biql.parser import BiqlQuery, parse_biql
 from repro.lang.biql.translator import translate
 from repro.lang.output import render_fasta, render_histogram, render_table
+from repro.obs.trace import span as _span
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.warehouse import UnifyingDatabase
@@ -28,38 +34,47 @@ class BiqlSession:
         self.last_parameters: list = []
 
     def parse(self, text: str) -> BiqlQuery:
-        return parse_biql(text)
+        with _span("biql.parse"):
+            return parse_biql(text)
 
     def compile(self, text: str) -> tuple[str, list]:
         """BiQL text → (extended SQL, parameters), without running it."""
-        sql, parameters = translate(parse_biql(text))
+        query = self.parse(text)
+        with _span("biql.translate"):
+            sql, parameters = translate(query)
         return sql, parameters
 
     def run(self, text: str) -> ResultSet:
         """Execute a BiQL query; returns the raw result set."""
-        sql, parameters = self.compile(text)
-        self.last_sql = sql
-        self.last_parameters = parameters
-        return self.warehouse.query(sql, parameters)
+        with _span("biql.query", text=text):
+            sql, parameters = self.compile(text)
+            self.last_sql = sql
+            self.last_parameters = parameters
+            return self.warehouse.query(sql, parameters)
 
     def run_query(self, query: "BiqlQuery | object") -> ResultSet:
         """Execute an already-built query (builder or parse output)."""
-        built = query.build() if hasattr(query, "build") else query
-        sql, parameters = translate(built)
-        self.last_sql = sql
-        self.last_parameters = parameters
-        return self.warehouse.query(sql, parameters)
+        with _span("biql.query"):
+            built = query.build() if hasattr(query, "build") else query
+            with _span("biql.translate"):
+                sql, parameters = translate(built)
+            self.last_sql = sql
+            self.last_parameters = parameters
+            return self.warehouse.query(sql, parameters)
 
     def render(self, text: str) -> str:
         """Execute and render per the query's ``AS <format>`` clause."""
-        query = parse_biql(text)
-        sql, parameters = translate(query)
-        self.last_sql = sql
-        self.last_parameters = parameters
-        result = self.warehouse.query(sql, parameters)
-        if query.render == "fasta":
-            return render_fasta(result)
-        if query.render == "histogram":
-            assert query.histogram_field is not None
-            return render_histogram(result, query.histogram_field)
-        return render_table(result)
+        with _span("biql.query", text=text):
+            query = self.parse(text)
+            with _span("biql.translate"):
+                sql, parameters = translate(query)
+            self.last_sql = sql
+            self.last_parameters = parameters
+            result = self.warehouse.query(sql, parameters)
+            with _span("biql.render", format=query.render or "table"):
+                if query.render == "fasta":
+                    return render_fasta(result)
+                if query.render == "histogram":
+                    assert query.histogram_field is not None
+                    return render_histogram(result, query.histogram_field)
+                return render_table(result)

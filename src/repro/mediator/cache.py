@@ -44,6 +44,8 @@ from repro.mediator.mediator import (
     MediationCost,
     Mediator,
 )
+from repro.obs.metrics import count as _metric, gauge as _gauge
+from repro.obs.trace import annotate as _annotate, span as _span
 
 #: Provenance key kinds.
 EXTENT = "extent"    # depends on everything a source holds (full scans)
@@ -73,6 +75,7 @@ class CacheStats:
     def bump(self, counter: str, amount: int = 1) -> None:
         with self._lock:
             setattr(self, counter, getattr(self, counter) + amount)
+        _metric("cache", counter, amount)
 
 
 class CacheEntry:
@@ -251,21 +254,26 @@ class CachedMediator:
         flushed) until a later poll succeeds; the staleness bound only
         resets once every monitor answered cleanly.
         """
-        deltas: list[Delta] = []
-        suspect: set[str] = set()
-        for name in sorted(self.monitors):
-            monitor = self.monitors[name]
-            failed_before = monitor.health.failed_polls
-            batch = monitor.poll()
-            if monitor.health.failed_polls > failed_before:
-                suspect.add(name)
-            deltas.extend(batch)
-        for delta in deltas:
-            self.cache.invalidate(delta)
-        self.suspect_sources = suspect
-        if not suspect:
-            self.last_sync = self.timeline.now()
-        return deltas
+        with _span("cache.sync", monitors=len(self.monitors)) as spn:
+            deltas: list[Delta] = []
+            suspect: set[str] = set()
+            for name in sorted(self.monitors):
+                monitor = self.monitors[name]
+                failed_before = monitor.health.failed_polls
+                batch = monitor.poll()
+                if monitor.health.failed_polls > failed_before:
+                    suspect.add(name)
+                deltas.extend(batch)
+            for delta in deltas:
+                self.cache.invalidate(delta)
+            self.suspect_sources = suspect
+            if not suspect:
+                self.last_sync = self.timeline.now()
+            spn.annotate(deltas=len(deltas),
+                         suspect=",".join(sorted(suspect)) or None)
+            _gauge("cache", "entries", len(self.cache))
+            _gauge("cache", "staleness_bound", self.staleness_bound())
+            return deltas
 
     def _serviceable(self, entry) -> bool:
         return not any(entry.depends_on(source)
@@ -290,6 +298,7 @@ class CachedMediator:
     ) -> MediatedAnswer:
         if predicate is not None:
             # An opaque callable cannot key a cache entry; go live.
+            _annotate(cache="bypass")
             return self.mediator.find_genes(
                 organism, name_prefix, contains_motif, min_length,
                 predicate, strict)
@@ -297,57 +306,70 @@ class CachedMediator:
                               name_prefix=name_prefix,
                               contains_motif=contains_motif,
                               min_length=min_length)
-        entry = self._lookup(key)
-        if entry is not None:
-            answer = MediatedAnswer(list(entry.answer),
-                                    health=entry.answer.health)
-            answer.from_cache = True
+        with _span("cache.find_genes") as spn:
+            entry = self._lookup(key)
+            if entry is not None:
+                spn.annotate(cache="hit")
+                answer = MediatedAnswer(list(entry.answer),
+                                        health=entry.answer.health)
+                answer.from_cache = True
+                return answer
+            spn.annotate(cache="miss")
+            answer = self.mediator.find_genes(
+                organism, name_prefix, contains_motif, min_length,
+                None, strict)
+            if answer.health.complete:
+                provenance = {extent_key(name)
+                              for name in self.source_names}
+                self.cache.put(key, answer, provenance,
+                               self.timeline.now())
+            answer.from_cache = False
             return answer
-        answer = self.mediator.find_genes(
-            organism, name_prefix, contains_motif, min_length,
-            None, strict)
-        if answer.health.complete:
-            provenance = {extent_key(name) for name in self.source_names}
-            self.cache.put(key, answer, provenance, self.timeline.now())
-        answer.from_cache = False
-        return answer
 
     def gene(self, accession: str, strict: bool = False) -> MediatedAnswer:
         key = normalize_query("gene", accession=accession)
-        entry = self._lookup(key)
-        if entry is not None:
-            answer = MediatedAnswer(list(entry.answer),
-                                    health=entry.answer.health)
-            answer.from_cache = True
+        with _span("cache.gene", accession=accession) as spn:
+            entry = self._lookup(key)
+            if entry is not None:
+                spn.annotate(cache="hit")
+                answer = MediatedAnswer(list(entry.answer),
+                                        health=entry.answer.health)
+                answer.from_cache = True
+                return answer
+            spn.annotate(cache="miss")
+            answer = self.mediator.gene(accession, strict)
+            if answer.health.complete:
+                provenance = {record_key(name, accession)
+                              for name in self.source_names}
+                self.cache.put(key, answer, provenance,
+                               self.timeline.now())
+            answer.from_cache = False
             return answer
-        answer = self.mediator.gene(accession, strict)
-        if answer.health.complete:
-            provenance = {record_key(name, accession)
-                          for name in self.source_names}
-            self.cache.put(key, answer, provenance, self.timeline.now())
-        answer.from_cache = False
-        return answer
 
     def genes(
         self, accessions: Sequence[str], strict: bool = False
     ) -> MediatedBatch:
         key = normalize_query("genes", accessions=tuple(accessions))
-        entry = self._lookup(key)
-        if entry is not None:
-            batch = MediatedBatch(
-                {accession: list(views)
-                 for accession, views in entry.answer.items()},
-                health=entry.answer.health)
-            batch.from_cache = True
+        with _span("cache.genes", accessions=len(accessions)) as spn:
+            entry = self._lookup(key)
+            if entry is not None:
+                spn.annotate(cache="hit")
+                batch = MediatedBatch(
+                    {accession: list(views)
+                     for accession, views in entry.answer.items()},
+                    health=entry.answer.health)
+                batch.from_cache = True
+                return batch
+            spn.annotate(cache="miss")
+            batch = self.mediator.genes(accessions, strict)
+            if batch.health.complete:
+                provenance = {record_key(name, accession)
+                              for name in self.source_names
+                              for accession in accessions}
+                self.cache.put(key, batch, provenance,
+                               self.timeline.now())
+            batch.from_cache = False
             return batch
-        batch = self.mediator.genes(accessions, strict)
-        if batch.health.complete:
-            provenance = {record_key(name, accession)
-                          for name in self.source_names
-                          for accession in accessions}
-            self.cache.put(key, batch, provenance, self.timeline.now())
-        batch.from_cache = False
-        return batch
 
     def count_genes(self, **filters) -> int:
         return len(self.find_genes(**filters))

@@ -52,6 +52,12 @@ from repro.mediator.pool import (
     WorkerPool,
     bounded_makespan,
 )
+from repro.obs.metrics import count as _metric
+from repro.obs.trace import (
+    annotate as _annotate,
+    current_trace_id as _current_trace_id,
+    span as _span,
+)
 from repro.sources.base import Repository
 from repro.sources.faults import VirtualClock
 
@@ -98,6 +104,7 @@ class MediationCost:
     def bump(self, counter: str, amount: float = 1) -> None:
         with self._lock:
             setattr(self, counter, getattr(self, counter) + amount)
+        _metric("mediation", counter, amount)
 
     def reset(self) -> "MediationCost":
         with self._lock:
@@ -254,11 +261,16 @@ class QueryHealth:
     Failure states are sticky: a source that failed terminally for any
     part of a query stays ``failed`` even if later calls in the same
     query succeeded, so ``complete`` never overstates the answer.
+
+    When the query ran inside a trace, ``trace_id`` names it, so a
+    degraded answer's health report correlates with the spans in the
+    JSONL sink telling the same story.
     """
 
     outcomes: dict[str, SourceOutcome] = field(default_factory=dict)
     deadline_hit: bool = False
     elapsed: float = 0.0
+    trace_id: str | None = None
 
     def __post_init__(self) -> None:
         self._lock = threading.Lock()
@@ -412,53 +424,69 @@ class LiveSourceWrapper:
         """
         name = self.repository.name
         outcome = health.outcome(name)
-        if not self.breaker.allow():
-            outcome.status = SKIPPED
-            outcome.error = (f"circuit open until "
-                             f"t={self.breaker.retry_at():.1f}")
-            self._cost.bump("breaker_rejections")
-            raise SourceError(f"{name} skipped: circuit breaker open",
-                              source=name, operation=operation)
-        attempt = 0
-        while True:
-            attempt += 1
-            outcome.attempts += 1
-            try:
-                result = call()
-            except (SourceError, WrapperError) as error:
-                self.breaker.record_failure()
-                self._cost.bump("source_failures")
-                outcome.error = str(error)
-                if attempt >= self.retry_policy.max_attempts:
-                    outcome.status = FAILED
-                    raise SourceError(
-                        f"{name} failed {operation} after "
-                        f"{outcome.attempts} attempt(s) this query: {error}",
-                        source=name, operation=operation,
-                        attempt=outcome.attempts,
-                    ) from error
-                delay = self.retry_policy.delay_before(attempt + 1, name,
-                                                       operation)
-                if (deadline_at is not None
-                        and self.timeline.now() + delay > deadline_at):
-                    outcome.status = FAILED
-                    outcome.error = (f"deadline budget exhausted after "
-                                     f"attempt {outcome.attempts}: {error}")
-                    health.deadline_hit = True
-                    raise SourceError(
-                        f"{name}: {outcome.error}",
-                        source=name, operation=operation,
-                        attempt=outcome.attempts,
-                    ) from error
-                self.timeline.advance(delay)
-                self._cost.bump("retries")
-                outcome.backoff += delay
-                outcome.retries += 1
-            else:
-                self.breaker.record_success()
-                if outcome.status not in (FAILED, SKIPPED):
-                    outcome.status = RETRIED if outcome.retries else OK
-                return result
+        with _span("source.attempt", source=name,
+                   operation=operation) as spn:
+            if not self.breaker.allow():
+                outcome.status = SKIPPED
+                outcome.error = (f"circuit open until "
+                                 f"t={self.breaker.retry_at():.1f}")
+                self._cost.bump("breaker_rejections")
+                spn.annotate(status=SKIPPED, breaker=OPEN)
+                raise SourceError(f"{name} skipped: circuit breaker open",
+                                  source=name, operation=operation,
+                                  trace_id=health.trace_id)
+            attempt = 0
+            while True:
+                attempt += 1
+                outcome.attempts += 1
+                try:
+                    result = call()
+                except (SourceError, WrapperError) as error:
+                    self.breaker.record_failure()
+                    self._cost.bump("source_failures")
+                    outcome.error = str(error)
+                    if attempt >= self.retry_policy.max_attempts:
+                        outcome.status = FAILED
+                        spn.annotate(status=FAILED, retries=outcome.retries,
+                                     breaker=self.breaker.state)
+                        raise SourceError(
+                            f"{name} failed {operation} after "
+                            f"{outcome.attempts} attempt(s) this query: "
+                            f"{error}",
+                            source=name, operation=operation,
+                            attempt=outcome.attempts,
+                            trace_id=health.trace_id,
+                        ) from error
+                    delay = self.retry_policy.delay_before(attempt + 1, name,
+                                                           operation)
+                    if (deadline_at is not None
+                            and self.timeline.now() + delay > deadline_at):
+                        outcome.status = FAILED
+                        outcome.error = (f"deadline budget exhausted after "
+                                         f"attempt {outcome.attempts}: "
+                                         f"{error}")
+                        health.deadline_hit = True
+                        spn.annotate(status=FAILED, deadline_hit=True,
+                                     retries=outcome.retries,
+                                     breaker=self.breaker.state)
+                        raise SourceError(
+                            f"{name}: {outcome.error}",
+                            source=name, operation=operation,
+                            attempt=outcome.attempts,
+                            trace_id=health.trace_id,
+                        ) from error
+                    self.timeline.advance(delay)
+                    self._cost.bump("retries")
+                    outcome.backoff += delay
+                    outcome.retries += 1
+                else:
+                    self.breaker.record_success()
+                    if outcome.status not in (FAILED, SKIPPED):
+                        outcome.status = RETRIED if outcome.retries else OK
+                    spn.annotate(status=outcome.status,
+                                 retries=outcome.retries,
+                                 breaker=self.breaker.state)
+                    return result
 
     def fetch_all(self) -> list[ParsedRecord]:
         """Extract every record, at query time."""
@@ -583,6 +611,7 @@ class Mediator:
 
     def _begin_health(self) -> tuple[QueryHealth, float, float | None]:
         health = QueryHealth()
+        health.trace_id = _current_trace_id()
         started = self.timeline.now()
         deadline_at = (started + self.retry_policy.deadline
                        if self.retry_policy.deadline is not None else None)
@@ -599,27 +628,31 @@ class Mediator:
         ``pool.max_workers`` lanes — modelled latency is wall-clock
         under bounded parallelism, not the per-source sum.
         """
-        if not self.pool.parallel or len(jobs) <= 1:
-            return [job() for job in jobs]
-        origin = self.timeline.now()
-        durations = [0.0] * len(jobs)
-        results: list = [None] * len(jobs)
+        with _span("mediator.fan_out", jobs=len(jobs),
+                   width=self.pool.max_workers,
+                   parallel=self.pool.parallel):
+            if not self.pool.parallel or len(jobs) <= 1:
+                return [job() for job in jobs]
+            origin = self.timeline.now()
+            durations = [0.0] * len(jobs)
+            results: list = [None] * len(jobs)
 
-        def tracked(index: int, job: Callable[[], _T]) -> Callable[[], None]:
-            def run() -> None:
-                track = self.timeline.open_track(origin)
-                try:
-                    results[index] = job()
-                finally:
-                    durations[index] = self.timeline.close_track(track)
-            return run
+            def tracked(index: int,
+                        job: Callable[[], _T]) -> Callable[[], None]:
+                def run() -> None:
+                    track = self.timeline.open_track(origin)
+                    try:
+                        results[index] = job()
+                    finally:
+                        durations[index] = self.timeline.close_track(track)
+                return run
 
-        self.pool.run([tracked(index, job)
-                       for index, job in enumerate(jobs)])
-        span = bounded_makespan(durations, self.pool.max_workers)
-        if span:
-            self.timeline.advance(span)
-        return results
+            self.pool.run([tracked(index, job)
+                           for index, job in enumerate(jobs)])
+            makespan = bounded_makespan(durations, self.pool.max_workers)
+            if makespan:
+                self.timeline.advance(makespan)
+            return results
 
     def _finish(self, health: QueryHealth, started: float,
                 strict: bool) -> None:
@@ -630,6 +663,13 @@ class Mediator:
         if backoff:
             self.cost.bump("backoff_delay", backoff)
         self.last_health = health
+        if health.degraded:
+            _annotate(degraded=True,
+                      unavailable=",".join(health.sources_failed
+                                           + health.sources_skipped),
+                      elapsed=health.elapsed)
+        else:
+            _annotate(degraded=False, elapsed=health.elapsed)
         if strict and health.degraded:
             unavailable = health.sources_failed + health.sources_skipped
             raise MediatorError(
@@ -667,6 +707,19 @@ class Mediator:
         after retries are reported in ``result.health`` and, under
         ``strict=True``, raise :class:`~repro.errors.MediatorError`.
         """
+        with _span("mediator.find_genes", sources=len(self.wrappers)):
+            return self._find_genes(organism, name_prefix, contains_motif,
+                                    min_length, predicate, strict)
+
+    def _find_genes(
+        self,
+        organism: str | None,
+        name_prefix: str | None,
+        contains_motif: str | None,
+        min_length: int | None,
+        predicate: Callable[[MediatedGene], bool] | None,
+        strict: bool,
+    ) -> MediatedAnswer:
         self.cost.bump("queries_answered")
         health, started, deadline_at = self._begin_health()
         answers = MediatedAnswer(health=health)
@@ -691,9 +744,11 @@ class Mediator:
             return job
 
         with self._query_scope():
-            for rows in self._fan_out([job_for(wrapper)
-                                       for wrapper in self.wrappers]):
-                answers.extend(rows)
+            per_source = self._fan_out([job_for(wrapper)
+                                        for wrapper in self.wrappers])
+            with _span("mediator.fusion", sources=len(per_source)):
+                for rows in per_source:
+                    answers.extend(rows)
         self._finish(health, started, strict)
         return answers
 
@@ -765,22 +820,24 @@ class Mediator:
             [self._views_job(wrapper, accessions, health, deadline_at)
              for wrapper in self.wrappers]
         )
-        fused: dict[str, list[MediatedGene]] = {
-            accession: [] for accession in accessions
-        }
-        for views in per_wrapper:  # pool order == wrapper order
-            for accession, view in views.items():
-                fused[accession].append(view)
-        return fused
+        with _span("mediator.fusion", accessions=len(accessions)):
+            fused: dict[str, list[MediatedGene]] = {
+                accession: [] for accession in accessions
+            }
+            for views in per_wrapper:  # pool order == wrapper order
+                for accession, view in views.items():
+                    fused[accession].append(view)
+            return fused
 
     def gene(self, accession: str, strict: bool = False) -> MediatedAnswer:
         """All source views of one accession (unreconciled, C8)."""
-        self.cost.bump("queries_answered")
-        health, started, deadline_at = self._begin_health()
-        with self._query_scope():
-            fused = self._fan_out_views([accession], health, deadline_at)
-        self._finish(health, started, strict)
-        return MediatedAnswer(fused[accession], health=health)
+        with _span("mediator.gene", accession=accession):
+            self.cost.bump("queries_answered")
+            health, started, deadline_at = self._begin_health()
+            with self._query_scope():
+                fused = self._fan_out_views([accession], health, deadline_at)
+            self._finish(health, started, strict)
+            return MediatedAnswer(fused[accession], health=health)
 
     def genes(
         self, accessions: Sequence[str], strict: bool = False
@@ -791,16 +848,17 @@ class Mediator:
         dump once for the whole batch, not once per accession — the
         per-query memo is what keeps :class:`MediationCost` honest here.
         """
-        self.cost.bump("queries_answered")
-        health, started, deadline_at = self._begin_health()
-        with self._query_scope():
-            batch = MediatedBatch(
-                self._fan_out_views(list(dict.fromkeys(accessions)),
-                                    health, deadline_at),
-                health=health,
-            )
-        self._finish(health, started, strict)
-        return batch
+        with _span("mediator.genes", accessions=len(accessions)):
+            self.cost.bump("queries_answered")
+            health, started, deadline_at = self._begin_health()
+            with self._query_scope():
+                batch = MediatedBatch(
+                    self._fan_out_views(list(dict.fromkeys(accessions)),
+                                        health, deadline_at),
+                    health=health,
+                )
+            self._finish(health, started, strict)
+            return batch
 
     def count_genes(self, **filters) -> int:
         return len(self.find_genes(**filters))

@@ -27,6 +27,7 @@ from concurrent.futures import ThreadPoolExecutor
 from typing import Callable, Sequence, TypeVar
 
 from repro.errors import MediatorError
+from repro.obs.trace import capture_context, use_context
 
 _T = TypeVar("_T")
 
@@ -89,8 +90,19 @@ class ThreadedPool(WorkerPool):
     def run(self, tasks: Sequence[Callable[[], _T]]) -> list[_T]:
         if len(tasks) <= 1:
             return [task() for task in tasks]
+        # Freeze the submitting thread's tracing context so spans opened
+        # inside a worker parent under the caller's current span instead
+        # of starting orphan traces of their own.
+        context = capture_context()
+
+        def contextual(task: Callable[[], _T]) -> Callable[[], _T]:
+            def run_with_context() -> _T:
+                with use_context(context):
+                    return task()
+            return run_with_context
+
         with ThreadPoolExecutor(max_workers=self.max_workers) as executor:
-            futures = [executor.submit(task) for task in tasks]
+            futures = [executor.submit(contextual(task)) for task in tasks]
             return [future.result() for future in futures]
 
     def __repr__(self) -> str:

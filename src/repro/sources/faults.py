@@ -37,6 +37,7 @@ from dataclasses import dataclass
 from typing import Callable
 
 from repro.errors import SourceError
+from repro.obs.metrics import count as _metric
 from repro.sources.base import LogEntry, Repository
 
 #: Operations the proxy guards (every remote round-trip a caller can make).
@@ -146,6 +147,7 @@ class FaultStats:
     def bump(self, counter: str, amount: float = 1) -> None:
         with self._lock:
             setattr(self, counter, getattr(self, counter) + amount)
+        _metric("faults", counter, amount)
 
 
 @dataclass(frozen=True)

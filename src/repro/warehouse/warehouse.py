@@ -27,6 +27,8 @@ from repro.errors import IntegrationError, ReproError
 from repro.etl.delta import DELETE, Delta
 from repro.etl.monitors import SourceMonitor, choose_monitor
 from repro.etl.wrappers import ParsedRecord, Wrapper, wrapper_for
+from repro.obs.metrics import count as _metric
+from repro.obs.trace import span as _span
 from repro.sources.base import Repository
 from repro.warehouse.integrator import (
     ConsolidatedRecord,
@@ -50,6 +52,19 @@ class RefreshReport:
     records_quarantined: int = 0
     monitor_cost_units: int = 0
     sources: tuple[str, ...] = field(default_factory=tuple)
+
+    def publish(self) -> "RefreshReport":
+        """Mirror this pass's counters into the process-wide registry
+        (a no-op while metrics are disabled); returns self."""
+        _metric("warehouse", "passes")
+        for counter in ("deltas_processed", "genes_upserted",
+                        "proteins_upserted", "genes_deleted",
+                        "conflicts_recorded", "annotations_marked_stale",
+                        "records_quarantined", "monitor_cost_units"):
+            amount = getattr(self, counter)
+            if amount:
+                _metric("warehouse", counter, amount)
+        return self
 
 
 def _exons_to_text(exons: Iterable[Interval]) -> str:
@@ -249,26 +264,30 @@ class UnifyingDatabase:
 
     def initial_load(self) -> RefreshReport:
         """Parse every source's full snapshot and build the public space."""
-        report = RefreshReport(mode="initial",
-                               sources=tuple(sorted(self.sources)))
-        affected: set[str] = set()
-        for name, repository in self.sources.items():
-            snapshot = repository.snapshot()
-            self.archive_release(name, snapshot)
-            wrapper = self.wrappers[name]
-            for record_text in wrapper.split_snapshot(snapshot):
-                try:
-                    parsed = wrapper.parse_record(record_text)
-                except ReproError as error:
-                    self._quarantine(name, None, record_text, error,
-                                     report)
-                    continue
-                self._stage(name, parsed)
-                affected.add(parsed.accession)
-                report.deltas_processed += 1
-        for accession in sorted(affected):
-            self._reconcile(accession, report)
-        return report
+        with _span("warehouse.initial_load",
+                   sources=len(self.sources)) as spn:
+            report = RefreshReport(mode="initial",
+                                   sources=tuple(sorted(self.sources)))
+            affected: set[str] = set()
+            for name, repository in self.sources.items():
+                snapshot = repository.snapshot()
+                self.archive_release(name, snapshot)
+                wrapper = self.wrappers[name]
+                for record_text in wrapper.split_snapshot(snapshot):
+                    try:
+                        parsed = wrapper.parse_record(record_text)
+                    except ReproError as error:
+                        self._quarantine(name, None, record_text, error,
+                                         report)
+                        continue
+                    self._stage(name, parsed)
+                    affected.add(parsed.accession)
+                    report.deltas_processed += 1
+            for accession in sorted(affected):
+                self._reconcile(accession, report)
+            spn.annotate(records=report.deltas_processed,
+                         quarantined=report.records_quarantined)
+            return report.publish()
 
     def refresh(self, only_sources: Sequence[str] | None = None
                 ) -> RefreshReport:
@@ -279,24 +298,27 @@ class UnifyingDatabase:
         property of section 5.2.  With ``refresh_policy='manual'`` the
         biologist calls this explicitly to advance or defer updates.
         """
-        report = RefreshReport(mode="incremental",
-                               sources=tuple(sorted(
-                                   only_sources or self.sources)))
-        affected: set[str] = set()
-        for name in report.sources:
-            monitor = self.monitors[name]
-            before_cost = monitor.cost.total_units()
-            deltas = monitor.poll()
-            report.monitor_cost_units += (monitor.cost.total_units()
-                                          - before_cost)
-            wrapper = self.wrappers[name]
-            for delta in deltas:
-                self._apply_delta(name, wrapper, delta, report)
-                affected.add(delta.accession)
-        for accession in sorted(affected):
-            self._reconcile(accession, report)
-        self._mark_annotations_stale(sorted(affected), report)
-        return report
+        with _span("warehouse.refresh") as spn:
+            report = RefreshReport(mode="incremental",
+                                   sources=tuple(sorted(
+                                       only_sources or self.sources)))
+            affected: set[str] = set()
+            for name in report.sources:
+                monitor = self.monitors[name]
+                before_cost = monitor.cost.total_units()
+                deltas = monitor.poll()
+                report.monitor_cost_units += (monitor.cost.total_units()
+                                              - before_cost)
+                wrapper = self.wrappers[name]
+                for delta in deltas:
+                    self._apply_delta(name, wrapper, delta, report)
+                    affected.add(delta.accession)
+            for accession in sorted(affected):
+                self._reconcile(accession, report)
+            self._mark_annotations_stale(sorted(affected), report)
+            spn.annotate(deltas=report.deltas_processed,
+                         quarantined=report.records_quarantined)
+            return report.publish()
 
     def _apply_delta(self, source: str, wrapper: Wrapper, delta: Delta,
                      report: RefreshReport) -> None:

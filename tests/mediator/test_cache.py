@@ -173,6 +173,45 @@ class TestSuspectSources:
         assert cached.staleness_bound() == 0.0
 
 
+class TestStalenessBoundEdges:
+    def test_empty_cache_still_tracks_the_clock(self):
+        timeline, __, cached = _cached()
+        assert len(cached.cache) == 0
+        assert cached.staleness_bound() == 0.0   # never synced, t=0
+        timeline.advance(30.0)
+        assert cached.staleness_bound() == 30.0  # no entries needed
+        cached.sync()                            # clean sweep, still empty
+        assert len(cached.cache) == 0
+        assert cached.staleness_bound() == 0.0
+
+    def test_all_entries_suspect_bound_keeps_growing(self):
+        timeline, repositories, cached = _cached(faulty=True)
+        cached.find_genes()
+        assert len(cached.cache) >= 1
+        timeline.advance(7.0)
+        for repository in repositories:          # every poll fails
+            repository.fail_next(1, "query_accessions", "snapshot")
+        cached.sync()
+        assert cached.suspect_sources == {r.name for r in repositories}
+        # Every entry depends on a suspect source: nothing serviceable.
+        assert all(not cached._serviceable(cached.cache.get(key))
+                   for key in cached.cache.keys())
+        assert cached.find_genes().from_cache is False
+        timeline.advance(4.0)
+        assert cached.staleness_bound() == 11.0  # failed sweeps never reset
+
+    def test_clock_exactly_at_sync_time_bounds_to_zero(self):
+        timeline, __, cached = _cached()
+        timeline.advance(9.0)
+        cached.sync()
+        # The clock has not moved past the sweep: the bound is exactly
+        # zero, not negative and not the pre-sweep age.
+        assert timeline.now() == cached.last_sync
+        assert cached.staleness_bound() == 0.0
+        cached.find_genes()
+        assert cached.find_genes().from_cache    # zero-age entry serves
+
+
 class TestAccounting:
     def test_counters_fold_into_mediation_cost(self):
         timeline, repositories, cached = _cached(max_entries=1)

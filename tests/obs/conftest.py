@@ -1,0 +1,14 @@
+"""Every obs test starts and ends with the global switchboard off."""
+
+import pytest
+
+from repro import obs
+
+
+@pytest.fixture(autouse=True)
+def clean_obs_state():
+    obs.disable()
+    obs.disable_metrics()
+    yield
+    obs.disable()
+    obs.disable_metrics()

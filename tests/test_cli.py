@@ -73,6 +73,40 @@ class TestCli:
     def test_chaos_requires_self_test(self, capsys):
         assert main(["chaos"]) == 2
 
+    def test_trace_renders_the_federated_story(self, capsys, tmp_path):
+        from repro import obs
+
+        path = tmp_path / "trace.jsonl"
+        assert main(["trace", "--jsonl", str(path)]) == 0
+        output = capsys.readouterr().out
+        # One trace covers the whole stack: BiQL leg, fan-out with every
+        # annotation kind, fusion, and the final cache hit.
+        assert "trace t000001" in output
+        for expected in ("biql.parse", "sql.execute", "mediator.fan_out",
+                         "status=retried", "status=skipped", "breaker=open",
+                         "per-layer breakdown", "from_cache=True"):
+            assert expected in output, expected
+        traces = obs.load_traces(path)
+        assert list(traces) == ["t000001"]
+        assert not obs.enabled()                 # CLI cleans up after itself
+
+    def test_trace_accepts_a_custom_query(self, capsys):
+        assert main(["trace", "COUNT genes"]) == 0
+        output = capsys.readouterr().out
+        assert "query=COUNT genes" in output
+
+    def test_stats_prints_prometheus_text(self, capsys):
+        from repro import obs
+
+        assert main(["stats"]) == 0
+        output = capsys.readouterr().out
+        for expected in ("# TYPE mediation_queries_answered counter",
+                         "# TYPE mediation_retries counter",
+                         "# TYPE cache_hits counter",
+                         "# TYPE warehouse_deltas_processed counter"):
+            assert expected in output, expected
+        assert obs.get_registry() is None        # CLI cleans up after itself
+
     def test_unknown_command_rejected(self):
         with pytest.raises(SystemExit) as excinfo:
             main(["frobnicate"])
