@@ -19,7 +19,10 @@ Commands:
   (per-source attempts, retries, breaker state, cache hits) and the
   per-layer time breakdown, optionally exporting JSONL (``--jsonl``);
 - ``stats``   — run a small federated workload with the metrics
-  registry on and print the Prometheus-style text dump.
+  registry on and print the Prometheus-style text dump;
+- ``overload`` — serve the calibrated A11 overload workload twice
+  (with and without the serving-layer protections) and print the
+  goodput / latency / shed comparison side by side.
 """
 
 from __future__ import annotations
@@ -266,6 +269,58 @@ def _run_stats(arguments) -> int:
     return 0
 
 
+def _run_overload(arguments) -> int:
+    from repro.serving import (
+        ServingPolicy,
+        overload_federation,
+        summarize,
+        synthetic_workload,
+    )
+
+    deadline = 25.0
+
+    def serve(protected: bool):
+        policy = (None if protected
+                  else ServingPolicy.unprotected(capacity=4,
+                                                 deadline=deadline))
+        server, mediator, __, accessions = overload_federation(policy=policy)
+        requests = synthetic_workload(
+            accessions, count=arguments.count,
+            load_factor=arguments.load, capacity=4,
+            mean_service=3.0, seed=arguments.seed)
+        stats = summarize(server.serve(requests), budget=deadline)
+        return stats, server, mediator
+
+    print(f"overload workload: {arguments.count} requests at "
+          f"{arguments.load}x capacity, deadline {deadline} "
+          f"(seed {arguments.seed})\n")
+    rows = []
+    for label, protected in (("protected", True), ("unprotected", False)):
+        stats, server, mediator = serve(protected)
+        shed = ", ".join(f"{reason}={count}" for reason, count
+                         in sorted(stats["shed_by_reason"].items())) or "-"
+        rows.append((label, stats["good"] / stats["makespan"],
+                     stats["good"], stats["p50"], stats["p99"], shed))
+        if protected:
+            hedge_line = (f"  hedges: {mediator.cost.hedges_issued} issued, "
+                          f"{mediator.cost.hedges_won} won; "
+                          f"retry denials: "
+                          f"{mediator.cost.retry_budget_denials}; "
+                          f"brownout transitions: "
+                          f"{len(server.brownout.transitions)}")
+    header = (f"  {'':<12} {'good/s':>7} {'good':>5} {'p50':>6} "
+              f"{'p99':>6}  shed")
+    print(header)
+    for label, goodput, good, p50, p99, shed in rows:
+        print(f"  {label:<12} {goodput:>7.2f} {good:>5} {p50:>6.1f} "
+              f"{p99:>6.1f}  {shed}")
+    print(hedge_line)
+    protected_goodput, unprotected_goodput = rows[0][1], rows[1][1]
+    print(f"\nprotection keeps {protected_goodput / unprotected_goodput:.2f}x "
+          f"the unprotected goodput at {arguments.load}x load")
+    return 0
+
+
 _COMMANDS = {
     "demo": _run_demo,
     "matrix": _run_matrix,
@@ -332,6 +387,17 @@ def main(argv: "list[str] | None" = None) -> int:
                               help="universe seed (default 11)")
     stats_parser.add_argument("--size", type=int, default=24,
                               help="universe size (default 24)")
+    overload_parser = subparsers.add_parser(
+        "overload", help="protected vs unprotected serving under an "
+                         "overload storm",
+    )
+    overload_parser.add_argument("--load", type=float, default=4.0,
+                                 help="offered load as a multiple of "
+                                      "serving capacity (default 4.0)")
+    overload_parser.add_argument("--count", type=int, default=120,
+                                 help="number of requests (default 120)")
+    overload_parser.add_argument("--seed", type=int, default=3,
+                                 help="workload seed (default 3)")
     arguments = parser.parse_args(argv)
     if arguments.command == "recover":
         return _run_recover(arguments)
@@ -341,6 +407,8 @@ def main(argv: "list[str] | None" = None) -> int:
         return _run_trace(arguments)
     if arguments.command == "stats":
         return _run_stats(arguments)
+    if arguments.command == "overload":
+        return _run_overload(arguments)
     return _COMMANDS[arguments.command]()
 
 

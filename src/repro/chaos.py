@@ -41,6 +41,13 @@ mediator and the ETL monitors promise:
     must contain the breaker-open and degraded-answer annotations, and
     every ``QueryHealth.trace_id`` must name the trace whose spans
     describe that very query.
+11. **overload-storm** — a 6× offered-load burst with one source in an
+    outage, served through the :mod:`repro.serving` admission layer:
+    the server keeps answering in-deadline during the storm, retry
+    budgets bound the amplification (denials > 0), the AIMD limiter
+    cuts the dead source's width, the brownout ladder steps up and —
+    hysteretically — unwinds to NORMAL, and a calm tail is served
+    clean, with zero sheds at the end.
 
 Every scenario is deterministic under its fixed seed: same faults, same
 retries, same answers, bit for bit.  ``--concurrency N`` re-runs the
@@ -505,6 +512,61 @@ def scenario_trace_correlation(concurrency: int | None = None) -> str:
             f"{skipped.health.trace_id}")
 
 
+def scenario_overload_storm(concurrency: int | None = None) -> str:
+    from repro.serving import (
+        NORMAL,
+        ServingPolicy,
+        overload_federation,
+        summarize,
+        synthetic_workload,
+    )
+
+    policy = ServingPolicy(capacity=4, deadline=25.0,
+                           brownout_enter_pressure=0.3,
+                           brownout_exit_pressure=0.1)
+    server, mediator, sources, accessions = overload_federation(
+        policy=policy, max_concurrency=concurrency)
+    sources[1].schedule_outage(0.0, 60.0)      # EMBL dead under the storm
+    storm = synthetic_workload(accessions, count=100, load_factor=6.0,
+                               capacity=4, mean_service=3.0, seed=11)
+    calm = synthetic_workload(accessions, count=40, load_factor=0.5,
+                              capacity=4, mean_service=3.0, seed=12,
+                              start=storm[-1].arrival + 30.0)
+    results = server.serve(storm + calm)
+    stats = summarize(results, budget=policy.deadline)
+
+    storm_good = sum(1 for result in results[:len(storm)]
+                     if not result.shed
+                     and result.in_deadline(policy.deadline))
+    _expect(storm_good > 0,
+            "the protected server answered nothing during the storm")
+    _expect(stats["shed"] > 0, "a 6x overload storm shed nothing")
+    _expect(mediator.cost.retry_budget_denials > 0,
+            "the retry budget never denied a retry under the storm")
+    _expect(mediator.cost.retries < len(results),
+            f"retry amplification unbounded: {mediator.cost.retries} "
+            f"retries for {len(results)} requests")
+    limiter = server.limiters["EMBL"]
+    _expect(limiter.decreases > 0 and limiter.limit < policy.capacity,
+            "the AIMD limiter never cut the dead source's width")
+    ladder = server.brownout
+    _expect(ladder.transitions, "queue pressure never tripped brownout")
+    _expect(max(level for __, level in ladder.transitions) >= 1,
+            "brownout never stepped above NORMAL")
+    _expect(ladder.level == NORMAL,
+            f"brownout stuck at {ladder.level_name} after the storm")
+    tail = results[-20:]
+    _expect(all(not result.shed and result.in_deadline(policy.deadline)
+                for result in tail),
+            "the calm tail was not served clean after recovery")
+    peak = max(level for __, level in ladder.transitions)
+    return (f"storm: {storm_good}/{len(storm)} good in-deadline, "
+            f"shed {stats['shed_by_reason']}, "
+            f"{mediator.cost.retry_budget_denials} retries denied; "
+            f"brownout peaked at level {peak}, unwound to NORMAL; "
+            f"calm tail clean")
+
+
 _SCENARIOS = (
     ("intermittent-retry", scenario_intermittent_retry),
     ("outage-window", scenario_outage_window),
@@ -516,6 +578,7 @@ _SCENARIOS = (
     ("concurrent-fanout", scenario_concurrent_fanout),
     ("cache-invalidation-storm", scenario_cache_invalidation_storm),
     ("trace-correlation", scenario_trace_correlation),
+    ("overload-storm", scenario_overload_storm),
 )
 
 

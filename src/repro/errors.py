@@ -139,6 +139,26 @@ class MediatorError(ReproError):
     """The query-driven mediator could not decompose or answer a query."""
 
 
+class OverloadError(MediatorError):
+    """The serving layer shed a query to protect the federation.
+
+    ``reason`` is one of the shed reasons the admission machinery
+    reports (``queue_full`` / ``deadline`` / ``brownout``), so callers
+    can distinguish "come back later" from "lower your deadline".
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        reason: "str | None" = None,
+        priority: "int | None" = None,
+    ) -> None:
+        super().__init__(message)
+        self.reason = reason
+        self.priority = priority
+
+
 class BiqlError(ReproError):
     """A BiQL query could not be parsed or translated."""
 

@@ -240,6 +240,10 @@ class CachedMediator:
     def source_names(self) -> tuple[str, ...]:
         return self.mediator.source_names
 
+    def install_overload_controls(self, retry_budgets=None,
+                                  hedgers=None) -> None:
+        self.mediator.install_overload_controls(retry_budgets, hedgers)
+
     def staleness_bound(self) -> float:
         """Virtual time since the last clean monitor sweep — the maximum
         age a served cached answer's provenance can have."""
@@ -287,6 +291,32 @@ class CachedMediator:
             return entry
         return None
 
+    @staticmethod
+    def _materialize(entry):
+        """A served copy of a cached answer (mutations can't poison it)."""
+        answer = entry.answer
+        if isinstance(answer, MediatedBatch):
+            copy = MediatedBatch(
+                {accession: list(views)
+                 for accession, views in answer.items()},
+                health=answer.health)
+        else:
+            copy = MediatedAnswer(list(answer), health=answer.health)
+        copy.from_cache = True
+        return copy
+
+    def peek(self, kind: str, **params):
+        """A cached answer for one query, or ``None`` — never goes live.
+
+        The brownout ladder's cache-only rung: under sustained overload
+        non-interactive queries may still be answered from here, but a
+        miss is a shed, not a source fan-out.  *kind* and *params* must
+        match the corresponding query method's cache key (``gene``,
+        ``genes``, ``find_genes``).
+        """
+        entry = self._lookup(normalize_query(kind, **params))
+        return self._materialize(entry) if entry is not None else None
+
     def find_genes(
         self,
         organism: str | None = None,
@@ -295,13 +325,16 @@ class CachedMediator:
         min_length: int | None = None,
         predicate: Callable | None = None,
         strict: bool = False,
+        *,
+        deadline_at: float | None = None,
+        exclude: Sequence[str] = (),
     ) -> MediatedAnswer:
         if predicate is not None:
             # An opaque callable cannot key a cache entry; go live.
             _annotate(cache="bypass")
             return self.mediator.find_genes(
                 organism, name_prefix, contains_motif, min_length,
-                predicate, strict)
+                predicate, strict, deadline_at=deadline_at, exclude=exclude)
         key = normalize_query("find_genes", organism=organism,
                               name_prefix=name_prefix,
                               contains_motif=contains_motif,
@@ -310,14 +343,11 @@ class CachedMediator:
             entry = self._lookup(key)
             if entry is not None:
                 spn.annotate(cache="hit")
-                answer = MediatedAnswer(list(entry.answer),
-                                        health=entry.answer.health)
-                answer.from_cache = True
-                return answer
+                return self._materialize(entry)
             spn.annotate(cache="miss")
             answer = self.mediator.find_genes(
                 organism, name_prefix, contains_motif, min_length,
-                None, strict)
+                None, strict, deadline_at=deadline_at, exclude=exclude)
             if answer.health.complete:
                 provenance = {extent_key(name)
                               for name in self.source_names}
@@ -326,18 +356,19 @@ class CachedMediator:
             answer.from_cache = False
             return answer
 
-    def gene(self, accession: str, strict: bool = False) -> MediatedAnswer:
+    def gene(self, accession: str, strict: bool = False, *,
+             deadline_at: float | None = None,
+             exclude: Sequence[str] = ()) -> MediatedAnswer:
         key = normalize_query("gene", accession=accession)
         with _span("cache.gene", accession=accession) as spn:
             entry = self._lookup(key)
             if entry is not None:
                 spn.annotate(cache="hit")
-                answer = MediatedAnswer(list(entry.answer),
-                                        health=entry.answer.health)
-                answer.from_cache = True
-                return answer
+                return self._materialize(entry)
             spn.annotate(cache="miss")
-            answer = self.mediator.gene(accession, strict)
+            answer = self.mediator.gene(accession, strict,
+                                        deadline_at=deadline_at,
+                                        exclude=exclude)
             if answer.health.complete:
                 provenance = {record_key(name, accession)
                               for name in self.source_names}
@@ -347,21 +378,20 @@ class CachedMediator:
             return answer
 
     def genes(
-        self, accessions: Sequence[str], strict: bool = False
+        self, accessions: Sequence[str], strict: bool = False, *,
+        deadline_at: float | None = None,
+        exclude: Sequence[str] = (),
     ) -> MediatedBatch:
         key = normalize_query("genes", accessions=tuple(accessions))
         with _span("cache.genes", accessions=len(accessions)) as spn:
             entry = self._lookup(key)
             if entry is not None:
                 spn.annotate(cache="hit")
-                batch = MediatedBatch(
-                    {accession: list(views)
-                     for accession, views in entry.answer.items()},
-                    health=entry.answer.health)
-                batch.from_cache = True
-                return batch
+                return self._materialize(entry)
             spn.annotate(cache="miss")
-            batch = self.mediator.genes(accessions, strict)
+            batch = self.mediator.genes(accessions, strict,
+                                        deadline_at=deadline_at,
+                                        exclude=exclude)
             if batch.health.complete:
                 provenance = {record_key(name, accession)
                               for name in self.source_names

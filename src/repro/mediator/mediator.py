@@ -97,6 +97,10 @@ class MediationCost:
     cache_misses: int = 0
     cache_evictions: int = 0
     cache_invalidations: int = 0
+    hedges_issued: int = 0
+    hedges_won: int = 0
+    retry_budget_denials: int = 0
+    source_exclusions: int = 0
 
     def __post_init__(self) -> None:
         self._lock = threading.Lock()
@@ -252,6 +256,12 @@ class SourceOutcome:
     retries: int = 0
     backoff: float = 0.0
     error: str | None = None
+    #: Virtual time this source's calls cost the query (backoff included).
+    latency: float = 0.0
+    #: Whether any call to this source issued a hedge, and whether the
+    #: hedge's answer is the one the query used.
+    hedged: bool = False
+    hedge_won: bool = False
 
 
 @dataclass
@@ -271,6 +281,13 @@ class QueryHealth:
     deadline_hit: bool = False
     elapsed: float = 0.0
     trace_id: str | None = None
+    #: Set by the serving layer when admission control rejected the
+    #: query before any source work (reason: queue_full / deadline /
+    #: brownout); ``queue_wait`` is virtual time spent queued, charged
+    #: against the same deadline budget backoff draws from.
+    shed: bool = False
+    shed_reason: str | None = None
+    queue_wait: float = 0.0
 
     def __post_init__(self) -> None:
         self._lock = threading.Lock()
@@ -304,7 +321,13 @@ class QueryHealth:
     @property
     def complete(self) -> bool:
         """True when every source contributed to the answer."""
-        return not self.sources_failed and not self.sources_skipped
+        return (not self.shed and not self.sources_failed
+                and not self.sources_skipped)
+
+    @property
+    def sources_hedged(self) -> tuple[str, ...]:
+        return tuple(sorted(name for name, outcome in self.outcomes.items()
+                            if outcome.hedged))
 
     @property
     def degraded(self) -> bool:
@@ -315,15 +338,26 @@ class QueryHealth:
         return sum(outcome.retries for outcome in self.outcomes.values())
 
     def summary(self) -> str:
+        if self.shed:
+            pieces = [f"shed={self.shed_reason or 'overload'}"]
+            if self.queue_wait:
+                pieces.append(f"queued {self.queue_wait:.1f}")
+            if self.deadline_hit:
+                pieces.append("deadline hit")
+            return " ".join(pieces)
         pieces = [f"ok={','.join(self.sources_ok) or '-'}"]
         if self.sources_skipped:
             pieces.append(f"skipped={','.join(self.sources_skipped)}")
         if self.sources_failed:
             pieces.append(f"failed={','.join(self.sources_failed)}")
+        if self.sources_hedged:
+            pieces.append(f"hedged={','.join(self.sources_hedged)}")
         if self.total_retries:
             pieces.append(f"retries={self.total_retries}")
         if self.deadline_hit:
             pieces.append("deadline hit")
+        if self.queue_wait:
+            pieces.append(f"queued {self.queue_wait:.1f}")
         pieces.append(f"t+{self.elapsed:.1f}")
         return " ".join(pieces)
 
@@ -396,6 +430,10 @@ class LiveSourceWrapper:
         self._cost = cost
         self._memo: list[ParsedRecord] | None = None
         self._memo_active = False
+        #: Overload controls, installed by
+        #: :meth:`Mediator.install_overload_controls` (None = off).
+        self.retry_budget = None   # repro.serving.budget.RetryBudget
+        self.hedger = None         # repro.serving.hedge.Hedger
 
     def begin_query(self) -> None:
         """Open a per-query memo scope: repeated extractions within one
@@ -404,10 +442,87 @@ class LiveSourceWrapper:
         untouched — the memo dies with the query."""
         self._memo_active = True
         self._memo = None
+        replica = self.hedger.replica if self.hedger is not None else None
+        if replica is not None:
+            replica._memo_active = True
+            replica._memo = None
 
     def end_query(self) -> None:
         self._memo_active = False
         self._memo = None
+        replica = self.hedger.replica if self.hedger is not None else None
+        if replica is not None:
+            replica._memo_active = False
+            replica._memo = None
+
+    def _timed_call(self, call: Callable[[], _T], origin: float):
+        """Run *call* on a private clock track branched at *origin*.
+
+        Returns ``(result, error, duration)``: the virtual time the
+        call cost is measured but NOT charged to the outer clock — the
+        caller decides how much of it the query actually pays, because
+        a hedged call overlaps its backup instead of adding to it.
+        """
+        result, error = None, None
+        track = self.timeline.open_track(origin)
+        try:
+            result = call()
+        except (SourceError, WrapperError) as caught:
+            error = caught
+        finally:
+            duration = self.timeline.close_track(track)
+        return result, error, duration
+
+    def _hedged_attempt(
+        self,
+        call: Callable[[], _T],
+        hedge_call: Callable[[], _T] | None,
+        outcome: SourceOutcome,
+    ):
+        """One attempt, possibly raced against a backup call.
+
+        The primary runs on a measurement track; if it took longer than
+        the hedger's live p95 delay (and a hedge token is available),
+        the backup runs on a second track branched at the instant the
+        hedge would have been issued, and the attempt's answer and
+        elapsed time are first-response-wins arithmetic over the two —
+        the primary wins ties.  The outer clock is then charged the
+        attempt's *effective* elapsed time exactly once.
+        """
+        started_at = self.timeline.now()
+        hedger = self.hedger
+        # The hedge timer is armed when the call *starts*: the delay
+        # comes from the histogram as of now, never from the in-flight
+        # call's own duration.
+        delay = hedger.hedge_delay() if hedger is not None else None
+        result, error, duration = self._timed_call(call, started_at)
+        if hedger is not None:
+            hedger.observe(duration)
+        elapsed = duration
+        if (hedger is not None and hedge_call is not None
+                and hedger.replica is not None):
+            if (delay is not None and duration > delay
+                    and hedger.try_issue()):
+                outcome.hedged = True
+                self._cost.bump("hedges_issued")
+                backup, backup_error, backup_duration = self._timed_call(
+                    hedge_call, started_at + delay)
+                backup_done = delay + backup_duration
+                if backup_error is None and (error is not None
+                                             or backup_done < duration):
+                    # The backup's answer lands first (or is the only
+                    # one): the query uses it and pays only its time.
+                    result, error = backup, None
+                    elapsed = backup_done
+                    outcome.hedge_won = True
+                    hedger.record_win()
+                    self._cost.bump("hedges_won")
+                elif error is not None:
+                    # Both failed: the caller waited for both.
+                    elapsed = max(duration, backup_done)
+        self.timeline.advance(elapsed)
+        outcome.latency += elapsed
+        return result, error
 
     def resilient(
         self,
@@ -415,12 +530,16 @@ class LiveSourceWrapper:
         call: Callable[[], _T],
         health: QueryHealth,
         deadline_at: float | None = None,
+        hedge_call: Callable[[], _T] | None = None,
     ) -> _T:
         """Run *call* under the retry policy and the circuit breaker.
 
         Raises :class:`~repro.errors.SourceError` once the source is
-        given up on (breaker open, attempts exhausted, or deadline
-        budget spent); the health report is updated either way.
+        given up on (breaker open, attempts exhausted, deadline budget
+        spent, or retry budget empty); the health report is updated
+        either way.  When a hedger with a replica is installed and
+        *hedge_call* is given, slow attempts race a backup call to the
+        replica (see :meth:`_hedged_attempt`).
         """
         name = self.repository.name
         outcome = health.outcome(name)
@@ -439,54 +558,73 @@ class LiveSourceWrapper:
             while True:
                 attempt += 1
                 outcome.attempts += 1
-                try:
-                    result = call()
-                except (SourceError, WrapperError) as error:
-                    self.breaker.record_failure()
-                    self._cost.bump("source_failures")
-                    outcome.error = str(error)
-                    if attempt >= self.retry_policy.max_attempts:
-                        outcome.status = FAILED
-                        spn.annotate(status=FAILED, retries=outcome.retries,
-                                     breaker=self.breaker.state)
-                        raise SourceError(
-                            f"{name} failed {operation} after "
-                            f"{outcome.attempts} attempt(s) this query: "
-                            f"{error}",
-                            source=name, operation=operation,
-                            attempt=outcome.attempts,
-                            trace_id=health.trace_id,
-                        ) from error
-                    delay = self.retry_policy.delay_before(attempt + 1, name,
-                                                           operation)
-                    if (deadline_at is not None
-                            and self.timeline.now() + delay > deadline_at):
-                        outcome.status = FAILED
-                        outcome.error = (f"deadline budget exhausted after "
-                                         f"attempt {outcome.attempts}: "
-                                         f"{error}")
-                        health.deadline_hit = True
-                        spn.annotate(status=FAILED, deadline_hit=True,
-                                     retries=outcome.retries,
-                                     breaker=self.breaker.state)
-                        raise SourceError(
-                            f"{name}: {outcome.error}",
-                            source=name, operation=operation,
-                            attempt=outcome.attempts,
-                            trace_id=health.trace_id,
-                        ) from error
-                    self.timeline.advance(delay)
-                    self._cost.bump("retries")
-                    outcome.backoff += delay
-                    outcome.retries += 1
-                else:
+                result, error = self._hedged_attempt(call, hedge_call,
+                                                     outcome)
+                if error is None:
                     self.breaker.record_success()
+                    if self.retry_budget is not None:
+                        self.retry_budget.record_success()
                     if outcome.status not in (FAILED, SKIPPED):
                         outcome.status = RETRIED if outcome.retries else OK
                     spn.annotate(status=outcome.status,
                                  retries=outcome.retries,
                                  breaker=self.breaker.state)
+                    if outcome.hedged:
+                        spn.annotate(hedged=True,
+                                     hedge_won=outcome.hedge_won)
                     return result
+                self.breaker.record_failure()
+                self._cost.bump("source_failures")
+                outcome.error = str(error)
+                if attempt >= self.retry_policy.max_attempts:
+                    outcome.status = FAILED
+                    spn.annotate(status=FAILED, retries=outcome.retries,
+                                 breaker=self.breaker.state)
+                    raise SourceError(
+                        f"{name} failed {operation} after "
+                        f"{outcome.attempts} attempt(s) this query: "
+                        f"{error}",
+                        source=name, operation=operation,
+                        attempt=outcome.attempts,
+                        trace_id=health.trace_id,
+                    ) from error
+                delay = self.retry_policy.delay_before(attempt + 1, name,
+                                                       operation)
+                if (deadline_at is not None
+                        and self.timeline.now() + delay > deadline_at):
+                    outcome.status = FAILED
+                    outcome.error = (f"deadline budget exhausted after "
+                                     f"attempt {outcome.attempts}: "
+                                     f"{error}")
+                    health.deadline_hit = True
+                    spn.annotate(status=FAILED, deadline_hit=True,
+                                 retries=outcome.retries,
+                                 breaker=self.breaker.state)
+                    raise SourceError(
+                        f"{name}: {outcome.error}",
+                        source=name, operation=operation,
+                        attempt=outcome.attempts,
+                        trace_id=health.trace_id,
+                    ) from error
+                if (self.retry_budget is not None
+                        and not self.retry_budget.try_spend()):
+                    outcome.status = FAILED
+                    outcome.error = (f"retry budget exhausted after "
+                                     f"attempt {outcome.attempts}: {error}")
+                    self._cost.bump("retry_budget_denials")
+                    spn.annotate(status=FAILED, retry_budget="exhausted",
+                                 retries=outcome.retries,
+                                 breaker=self.breaker.state)
+                    raise SourceError(
+                        f"{name}: {outcome.error}",
+                        source=name, operation=operation,
+                        attempt=outcome.attempts,
+                        trace_id=health.trace_id,
+                    ) from error
+                self.timeline.advance(delay)
+                self._cost.bump("retries")
+                outcome.backoff += delay
+                outcome.retries += 1
 
     def fetch_all(self) -> list[ParsedRecord]:
         """Extract every record, at query time."""
@@ -609,13 +747,50 @@ class Mediator:
             for wrapper in self.wrappers:
                 wrapper.end_query()
 
-    def _begin_health(self) -> tuple[QueryHealth, float, float | None]:
+    def _begin_health(
+        self, deadline_at: float | None = None
+    ) -> tuple[QueryHealth, float, float | None]:
+        """Open a health report; *deadline_at* (absolute virtual time)
+        overrides the retry policy's relative deadline so an outer
+        serving layer can charge queue wait and cache time against the
+        same budget backoff draws from."""
         health = QueryHealth()
         health.trace_id = _current_trace_id()
         started = self.timeline.now()
-        deadline_at = (started + self.retry_policy.deadline
-                       if self.retry_policy.deadline is not None else None)
+        if deadline_at is None and self.retry_policy.deadline is not None:
+            deadline_at = started + self.retry_policy.deadline
         return health, started, deadline_at
+
+    def install_overload_controls(
+        self,
+        retry_budgets: dict | None = None,
+        hedgers: dict | None = None,
+    ) -> None:
+        """Attach serving-layer controls to the per-source wrappers.
+
+        ``retry_budgets`` / ``hedgers`` map source name → control; a
+        missing name leaves that source uncontrolled.  Installed by
+        :class:`repro.serving.FederationServer`, but callable directly
+        for tests and ad-hoc setups.
+        """
+        for wrapper in self.wrappers:
+            name = wrapper.repository.name
+            if retry_budgets is not None:
+                wrapper.retry_budget = retry_budgets.get(name)
+            if hedgers is not None:
+                wrapper.hedger = hedgers.get(name)
+
+    def _excluded_job(self, wrapper: LiveSourceWrapper,
+                      health: QueryHealth, empty):
+        """A no-op job recording that overload protection benched this
+        source for this query (adaptive concurrency or brownout)."""
+        def job():
+            outcome = health.outcome(wrapper.repository.name)
+            outcome.status = SKIPPED
+            outcome.error = "excluded by overload protection"
+            self.cost.bump("source_exclusions")
+            return empty
+        return job
 
     def _fan_out(self, jobs: Sequence[Callable[[], _T]]) -> list[_T]:
         """Run one job per source on the pool; results in job order.
@@ -699,6 +874,9 @@ class Mediator:
         min_length: int | None = None,
         predicate: Callable[[MediatedGene], bool] | None = None,
         strict: bool = False,
+        *,
+        deadline_at: float | None = None,
+        exclude: Sequence[str] = (),
     ) -> MediatedAnswer:
         """Answer a selection over the virtual ``genes`` view.
 
@@ -706,10 +884,14 @@ class Mediator:
         defining property of the architecture.  Sources that stay down
         after retries are reported in ``result.health`` and, under
         ``strict=True``, raise :class:`~repro.errors.MediatorError`.
+        ``deadline_at``/``exclude`` are the serving layer's knobs: an
+        absolute deadline (arrival-anchored) and sources to bench for
+        this query (adaptive concurrency / brownout).
         """
         with _span("mediator.find_genes", sources=len(self.wrappers)):
             return self._find_genes(organism, name_prefix, contains_motif,
-                                    min_length, predicate, strict)
+                                    min_length, predicate, strict,
+                                    deadline_at, exclude)
 
     def _find_genes(
         self,
@@ -719,16 +901,26 @@ class Mediator:
         min_length: int | None,
         predicate: Callable[[MediatedGene], bool] | None,
         strict: bool,
+        deadline_at: float | None = None,
+        exclude: Sequence[str] = (),
     ) -> MediatedAnswer:
         self.cost.bump("queries_answered")
-        health, started, deadline_at = self._begin_health()
+        health, started, deadline_at = self._begin_health(deadline_at)
         answers = MediatedAnswer(health=health)
+        excluded = frozenset(exclude)
 
         def job_for(wrapper: LiveSourceWrapper) -> Callable[[], list]:
+            if wrapper.repository.name in excluded:
+                return self._excluded_job(wrapper, health, [])
+            replica = (wrapper.hedger.replica
+                       if wrapper.hedger is not None else None)
+            hedge_call = replica.fetch_all if replica is not None else None
+
             def job() -> list[MediatedGene]:
                 try:
                     records = wrapper.resilient(
-                        "fetch_all", wrapper.fetch_all, health, deadline_at
+                        "fetch_all", wrapper.fetch_all, health, deadline_at,
+                        hedge_call=hedge_call,
                     )
                 except SourceError:
                     return []
@@ -793,13 +985,19 @@ class Mediator:
         the sequential mediator's and the source's seeded fault stream
         replays bit for bit at any concurrency.
         """
+        replica = (wrapper.hedger.replica
+                   if wrapper.hedger is not None else None)
+
         def job() -> dict[str, MediatedGene]:
             views: dict[str, MediatedGene] = {}
             for accession in accessions:
+                hedge_call = (
+                    (lambda acc=accession: replica.fetch(acc))
+                    if replica is not None else None)
                 try:
                     record = wrapper.resilient(
                         "fetch", lambda: wrapper.fetch(accession),
-                        health, deadline_at,
+                        health, deadline_at, hedge_call=hedge_call,
                     )
                 except SourceError:
                     continue
@@ -814,10 +1012,13 @@ class Mediator:
         accessions: Sequence[str],
         health: QueryHealth,
         deadline_at: float | None,
+        exclude: frozenset = frozenset(),
     ) -> dict[str, list[MediatedGene]]:
         """Per-accession views fused in wrapper order, fanned per source."""
         per_wrapper = self._fan_out(
-            [self._views_job(wrapper, accessions, health, deadline_at)
+            [self._excluded_job(wrapper, health, {})
+             if wrapper.repository.name in exclude
+             else self._views_job(wrapper, accessions, health, deadline_at)
              for wrapper in self.wrappers]
         )
         with _span("mediator.fusion", accessions=len(accessions)):
@@ -829,18 +1030,23 @@ class Mediator:
                     fused[accession].append(view)
             return fused
 
-    def gene(self, accession: str, strict: bool = False) -> MediatedAnswer:
+    def gene(self, accession: str, strict: bool = False, *,
+             deadline_at: float | None = None,
+             exclude: Sequence[str] = ()) -> MediatedAnswer:
         """All source views of one accession (unreconciled, C8)."""
         with _span("mediator.gene", accession=accession):
             self.cost.bump("queries_answered")
-            health, started, deadline_at = self._begin_health()
+            health, started, deadline_at = self._begin_health(deadline_at)
             with self._query_scope():
-                fused = self._fan_out_views([accession], health, deadline_at)
+                fused = self._fan_out_views([accession], health, deadline_at,
+                                            frozenset(exclude))
             self._finish(health, started, strict)
             return MediatedAnswer(fused[accession], health=health)
 
     def genes(
-        self, accessions: Sequence[str], strict: bool = False
+        self, accessions: Sequence[str], strict: bool = False, *,
+        deadline_at: float | None = None,
+        exclude: Sequence[str] = (),
     ) -> MediatedBatch:
         """Batch lookup: many accessions, ONE query.
 
@@ -850,11 +1056,12 @@ class Mediator:
         """
         with _span("mediator.genes", accessions=len(accessions)):
             self.cost.bump("queries_answered")
-            health, started, deadline_at = self._begin_health()
+            health, started, deadline_at = self._begin_health(deadline_at)
             with self._query_scope():
                 batch = MediatedBatch(
                     self._fan_out_views(list(dict.fromkeys(accessions)),
-                                        health, deadline_at),
+                                        health, deadline_at,
+                                        frozenset(exclude)),
                     health=health,
                 )
             self._finish(health, started, strict)

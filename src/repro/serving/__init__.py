@@ -1,0 +1,49 @@
+"""Overload-safe serving for the federation (admission control, retry
+budgets, adaptive concurrency, hedged requests, brownout mode)."""
+
+from repro.serving.admission import AdmissionQueue
+from repro.serving.brownout import BrownoutController
+from repro.serving.budget import RetryBudget
+from repro.serving.hedge import Hedger
+from repro.serving.limiter import AdaptiveLimiter
+from repro.serving.policy import (
+    BATCH,
+    BROWNOUT_NAMES,
+    CACHE_ONLY,
+    INTERACTIVE,
+    MAINTENANCE,
+    NORMAL,
+    PRIORITY_NAMES,
+    REDUCED,
+    ServingPolicy,
+)
+from repro.serving.server import (
+    FederationServer,
+    Request,
+    ServedResult,
+    summarize,
+)
+from repro.serving.workload import overload_federation, synthetic_workload
+
+__all__ = [
+    "AdmissionQueue",
+    "AdaptiveLimiter",
+    "BrownoutController",
+    "FederationServer",
+    "Hedger",
+    "Request",
+    "RetryBudget",
+    "ServedResult",
+    "ServingPolicy",
+    "overload_federation",
+    "summarize",
+    "synthetic_workload",
+    "INTERACTIVE",
+    "BATCH",
+    "MAINTENANCE",
+    "NORMAL",
+    "CACHE_ONLY",
+    "REDUCED",
+    "PRIORITY_NAMES",
+    "BROWNOUT_NAMES",
+]

@@ -1,0 +1,110 @@
+"""Brownout mode: stepwise degradation with hysteretic recovery.
+
+When the admission queue stays hot, shedding one query at a time is
+not enough — the *service level* has to drop so the federation's
+remaining capacity goes to the queries that matter.  The controller
+watches queue pressure (depth / capacity) at every arrival and walks a
+ladder:
+
+- **level 0 (normal)** — full service;
+- **level 1 (cache-only)** — maintenance queries are shed outright and
+  batch queries may only be answered from cache;
+- **level 2 (reduced)** — batch and maintenance are shed, and
+  interactive queries drop the slowest source (by observed p95) from
+  their fan-out.
+
+Transitions are hysteretic on *consecutive* observations: pressure
+must stay above the enter threshold for ``enter_after`` arrivals in a
+row to step up, and below the exit threshold for ``exit_after`` in a
+row to step down — and exit is deliberately slower than entry, so the
+controller doesn't flap at the boundary.  One step per trigger, never
+a jump, so recovery unwinds through the same states it entered by.
+"""
+
+from __future__ import annotations
+
+from repro.obs.metrics import gauge as _gauge
+from repro.serving.policy import BROWNOUT_NAMES, CACHE_ONLY, NORMAL, REDUCED
+
+
+class BrownoutController:
+    """Pressure-driven degradation ladder for the serving loop.
+
+    The serving loop is single-threaded over virtual time, so the
+    controller needs no locks; it is pure state fed by
+    :meth:`note_pressure` at each arrival.
+    """
+
+    def __init__(
+        self,
+        *,
+        enter_pressure: float = 0.75,
+        exit_pressure: float = 0.25,
+        enter_after: int = 4,
+        exit_after: int = 8,
+    ) -> None:
+        if exit_pressure >= enter_pressure:
+            raise ValueError("exit pressure must sit below enter pressure")
+        if enter_after < 1 or exit_after < 1:
+            raise ValueError("hysteresis windows must be at least 1")
+        self.enter_pressure = enter_pressure
+        self.exit_pressure = exit_pressure
+        self.enter_after = enter_after
+        self.exit_after = exit_after
+        self.level = NORMAL
+        self._hot_streak = 0
+        self._calm_streak = 0
+        #: [(virtual time, new level)] — the ladder's audit trail.
+        self.transitions: list[tuple[float, int]] = []
+        self._publish()
+
+    def _publish(self) -> None:
+        _gauge("serving", "brownout_level", self.level)
+
+    @property
+    def level_name(self) -> str:
+        return BROWNOUT_NAMES[self.level]
+
+    def note_pressure(self, pressure: float, now: float) -> int:
+        """Observe queue pressure at an arrival; returns the level."""
+        if pressure >= self.enter_pressure:
+            self._hot_streak += 1
+            self._calm_streak = 0
+        elif pressure <= self.exit_pressure:
+            self._calm_streak += 1
+            self._hot_streak = 0
+        else:
+            # The dead band: streaks reset, the level holds.
+            self._hot_streak = 0
+            self._calm_streak = 0
+        if self._hot_streak >= self.enter_after and self.level < REDUCED:
+            self.level += 1
+            self._hot_streak = 0
+            self.transitions.append((now, self.level))
+            self._publish()
+        elif self._calm_streak >= self.exit_after and self.level > NORMAL:
+            self.level -= 1
+            self._calm_streak = 0
+            self.transitions.append((now, self.level))
+            self._publish()
+        return self.level
+
+    def sheds(self, priority: int) -> bool:
+        """Does the current level shed this priority class outright?"""
+        if self.level >= REDUCED:
+            return priority >= 1          # batch and maintenance
+        if self.level >= CACHE_ONLY:
+            return priority >= 2          # maintenance only
+        return False
+
+    def cache_only(self, priority: int) -> bool:
+        """May this class only be answered from cache right now?"""
+        return self.level == CACHE_ONLY and priority == 1
+
+    def reduced_sources(self) -> bool:
+        """Should interactive fan-out drop the slowest source?"""
+        return self.level >= REDUCED
+
+    def __repr__(self) -> str:
+        return (f"BrownoutController(level={self.level_name}, "
+                f"transitions={len(self.transitions)})")

@@ -1,0 +1,101 @@
+"""Adaptive per-source concurrency: an AIMD limit replaces fixed width.
+
+The mediator's fixed ``max_concurrency`` sends the same fan-out width
+at a source whether it is healthy or drowning.  The limiter learns a
+per-source width the way TCP learns a window: every successful,
+fast-enough call nudges the limit up additively; a failure (or a call
+slower than the latency target) cuts it multiplicatively.  A cooldown
+keeps one bad burst from collapsing the limit to the floor — at most
+one decrease per window of virtual time — and because successes keep
+probing upward, a recovered source wins its width back without any
+explicit reset.
+
+The limiter only *decides*; the serving loop enforces the decision by
+excluding at-limit sources from a query's fan-out (fail-fast, recorded
+as a skipped outcome) rather than blocking, which keeps the virtual-
+time schedule deterministic.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+
+from repro.obs.metrics import gauge as _gauge
+
+
+class AdaptiveLimiter:
+    """AIMD concurrency limit for one source.
+
+    The working limit is a float; :meth:`allowed` floors it, so e.g.
+    additive steps of 0.5 open one more slot every two successes.
+    """
+
+    def __init__(
+        self,
+        source: str,
+        *,
+        min_limit: int = 1,
+        max_limit: int = 4,
+        increase: float = 0.5,
+        backoff: float = 0.5,
+        latency_target: float | None = None,
+        cooldown: float = 1.0,
+    ) -> None:
+        if min_limit < 1:
+            raise ValueError("min_limit must be at least 1")
+        if max_limit < min_limit:
+            raise ValueError("max_limit must be >= min_limit")
+        if not 0.0 < backoff < 1.0:
+            raise ValueError("backoff must be in (0, 1)")
+        self.source = source
+        self.min_limit = min_limit
+        self.max_limit = max_limit
+        self.increase = float(increase)
+        self.backoff = float(backoff)
+        self.latency_target = latency_target
+        self.cooldown = float(cooldown)
+        self._limit = float(max_limit)
+        self._last_decrease: float | None = None
+        self._lock = threading.Lock()
+        self.increases = 0
+        self.decreases = 0
+        self._publish()
+
+    def _publish(self) -> None:
+        _gauge("serving", f"concurrency_limit.{self.source}", self._limit)
+
+    @property
+    def limit(self) -> float:
+        with self._lock:
+            return self._limit
+
+    @property
+    def allowed(self) -> int:
+        """Whole in-flight slots this source may hold right now."""
+        with self._lock:
+            return max(self.min_limit, int(math.floor(self._limit)))
+
+    def record(self, *, ok: bool, latency: float, now: float) -> None:
+        """Feed one finished call's outcome back into the limit."""
+        slow = (self.latency_target is not None
+                and latency > self.latency_target)
+        with self._lock:
+            if ok and not slow:
+                before = self._limit
+                self._limit = min(float(self.max_limit),
+                                  self._limit + self.increase)
+                if self._limit > before:
+                    self.increases += 1
+            else:
+                if (self._last_decrease is None
+                        or now - self._last_decrease >= self.cooldown):
+                    self._limit = max(float(self.min_limit),
+                                      self._limit * self.backoff)
+                    self._last_decrease = now
+                    self.decreases += 1
+            self._publish()
+
+    def __repr__(self) -> str:
+        return (f"AdaptiveLimiter({self.source!r}, limit={self.limit:.2f}, "
+                f"+{self.increases}/-{self.decreases})")

@@ -78,6 +78,14 @@ class VirtualClock:
     on its own track sees virtual time progress independently of its
     siblings, which keeps per-task backoff and deadline arithmetic
     deterministic no matter how the OS schedules the worker threads.
+
+    Tracks **nest** per thread: the serving layer measures one source
+    call on an inner track while a fan-out job's outer track stays
+    open, and the serving loop itself runs whole queries on tracks
+    branched off their virtual start instants.  Each thread holds a
+    stack; only the top track is live, and :meth:`close_track` must be
+    handed that top track (strict LIFO), so an unbalanced caller fails
+    loudly instead of corrupting a sibling's arithmetic.
     """
 
     def __init__(self, start: float = 0.0) -> None:
@@ -85,8 +93,16 @@ class VirtualClock:
         self._lock = threading.Lock()
         self._local = threading.local()
 
+    def _track_stack(self) -> list[ClockTrack]:
+        stack = getattr(self._local, "tracks", None)
+        if stack is None:
+            stack = []
+            self._local.tracks = stack
+        return stack
+
     def _active_track(self) -> ClockTrack | None:
-        return getattr(self._local, "track", None)
+        stack = self._track_stack()
+        return stack[-1] if stack else None
 
     def now(self) -> float:
         track = self._active_track()
@@ -108,17 +124,20 @@ class VirtualClock:
 
     def open_track(self, origin: float | None = None) -> ClockTrack:
         """Branch this thread's virtual time off at *origin* (default: now)."""
-        if self._active_track() is not None:
-            raise RuntimeError("a clock track is already open on this thread")
         track = ClockTrack(self.now() if origin is None else origin)
-        self._local.track = track
+        self._track_stack().append(track)
         return track
 
     def close_track(self, track: ClockTrack) -> float:
-        """End *track* on this thread; returns its virtual elapsed time."""
-        if self._active_track() is not track:
+        """End *track* on this thread; returns its virtual elapsed time.
+
+        Tracks close strictly LIFO: *track* must be the innermost open
+        track on this thread.
+        """
+        stack = self._track_stack()
+        if not stack or stack[-1] is not track:
             raise RuntimeError("closing a clock track that is not open here")
-        self._local.track = None
+        stack.pop()
         return track.offset
 
     def __repr__(self) -> str:
@@ -184,6 +203,8 @@ class FaultyRepository:
         self._forced_failures: dict[str, int] = {}
         self._outages: list[OutageWindow] = []
         self._latency = 0.0
+        self._slow_rate = 0.0
+        self._slow_factor = 10.0
         self._corrupt_rate = 0.0
         self._log_channel_down = False
         self._push_channel_down = False
@@ -208,9 +229,17 @@ class FaultyRepository:
             raise ValueError(f"empty outage window [{start}, {end})")
         self._outages.append(OutageWindow(start, end))
 
-    def add_latency(self, amount: float) -> None:
-        """Each guarded call advances the virtual clock by *amount*."""
+    def add_latency(self, amount: float, slow_rate: float = 0.0,
+                    slow_factor: float = 10.0) -> None:
+        """Each guarded call advances the virtual clock by *amount*.
+
+        ``slow_rate`` gives the latency distribution a heavy tail: that
+        fraction of calls (seeded) takes ``slow_factor`` times longer —
+        the straggler population hedged requests exist to cut off.
+        """
         self._latency = amount
+        self._slow_rate = slow_rate
+        self._slow_factor = slow_factor
 
     def corrupt_with_rate(self, rate: float) -> None:
         """Truncate or garble returned record text with probability *rate*."""
@@ -244,8 +273,11 @@ class FaultyRepository:
     def _guard(self, operation: str) -> None:
         self.stats.bump("calls")
         if self._latency:
-            self.timeline.advance(self._latency)
-            self.stats.bump("injected_latency", self._latency)
+            latency = self._latency
+            if self._slow_rate and self._rng.random() < self._slow_rate:
+                latency *= self._slow_factor
+            self.timeline.advance(latency)
+            self.stats.bump("injected_latency", latency)
         if self.in_outage():
             self._fail(operation, "source unavailable (outage window)")
         forced = self._forced_failures.get(operation, 0)

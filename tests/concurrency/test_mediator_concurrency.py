@@ -250,12 +250,29 @@ class TestClockTracks:
         assert clock.close_track(track) == 7.0
         assert clock.now() == 5.0   # the shared clock never moved
 
-    def test_nested_tracks_are_rejected(self):
+    def test_nested_tracks_stack_per_thread(self):
+        # The serving layer measures one source call on an inner track
+        # while the fan-out job's outer track stays open.
         clock = VirtualClock()
-        track = clock.open_track()
+        clock.advance(5.0)
+        outer = clock.open_track()
+        clock.advance(2.0)
+        inner = clock.open_track()
+        clock.advance(3.0)
+        assert clock.now() == 10.0            # outer origin + 2 + 3
+        assert clock.close_track(inner) == 3.0
+        assert clock.now() == 7.0             # inner advance not folded in
+        assert clock.close_track(outer) == 2.0
+        assert clock.now() == 5.0             # shared clock never moved
+
+    def test_tracks_close_strictly_lifo(self):
+        clock = VirtualClock()
+        outer = clock.open_track()
+        inner = clock.open_track()
         with pytest.raises(RuntimeError):
-            clock.open_track()
-        clock.close_track(track)
+            clock.close_track(outer)          # inner is still open
+        clock.close_track(inner)
+        clock.close_track(outer)
 
     def test_closing_a_foreign_track_is_rejected(self):
         from repro.sources.faults import ClockTrack

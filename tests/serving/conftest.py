@@ -1,0 +1,70 @@
+"""Shared fixtures for the serving-layer test suite.
+
+Two federations cover the suite's needs:
+
+- :func:`quiet_federation` — four sources with a *flat* 2.0-unit
+  latency and zero faults, so queue arithmetic (waits, deadlines,
+  lane packing) can be asserted exactly;
+- ``overload_federation`` (from :mod:`repro.serving.workload`) — the
+  calibrated faulty/heavy-tailed federation A11 and chaos 11 use,
+  for behavioural tests.
+"""
+
+import pytest
+
+from repro.mediator import BreakerPolicy, Mediator, RetryPolicy
+from repro.serving import FederationServer, ServingPolicy
+from repro.sources import (
+    AceRepository,
+    EmblRepository,
+    FaultyRepository,
+    GenBankRepository,
+    SwissProtRepository,
+    Universe,
+    VirtualClock,
+)
+
+
+def quiet_federation(policy: ServingPolicy, *, latency: float = 2.0,
+                     strict: bool = False, replicas: bool = False,
+                     seed: int = 71, size: int = 24,
+                     breaker_policy: BreakerPolicy | None = None):
+    """Fault-free federation with flat per-call latency.
+
+    Every source call costs exactly *latency* virtual units, so a
+    given query kind always takes the same time and tests can reason
+    about lane schedules to the decimal.
+    """
+    universe = Universe(seed=seed, size=size)
+    timeline = VirtualClock()
+    sources = [
+        FaultyRepository(GenBankRepository(universe), timeline, seed=1),
+        FaultyRepository(EmblRepository(universe), timeline, seed=2),
+        FaultyRepository(AceRepository(universe), timeline, seed=3),
+        FaultyRepository(SwissProtRepository(universe), timeline, seed=4),
+    ]
+    for proxy in sources:
+        proxy.add_latency(latency)
+    mediator = Mediator(
+        sources,
+        retry_policy=RetryPolicy(max_attempts=3, base_delay=1.0,
+                                 multiplier=2.0, jitter=0.0,
+                                 deadline=40.0),
+        breaker_policy=breaker_policy,
+        timeline=timeline,
+    )
+    server = FederationServer(
+        mediator, policy,
+        replicas=({proxy.name: proxy.inner for proxy in sources}
+                  if replicas else None),
+        strict=strict,
+    )
+    accessions = sorted({accession for proxy in sources
+                         for accession in proxy.accessions()})[:8]
+    return server, mediator, sources, accessions
+
+
+@pytest.fixture
+def quiet():
+    """A default-policy quiet federation (deadline 25, capacity 4)."""
+    return quiet_federation(ServingPolicy(capacity=4, deadline=25.0))

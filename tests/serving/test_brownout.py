@@ -1,0 +1,110 @@
+"""BrownoutController: hysteretic ladder, one step at a time."""
+
+import pytest
+
+from repro.serving import BrownoutController
+from repro.serving.policy import (
+    BATCH,
+    CACHE_ONLY,
+    INTERACTIVE,
+    MAINTENANCE,
+    NORMAL,
+    REDUCED,
+)
+
+
+def make(**kw):
+    defaults = dict(enter_pressure=0.75, exit_pressure=0.25,
+                    enter_after=2, exit_after=3)
+    defaults.update(kw)
+    return BrownoutController(**defaults)
+
+
+class TestLadder:
+    def test_enters_after_consecutive_hot_observations(self):
+        ctl = make()
+        assert ctl.note_pressure(0.9, 0.0) == NORMAL
+        assert ctl.note_pressure(0.9, 1.0) == CACHE_ONLY
+        assert ctl.transitions == [(1.0, CACHE_ONLY)]
+
+    def test_one_step_per_trigger_never_a_jump(self):
+        ctl = make()
+        for step in range(2):
+            ctl.note_pressure(1.0, float(step))
+        assert ctl.level == CACHE_ONLY
+        for step in range(2, 4):
+            ctl.note_pressure(1.0, float(step))
+        assert ctl.level == REDUCED
+        # Already at the top: further heat holds the level.
+        ctl.note_pressure(1.0, 4.0)
+        ctl.note_pressure(1.0, 5.0)
+        assert ctl.level == REDUCED
+
+    def test_exit_unwinds_through_the_same_states(self):
+        ctl = make()
+        for step in range(4):
+            ctl.note_pressure(1.0, float(step))
+        assert ctl.level == REDUCED
+        for step in range(4, 7):
+            ctl.note_pressure(0.0, float(step))
+        assert ctl.level == CACHE_ONLY
+        for step in range(7, 10):
+            ctl.note_pressure(0.0, float(step))
+        assert ctl.level == NORMAL
+        assert [level for __, level in ctl.transitions] == \
+            [CACHE_ONLY, REDUCED, CACHE_ONLY, NORMAL]
+
+    def test_interrupted_streaks_start_over(self):
+        ctl = make(enter_after=3)
+        ctl.note_pressure(0.9, 0.0)
+        ctl.note_pressure(0.9, 1.0)
+        ctl.note_pressure(0.1, 2.0)      # streak broken
+        ctl.note_pressure(0.9, 3.0)
+        ctl.note_pressure(0.9, 4.0)
+        assert ctl.level == NORMAL
+
+    def test_dead_band_holds_the_level_and_resets_streaks(self):
+        ctl = make(enter_after=2, exit_after=2)
+        ctl.note_pressure(0.9, 0.0)
+        ctl.note_pressure(0.5, 1.0)      # dead band: hot streak reset
+        ctl.note_pressure(0.9, 2.0)
+        assert ctl.level == NORMAL
+        ctl.note_pressure(0.9, 3.0)
+        assert ctl.level == CACHE_ONLY
+        ctl.note_pressure(0.1, 4.0)
+        ctl.note_pressure(0.5, 5.0)      # dead band: calm streak reset
+        ctl.note_pressure(0.1, 6.0)
+        assert ctl.level == CACHE_ONLY
+
+
+class TestServiceLevels:
+    def test_normal_sheds_nothing(self):
+        ctl = make()
+        assert not any(ctl.sheds(priority) for priority in
+                       (INTERACTIVE, BATCH, MAINTENANCE))
+
+    def test_cache_only_sheds_maintenance_and_gates_batch(self):
+        ctl = make()
+        ctl.level = CACHE_ONLY
+        assert ctl.sheds(MAINTENANCE)
+        assert not ctl.sheds(BATCH)
+        assert ctl.cache_only(BATCH)
+        assert not ctl.cache_only(INTERACTIVE)
+        assert not ctl.reduced_sources()
+
+    def test_reduced_sheds_all_but_interactive(self):
+        ctl = make()
+        ctl.level = REDUCED
+        assert ctl.sheds(MAINTENANCE) and ctl.sheds(BATCH)
+        assert not ctl.sheds(INTERACTIVE)
+        assert ctl.reduced_sources()
+
+
+class TestValidation:
+    def test_exit_must_sit_below_enter(self):
+        with pytest.raises(ValueError):
+            make(enter_pressure=0.5, exit_pressure=0.5)
+
+    def test_windows_must_be_positive(self):
+        with pytest.raises(ValueError):
+            make(enter_after=0)

@@ -1,0 +1,72 @@
+"""AdaptiveLimiter: AIMD dynamics, cooldown, floors and ceilings."""
+
+import pytest
+
+from repro.serving import AdaptiveLimiter
+
+
+def make(**kw):
+    defaults = dict(min_limit=1, max_limit=4, increase=0.5, backoff=0.5,
+                    latency_target=None, cooldown=1.0)
+    defaults.update(kw)
+    return AdaptiveLimiter("GenBank", **defaults)
+
+
+class TestAdditiveIncrease:
+    def test_successes_probe_upward_from_a_cut(self):
+        limiter = make()
+        limiter.record(ok=False, latency=1.0, now=0.0)       # 4 → 2
+        assert limiter.allowed == 2
+        limiter.record(ok=True, latency=1.0, now=1.0)        # 2 → 2.5
+        assert limiter.allowed == 2                          # floor()
+        limiter.record(ok=True, latency=1.0, now=2.0)        # 2.5 → 3
+        assert limiter.allowed == 3
+
+    def test_limit_is_capped_at_max(self):
+        limiter = make()
+        for step in range(10):
+            limiter.record(ok=True, latency=1.0, now=float(step))
+        assert limiter.limit == 4.0
+        assert limiter.allowed == 4
+
+
+class TestMultiplicativeDecrease:
+    def test_failure_halves_the_limit(self):
+        limiter = make()
+        limiter.record(ok=False, latency=1.0, now=0.0)
+        assert limiter.limit == 2.0
+        assert limiter.decreases == 1
+
+    def test_cooldown_absorbs_a_burst_of_failures(self):
+        limiter = make(cooldown=5.0)
+        limiter.record(ok=False, latency=1.0, now=0.0)       # 4 → 2
+        limiter.record(ok=False, latency=1.0, now=1.0)       # in cooldown
+        limiter.record(ok=False, latency=1.0, now=4.9)       # in cooldown
+        assert limiter.limit == 2.0
+        assert limiter.decreases == 1
+        limiter.record(ok=False, latency=1.0, now=5.0)       # window over
+        assert limiter.limit == 1.0
+        assert limiter.decreases == 2
+
+    def test_limit_never_drops_below_the_floor(self):
+        limiter = make(min_limit=2, cooldown=0.0)
+        for step in range(10):
+            limiter.record(ok=False, latency=1.0, now=float(step))
+        assert limiter.allowed == 2
+
+    def test_slow_success_counts_as_congestion(self):
+        limiter = make(latency_target=3.0)
+        limiter.record(ok=True, latency=9.0, now=0.0)
+        assert limiter.limit == 2.0
+
+
+class TestValidation:
+    @pytest.mark.parametrize("kw", [
+        {"min_limit": 0},
+        {"max_limit": 0},
+        {"backoff": 0.0},
+        {"backoff": 1.0},
+    ])
+    def test_bad_parameters_raise(self, kw):
+        with pytest.raises(ValueError):
+            make(**kw)
