@@ -567,6 +567,91 @@ def scenario_overload_storm(concurrency: int | None = None) -> str:
             f"calm tail clean")
 
 
+def scenario_replica_failover(concurrency: int | None = None) -> str:
+    """Scenario 12: the primary dies mid-stream; a follower takes over.
+
+    A replication group ships WAL segments across a rotation boundary,
+    loses its primary with unshipped statements still on disk, and must
+    promote the most-caught-up follower inside the promotion window —
+    with zero statements lost or applied twice, proven by comparing
+    the promoted database against a reference that replayed everything.
+    """
+    del concurrency                    # single-writer scenario, no fan-out
+    import os
+    import tempfile
+
+    from repro.db import Database
+    from repro.db.recovery import databases_equal
+    from repro.federation import FollowerNode, PrimaryNode, ReplicationGroup
+
+    def fresh() -> Database:
+        database = Database()
+        database.execute(
+            "CREATE TABLE events (id INTEGER PRIMARY KEY, note TEXT)")
+        return database
+
+    with tempfile.TemporaryDirectory() as workdir:
+        timeline = VirtualClock()
+        primary = PrimaryNode("alpha", os.path.join(workdir, "alpha"),
+                              fresh(), timeline=timeline)
+        bravo = FollowerNode("bravo", os.path.join(workdir, "bravo"),
+                             fresh(), timeline=timeline)
+        charlie = FollowerNode("charlie", os.path.join(workdir, "charlie"),
+                               fresh(), timeline=timeline)
+        group = ReplicationGroup(primary, [bravo, charlie],
+                                 promotion_window=5.0)
+
+        total = 20
+        for index in range(12):
+            primary.execute("INSERT INTO events VALUES (?, ?)",
+                            [index, f"n{index}"])
+        group.sync()
+        primary.rotate()
+        for index in range(12, total):
+            primary.execute("INSERT INTO events VALUES (?, ?)",
+                            [index, f"n{index}"])
+        bravo.catch_up(primary)        # bravo alone sees the new segment
+        timeline.advance(2.0)
+        _expect(charlie.staleness_bound() > bravo.staleness_bound(),
+                "catch-up should reset bravo's staleness below charlie's")
+        for index in range(total, total + 5):
+            # Nobody ships these: promotion must salvage them from the
+            # dead primary's disk.
+            primary.execute("INSERT INTO events VALUES (?, ?)",
+                            [index, f"n{index}"])
+        total += 5
+
+        group.fail_primary()
+        promoted = group.promote()
+        _expect(promoted.name == "bravo",
+                f"most-caught-up follower is bravo, promoted "
+                f"{promoted.name!r}")
+        _expect(group.last_promotion is not None
+                and group.last_promotion <= group.promotion_window,
+                f"promotion took {group.last_promotion!r} virtual s, "
+                f"window is {group.promotion_window}")
+
+        reference = fresh()
+        for index in range(total):
+            reference.execute("INSERT INTO events VALUES (?, ?)",
+                              [index, f"n{index}"])
+        _expect(databases_equal(promoted.database, reference),
+                "promoted database lost or duplicated statements")
+        _expect(promoted.wal.generation >= 1,
+                "promoted WAL must continue the generation sequence")
+
+        promoted.execute("INSERT INTO events VALUES (?, ?)",
+                         [total, "post-failover"])
+        group.sync()
+        reference.execute("INSERT INTO events VALUES (?, ?)",
+                          [total, "post-failover"])
+        _expect(databases_equal(group.followers[0].database, reference),
+                "surviving follower failed to catch up from new primary")
+    return (f"{total} stmts across a rotation; bravo promoted in "
+            f"{group.last_promotion:.2f} virtual s (window 5.0); "
+            f"0 lost / 0 duplicated; charlie re-follows the new primary")
+
+
 _SCENARIOS = (
     ("intermittent-retry", scenario_intermittent_retry),
     ("outage-window", scenario_outage_window),
@@ -579,6 +664,7 @@ _SCENARIOS = (
     ("cache-invalidation-storm", scenario_cache_invalidation_storm),
     ("trace-correlation", scenario_trace_correlation),
     ("overload-storm", scenario_overload_storm),
+    ("replica-failover", scenario_replica_failover),
 )
 
 

@@ -456,6 +456,48 @@ def _run_replay_amplification(workdir: str) -> ScenarioResult:
         first)
 
 
+@_scenario("replica-catch-up")
+def _run_replica_catch_up(workdir: str) -> ScenarioResult:
+    # WAL shipping rides on this module's replay path: a follower that
+    # catches up across a rotation boundary AND a torn active tail must
+    # apply every complete statement exactly once, and its staleness
+    # bound must be honest before and after.
+    from repro.federation.replication import FollowerNode, PrimaryNode
+    from repro.sources import VirtualClock
+
+    statements = _seed_statements(24)
+    split = len(statements) * 2 // 3
+    timeline = VirtualClock()
+    primary = PrimaryNode("alpha", os.path.join(workdir, "alpha"),
+                          _genomic_database(), timeline=timeline)
+    follower = FollowerNode("bravo", os.path.join(workdir, "bravo"),
+                            _genomic_database(), timeline=timeline,
+                            apply_cost=0.0)
+
+    _apply(primary.database, statements[:split])
+    first = follower.catch_up(primary)
+    timeline.advance(7.0)
+    stale_before = follower.staleness_bound()
+    primary.rotate()
+    _apply(primary.database, statements[split:])
+    primary.wal.close()
+    _cut_tail(primary.wal_path)  # the primary crashed mid-append
+    second = follower.catch_up(primary)
+
+    # Reference: everything except the torn final statement.
+    reference = _genomic_database()
+    _apply(reference, statements[:-1])
+    passed = databases_equal(follower.database, reference) \
+        and first + second == len(statements) - 1 \
+        and stale_before == 7.0 \
+        and follower.staleness_bound() == 0.0
+    return ScenarioResult(
+        "replica-catch-up", passed,
+        f"{first}+{second} stmts over a rotation + torn tail, "
+        f"staleness {stale_before:.1f} -> 0.0",
+        first + second)
+
+
 _SCENARIOS = (
     _run_torn_tail,
     _run_torn_middle,
@@ -464,6 +506,7 @@ _SCENARIOS = (
     _run_mid_checkpoint,
     _run_group_commit_window,
     _run_replay_amplification,
+    _run_replica_catch_up,
 )
 
 

@@ -232,7 +232,10 @@ def segment_generation(path: str) -> int | None:
                 except json.JSONDecodeError:
                     return None
                 if isinstance(record, dict) and "$wal" in record:
-                    return int(record.get("generation", 0))
+                    try:
+                        return int(record.get("generation", 0))
+                    except (ValueError, TypeError):
+                        return None
                 return None
     except OSError:
         return None
@@ -431,13 +434,18 @@ class WriteAheadLog:
             open(self.path, "a", encoding="utf-8").close()
             return None
         if not read_wal_records(self.path)[0]:
-            # Header-only (or blank-line) file: nothing to seal.
-            open(self.path, "w", encoding="utf-8").close()
+            # Header-only (or blank-line) file: nothing to seal — but
+            # truncating must restamp the header, or a reopened log
+            # would fall back to generation 0 and recovery would
+            # skew-skip everything appended since the last checkpoint.
+            with open(self.path, "w", encoding="utf-8") as handle:
+                handle.write(_header_record(self._generation))
             return None
         sealed_path = f"{self.path}.{self._generation:06d}"
         os.replace(self.path, sealed_path)
         self._generation += 1
-        open(self.path, "w", encoding="utf-8").close()
+        with open(self.path, "w", encoding="utf-8") as handle:
+            handle.write(_header_record(self._generation))
         _metric("storage", "wal_rotations")
         return sealed_path
 

@@ -139,6 +139,10 @@ class MediatorError(ReproError):
     """The query-driven mediator could not decompose or answer a query."""
 
 
+class FederationError(MediatorError):
+    """Invalid shard topology, routing, or replication state."""
+
+
 class OverloadError(MediatorError):
     """The serving layer shed a query to protect the federation.
 

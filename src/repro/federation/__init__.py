@@ -1,0 +1,52 @@
+"""Sharded scatter-gather federation with WAL-shipped read replicas.
+
+The package splits into three layers, bottom up:
+
+- :mod:`repro.federation.sharding` — the routing table
+  (:class:`ShardMap`) and one shard's filtered view of a repository
+  (:class:`ShardSlice`);
+- :mod:`repro.federation.router` — :class:`ShardedMediator`, the
+  single-mediator query API over per-shard mediators with deterministic
+  scatter-gather fusion;
+- :mod:`repro.federation.serving` — :class:`ShardedFederationServer`,
+  per-shard admission-controlled serving, plus the calibrated
+  :func:`sharded_federation` fixture;
+- :mod:`repro.federation.replication` — WAL shipping
+  (:class:`PrimaryNode` / :class:`FollowerNode`) and deterministic
+  failover (:class:`ReplicationGroup`).
+"""
+
+from repro.federation.replication import (
+    FollowerNode,
+    PrimaryNode,
+    ReplicationGroup,
+    Shipment,
+    disk_shipments,
+)
+from repro.federation.router import (
+    ShardedMediator,
+    fuse_batches,
+    fuse_rows,
+    merge_health,
+)
+from repro.federation.serving import (
+    ShardedFederationServer,
+    sharded_federation,
+)
+from repro.federation.sharding import ShardMap, ShardSlice
+
+__all__ = [
+    "FollowerNode",
+    "PrimaryNode",
+    "ReplicationGroup",
+    "ShardMap",
+    "ShardSlice",
+    "ShardedFederationServer",
+    "ShardedMediator",
+    "Shipment",
+    "disk_shipments",
+    "fuse_batches",
+    "fuse_rows",
+    "merge_health",
+    "sharded_federation",
+]

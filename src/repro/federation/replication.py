@@ -1,0 +1,283 @@
+"""WAL-shipped read replicas with deterministic failover.
+
+A shard's primary runs an ordinary :class:`~repro.db.storage.
+WriteAheadLog`; replication is nothing more than **shipping that log**:
+
+- the primary's :meth:`PrimaryNode.ship` packages every sealed segment
+  plus the active segment as :class:`Shipment` payloads (whole files,
+  stamped with their generation — the ``$wal`` header the storage layer
+  maintains is the replication protocol's sequence number);
+- a :class:`FollowerNode` writes each shipment to its own directory and
+  replays it through the same :func:`~repro.db.storage.read_wal_records`
+  / :func:`~repro.db.storage.apply_wal_records` path crash recovery
+  uses, keeping a per-generation ledger of how many records it has
+  applied so re-shipping a grown segment applies only the suffix —
+  **at-most-once** per statement, by construction;
+- a torn tail in the active shipment (the primary crashed mid-append)
+  is dropped exactly as recovery drops it; when the completed record is
+  shipped later it has never been counted, so it applies once;
+- the follower's :meth:`FollowerNode.staleness_bound` mirrors the
+  cache's semantics: virtual time since the last complete catch-up, an
+  explicit honesty label for every read it serves.
+
+:class:`ReplicationGroup` adds failover: when the primary dies,
+:meth:`~ReplicationGroup.promote` picks the most-caught-up follower
+(deterministically — ledger total, then roster order), drains whatever
+the dead primary left **on disk** via :func:`disk_shipments` (this is
+where the WAL-header bugfixes earn their keep: a header-less or
+garbled active segment would silently restart generation numbering and
+recovery would skew-skip it), and stands the follower up as a new
+:class:`PrimaryNode` whose WAL continues the generation sequence.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.db.database import Database
+from repro.db.storage import (
+    WriteAheadLog,
+    apply_wal_records,
+    read_wal_records,
+    save_database,
+    segment_generation,
+)
+from repro.errors import FederationError
+from repro.obs.metrics import count as _metric, gauge as _gauge
+from repro.obs.trace import span as _span
+
+_ACTIVE_NAME = "wal.jsonl"
+
+
+@dataclass(frozen=True)
+class Shipment:
+    """One WAL file in flight: its generation, full payload, and
+    whether it is sealed (immutable) or the still-growing active log."""
+
+    generation: int
+    payload: str
+    sealed: bool
+
+    def __repr__(self) -> str:
+        kind = "sealed" if self.sealed else "active"
+        return (f"Shipment(gen={self.generation}, {kind}, "
+                f"{len(self.payload)}B)")
+
+
+def disk_shipments(wal_path: str) -> list[Shipment]:
+    """Everything a (possibly dead) node's WAL directory can still ship.
+
+    Reads sealed ``wal.jsonl.NNNNNN`` files in generation order, then
+    the active file — whose generation comes from its ``$wal`` header
+    (``None`` falls back to one past the newest sealed segment, the
+    same inference :class:`WriteAheadLog` makes on reopen)."""
+    directory, base = os.path.split(wal_path)
+    directory = directory or "."
+    shipments: list[Shipment] = []
+    sealed: list[tuple[int, str]] = []
+    try:
+        entries = os.listdir(directory)
+    except OSError:
+        return []
+    for entry in entries:
+        prefix = base + "."
+        if entry.startswith(prefix) and entry[len(prefix):].isdigit():
+            sealed.append((int(entry[len(prefix):]),
+                           os.path.join(directory, entry)))
+    for generation, path in sorted(sealed):
+        with open(path, encoding="utf-8") as handle:
+            shipments.append(Shipment(generation, handle.read(), True))
+    if os.path.exists(wal_path) and os.path.getsize(wal_path) > 0:
+        generation = segment_generation(wal_path)
+        if generation is None:
+            generation = sealed and max(pair[0] for pair in sealed) + 1 or 0
+        with open(wal_path, encoding="utf-8") as handle:
+            shipments.append(Shipment(generation, handle.read(), False))
+    return shipments
+
+
+class PrimaryNode:
+    """A shard primary: a database, its WAL, and a shipping dock.
+
+    All writes go through :meth:`execute`, which the attached WAL logs;
+    :meth:`ship` packages the log for followers.  :meth:`crash` models
+    a process death — the object refuses further writes but its files
+    stay on disk for :func:`disk_shipments` to salvage."""
+
+    def __init__(self, name: str, directory: str, database: Database, *,
+                 timeline, flush_every_n: int = 1) -> None:
+        os.makedirs(directory, exist_ok=True)
+        self.name = name
+        self.directory = directory
+        self.database = database
+        self.timeline = timeline
+        self.wal_path = os.path.join(directory, _ACTIVE_NAME)
+        self.wal = WriteAheadLog(self.wal_path, database,
+                                 flush_every_n=flush_every_n)
+        self.wal.attach()
+        self.alive = True
+
+    def execute(self, sql: str, parameters: Sequence = ()) -> None:
+        if not self.alive:
+            raise FederationError(
+                f"primary {self.name!r} is down; promote a follower")
+        self.database.execute(sql, list(parameters))
+
+    def rotate(self) -> str | None:
+        if not self.alive:
+            raise FederationError(f"primary {self.name!r} is down")
+        return self.wal.rotate()
+
+    def checkpoint(self, image_path: str) -> None:
+        self.wal.rotate()
+        save_database(self.database, image_path,
+                      wal_generation=self.wal.generation)
+
+    def ship(self) -> list[Shipment]:
+        """Flush, then package every segment for followers (sealed
+        first, active last)."""
+        if not self.alive:
+            raise FederationError(f"primary {self.name!r} is down")
+        self.wal.flush()
+        _metric("federation", "wal_ship_rounds")
+        return disk_shipments(self.wal_path)
+
+    def crash(self) -> None:
+        """Die.  Files survive; the handle and the object do not."""
+        self.wal.close()
+        self.alive = False
+
+    def __repr__(self) -> str:
+        state = "up" if self.alive else "down"
+        return f"PrimaryNode({self.name!r}, {state}, gen={self.wal.generation})"
+
+
+class FollowerNode:
+    """A read replica fed by WAL shipments.
+
+    ``applied`` is the per-generation ledger: how many *complete*
+    records of each shipped generation have been replayed into the
+    local database.  A re-shipped (grown) segment applies only
+    ``records[applied[gen]:]``; a torn tail is never counted, so its
+    completed form later applies exactly once."""
+
+    def __init__(self, name: str, directory: str, database: Database, *,
+                 timeline, apply_cost: float = 0.02) -> None:
+        os.makedirs(directory, exist_ok=True)
+        self.name = name
+        self.directory = directory
+        self.database = database
+        self.timeline = timeline
+        self.apply_cost = apply_cost
+        self.wal_path = os.path.join(directory, _ACTIVE_NAME)
+        self.applied: dict[int, int] = {}
+        self.last_catchup = timeline.now()
+
+    def apply_shipment(self, shipment: Shipment) -> int:
+        """Persist and replay one shipment; returns statements applied."""
+        path = (f"{self.wal_path}.{shipment.generation:06d}"
+                if shipment.sealed else self.wal_path)
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(shipment.payload)
+        records, __ = read_wal_records(path, allow_torn_tail=True)
+        done = self.applied.get(shipment.generation, 0)
+        fresh = records[done:]
+        applied = apply_wal_records(fresh, self.database)
+        self.applied[shipment.generation] = done + applied
+        if applied and self.apply_cost:
+            self.timeline.advance(self.apply_cost * applied)
+        _metric("federation", "replica_statements", applied)
+        return applied
+
+    def catch_up(self, primary: PrimaryNode) -> int:
+        """Pull and apply everything the primary can ship; resets the
+        staleness clock only on this complete round-trip."""
+        with _span("replica.catch_up", follower=self.name,
+                   primary=primary.name):
+            applied = sum(self.apply_shipment(shipment)
+                          for shipment in primary.ship())
+        self.last_catchup = self.timeline.now()
+        _gauge("federation", f"replica_{self.name}_staleness", 0.0)
+        return applied
+
+    def staleness_bound(self) -> float:
+        """Virtual time since the last complete catch-up — the honest
+        upper bound on how stale a read served here can be (mirrors
+        ``CachedMediator.staleness_bound``)."""
+        return self.timeline.now() - self.last_catchup
+
+    def applied_total(self) -> int:
+        return sum(self.applied.values())
+
+    def __repr__(self) -> str:
+        return (f"FollowerNode({self.name!r}, "
+                f"{self.applied_total()} stmts applied)")
+
+
+class ReplicationGroup:
+    """One primary, its followers, and the failover procedure."""
+
+    def __init__(self, primary: PrimaryNode,
+                 followers: Sequence[FollowerNode], *,
+                 promotion_window: float = 5.0) -> None:
+        names = [primary.name] + [follower.name for follower in followers]
+        if len(set(names)) != len(names):
+            raise FederationError(f"duplicate node names: {names!r}")
+        self.primary = primary
+        self.followers = list(followers)
+        self.promotion_window = promotion_window
+        self.last_promotion: float | None = None
+
+    def sync(self) -> int:
+        """Every follower catches up; returns total statements applied."""
+        return sum(follower.catch_up(self.primary)
+                   for follower in self.followers)
+
+    def fail_primary(self) -> None:
+        self.primary.crash()
+
+    def promote(self) -> PrimaryNode:
+        """Fail over: stand up the most-caught-up follower as primary.
+
+        Deterministic choice — highest ledger total, roster order on
+        ties.  The candidate first drains whatever the dead primary's
+        *disk* still holds (its ledger skips everything it already
+        applied), then reopens the shipped WAL as its own: the ``$wal``
+        header makes the new :class:`WriteAheadLog` continue the old
+        generation sequence instead of restarting at zero."""
+        if self.primary.alive:
+            raise FederationError(
+                f"primary {self.primary.name!r} is still up")
+        if not self.followers:
+            raise FederationError("no follower to promote")
+        started = self.followers[0].timeline.now()
+        with _span("replica.promote", dead=self.primary.name):
+            candidate = max(self.followers,
+                            key=lambda follower: follower.applied_total())
+            # Final drain straight from the dead primary's directory.
+            salvaged = sum(candidate.apply_shipment(shipment)
+                           for shipment in
+                           disk_shipments(self.primary.wal_path))
+            candidate.last_catchup = candidate.timeline.now()
+            promoted = PrimaryNode(
+                candidate.name, candidate.directory, candidate.database,
+                timeline=candidate.timeline)
+            elapsed = candidate.timeline.now() - started
+        self.last_promotion = elapsed
+        if elapsed > self.promotion_window:
+            raise FederationError(
+                f"promotion took {elapsed:.2f} virtual seconds, over the "
+                f"{self.promotion_window:.2f}s window")
+        self.followers = [follower for follower in self.followers
+                          if follower is not candidate]
+        self.primary = promoted
+        _metric("federation", "promotions")
+        _gauge("federation", "promotion_elapsed", elapsed)
+        _gauge("federation", "promotion_salvaged", salvaged)
+        return promoted
+
+    def __repr__(self) -> str:
+        return (f"ReplicationGroup(primary={self.primary.name!r}, "
+                f"{len(self.followers)} followers)")

@@ -1,0 +1,244 @@
+"""Deterministic scatter-gather routing over per-shard mediators.
+
+:class:`ShardedMediator` presents the single-mediator query API
+(``gene`` / ``genes`` / ``find_genes``) over ``N`` per-shard mediators:
+
+- **point lookups** route to exactly the owning shard — the other
+  ``N - 1`` shards do no work at all, which is where sharding's
+  capacity multiplication comes from;
+- **extent queries** scatter to every shard; each shard's partial
+  answer is computed on a private clock track branched at the query's
+  start instant, and the shared clock advances by the *maximum* track
+  duration — scatter is modelled as parallel fan-out, exactly like the
+  mediator's own per-source fan-out;
+- **gather** fuses partial answers in ascending shard order.  Shards
+  hold disjoint accession ranges (the :class:`~repro.federation.
+  sharding.ShardSlice` guarantee), so shard-order fusion reproduces
+  the per-source accession order a single unsharded mediator would
+  have produced — answers are bit-identical, never just similar.
+
+Health reports from a scatter are merged with shard-prefixed outcome
+keys (``shard0:GenBank``), so a degraded answer still names exactly
+which source on which shard let it down.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+from repro.errors import FederationError
+from repro.federation.sharding import ShardMap
+from repro.mediator.mediator import (
+    MediatedAnswer,
+    MediatedBatch,
+    QueryHealth,
+)
+from repro.obs.metrics import count as _metric
+from repro.obs.trace import span as _span
+
+
+def merge_health(parts: Sequence[tuple[int, QueryHealth]]) -> QueryHealth:
+    """Fuse per-shard health reports into one, shard-prefixing outcomes.
+
+    ``complete`` stays honest: the merged report is complete iff every
+    shard's was.  ``elapsed`` and ``queue_wait`` are maxima (the parts
+    ran in parallel); shed status is sticky with the lowest shard's
+    reason winning, so reports are deterministic.
+    """
+    merged = QueryHealth()
+    for shard, health in parts:
+        for name, outcome in health.outcomes.items():
+            merged.outcomes[f"shard{shard}:{name}"] = outcome
+        merged.deadline_hit = merged.deadline_hit or health.deadline_hit
+        merged.elapsed = max(merged.elapsed, health.elapsed)
+        merged.queue_wait = max(merged.queue_wait, health.queue_wait)
+        if health.shed and not merged.shed:
+            merged.shed = True
+            merged.shed_reason = health.shed_reason
+        if merged.trace_id is None:
+            merged.trace_id = health.trace_id
+    return merged
+
+
+def fuse_batches(accessions: Sequence[str],
+                 parts: Sequence[tuple[int, MediatedBatch]],
+                 health: QueryHealth) -> MediatedBatch:
+    """Fuse disjoint per-shard batches, keys in the caller's order."""
+    fused = MediatedBatch(
+        {accession: [] for accession in accessions}, health=health)
+    for __, part in sorted(parts, key=lambda pair: pair[0]):
+        for accession, views in part.items():
+            fused[accession] = list(views)
+    fused.from_cache = bool(parts) and all(
+        getattr(part, "from_cache", False) for __, part in parts)
+    return fused
+
+
+def fuse_rows(parts: Sequence[tuple[int, MediatedAnswer]],
+              health: QueryHealth,
+              source_order: Sequence[str] = ()) -> MediatedAnswer:
+    """Fuse per-shard extent answers back into the unsharded row order.
+
+    A single mediator emits rows source-major (all of source A, then
+    all of source B, …); each shard's partial answer is source-major
+    too, over its own contiguous accession range.  Fusing source-major
+    first and shard-ascending within each source therefore reproduces
+    the exact row order one unsharded mediator would have produced.
+    Sources absent from *source_order* fuse after it, in first-seen
+    order, so fusion never drops a row.
+    """
+    ordered = sorted(parts, key=lambda pair: pair[0])
+    ranking = {name: rank for rank, name in enumerate(source_order)}
+    buckets: dict[str, list] = {name: [] for name in source_order}
+    for __, part in ordered:
+        for row in part:
+            buckets.setdefault(row.source, []).append(row)
+    fused = MediatedAnswer(health=health)
+    for name in sorted(buckets,
+                       key=lambda name: ranking.get(name, len(ranking))):
+        fused.extend(buckets[name])
+    fused.from_cache = bool(parts) and all(
+        getattr(part, "from_cache", False) for __, part in parts)
+    return fused
+
+
+class ShardedMediator:
+    """The single-mediator query surface over ``N`` per-shard mediators.
+
+    ``mediators[i]`` must mediate shard *i*'s slices and every mediator
+    must share one :class:`~repro.sources.VirtualClock` — scatter
+    joins per-shard virtual durations back into that shared timeline.
+    Mediators may be plain or cached; ``sync()`` and
+    ``staleness_bound()`` delegate when they are cached.
+    """
+
+    def __init__(self, shard_map: ShardMap, mediators: Sequence) -> None:
+        if len(mediators) != shard_map.count:
+            raise FederationError(
+                f"{shard_map.count} shards need {shard_map.count} "
+                f"mediators, got {len(mediators)}")
+        timelines = {id(mediator.timeline) for mediator in mediators}
+        if len(timelines) > 1:
+            raise FederationError(
+                "per-shard mediators must share one virtual clock")
+        self.shard_map = shard_map
+        self.mediators = list(mediators)
+        self.timeline = self.mediators[0].timeline
+
+    @property
+    def count(self) -> int:
+        return self.shard_map.count
+
+    @property
+    def source_names(self) -> tuple[str, ...]:
+        return self.mediators[0].source_names
+
+    # -- scatter ----------------------------------------------------------------
+
+    def _scatter(self, jobs: Sequence[tuple[int, Callable[[], object]]]):
+        """Run one job per shard "in parallel" on the virtual clock.
+
+        Each job executes on a private track branched at the scatter's
+        start instant; the shared clock then advances by the longest
+        track — wall-clock under full shard parallelism, matching the
+        mediator's own fan-out arithmetic.  Results come back as
+        ``(shard, result)`` in job order.
+        """
+        with _span("shard.fanout", shards=len(jobs)):
+            origin = self.timeline.now()
+            results: list[tuple[int, object]] = []
+            longest = 0.0
+            for shard, job in jobs:
+                track = self.timeline.open_track(origin)
+                try:
+                    with _span("shard.partial", shard=shard):
+                        results.append((shard, job()))
+                finally:
+                    longest = max(longest,
+                                  self.timeline.close_track(track))
+            if longest:
+                self.timeline.advance(longest)
+            return results
+
+    # -- the routed query API ---------------------------------------------------
+
+    def gene(self, accession: str, strict: bool = False, *,
+             deadline_at: float | None = None,
+             exclude: Sequence[str] = ()) -> MediatedAnswer:
+        """Point lookup: exactly the owning shard is consulted."""
+        owner = self.shard_map.shard_of(accession)
+        _metric("federation", "point_lookups")
+        with _span("shard.route", kind="gene", shard=owner):
+            return self.mediators[owner].gene(
+                accession, strict, deadline_at=deadline_at, exclude=exclude)
+
+    def genes(
+        self, accessions: Sequence[str], strict: bool = False, *,
+        deadline_at: float | None = None,
+        exclude: Sequence[str] = (),
+    ) -> MediatedBatch:
+        """Batch lookup: scattered to the owning shards only."""
+        ordered = list(dict.fromkeys(accessions))
+        groups = self.shard_map.split(ordered)
+        _metric("federation", "scatter_queries")
+        jobs = [
+            (shard, lambda shard=shard, subset=tuple(subset):
+                self.mediators[shard].genes(
+                    subset, strict, deadline_at=deadline_at,
+                    exclude=exclude))
+            for shard, subset in sorted(groups.items())
+        ]
+        parts = self._scatter(jobs)
+        health = merge_health([(shard, part.health)
+                               for shard, part in parts])
+        return fuse_batches(ordered, parts, health)
+
+    def find_genes(
+        self,
+        organism: str | None = None,
+        name_prefix: str | None = None,
+        contains_motif: str | None = None,
+        min_length: int | None = None,
+        predicate: Callable | None = None,
+        strict: bool = False,
+        *,
+        deadline_at: float | None = None,
+        exclude: Sequence[str] = (),
+    ) -> MediatedAnswer:
+        """Extent query: scattered to every shard, fused in shard order."""
+        _metric("federation", "scatter_queries")
+        jobs = [
+            (shard, lambda shard=shard: self.mediators[shard].find_genes(
+                organism, name_prefix, contains_motif, min_length,
+                predicate, strict, deadline_at=deadline_at,
+                exclude=exclude))
+            for shard in range(self.count)
+        ]
+        parts = self._scatter(jobs)
+        health = merge_health([(shard, part.health)
+                               for shard, part in parts])
+        return fuse_rows(parts, health, self.source_names)
+
+    def count_genes(self, **filters) -> int:
+        return len(self.find_genes(**filters))
+
+    # -- cached-mediator passthroughs -------------------------------------------
+
+    def sync(self) -> int:
+        """Drain every shard's delta stream; returns total deltas."""
+        total = 0
+        for mediator in self.mediators:
+            sync = getattr(mediator, "sync", None)
+            if sync is not None:
+                total += len(sync())
+        return total
+
+    def staleness_bound(self) -> float:
+        """The worst staleness any shard could serve (max over shards)."""
+        return max((mediator.staleness_bound()
+                    for mediator in self.mediators
+                    if hasattr(mediator, "staleness_bound")),
+                   default=0.0)
+
+    def __repr__(self) -> str:
+        return f"ShardedMediator({self.count} shards)"

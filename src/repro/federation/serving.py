@@ -1,0 +1,256 @@
+"""Shard-aware serving: scatter-gather in front of per-shard servers.
+
+:class:`ShardedFederationServer` gives each shard its own
+:class:`~repro.serving.FederationServer` — its own admission queue,
+its own ``capacity`` lanes, its own brownout ladder — which is the
+scale-out story in one sentence: **adding a shard adds serving
+capacity**, because a point lookup occupies one shard's lane while the
+other shards' lanes serve other clients.
+
+One ``serve(requests)`` call routes every request to subrequests
+(point lookups to the owning shard, extent queries to all shards,
+batches to the owning subset), replays each shard's subrequest list
+through that shard's server on a private clock track branched at a
+common origin, advances the shared clock by the longest track, and
+fuses per-shard results back into one :class:`~repro.serving.
+ServedResult` per input request — in input order, answers fused in
+shard order, bit-reproducible under a fixed seed at any shard count.
+
+:func:`sharded_federation` is the calibrated fixture behind the A12
+ablation, the ``python -m repro shard`` CLI demo, and the federation
+test-suite: three overlapping faultable sources sliced into ``N``
+ranges, one mediator + server per shard, all on one virtual clock.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.errors import FederationError
+from repro.federation.router import ShardedMediator, fuse_batches, \
+    fuse_rows, merge_health
+from repro.federation.sharding import ShardMap, ShardSlice
+from repro.mediator.mediator import MediatedAnswer
+from repro.obs.metrics import count as _metric, gauge as _gauge
+from repro.obs.trace import span as _span
+from repro.serving.server import FederationServer, Request, ServedResult
+
+
+class ShardedFederationServer:
+    """Deterministic scatter-gather serving over per-shard servers.
+
+    ``servers[i]`` must serve shard *i* and all servers must share one
+    virtual clock.  The per-shard servers keep their own admission
+    machinery: a subrequest can be shed by its shard (queue full,
+    deadline, brownout) and the fused result reports that honestly —
+    an extent query is only as good as its slowest / unluckiest shard.
+    """
+
+    def __init__(self, shard_map: ShardMap,
+                 servers: Sequence[FederationServer]) -> None:
+        if len(servers) != shard_map.count:
+            raise FederationError(
+                f"{shard_map.count} shards need {shard_map.count} "
+                f"servers, got {len(servers)}")
+        timelines = {id(server.timeline) for server in servers}
+        if len(timelines) > 1:
+            raise FederationError(
+                "per-shard servers must share one virtual clock")
+        self.shard_map = shard_map
+        self.servers = list(servers)
+        self.timeline = self.servers[0].timeline
+
+    @property
+    def count(self) -> int:
+        return self.shard_map.count
+
+    # -- routing ----------------------------------------------------------------
+
+    def _route(self, request: Request) -> list[tuple[int, dict]]:
+        """The (shard, params) subrequests one request fans out to."""
+        if request.kind == "gene":
+            owner = self.shard_map.shard_of(request.params["accession"])
+            return [(owner, dict(request.params))]
+        if request.kind == "genes":
+            accessions = list(request.params.get("accessions", ()))
+            groups = self.shard_map.split(dict.fromkeys(accessions))
+            if not groups:
+                return [(0, dict(request.params))]
+            return [(shard, dict(request.params, accessions=subset))
+                    for shard, subset in sorted(groups.items())]
+        # find_genes: every shard holds part of the extent.
+        return [(shard, dict(request.params))
+                for shard in range(self.count)]
+
+    # -- the scatter-gather serving loop ----------------------------------------
+
+    def serve(self, requests: Sequence[Request]) -> list[ServedResult]:
+        """Serve *requests*; one fused :class:`ServedResult` each, in
+        input order.  The shared clock advances once, by the slowest
+        shard's virtual makespan."""
+        per_shard: list[list[Request]] = [[] for __ in range(self.count)]
+        placements: list[list[tuple[int, int]]] = []
+        for request in requests:
+            entry = []
+            for shard, params in self._route(request):
+                entry.append((shard, len(per_shard[shard])))
+                per_shard[shard].append(Request(
+                    kind=request.kind, params=params,
+                    priority=request.priority, arrival=request.arrival,
+                    deadline=request.deadline, label=request.label,
+                ))
+            placements.append(entry)
+
+        origin = self.timeline.now()
+        shard_results: list[list[ServedResult]] = []
+        longest = 0.0
+        for shard, server in enumerate(self.servers):
+            subrequests = per_shard[shard]
+            track = self.timeline.open_track(origin)
+            try:
+                with _span("shard.fanout", shard=shard,
+                           requests=len(subrequests)):
+                    shard_results.append(server.serve(subrequests))
+            finally:
+                longest = max(longest, self.timeline.close_track(track))
+            served = sum(1 for result in shard_results[shard]
+                         if not result.shed)
+            _gauge("federation", f"shard{shard}_served", served)
+            _gauge("federation", f"shard{shard}_shed",
+                   len(shard_results[shard]) - served)
+            _metric("federation", "subrequests", len(subrequests))
+        if longest:
+            self.timeline.advance(longest)
+
+        return [self._fuse(request, [(shard, shard_results[shard][index])
+                                     for shard, index in entry])
+                for request, entry in zip(requests, placements)]
+
+    def submit(self, request: Request) -> ServedResult:
+        return self.serve([request])[0]
+
+    # -- gather -----------------------------------------------------------------
+
+    def _fuse(self, request: Request,
+              parts: list[tuple[int, ServedResult]]) -> ServedResult:
+        """One client-visible result from the per-shard subresults.
+
+        A single-shard request passes through (re-anchored on the
+        original request object); a scatter fuses answers in shard
+        order and takes gather-barrier timing — the client waited for
+        the slowest shard."""
+        if len(parts) == 1:
+            __, sub = parts[0]
+            return ServedResult(
+                request=request, answer=sub.answer, arrival=sub.arrival,
+                started=sub.started, completed=sub.completed,
+                queue_wait=sub.queue_wait, from_cache=sub.from_cache,
+            )
+        health = merge_health([(shard, sub.answer.health)
+                               for shard, sub in parts])
+        if request.kind == "genes":
+            answer = fuse_batches(
+                list(dict.fromkeys(request.params.get("accessions", ()))),
+                [(shard, sub.answer) for shard, sub in parts
+                 if not sub.shed],
+                health)
+        else:
+            answer = fuse_rows(
+                [(shard, sub.answer) for shard, sub in parts
+                 if not sub.shed],
+                health, self.servers[0].source_names)
+            if not isinstance(answer, MediatedAnswer):  # pragma: no cover
+                answer = MediatedAnswer(answer, health=health)
+        return ServedResult(
+            request=request,
+            answer=answer,
+            arrival=min(sub.arrival for __, sub in parts),
+            started=min(sub.started for __, sub in parts),
+            completed=max(sub.completed for __, sub in parts),
+            queue_wait=max(sub.queue_wait for __, sub in parts),
+            from_cache=all(sub.from_cache for __, sub in parts),
+        )
+
+    def __repr__(self) -> str:
+        return f"ShardedFederationServer({self.count} shards)"
+
+
+def sharded_federation(
+    shards: int = 4,
+    *,
+    seed: int = 71,
+    size: int = 48,
+    fail_rate: float = 0.05,
+    latency: float = 0.5,
+    slow_rate: float = 0.1,
+    slow_factor: float = 8.0,
+    deadline: float = 25.0,
+    capacity: int = 4,
+    policy=None,
+    lookup_population: int = 16,
+):
+    """The calibrated N-shard federation behind A12 and ``repro shard``.
+
+    Three overlapping repositories (GenBank, EMBL, AceDB) are sliced
+    into *shards* contiguous accession ranges; each shard gets its own
+    :class:`~repro.sources.FaultyRepository` proxies (per-shard fault
+    seeds), its own mediator, and its own
+    :class:`~repro.serving.FederationServer` with ``capacity`` lanes
+    and clean-slice hedge replicas — all on one shared virtual clock.
+
+    Returns ``(server, router, shard_map, accessions, timeline)``
+    where ``server`` is the :class:`ShardedFederationServer`,
+    ``router`` the :class:`~repro.federation.router.ShardedMediator`
+    over the same per-shard mediators, and ``accessions`` a lookup
+    population spanning every shard.  Fully seeded: identical
+    arguments replay bit for bit.
+    """
+    from repro.mediator import Mediator, RetryPolicy
+    from repro.serving.policy import ServingPolicy
+    from repro.sources import (
+        AceRepository,
+        EmblRepository,
+        FaultyRepository,
+        GenBankRepository,
+        Universe,
+        VirtualClock,
+    )
+
+    universe = Universe(seed=seed, size=size)
+    timeline = VirtualClock()
+    repositories = [
+        GenBankRepository(universe),
+        EmblRepository(universe),
+        AceRepository(universe),
+    ]
+    union = sorted({accession for repository in repositories
+                    for accession in repository.accessions()})
+    shard_map = ShardMap.for_accessions(union, shards)
+    retry_policy = RetryPolicy(max_attempts=3, base_delay=1.0,
+                               multiplier=2.0, jitter=0.0, deadline=40.0)
+    servers, mediators = [], []
+    for shard in range(shard_map.count):
+        proxies = []
+        for index, repository in enumerate(repositories, start=1):
+            proxy = FaultyRepository(
+                ShardSlice(repository, shard_map, shard),
+                timeline, seed=100 * shard + index)
+            proxy.fail_with_rate(fail_rate)
+            proxy.add_latency(latency, slow_rate=slow_rate,
+                              slow_factor=slow_factor)
+            proxies.append(proxy)
+        mediator = Mediator(proxies, retry_policy=retry_policy,
+                            timeline=timeline)
+        mediators.append(mediator)
+        shard_policy = (policy if policy is not None
+                        else ServingPolicy(capacity=capacity,
+                                           deadline=deadline))
+        servers.append(FederationServer(
+            mediator, shard_policy,
+            replicas={proxy.name: proxy.inner for proxy in proxies},
+        ))
+    server = ShardedFederationServer(shard_map, servers)
+    router = ShardedMediator(shard_map, mediators)
+    step = max(1, len(union) // lookup_population)
+    accessions = union[::step][:lookup_population]
+    return server, router, shard_map, accessions, timeline

@@ -264,7 +264,17 @@ class CachedMediator:
             for name in sorted(self.monitors):
                 monitor = self.monitors[name]
                 failed_before = monitor.health.failed_polls
-                batch = monitor.poll()
+                try:
+                    batch = monitor.poll()
+                except Exception:
+                    # A poll that *raises* (rather than counting a
+                    # failed poll) must not abort the sweep: later
+                    # monitors' deltas still invalidate precisely, and
+                    # the broken source is merely suspect until a
+                    # clean poll lifts the suspicion.
+                    suspect.add(name)
+                    _metric("cache", "sync_poll_errors")
+                    continue
                 if monitor.health.failed_polls > failed_before:
                     suspect.add(name)
                 deltas.extend(batch)

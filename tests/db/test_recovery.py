@@ -29,6 +29,7 @@ from repro.db.storage import (
     load_database,
     read_wal_records,
     save_database,
+    segment_generation,
 )
 from repro.errors import StorageError
 
@@ -311,6 +312,87 @@ class TestCheckpointRotation:
         recovered, report = recover(image, wal_path)
         assert recovered.query("SELECT count(*) FROM t").scalar() == 5
         assert report.statements_applied == 0  # image covers everything
+
+
+class TestWalHeaderRegressions:
+    """``rotate()`` used to truncate with a bare ``open(path, "w")``,
+    discarding the ``$wal`` generation header — and left the fresh
+    active file after ``os.replace`` headerless too.  A later process
+    reopening the log then restarted at generation 0, and recovery
+    skew-skipped (i.e. silently dropped) every statement appended after
+    the checkpoint.  These tests pin the restamped-header contract."""
+
+    def test_fresh_active_segment_keeps_its_generation_header(
+            self, db, tmp_path):
+        wal_path = str(tmp_path / "wal.jsonl")
+        wal = WriteAheadLog(wal_path, db)
+        wal.attach()
+        db.execute("INSERT INTO t VALUES (3, 'c')")
+        sealed = wal.rotate()
+        assert sealed is not None
+        assert segment_generation(wal_path) == wal.generation == 1
+
+    def test_header_only_active_segment_survives_rotation(
+            self, db, tmp_path):
+        wal_path = str(tmp_path / "wal.jsonl")
+        with open(wal_path, "w", encoding="utf-8") as handle:
+            handle.write(json.dumps({"$wal": 1, "generation": 7}) + "\n")
+        wal = WriteAheadLog(wal_path, db)
+        assert wal.generation == 7
+        assert wal.rotate() is None  # nothing to seal ...
+        assert segment_generation(wal_path) == 7  # ... header restamped
+
+    def test_statements_after_checkpoint_survive_a_reopen(
+            self, db, tmp_path):
+        """The end-to-end data-loss scenario the bare truncation caused:
+        checkpoint purges the sealed segments, the process restarts, a
+        headerless active file restarts generation numbering at 0, and
+        recovery then skew-skips the post-checkpoint statements."""
+        image = str(tmp_path / "image.json")
+        wal_path = str(tmp_path / "wal.jsonl")
+        wal = WriteAheadLog(wal_path, db)
+        wal.attach()
+        db.execute("INSERT INTO t VALUES (3, 'c')")
+        checkpoint(db, image, wal)  # rotate + image(gen 1) + purge
+        wal.close()
+
+        reopened = WriteAheadLog(wal_path, db)
+        assert reopened.generation == 1
+        db.attach_wal(reopened.append)
+        db.execute("INSERT INTO t VALUES (4, 'd')")
+        reopened.close()
+
+        recovered, report = recover(image, wal_path)
+        assert not report.skew_skipped
+        assert recovered.query("SELECT count(*) FROM t").scalar() == 4
+
+    def test_garbled_generation_header_reads_as_none(self, tmp_path):
+        """``segment_generation`` used to crash with ValueError /
+        TypeError on a garbled ``generation`` field instead of treating
+        the header as unreadable (like the JSONDecodeError path)."""
+        for garbage in ("junk", None, [3], {"n": 1}):
+            path = str(tmp_path / "wal.jsonl")
+            with open(path, "w", encoding="utf-8") as handle:
+                handle.write(json.dumps(
+                    {"$wal": 1, "generation": garbage}) + "\n")
+            assert segment_generation(path) is None
+
+    def test_recovery_survives_a_garbled_active_header(self, db, tmp_path):
+        image = str(tmp_path / "image.json")
+        wal_path = str(tmp_path / "wal.jsonl")
+        save_database(db, image, wal_generation=0)
+        wal = WriteAheadLog(wal_path, db)
+        wal.attach()
+        db.execute("INSERT INTO t VALUES (3, 'c')")
+        wal.close()
+        with open(wal_path, encoding="utf-8") as handle:
+            lines = handle.readlines()
+        lines[0] = json.dumps({"$wal": 1, "generation": "junk"}) + "\n"
+        with open(wal_path, "w", encoding="utf-8") as handle:
+            handle.writelines(lines)
+        recovered, report = recover(image, wal_path)
+        assert report.statements_applied == 1
+        assert recovered.query("SELECT count(*) FROM t").scalar() == 3
 
 
 class TestRecoveryWithUdts:

@@ -11,7 +11,9 @@ from repro.db.storage import (
     WriteAheadLog,
     checkpoint,
     load_database,
+    read_wal_records,
     save_database,
+    segment_generation,
 )
 from repro.errors import StorageError, TransactionError
 
@@ -198,7 +200,11 @@ class TestWal:
         wal.attach()
         db.execute("INSERT INTO t VALUES (3, 'c')")
         checkpoint(db, image, wal)
-        assert open(wal_path).read() == ""
+        # The active log holds no records — only the generation header
+        # (a bare empty file would reopen as generation 0 and recovery
+        # would skew-skip everything appended after the checkpoint).
+        assert read_wal_records(wal_path)[0] == []
+        assert segment_generation(wal_path) == wal.generation == 1
         restored = load_database(image)
         assert restored.query("SELECT count(*) FROM t").scalar() == 3
 

@@ -1,0 +1,219 @@
+"""WAL shipping, the per-generation apply ledger, and failover.
+
+The invariants under test, in the order of operational pain they
+prevent: no statement is ever applied twice (re-shipping a grown
+segment applies only the suffix), a torn tail dedups (dropped now,
+applied exactly once when complete), staleness bounds are honest, and
+promotion picks the most-caught-up follower and continues the dead
+primary's generation numbering.
+"""
+
+import os
+
+import pytest
+
+from repro.db import Database
+from repro.db.recovery import databases_equal
+from repro.errors import FederationError
+from repro.federation import (
+    FollowerNode,
+    PrimaryNode,
+    ReplicationGroup,
+    disk_shipments,
+)
+from repro.sources import VirtualClock
+
+
+def _database():
+    database = Database()
+    database.execute("CREATE TABLE t (id INTEGER PRIMARY KEY, v TEXT)")
+    return database
+
+
+def _reference(rows):
+    database = _database()
+    for row_id, value in rows:
+        database.execute("INSERT INTO t VALUES (?, ?)", [row_id, value])
+    return database
+
+
+@pytest.fixture
+def cluster(tmp_path):
+    timeline = VirtualClock()
+    primary = PrimaryNode("alpha", str(tmp_path / "alpha"), _database(),
+                          timeline=timeline)
+    followers = [
+        FollowerNode(name, str(tmp_path / name), _database(),
+                     timeline=timeline)
+        for name in ("bravo", "charlie")
+    ]
+    return ReplicationGroup(primary, followers), timeline
+
+
+class TestShipping:
+    def test_catch_up_replicates_the_database(self, cluster):
+        group, __ = cluster
+        rows = [(index, f"v{index}") for index in range(8)]
+        for row_id, value in rows:
+            group.primary.execute("INSERT INTO t VALUES (?, ?)",
+                                  [row_id, value])
+        group.sync()
+        for follower in group.followers:
+            assert databases_equal(follower.database, _reference(rows))
+
+    def test_reshipping_a_grown_segment_applies_only_the_suffix(
+            self, cluster):
+        group, __ = cluster
+        follower = group.followers[0]
+        group.primary.execute("INSERT INTO t VALUES (1, 'a')", [])
+        assert follower.catch_up(group.primary) == 1
+        group.primary.execute("INSERT INTO t VALUES (2, 'b')", [])
+        # The same (grown) active segment ships again: the ledger must
+        # skip the prefix — replaying it would hit the primary key.
+        assert follower.catch_up(group.primary) == 1
+        assert follower.catch_up(group.primary) == 0
+
+    def test_replication_across_a_rotation_boundary(self, cluster):
+        group, __ = cluster
+        follower = group.followers[0]
+        group.primary.execute("INSERT INTO t VALUES (1, 'a')", [])
+        follower.catch_up(group.primary)
+        group.primary.rotate()
+        group.primary.execute("INSERT INTO t VALUES (2, 'b')", [])
+        applied = follower.catch_up(group.primary)
+        assert applied == 1
+        assert databases_equal(follower.database,
+                               _reference([(1, "a"), (2, "b")]))
+        # Both generations are in the ledger now.
+        assert set(follower.applied) == {0, 1}
+
+    def test_torn_tail_is_dropped_then_applied_exactly_once(
+            self, cluster, tmp_path):
+        group, __ = cluster
+        follower = group.followers[0]
+        group.primary.execute("INSERT INTO t VALUES (1, 'a')", [])
+        group.primary.execute("INSERT INTO t VALUES (2, 'b')", [])
+        shipments = group.primary.ship()
+        active = shipments[-1]
+        # The primary crashes mid-append: the follower receives the
+        # active segment with its final record torn in half.
+        torn = type(active)(active.generation,
+                            active.payload[: len(active.payload) - 12],
+                            active.sealed)
+        assert follower.apply_shipment(torn) == 1  # first insert only
+        assert databases_equal(follower.database, _reference([(1, "a")]))
+        # The complete segment ships later: only the once-torn final
+        # record applies — nothing is doubled.
+        assert follower.apply_shipment(active) == 1
+        assert databases_equal(follower.database,
+                               _reference([(1, "a"), (2, "b")]))
+
+    def test_staleness_bound_mirrors_cache_semantics(self, cluster):
+        group, timeline = cluster
+        follower = group.followers[0]
+        group.primary.execute("INSERT INTO t VALUES (1, 'a')", [])
+        follower.catch_up(group.primary)
+        bound = follower.staleness_bound()
+        timeline.advance(4.0)
+        assert follower.staleness_bound() == pytest.approx(bound + 4.0)
+        follower.catch_up(group.primary)
+        assert follower.staleness_bound() == 0.0
+
+
+class TestFailover:
+    def test_promote_refuses_while_primary_is_alive(self, cluster):
+        group, __ = cluster
+        with pytest.raises(FederationError):
+            group.promote()
+
+    def test_dead_primary_refuses_writes(self, cluster):
+        group, __ = cluster
+        group.fail_primary()
+        with pytest.raises(FederationError):
+            group.primary.execute("INSERT INTO t VALUES (1, 'a')", [])
+
+    def test_promotion_picks_the_most_caught_up_follower(self, cluster):
+        group, timeline = cluster
+        for index in range(6):
+            group.primary.execute("INSERT INTO t VALUES (?, ?)",
+                                  [index, f"v{index}"])
+        group.followers[1].catch_up(group.primary)  # charlie is ahead
+        group.fail_primary()
+        promoted = group.promote()
+        assert promoted.name == "charlie"
+        assert group.primary is promoted
+        assert [follower.name for follower in group.followers] == ["bravo"]
+
+    def test_promotion_salvages_unshipped_statements_exactly_once(
+            self, cluster):
+        group, __ = cluster
+        rows = [(index, f"v{index}") for index in range(10)]
+        for row_id, value in rows[:4]:
+            group.primary.execute("INSERT INTO t VALUES (?, ?)",
+                                  [row_id, value])
+        group.sync()
+        group.primary.rotate()
+        for row_id, value in rows[4:]:
+            group.primary.execute("INSERT INTO t VALUES (?, ?)",
+                                  [row_id, value])
+        # The primary dies before anyone caught up on the new segment.
+        group.fail_primary()
+        promoted = group.promote()
+        assert databases_equal(promoted.database, _reference(rows))
+        assert group.last_promotion is not None
+        assert group.last_promotion <= group.promotion_window
+
+    def test_promoted_primary_continues_the_generation_sequence(
+            self, cluster):
+        group, __ = cluster
+        group.primary.execute("INSERT INTO t VALUES (1, 'a')", [])
+        group.primary.rotate()
+        group.primary.execute("INSERT INTO t VALUES (2, 'b')", [])
+        old_generation = group.primary.wal.generation
+        group.fail_primary()
+        promoted = group.promote()
+        # Generation numbering survives the node swap: the shipped
+        # $wal header seeds the new WriteAheadLog (bugfixes 1+2 are
+        # load-bearing here — a headerless or garbled active segment
+        # would restart at generation 0 and recovery would skew-skip).
+        assert promoted.wal.generation == old_generation
+        promoted.execute("INSERT INTO t VALUES (3, 'c')", [])
+        assert databases_equal(
+            promoted.database,
+            _reference([(1, "a"), (2, "b"), (3, "c")]))
+
+    def test_remaining_follower_catches_up_from_the_new_primary(
+            self, cluster):
+        group, __ = cluster
+        group.primary.execute("INSERT INTO t VALUES (1, 'a')", [])
+        group.fail_primary()
+        promoted = group.promote()
+        promoted.execute("INSERT INTO t VALUES (2, 'b')", [])
+        group.sync()
+        assert databases_equal(group.followers[0].database,
+                               _reference([(1, "a"), (2, "b")]))
+
+    def test_promotion_without_followers_refuses(self, tmp_path):
+        timeline = VirtualClock()
+        primary = PrimaryNode("solo", str(tmp_path / "solo"), _database(),
+                              timeline=timeline)
+        group = ReplicationGroup(primary, [])
+        group.fail_primary()
+        with pytest.raises(FederationError):
+            group.promote()
+
+
+class TestDiskShipments:
+    def test_lists_sealed_then_active_in_generation_order(
+            self, cluster):
+        group, __ = cluster
+        group.primary.execute("INSERT INTO t VALUES (1, 'a')", [])
+        group.primary.rotate()
+        group.primary.execute("INSERT INTO t VALUES (2, 'b')", [])
+        group.primary.wal.flush()
+        shipments = disk_shipments(group.primary.wal_path)
+        assert [(s.generation, s.sealed) for s in shipments] == \
+            [(0, True), (1, False)]
+
+    def test_missing_directory_ships_nothing(self, tmp_path):
+        assert disk_shipments(str(tmp_path / "nope" / "wal.jsonl")) == []

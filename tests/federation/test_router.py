@@ -1,0 +1,180 @@
+"""ShardedMediator: routing, fusion, and bit-reproducible answers.
+
+The headline contract: with fault injection off, the fused answer of
+an N-shard federation is *identical* — same rows, same order, same
+payloads — to the single-mediator answer over the same universe.
+Sharding must be invisible to correctness, visible only to capacity.
+"""
+
+import pytest
+
+from repro.errors import FederationError
+from repro.federation import ShardMap, ShardSlice, ShardedMediator
+from repro.federation.router import merge_health
+from repro.mediator import Mediator
+from repro.mediator.mediator import QueryHealth
+from repro.sources import (
+    AceRepository,
+    EmblRepository,
+    GenBankRepository,
+    Universe,
+    VirtualClock,
+)
+
+
+def federation(shards, *, seed=11, size=24):
+    """A clean (fault-free) N-shard federation plus its 1-shard twin's
+    ingredients: (router, accessions, timeline)."""
+    universe = Universe(seed=seed, size=size)
+    timeline = VirtualClock()
+    repositories = [
+        GenBankRepository(universe),
+        EmblRepository(universe),
+        AceRepository(universe),
+    ]
+    union = sorted({accession for repository in repositories
+                    for accession in repository.accessions()})
+    shard_map = ShardMap.for_accessions(union, shards)
+    mediators = [
+        Mediator([ShardSlice(repository, shard_map, shard)
+                  for repository in repositories], timeline=timeline)
+        for shard in range(shard_map.count)
+    ]
+    return ShardedMediator(shard_map, mediators), union, timeline
+
+
+def _keys(rows):
+    return [(row.source, row.accession, row.name, row.sequence_text)
+            for row in rows]
+
+
+class TestConstruction:
+    def test_mediator_count_must_match(self):
+        router, __, __ = federation(2)
+        with pytest.raises(FederationError):
+            ShardedMediator(ShardMap(("M", "Q")), router.mediators)
+
+    def test_mediators_must_share_a_clock(self):
+        first, __, __ = federation(2, seed=11)
+        second, __, __ = federation(2, seed=11)
+        with pytest.raises(FederationError):
+            ShardedMediator(first.shard_map,
+                            [first.mediators[0], second.mediators[1]])
+
+
+class TestPointLookups:
+    def test_gene_routes_to_the_owner_only(self):
+        router, accessions, __ = federation(3)
+        accession = accessions[0]
+        owner = router.shard_map.shard_of(accession)
+        before = [mediator.cost.source_requests
+                  for mediator in router.mediators]
+        router.gene(accession)
+        after = [mediator.cost.source_requests
+                 for mediator in router.mediators]
+        assert after[owner] > before[owner]
+        for shard, (was, now) in enumerate(zip(before, after)):
+            if shard != owner:
+                assert now == was  # untouched shards did zero work
+
+    def test_gene_matches_the_unsharded_answer(self):
+        sharded, accessions, __ = federation(4)
+        single, __, __ = federation(1)
+        for accession in accessions[:6]:
+            assert _keys(sharded.gene(accession)) == \
+                _keys(single.gene(accession))
+
+
+class TestScatterGather:
+    def test_genes_fuses_in_caller_key_order(self):
+        router, accessions, __ = federation(3)
+        wanted = list(reversed(accessions[:7]))
+        batch = router.genes(wanted)
+        assert list(batch) == wanted
+        assert batch.health.complete
+
+    def test_genes_matches_the_unsharded_answer(self):
+        sharded, accessions, __ = federation(4)
+        single, __, __ = federation(1)
+        wanted = accessions[:9]
+        fused = sharded.genes(wanted)
+        flat = single.genes(wanted)
+        assert list(fused) == list(flat)
+        for accession in wanted:
+            assert _keys(fused[accession]) == _keys(flat[accession])
+
+    def test_find_genes_matches_the_unsharded_answer(self):
+        sharded, __, __ = federation(4)
+        single, __, __ = federation(1)
+        assert _keys(sharded.find_genes(min_length=1)) == \
+            _keys(single.find_genes(min_length=1))
+
+    @staticmethod
+    def _latency_federation(shards, *, seed=11, size=24):
+        """Like ``federation`` but every source call costs 1.0 virtual
+        time — so scatter parallelism is visible on the clock."""
+        from repro.sources import FaultyRepository
+
+        universe = Universe(seed=seed, size=size)
+        timeline = VirtualClock()
+        repositories = [
+            GenBankRepository(universe),
+            EmblRepository(universe),
+            AceRepository(universe),
+        ]
+        union = sorted({accession for repository in repositories
+                        for accession in repository.accessions()})
+        shard_map = ShardMap.for_accessions(union, shards)
+        mediators = []
+        for shard in range(shard_map.count):
+            proxies = []
+            for index, repository in enumerate(repositories, start=1):
+                proxy = FaultyRepository(
+                    ShardSlice(repository, shard_map, shard),
+                    timeline, seed=10 * shard + index)
+                proxy.add_latency(1.0, slow_rate=0.0)
+                proxies.append(proxy)
+            mediators.append(Mediator(proxies, timeline=timeline))
+        return ShardedMediator(shard_map, mediators), union, timeline
+
+    def test_scatter_advances_the_clock_by_the_max_shard(self):
+        router, accessions, timeline = self._latency_federation(3)
+        start = timeline.now()
+        router.genes(accessions)
+        elapsed = timeline.now() - start
+        # Parallel in virtual time: the scatter costs one shard's
+        # worth of fan-out, not the sum over shards.
+        single, __, single_timeline = self._latency_federation(1)
+        single_start = single_timeline.now()
+        single.genes(accessions)
+        single_elapsed = single_timeline.now() - single_start
+        assert 0 < elapsed < single_elapsed
+
+    def test_count_genes_delegates_to_find_genes(self):
+        sharded, __, __ = federation(2)
+        single, __, __ = federation(1)
+        assert sharded.count_genes(min_length=1) == \
+            single.count_genes(min_length=1)
+
+
+class TestHealthMerging:
+    def test_outcomes_are_shard_prefixed(self):
+        router, accessions, __ = federation(2)
+        batch = router.genes(accessions)
+        assert batch.health.outcomes
+        assert all(key.startswith("shard") and ":" in key
+                   for key in batch.health.outcomes)
+
+    def test_merge_keeps_worst_case_timing_and_shed(self):
+        slow = QueryHealth()
+        slow.elapsed = 9.0
+        slow.queue_wait = 2.0
+        shed = QueryHealth()
+        shed.shed = True
+        shed.shed_reason = "queue_full"
+        shed.deadline_hit = True
+        merged = merge_health([(0, slow), (1, shed)])
+        assert merged.elapsed == 9.0
+        assert merged.queue_wait == 2.0
+        assert merged.shed and merged.shed_reason == "queue_full"
+        assert merged.deadline_hit

@@ -1,0 +1,133 @@
+"""ShardedFederationServer: routed serving, fusion, and determinism.
+
+Beyond plumbing, two properties matter: the whole scatter-gather run
+is bit-reproducible (same seed, same results, to the float), and
+adding shards adds serving capacity under a saturating workload — the
+claim the A12 ablation quantifies.
+"""
+
+import pytest
+
+from repro.errors import FederationError
+from repro.federation import (
+    ShardMap,
+    ShardedFederationServer,
+    sharded_federation,
+)
+from repro.serving import Request, summarize, synthetic_workload
+
+
+def _request(kind, arrival=0.0, **params):
+    return Request(kind=kind, params=params, arrival=arrival)
+
+
+class TestConstruction:
+    def test_server_count_must_match(self):
+        server, *__ = sharded_federation(2)
+        with pytest.raises(FederationError):
+            ShardedFederationServer(ShardMap(("B", "M")), server.servers)
+
+    def test_servers_must_share_a_clock(self):
+        first, *__ = sharded_federation(2)
+        second, *__ = sharded_federation(2)
+        with pytest.raises(FederationError):
+            ShardedFederationServer(
+                first.shard_map, [first.servers[0], second.servers[1]])
+
+
+class TestRouting:
+    def test_gene_request_reaches_one_shard(self):
+        server, __, shard_map, accessions, __ = sharded_federation(4)
+        accession = accessions[0]
+        owner = shard_map.shard_of(accession)
+        routed = server._route(_request("gene", accession=accession))
+        assert [shard for shard, __ in routed] == [owner]
+
+    def test_genes_request_reaches_owning_shards_only(self):
+        server, __, shard_map, accessions, __ = sharded_federation(4)
+        wanted = accessions[:6]
+        routed = server._route(_request("genes", accessions=wanted))
+        shards = [shard for shard, __ in routed]
+        assert shards == sorted(set(shard_map.split(wanted)))
+        regrouped = [a for __, params in routed
+                     for a in params["accessions"]]
+        assert sorted(regrouped) == sorted(set(wanted))
+
+    def test_find_genes_request_reaches_every_shard(self):
+        server, *__ = sharded_federation(4)
+        routed = server._route(_request("find_genes", min_length=1))
+        assert [shard for shard, __ in routed] == [0, 1, 2, 3]
+
+
+class TestServing:
+    def test_results_come_back_in_input_order(self):
+        server, __, __, accessions, __ = sharded_federation(3)
+        requests = [
+            _request("gene", arrival=1.0, accession=accessions[3]),
+            _request("find_genes", arrival=0.0, min_length=1),
+            _request("genes", arrival=0.5, accessions=accessions[:5]),
+        ]
+        results = server.serve(requests)
+        assert [result.request.kind for result in results] == \
+            ["gene", "find_genes", "genes"]
+
+    def test_fused_batch_has_caller_key_order(self):
+        server, __, __, accessions, __ = sharded_federation(3)
+        wanted = list(reversed(accessions[:6]))
+        result = server.submit(_request("genes", accessions=wanted))
+        assert list(result.answer) == wanted
+
+    def test_fused_timing_is_the_gather_barrier(self):
+        server, __, __, accessions, __ = sharded_federation(3)
+        result = server.submit(_request("find_genes", min_length=1))
+        # The client waited for the slowest shard: fused completion is
+        # the max over parts, and latency is non-negative.
+        assert result.completed >= result.started >= 0.0
+        assert result.latency >= 0.0
+        assert any(key.startswith("shard")
+                   for key in result.health.outcomes)
+
+    def test_single_shard_fusion_is_passthrough(self):
+        server, __, __, accessions, __ = sharded_federation(4)
+        result = server.submit(_request("gene", accession=accessions[0]))
+        assert result.request.params["accession"] == accessions[0]
+        assert not any(key.startswith("shard")
+                       for key in result.health.outcomes)
+
+    def test_serve_advances_the_shared_clock_once(self):
+        server, __, __, accessions, timeline = sharded_federation(2)
+        start = timeline.now()
+        requests = synthetic_workload(accessions, count=20, load_factor=2.0,
+                                      capacity=4, mean_service=3.0, seed=5)
+        results = server.serve(requests)
+        makespan = max(result.completed for result in results)
+        assert timeline.now() - start == pytest.approx(makespan)
+
+
+class TestDeterminismAndScaling:
+    def test_identical_seeds_replay_bit_for_bit(self):
+        outcomes = []
+        for __ in range(2):
+            server, __r, __m, accessions, __t = sharded_federation(4)
+            requests = synthetic_workload(
+                accessions, count=40, load_factor=8.0, capacity=4,
+                mean_service=3.0, seed=13, batch_size=1)
+            results = server.serve(requests)
+            outcomes.append([
+                (result.shed, result.shed_reason, result.started,
+                 result.completed, result.queue_wait,
+                 len(result.answer) if not result.shed else 0)
+                for result in results
+            ])
+        assert outcomes[0] == outcomes[1]
+
+    def test_adding_shards_adds_goodput_under_saturation(self):
+        goods = {}
+        for shards in (1, 4):
+            server, __, __, accessions, __t = sharded_federation(shards)
+            requests = synthetic_workload(
+                accessions, count=120, load_factor=16.0, capacity=4,
+                mean_service=3.0, seed=9, batch_size=1)
+            report = summarize(server.serve(requests), budget=25.0)
+            goods[shards] = report["good"]
+        assert goods[4] > goods[1] * 1.5

@@ -173,6 +173,65 @@ class TestSuspectSources:
         assert cached.staleness_bound() == 0.0
 
 
+class _ExplodingMonitor:
+    """A monitor whose ``poll()`` raises instead of failing gracefully.
+
+    Real monitors catch :class:`SourceError` internally and count a
+    failed poll; a programming error (or an exotic transport failure)
+    escapes that net and used to abort ``sync()`` mid-sweep.
+    """
+
+    def __init__(self, inner):
+        self.inner = inner
+
+    @property
+    def health(self):
+        return self.inner.health
+
+    def poll(self):
+        raise RuntimeError("monitor crashed mid-sweep")
+
+
+class TestSweepSurvivesRaisingMonitor:
+    def test_raising_poll_marks_suspect_and_finishes_the_sweep(self):
+        # Monitors sweep in sorted-name order: AceDB, EMBL, GenBank.
+        # EMBL's monitor raises outright; the deltas from the sources
+        # on BOTH sides of it must still invalidate their entries.
+        timeline, repositories, cached = _cached()
+        genbank, __, acedb = repositories
+        before = acedb.accessions()[0]
+        after = genbank.accessions()[0]
+        cached.gene(before)
+        cached.gene(after)
+        assert len(cached.cache) == 2
+        cached.monitors["EMBL"] = _ExplodingMonitor(cached.monitors["EMBL"])
+        timeline.advance(3.0)
+        _touch(acedb, before)
+        _touch(genbank, after)
+        deltas = cached.sync()           # must not raise
+        assert {(delta.source, delta.accession) for delta in deltas} == {
+            ("AceDB", before), ("GenBank", after)}
+        assert normalize_query("gene", accession=before) not in cached.cache
+        assert normalize_query("gene", accession=after) not in cached.cache
+        assert cached.suspect_sources == {"EMBL"}
+        # A raising monitor is a failed sweep: the bound must not reset.
+        assert cached.staleness_bound() == 3.0
+
+    def test_sweep_recovers_once_the_monitor_behaves_again(self):
+        timeline, repositories, cached = _cached()
+        cached.find_genes()
+        healthy = cached.monitors["EMBL"]
+        cached.monitors["EMBL"] = _ExplodingMonitor(healthy)
+        cached.sync()
+        assert cached.suspect_sources == {"EMBL"}
+        assert cached.find_genes().from_cache is False   # bypassed ...
+        assert len(cached.cache) >= 1                    # ... not flushed
+        cached.monitors["EMBL"] = healthy
+        cached.sync()
+        assert cached.suspect_sources == set()
+        assert cached.find_genes().from_cache
+
+
 class TestStalenessBoundEdges:
     def test_empty_cache_still_tracks_the_clock(self):
         timeline, __, cached = _cached()
