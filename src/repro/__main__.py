@@ -12,8 +12,13 @@ Commands:
   (``--image``/``--wal``), or run the fault-injection crash matrix
   (``--self-test``);
 - ``chaos``   — run the federation fault-injection scenario matrix
-  (``--self-test``): flaky sources, outages, corrupt dumps, channel
-  loss, circuit-breaker recovery, deadline budgets;
+  (``--self-test``, optionally ``--only NAME``): flaky sources,
+  outages, corrupt dumps, channel loss, circuit-breaker recovery,
+  deadline budgets, replica failover, bit-rot repair;
+- ``scrub``   — verify the checksums of an ``image + WAL`` pair on
+  disk without replaying anything (``--image``/``--wal``), localizing
+  any bit rot to the record and byte offset, or run the seeded
+  corruption matrix (``--self-test``);
 - ``trace``   — run one BiQL query plus a mediated fan-out against a
   4-source faulty federation with tracing on, render the span tree
   (per-source attempts, retries, breaker state, cache hits) and the
@@ -156,11 +161,33 @@ def _run_chaos(arguments) -> int:
         print("chaos: --concurrency must be >= 1", file=sys.stderr)
         return 2
     if arguments.self_test:
-        passed = self_test(verbose=True, concurrency=arguments.concurrency)
+        try:
+            passed = self_test(verbose=True,
+                               concurrency=arguments.concurrency,
+                               only=arguments.only)
+        except ValueError as error:
+            print(f"chaos: {error}", file=sys.stderr)
+            return 2
         return 0 if passed else 1
     print("chaos: --self-test is the only mode (runs the scenario matrix)",
           file=sys.stderr)
     return 2
+
+
+def _run_scrub(arguments) -> int:
+    from repro.db.scrub import scrub, self_test
+
+    if arguments.self_test:
+        return 0 if self_test(verbose=True) else 1
+    if arguments.image is None and arguments.wal is None:
+        print("scrub: give --image and/or --wal (or use --self-test)",
+              file=sys.stderr)
+        return 2
+    report = scrub(arguments.image, arguments.wal)
+    print(f"scrub: {report.summary()}")
+    for verdict in report.verdicts:
+        print(verdict.line())
+    return 0 if report.ok else 1
 
 
 def _build_observed_federation(seed: int, size: int):
@@ -453,6 +480,21 @@ def main(argv: "list[str] | None" = None) -> int:
                               help="mediator fan-out width for the "
                                    "scenarios (default: one worker per "
                                    "source)")
+    chaos_parser.add_argument("--only", default=None, metavar="NAME",
+                              help="run a single scenario by name "
+                                   "(e.g. bit-rot-repair)")
+    scrub_parser = subparsers.add_parser(
+        "scrub", help="verify on-disk image/WAL checksums without "
+                      "replaying",
+    )
+    scrub_parser.add_argument("--image", default=None,
+                              help="checkpoint image path")
+    scrub_parser.add_argument("--wal", default=None,
+                              help="write-ahead log path (its sealed "
+                                   "segments are scanned too)")
+    scrub_parser.add_argument("--self-test", action="store_true",
+                              help="run the seeded corruption matrix "
+                                   "and exit")
     trace_parser = subparsers.add_parser(
         "trace", help="trace one federated query end to end",
     )
@@ -502,6 +544,8 @@ def main(argv: "list[str] | None" = None) -> int:
         return _run_recover(arguments)
     if arguments.command == "chaos":
         return _run_chaos(arguments)
+    if arguments.command == "scrub":
+        return _run_scrub(arguments)
     if arguments.command == "trace":
         return _run_trace(arguments)
     if arguments.command == "stats":

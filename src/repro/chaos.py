@@ -48,11 +48,22 @@ mediator and the ETL monitors promise:
     cuts the dead source's width, the brownout ladder steps up and —
     hysteretically — unwinds to NORMAL, and a calm tail is served
     clean, with zero sheds at the end.
+12. **replica-failover** — the primary dies mid-stream with unshipped
+    statements on disk; the most-caught-up follower is promoted inside
+    the promotion window with zero statements lost or doubled, and the
+    surviving follower re-follows the new primary.
+13. **bit-rot-repair** — seeded byte-flips land in a follower's sealed
+    segment, in the primary's checkpoint image, and in an in-flight
+    shipment: every flip is detected (CRC / digest), none is applied,
+    clean runs raise zero false positives; anti-entropy quarantines
+    and re-fetches the rotted segment (byte-identical convergence),
+    and promotion refuses the follower whose ledger fails
+    verification.
 
 Every scenario is deterministic under its fixed seed: same faults, same
 retries, same answers, bit for bit.  ``--concurrency N`` re-runs the
 mediator-driven scenarios with an explicit fan-out width (default: one
-worker per source).
+worker per source); ``--only NAME`` runs a single scenario.
 """
 
 from __future__ import annotations
@@ -652,6 +663,180 @@ def scenario_replica_failover(concurrency: int | None = None) -> str:
             f"0 lost / 0 duplicated; charlie re-follows the new primary")
 
 
+def scenario_bit_rot_repair(concurrency: int | None = None) -> str:
+    """Scenario 13: seeded bit rot across the replication topology.
+
+    Byte-flips are injected at three points — a follower's sealed
+    segment, the primary's checkpoint image, and an in-flight shipment
+    payload — and every one must be *detected* (per-record CRC32,
+    whole-file digest, shipment digest) and *contained* (nothing
+    corrupt applied, the rotted follower refused promotion).  Clean
+    state must scrub clean first (zero false positives), and after
+    anti-entropy read-repair the replicas must converge byte-identical
+    to the primary.
+    """
+    del concurrency                    # single-writer scenario, no fan-out
+    import os
+    import tempfile
+
+    from repro.db import Database
+    from repro.db.recovery import databases_equal
+    from repro.db.scrub import _flip_byte
+    from repro.db.storage import read_image
+    from repro.errors import FederationError, StorageError
+    from repro.federation import (
+        FollowerNode,
+        PrimaryNode,
+        ReplicationGroup,
+        Shipment,
+        sealed_digests,
+    )
+
+    def fresh() -> Database:
+        database = Database()
+        database.execute(
+            "CREATE TABLE events (id INTEGER PRIMARY KEY, note TEXT)")
+        return database
+
+    injected = detected = 0
+    with tempfile.TemporaryDirectory() as workdir:
+        timeline = VirtualClock()
+        primary = PrimaryNode("alpha", os.path.join(workdir, "alpha"),
+                              fresh(), timeline=timeline)
+        bravo = FollowerNode("bravo", os.path.join(workdir, "bravo"),
+                             fresh(), timeline=timeline)
+        charlie = FollowerNode("charlie", os.path.join(workdir, "charlie"),
+                               fresh(), timeline=timeline)
+        group = ReplicationGroup(primary, [bravo, charlie],
+                                 promotion_window=5.0)
+
+        for index in range(8):
+            primary.execute("INSERT INTO events VALUES (?, ?)",
+                            [index, f"n{index}"])
+        primary.rotate()
+        for index in range(8, 16):
+            primary.execute("INSERT INTO events VALUES (?, ?)",
+                            [index, f"n{index}"])
+        image_path = os.path.join(workdir, "alpha", "image.json")
+        primary.checkpoint(image_path)     # rotates, then writes the image
+        for index in range(16, 20):
+            primary.execute("INSERT INTO events VALUES (?, ?)",
+                            [index, f"n{index}"])
+        group.sync()
+
+        # -- phase 0: clean state, zero false positives --------------------
+        _expect(bravo.verify_ledger() == [] and charlie.verify_ledger() == [],
+                "clean follower ledgers must verify with zero defects")
+        _expect(bravo.anti_entropy(primary).clean
+                and charlie.anti_entropy(primary).clean,
+                "clean anti-entropy round must report no divergence")
+        read_image(image_path)             # digest must verify
+        _expect(bravo.rejected_shipments == 0
+                and charlie.rejected_shipments == 0,
+                "clean shipping must reject nothing")
+
+        # -- phase 1: bit rot in a follower's sealed segment ---------------
+        rotted_path = bravo.wal_path + ".000000"
+        _flip_byte(rotted_path, fraction=0.5)
+        injected += 1
+        defects = bravo.verify_ledger()
+        _expect(len(defects) == 1 and defects[0].kind == "bit_rot"
+                and defects[0].path == rotted_path
+                and defects[0].offset is not None,
+                f"sealed-segment rot must verify as localized bit_rot, "
+                f"got {[(d.kind, d.path) for d in defects]}")
+        detected += 1
+        repair = bravo.anti_entropy(primary)
+        _expect(repair.mismatched == [0] and repair.repaired == [0]
+                and len(repair.quarantined) == 1
+                and os.path.exists(repair.quarantined[0]),
+                f"anti-entropy must quarantine and re-fetch generation 0, "
+                f"got {repair.summary()}")
+        _expect(bravo.verify_ledger() == [],
+                "repaired ledger must verify clean again")
+
+        # -- phase 2: bit rot in the primary's checkpoint image ------------
+        _flip_byte(image_path, fraction=0.5)
+        injected += 1
+        try:
+            read_image(image_path)
+            _expect(False, "rotted image must fail its digest check")
+        except StorageError as error:
+            _expect(error.kind == "digest_mismatch",
+                    f"image rot must read as digest_mismatch, "
+                    f"got {error.kind!r}")
+            detected += 1
+
+        # -- phase 3: bit rot in an in-flight shipment ---------------------
+        shipment = primary.ship()[0]
+        flipped = shipment.payload.replace("n1", "nX", 1)
+        corrupt = Shipment(shipment.generation, flipped,
+                           shipment.sealed, shipment.digest)
+        injected += 1
+        before = charlie.applied_total()
+        try:
+            charlie.apply_shipment(corrupt)
+            _expect(False, "corrupt in-flight shipment must be rejected")
+        except FederationError:
+            detected += 1
+        _expect(charlie.rejected_shipments == 1
+                and charlie.applied_total() == before,
+                "rejection must be counted and apply nothing")
+        _expect(charlie.verify_ledger() == [],
+                "a rejected shipment must not touch the local ledger")
+
+        # -- phase 4: promotion refuses the rotted candidate ---------------
+        for index in range(20, 26):
+            primary.execute("INSERT INTO events VALUES (?, ?)",
+                            [index, f"n{index}"])
+        primary.rotate()
+        charlie.catch_up(primary)          # charlie alone pulls ahead
+        rotted_charlie = charlie.wal_path + ".000002"
+        _flip_byte(rotted_charlie, fraction=0.5)
+        injected += 1
+        group.fail_primary()
+        promoted = group.promote()
+        _expect(promoted.name == "bravo",
+                f"promotion must refuse rotted charlie and elect bravo, "
+                f"elected {promoted.name!r}")
+        _expect(len(group.refused) == 1
+                and group.refused[0].startswith("charlie: bit_rot"),
+                f"the refusal ledger must name charlie's bit rot, "
+                f"got {group.refused!r}")
+        detected += 1
+
+        reference = fresh()
+        for index in range(26):
+            reference.execute("INSERT INTO events VALUES (?, ?)",
+                              [index, f"n{index}"])
+        _expect(databases_equal(promoted.database, reference),
+                "promoted database lost or duplicated statements")
+
+        # -- phase 5: the rotted survivor repairs and converges ------------
+        repair = charlie.anti_entropy(promoted)
+        _expect(repair.mismatched == [2] and repair.repaired == [2],
+                f"charlie must repair generation 2 from the new primary, "
+                f"got {repair.summary()}")
+        charlie.catch_up(promoted)
+        _expect(charlie.verify_ledger() == [],
+                "repaired survivor must verify clean")
+        _expect(databases_equal(charlie.database, reference),
+                "repaired survivor must converge to the reference")
+        mine, theirs = (sealed_digests(charlie.wal_path),
+                        sealed_digests(promoted.wal_path))
+        shared = set(mine) & set(theirs)
+        _expect(shared and all(mine[gen] == theirs[gen] for gen in shared),
+                f"sealed segments must converge byte-identical, "
+                f"digests differ on {sorted(shared)!r}")
+    _expect(injected == detected == 4,
+            f"every injected flip must be detected: "
+            f"{detected}/{injected}")
+    return (f"{injected} seeded flips (sealed segment, image, in-flight, "
+            f"promote-time) — {detected} detected, 0 applied, 0 false "
+            f"positives; quarantine + re-fetch converged byte-identical; "
+            f"rotted charlie refused promotion")
+
+
 _SCENARIOS = (
     ("intermittent-retry", scenario_intermittent_retry),
     ("outage-window", scenario_outage_window),
@@ -665,15 +850,23 @@ _SCENARIOS = (
     ("trace-correlation", scenario_trace_correlation),
     ("overload-storm", scenario_overload_storm),
     ("replica-failover", scenario_replica_failover),
+    ("bit-rot-repair", scenario_bit_rot_repair),
 )
 
 
 def run_chaos_matrix(
     concurrency: int | None = None,
+    only: str | None = None,
 ) -> list[ScenarioResult]:
-    """Run every scenario; never raises — failures land in the results."""
+    """Run every scenario (or just *only*); never raises — failures
+    land in the results."""
+    if only is not None and only not in dict(_SCENARIOS):
+        known = ", ".join(name for name, __ in _SCENARIOS)
+        raise ValueError(f"unknown scenario {only!r}; one of: {known}")
     results = []
     for name, scenario in _SCENARIOS:
+        if only is not None and name != only:
+            continue
         try:
             detail = scenario(concurrency)
         except _ScenarioFailure as failure:
@@ -687,9 +880,10 @@ def run_chaos_matrix(
     return results
 
 
-def self_test(verbose: bool = True, concurrency: int | None = None) -> bool:
+def self_test(verbose: bool = True, concurrency: int | None = None,
+              only: str | None = None) -> bool:
     """The ``python -m repro chaos --self-test`` smoke target."""
-    results = run_chaos_matrix(concurrency)
+    results = run_chaos_matrix(concurrency, only)
     if verbose:
         print("federation fault-injection scenario matrix:")
         for result in results:

@@ -62,6 +62,8 @@ class RecoveryReport:
     statements_applied: int = 0
     torn_tail_dropped: bool = False
     skew_skipped: bool = False
+    corruption_kind: "str | None" = None
+    corruption_path: "str | None" = None
     elapsed_ms: float = 0.0
 
     def summary(self) -> str:
@@ -76,6 +78,9 @@ class RecoveryReport:
             pieces.append("torn tail dropped")
         if self.skew_skipped:
             pieces.append("stale WAL skipped (generation skew)")
+        if self.corruption_kind:
+            pieces.append(f"ABORTED: {self.corruption_kind} in "
+                          f"{self.corruption_path}")
         pieces.append(f"{self.elapsed_ms:.1f} ms")
         return ", ".join(pieces)
 
@@ -90,11 +95,33 @@ def recover(image_path: str, wal_path: str,
     an error — recovery then replays the WAL from an empty database,
     which reproduces the full state whenever the log reaches back to the
     schema DDL (generation 0).
+
+    Corruption (a torn middle, a bit-rotted record, an image digest
+    mismatch) aborts with :class:`~repro.errors.StorageError`; the
+    partially-filled report rides on the exception as ``exc.report``
+    with ``corruption_kind`` / ``corruption_path`` distinguishing
+    torn-tail, corrupt-middle, and bit-rot damage — only a torn *tail*
+    is survivable, and that one is recorded in ``torn_tail_dropped``
+    on the success path instead.
     """
     report = RecoveryReport()
     started = time.perf_counter()
     database = database or Database()
 
+    try:
+        return _recover(image_path, wal_path, database, report, started)
+    except StorageError as exc:
+        report.corruption_kind = exc.kind or "corrupt"
+        report.corruption_path = exc.path
+        report.elapsed_ms = (time.perf_counter() - started) * 1000.0
+        exc.report = report
+        _metric("storage", "recoveries_aborted")
+        raise
+
+
+def _recover(image_path: str, wal_path: str, database: Database,
+             report: RecoveryReport,
+             started: float) -> tuple[Database, RecoveryReport]:
     with _span("storage.recover") as spn:
         if os.path.exists(image_path):
             image = read_image(image_path)
@@ -498,6 +525,80 @@ def _run_replica_catch_up(workdir: str) -> ScenarioResult:
         first + second)
 
 
+@_scenario("scrub-during-recovery")
+def _run_scrub_during_recovery(workdir: str) -> ScenarioResult:
+    # A crash leaves a sealed segment plus a torn active tail.  Scrub
+    # must map the damage exactly (torn tail on the active file, sealed
+    # segment clean), recovery must still succeed through it — and once
+    # a sealed record bit-rots, both tools must agree: scrub localizes
+    # the record, recovery refuses with the same structured context.
+    from repro.db.scrub import BIT_ROT, TORN_TAIL, scrub
+
+    image = os.path.join(workdir, "image.json")
+    wal_path = os.path.join(workdir, "wal.jsonl")
+    statements = _seed_statements(24)
+    split = len(statements) * 2 // 3
+
+    database = _genomic_database()
+    _apply(database, statements[:1])
+    save_database(database, image, wal_generation=0)
+    log = WriteAheadLog(wal_path, database)
+    log.attach()
+    _apply(database, statements[1:split])
+    log.rotate()
+    _apply(database, statements[split:])
+    log.close()
+    _cut_tail(wal_path)                    # crashed mid-append
+
+    crash_report = scrub(image, wal_path)
+    active = next(verdict for verdict in crash_report.verdicts
+                  if verdict.kind == "wal_active")
+    sealed = next(verdict for verdict in crash_report.verdicts
+                  if verdict.kind == "wal_sealed")
+    reference = _genomic_database()
+    _apply(reference, statements[:-1])
+    recovered, report = recover(image, wal_path,
+                                database=_genomic_database())
+    crash_ok = (crash_report.ok and active.verdict == TORN_TAIL
+                and sealed.verdict == "ok"
+                and databases_equal(recovered, reference)
+                and report.torn_tail_dropped)
+
+    # Now a sealed record rots: flip one alphanumeric byte in place.
+    sealed_path = sealed.path
+    with open(sealed_path, "rb") as handle:
+        data = bytearray(handle.read())
+    offset = next(index for index in range(len(data) // 2, len(data))
+                  if chr(data[index]).isalnum()
+                  and chr(data[index] ^ 0x01).isalnum())
+    data[offset] ^= 0x01
+    with open(sealed_path, "wb") as handle:
+        handle.write(data)
+
+    rot_report = scrub(image, wal_path)
+    rotted = next((verdict for verdict in rot_report.damaged
+                   if verdict.path == sealed_path), None)
+    try:
+        recover(image, wal_path, database=_genomic_database())
+    except StorageError as exc:
+        rot_ok = (rotted is not None and rotted.verdict == BIT_ROT
+                  and exc.kind == "bit_rot" and exc.path == sealed_path
+                  and rotted.bad_offsets
+                  and exc.record_index == rotted.bad_offsets[0][0]
+                  and exc.offset == rotted.bad_offsets[0][1]
+                  and getattr(exc, "report", None) is not None
+                  and exc.report.corruption_kind == "bit_rot")
+        detail = (f"torn tail scrubbed + recovered; rot at {offset}B "
+                  f"-> scrub record #{exc.record_index}@{exc.offset}B, "
+                  f"recovery refused in agreement")
+    else:
+        rot_ok = False
+        detail = "bit-rotted sealed segment was replayed silently"
+    return ScenarioResult("scrub-during-recovery", crash_ok and rot_ok,
+                          detail, report.statements_applied,
+                          report.elapsed_ms)
+
+
 _SCENARIOS = (
     _run_torn_tail,
     _run_torn_middle,
@@ -507,6 +608,7 @@ _SCENARIOS = (
     _run_group_commit_window,
     _run_replay_amplification,
     _run_replica_catch_up,
+    _run_scrub_during_recovery,
 )
 
 

@@ -24,19 +24,36 @@ does this in one call), then :func:`load_database` re-attaches values.
 
 The durability contract of one WAL file:
 
-- the first line is a header record ``{"$wal": 1, "generation": N}``;
-- every other line is ``{"sql": ..., "params": [...]}``;
-- a torn **final** line is a crash mid-append and is dropped on replay;
+- the first line is a header record ``{"$wal": 2, "generation": N,
+  "crc": C}`` (version 1 headers — no checksums anywhere in the file —
+  are the legacy format and stay readable, verification skipped);
+- every other line is ``{"sql": ..., "params": [...], "crc": C}`` where
+  ``C`` is the CRC32 of the record's own serialization without the
+  ``crc`` field — a flipped bit that still parses as JSON no longer
+  replays silently;
+- a torn **final** line is a crash mid-append and is dropped on replay
+  (``kind="torn_tail"``);
 - a torn line **followed by valid lines** cannot be a crashed append and
-  is reported as :class:`~repro.errors.StorageError` — silently skipping
-  it would replay a history with a hole in the middle.
+  is reported as :class:`~repro.errors.StorageError` with
+  ``kind="corrupt_middle"`` — silently skipping it would replay a
+  history with a hole in the middle;
+- a line that parses but fails its CRC is **bit rot**
+  (``kind="bit_rot"``), reported with the file, record index, and byte
+  offset so :mod:`repro.db.scrub` can localize the damage.
+
+Images carry a whole-file SHA-256 digest in their header (format 2);
+:func:`read_image` verifies it on every load and raises
+``kind="digest_mismatch"`` when the bytes under the JSON changed.
+Format-1 images (pre-digest) load with verification skipped.
 """
 
 from __future__ import annotations
 
+import hashlib
 import json
 import os
 import re
+import zlib
 from typing import Any, Sequence
 
 from repro.db.database import Database
@@ -53,6 +70,87 @@ _COLUMN_KEYS = ("name", "type", "not_null", "default")
 _INDEX_KEYS = ("name", "table", "column", "using", "parameters")
 
 _SEGMENT_SUFFIX = re.compile(r"\.(\d{6})$")
+
+#: Current on-disk format versions.  WAL version 2 adds a per-record
+#: CRC32; image format 2 adds a whole-file SHA-256 digest.  Version-1
+#: files remain readable with verification skipped (``legacy``).
+WAL_FORMAT = 2
+IMAGE_FORMAT = 2
+
+
+def checksum_line(body: str) -> str:
+    """Append a ``crc`` field to one serialized JSON-object line.
+
+    ``body`` must be a ``json.dumps`` of a dict (so it ends in ``}``);
+    the CRC32 covers exactly the bytes of *body*, which the verifier
+    reconstructs by re-serializing the parsed record without ``crc``.
+    """
+    crc = zlib.crc32(body.encode("utf-8"))
+    return f'{body[:-1]}, "crc": {crc}}}'
+
+
+def record_checksum_body(record: dict) -> str:
+    """The canonical serialization a WAL record's CRC covers."""
+    if "$wal" in record:
+        return json.dumps({"$wal": record["$wal"],
+                           "generation": record["generation"]})
+    return json.dumps({"sql": record["sql"], "params": record["params"]})
+
+
+def record_checksum_ok(record: dict) -> bool:
+    """Recompute a parsed record's CRC32 and compare it to the stored
+    ``crc`` field.  Records without one (legacy format) pass."""
+    stored = record.get("crc")
+    if stored is None:
+        return True
+    body = record_checksum_body(record)
+    return zlib.crc32(body.encode("utf-8")) == stored
+
+
+_CRC_MARK = ', "crc": '
+
+
+def line_checksum_ok(line: str, record: dict) -> bool:
+    """Verify one WAL line's CRC32, preferring the raw bytes.
+
+    :func:`checksum_line` always splices ``, "crc": N`` in as the last
+    field, so the covered body is the line with that suffix removed —
+    one ``crc32`` over the bytes as written, no re-serialization.
+    This is both faster than :func:`record_checksum_ok` (the replay
+    hot path calls this per record) and byte-exact.  Lines not in
+    writer format (foreign serialization, legacy records) fall back
+    to the semantic check, so nothing readable regresses.
+    """
+    mark = line.rfind(_CRC_MARK)
+    if mark != -1 and line.endswith("}"):
+        digits = line[mark + len(_CRC_MARK):-1]
+        if digits.isdigit():
+            crc = zlib.crc32(
+                b"}", zlib.crc32(line[:mark].encode("utf-8")))
+            if crc == int(digits):
+                return True
+    return record_checksum_ok(record)
+
+
+def fsync_directory(path: str) -> None:
+    """fsync the directory holding *path*, making a rename durable.
+
+    ``os.replace`` is atomic but not durable until the parent
+    directory's entry is flushed; a crash right after the rename can
+    roll it back.  Platforms that refuse to fsync a directory are
+    silently tolerated — the call is best-effort hardening.
+    """
+    directory = os.path.dirname(os.path.abspath(path))
+    try:
+        fd = os.open(directory, os.O_RDONLY)
+    except OSError:
+        return
+    try:
+        os.fsync(fd)
+    except OSError:
+        pass
+    finally:
+        os.close(fd)
 
 
 def _require_keys(spec: Any, keys: Sequence[str], what: str) -> None:
@@ -98,7 +196,8 @@ def _type_name(column: Column) -> str:
 def build_image(database: Database,
                 wal_generation: int | None = None) -> dict[str, Any]:
     """The image of *database* as a JSON-ready dict (what gets saved)."""
-    image: dict[str, Any] = {"format": 1, "tables": [], "indexes": []}
+    image: dict[str, Any] = {"format": IMAGE_FORMAT, "tables": [],
+                             "indexes": []}
     if wal_generation is not None:
         image["wal_generation"] = wal_generation
     for table_name in database.catalog.table_names:
@@ -133,38 +232,78 @@ def build_image(database: Database,
     return image
 
 
+def image_digest(image: dict[str, Any]) -> str:
+    """SHA-256 over the canonical serialization of an image document,
+    excluding its own ``digest`` field."""
+    body = {key: value for key, value in image.items() if key != "digest"}
+    return hashlib.sha256(
+        json.dumps(body, sort_keys=True).encode("utf-8")
+    ).hexdigest()
+
+
 def save_database(database: Database, path: str,
                   wal_generation: int | None = None) -> None:
     """Write the full database image (schema + data + index defs) to disk.
 
-    The write is atomic (temp file + rename), so a crash mid-save leaves
-    the previous image intact.  ``wal_generation`` records which WAL
-    generation this image covers; recovery skips older sealed segments.
+    The write is atomic (temp file + rename) and durable: the temp file
+    is fsynced before the rename and the parent directory after it, so
+    a crash at any point leaves either the previous image or the new
+    one — never half of each, and never a rename the disk forgot.
+    The image header carries a whole-file SHA-256 digest
+    (:func:`image_digest`) verified on every load.  ``wal_generation``
+    records which WAL generation this image covers; recovery skips
+    older sealed segments.
     """
     image = build_image(database, wal_generation)
+    image["digest"] = image_digest(image)
     temporary = path + ".tmp"
     with open(temporary, "w", encoding="utf-8") as handle:
         json.dump(image, handle)
         handle.flush()
         os.fsync(handle.fileno())
     os.replace(temporary, path)
+    fsync_directory(path)
     _metric("storage", "images_saved")
 
 
-def read_image(path: str) -> dict[str, Any]:
-    """Read and format-check an image document without restoring it."""
+def read_image(path: str, *, verify: bool = True) -> dict[str, Any]:
+    """Read and format-check an image document without restoring it.
+
+    Format-2 images carry a whole-file digest that is verified here
+    (``verify=False`` skips it — scrub does its own pass); format-1
+    images predate the digest and load with verification skipped.
+    """
     try:
         with open(path, encoding="utf-8") as handle:
             image = json.load(handle)
     except (OSError, json.JSONDecodeError) as exc:
         raise StorageError(
-            f"cannot read database image {path!r}: {exc}"
+            f"cannot read database image {path!r}: {exc}",
+            path=path, kind="malformed",
         ) from exc
-    if not isinstance(image, dict) or image.get("format") != 1:
+    if not isinstance(image, dict) \
+            or image.get("format") not in (1, IMAGE_FORMAT):
         raise StorageError(
             f"unsupported image format "
-            f"{image.get('format') if isinstance(image, dict) else image!r}"
+            f"{image.get('format') if isinstance(image, dict) else image!r}",
+            path=path, kind="malformed",
         )
+    if verify and image.get("format") == IMAGE_FORMAT:
+        stored = image.get("digest")
+        if not isinstance(stored, str):
+            raise StorageError(
+                f"image {path!r} is format {IMAGE_FORMAT} but carries "
+                f"no digest", path=path, kind="malformed",
+            )
+        actual = image_digest(image)
+        if actual != stored:
+            raise StorageError(
+                f"image {path!r} failed its whole-file digest check "
+                f"(stored {stored[:12]}…, actual {actual[:12]}…): the "
+                f"bytes under this image changed since it was written",
+                path=path, kind="digest_mismatch",
+            )
+        _metric("storage", "images_verified")
     _require_keys(image, ("tables", "indexes"), "image")
     return image
 
@@ -215,8 +354,32 @@ def load_database(path: str, database: Database | None = None) -> Database:
     return restore_image(read_image(path), database)
 
 
-def _header_record(generation: int) -> str:
-    return json.dumps({"$wal": 1, "generation": generation}) + "\n"
+def list_sealed_segments(wal_path: str) -> list[tuple[int, str]]:
+    """Sealed ``<wal>.NNNNNN`` segment files next to a WAL,
+    ``(generation, path)`` in ascending generation order."""
+    directory, base = os.path.split(wal_path)
+    directory = directory or "."
+    segments: list[tuple[int, str]] = []
+    try:
+        entries = os.listdir(directory)
+    except OSError:
+        return []
+    for entry in entries:
+        if not entry.startswith(base + "."):
+            continue
+        match = _SEGMENT_SUFFIX.search(entry)
+        if match and entry == f"{base}.{match.group(1)}":
+            segments.append((int(match.group(1)),
+                             os.path.join(directory, entry)))
+    segments.sort()
+    return segments
+
+
+def _header_record(generation: int, *, checksums: bool = True) -> str:
+    if not checksums:
+        return json.dumps({"$wal": 1, "generation": generation}) + "\n"
+    body = json.dumps({"$wal": WAL_FORMAT, "generation": generation})
+    return checksum_line(body) + "\n"
 
 
 def segment_generation(path: str) -> int | None:
@@ -232,6 +395,8 @@ def segment_generation(path: str) -> int | None:
                 except json.JSONDecodeError:
                     return None
                 if isinstance(record, dict) and "$wal" in record:
+                    if not record_checksum_ok(record):
+                        return None    # bit-rotted header: don't trust it
                     try:
                         return int(record.get("generation", 0))
                     except (ValueError, TypeError):
@@ -242,17 +407,48 @@ def segment_generation(path: str) -> int | None:
     return None
 
 
+def _line_offset(lines: Sequence[str], index: int) -> int:
+    """Byte offset where line *index* starts (computed only on error)."""
+    return sum(len(line.encode("utf-8")) for line in lines[:index])
+
+
 def read_wal_records(path: str, *,
-                     allow_torn_tail: bool = True) -> tuple[list[dict], bool]:
+                     allow_torn_tail: bool = True,
+                     verify: bool = True) -> tuple[list[dict], bool]:
     """Parse one WAL file into records (headers dropped).
 
-    Returns ``(records, torn_tail)``.  A torn record anywhere but the
-    final line — or a torn final line when ``allow_torn_tail`` is false —
-    raises :class:`StorageError`: a hole in the middle of the history is
-    corruption, not a crashed append.
+    Returns ``(records, torn_tail)``.  Three kinds of damage are told
+    apart, each raising :class:`StorageError` with structured context
+    (``path`` / ``record_index`` / ``offset`` / ``kind``):
+
+    - an unparseable **final** line is a crashed append
+      (``torn_tail``) — dropped when ``allow_torn_tail`` is true;
+    - an unparseable line **followed by valid lines** cannot be a
+      crashed append (``corrupt_middle``): a hole in the middle of the
+      history is corruption, never replayed around;
+    - a line that parses but fails its CRC32 is **bit rot**
+      (``bit_rot``) — the silent killer this check exists for, since
+      a flipped bit that still parses would otherwise be applied,
+      shipped to followers, and served.
+
+    Legacy records without a ``crc`` field pass unverified (the
+    pre-checksum format stays readable); ``verify=False`` skips CRC
+    recomputation entirely.
     """
     with open(path, encoding="utf-8") as handle:
-        lines = handle.readlines()
+        payload = handle.read()
+    return parse_wal_payload(payload, path=path,
+                             allow_torn_tail=allow_torn_tail, verify=verify)
+
+
+def parse_wal_payload(payload: str, *, path: str = "<payload>",
+                      allow_torn_tail: bool = True,
+                      verify: bool = True) -> tuple[list[dict], bool]:
+    """:func:`read_wal_records` over an in-memory payload.
+
+    Replication verifies shipments through this before a byte touches
+    the follower's disk; *path* only labels the errors."""
+    lines = payload.splitlines(keepends=True)
     records: list[dict] = []
     for index, line in enumerate(lines):
         stripped = line.strip()
@@ -265,20 +461,41 @@ def read_wal_records(path: str, *,
                 raise StorageError(
                     f"torn WAL record at {path}:{index + 1} is followed "
                     f"by valid records; the log is corrupt, refusing to "
-                    f"replay around the hole"
+                    f"replay around the hole",
+                    path=path, record_index=index + 1,
+                    offset=_line_offset(lines, index),
+                    kind="corrupt_middle",
                 ) from exc
             if not allow_torn_tail:
                 raise StorageError(
-                    f"torn WAL record at {path}:{index + 1}"
+                    f"torn WAL record at {path}:{index + 1}",
+                    path=path, record_index=index + 1,
+                    offset=_line_offset(lines, index),
+                    kind="torn_tail",
                 ) from exc
             return records, True
-        if isinstance(record, dict) and "$wal" in record:
-            continue
-        if not isinstance(record, dict) or "sql" not in record \
-                or "params" not in record:
+        is_header = isinstance(record, dict) and "$wal" in record
+        if not is_header and (not isinstance(record, dict)
+                              or "sql" not in record
+                              or "params" not in record):
             raise StorageError(
-                f"malformed WAL record at {path}:{index + 1}: {record!r}"
+                f"malformed WAL record at {path}:{index + 1}: {record!r}",
+                path=path, record_index=index + 1,
+                offset=_line_offset(lines, index),
+                kind="malformed",
             )
+        if verify and not line_checksum_ok(stripped, record):
+            raise StorageError(
+                f"WAL record at {path}:{index + 1} fails its CRC32 "
+                f"check: the bytes rotted since they were written "
+                f"(the record still parses, so without the checksum "
+                f"it would have replayed silently)",
+                path=path, record_index=index + 1,
+                offset=_line_offset(lines, index),
+                kind="bit_rot",
+            )
+        if is_header:
+            continue
         records.append(record)
     return records, False
 
@@ -308,6 +525,12 @@ class WriteAheadLog:
     per statement — kept only as the ablation baseline for
     ``benchmarks/bench_ablation_recovery.py``.
 
+    Every record (and the header) carries a CRC32 over its own
+    serialization, verified on replay; ``checksums=False`` writes the
+    legacy version-1 format — kept as the A13 ablation baseline
+    (``benchmarks/bench_ablation_integrity.py``) and for
+    byte-compatibility tests against pre-checksum files.
+
     :meth:`replay` re-executes the log against a database restored from
     the last checkpoint image, with the target's WAL sink suppressed so
     replay never re-appends to the log it is reading.
@@ -315,12 +538,13 @@ class WriteAheadLog:
 
     def __init__(self, path: str, database: Database, *,
                  flush_every_n: int = 1, fsync: bool = False,
-                 reopen_each: bool = False) -> None:
+                 reopen_each: bool = False, checksums: bool = True) -> None:
         self.path = path
         self._database = database
         self.flush_every_n = max(1, int(flush_every_n))
         self.fsync = fsync
         self._reopen_each = reopen_each
+        self.checksums = checksums
         self._handle = None
         self._pending = 0
         self._generation = self._initial_generation()
@@ -380,20 +604,25 @@ class WriteAheadLog:
             "params": [_encode_value(value, self._database)
                        for value in parameters],
         }
-        line = json.dumps(record) + "\n"
+        body = json.dumps(record)
+        if self.checksums:
+            body = checksum_line(body)
+        line = body + "\n"
         _metric("storage", "wal_appends")
         if self._reopen_each:
             blank = self._file_is_blank()
             with open(self.path, "a", encoding="utf-8") as handle:
                 if blank:
-                    handle.write(_header_record(self._generation))
+                    handle.write(_header_record(
+                        self._generation, checksums=self.checksums))
                 handle.write(line)
             return
         if self._handle is None:
             blank = self._file_is_blank()
             self._handle = open(self.path, "a", encoding="utf-8")
             if blank:
-                self._handle.write(_header_record(self._generation))
+                self._handle.write(_header_record(
+                    self._generation, checksums=self.checksums))
         self._handle.write(line)
         self._pending += 1
         if self._pending >= self.flush_every_n:
@@ -404,22 +633,7 @@ class WriteAheadLog:
     def sealed_segments(self) -> list[tuple[int, str]]:
         """Sealed segment files next to the log, ``(generation, path)``
         in ascending generation order."""
-        directory, base = os.path.split(self.path)
-        directory = directory or "."
-        segments: list[tuple[int, str]] = []
-        try:
-            entries = os.listdir(directory)
-        except OSError:
-            return []
-        for entry in entries:
-            if not entry.startswith(base + "."):
-                continue
-            match = _SEGMENT_SUFFIX.search(entry)
-            if match and entry == f"{base}.{match.group(1)}":
-                segments.append((int(match.group(1)),
-                                 os.path.join(directory, entry)))
-        segments.sort()
-        return segments
+        return list_sealed_segments(self.path)
 
     def rotate(self) -> str | None:
         """Seal the active segment and start a fresh one.
@@ -439,13 +653,19 @@ class WriteAheadLog:
             # would fall back to generation 0 and recovery would
             # skew-skip everything appended since the last checkpoint.
             with open(self.path, "w", encoding="utf-8") as handle:
-                handle.write(_header_record(self._generation))
+                handle.write(_header_record(
+                    self._generation, checksums=self.checksums))
             return None
         sealed_path = f"{self.path}.{self._generation:06d}"
         os.replace(self.path, sealed_path)
+        if self.fsync:
+            # The seal rename must survive a crash just like the
+            # records behind it: flush the directory entry too.
+            fsync_directory(sealed_path)
         self._generation += 1
         with open(self.path, "w", encoding="utf-8") as handle:
-            handle.write(_header_record(self._generation))
+            handle.write(_header_record(
+                self._generation, checksums=self.checksums))
         _metric("storage", "wal_rotations")
         return sealed_path
 

@@ -94,7 +94,34 @@ class TransactionError(DatabaseError):
 
 
 class StorageError(DatabaseError):
-    """Persistence failed (corrupt image, bad WAL record)."""
+    """Persistence failed (corrupt image, bad WAL record).
+
+    Mirrors :class:`SourceError`'s structured context: ``path`` names
+    the damaged file, ``record_index`` the 1-based line of the bad WAL
+    record (``None`` for whole-file damage), ``offset`` the byte offset
+    where the damage starts, and ``kind`` classifies it —
+    ``torn_tail`` (crashed append, recoverable), ``corrupt_middle``
+    (unparseable record followed by valid ones), ``bit_rot`` (parseable
+    record whose CRC32 does not match), ``digest_mismatch`` (image
+    whole-file digest failed), or ``malformed`` (structurally wrong
+    record/spec).  Scrub and recovery reports localize damage from
+    these fields instead of parsing message strings.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        path: "str | None" = None,
+        record_index: "int | None" = None,
+        offset: "int | None" = None,
+        kind: "str | None" = None,
+    ) -> None:
+        super().__init__(message)
+        self.path = path
+        self.record_index = record_index
+        self.offset = offset
+        self.kind = kind
 
 
 # ---------------------------------------------------------------------------

@@ -12,16 +12,21 @@ The package splits into three layers, bottom up:
   per-shard admission-controlled serving, plus the calibrated
   :func:`sharded_federation` fixture;
 - :mod:`repro.federation.replication` — WAL shipping
-  (:class:`PrimaryNode` / :class:`FollowerNode`) and deterministic
-  failover (:class:`ReplicationGroup`).
+  (:class:`PrimaryNode` / :class:`FollowerNode`), digest-verified
+  shipments with anti-entropy read-repair
+  (:class:`AntiEntropyReport`), and deterministic failover
+  (:class:`ReplicationGroup`).
 """
 
 from repro.federation.replication import (
+    AntiEntropyReport,
     FollowerNode,
     PrimaryNode,
     ReplicationGroup,
     Shipment,
     disk_shipments,
+    payload_digest,
+    sealed_digests,
 )
 from repro.federation.router import (
     ShardedMediator,
@@ -36,6 +41,7 @@ from repro.federation.serving import (
 from repro.federation.sharding import ShardMap, ShardSlice
 
 __all__ = [
+    "AntiEntropyReport",
     "FollowerNode",
     "PrimaryNode",
     "ReplicationGroup",
@@ -48,5 +54,7 @@ __all__ = [
     "fuse_batches",
     "fuse_rows",
     "merge_health",
+    "payload_digest",
+    "sealed_digests",
     "sharded_federation",
 ]

@@ -20,50 +20,118 @@ WriteAheadLog`; replication is nothing more than **shipping that log**:
   cache's semantics: virtual time since the last complete catch-up, an
   explicit honesty label for every read it serves.
 
+Replication is only as trustworthy as the bytes it ships, so the
+protocol is **end-to-end verified**:
+
+- every :class:`Shipment` carries a SHA-256 digest of its payload;
+  :meth:`FollowerNode.apply_shipment` recomputes it before writing a
+  byte — corruption in flight is rejected, counted, and never applied;
+- the per-record WAL CRCs (:mod:`repro.db.storage`) are verified again
+  at apply time, so a record that rotted on the *primary's* disk stops
+  at the first follower instead of spreading;
+- **anti-entropy** (:meth:`FollowerNode.anti_entropy`) exchanges
+  per-generation digests of the sealed segments with the primary; a
+  diverged or bit-rotted local copy is quarantined
+  (``*.quarantined``) and re-fetched from the primary (read-repair),
+  with the apply ledger deduplicating so nothing applies twice;
+- :meth:`FollowerNode.verify_ledger` scrubs the local segment files,
+  and :meth:`ReplicationGroup.promote` refuses to elect a follower
+  whose ledger fails it — a corrupt replica can lag, but it can never
+  become the source of truth.
+
 :class:`ReplicationGroup` adds failover: when the primary dies,
 :meth:`~ReplicationGroup.promote` picks the most-caught-up follower
-(deterministically — ledger total, then roster order), drains whatever
-the dead primary left **on disk** via :func:`disk_shipments` (this is
-where the WAL-header bugfixes earn their keep: a header-less or
-garbled active segment would silently restart generation numbering and
-recovery would skew-skip it), and stands the follower up as a new
-:class:`PrimaryNode` whose WAL continues the generation sequence.
+(deterministically — ledger total, then roster order) whose ledger
+verifies, drains whatever the dead primary left **on disk** via
+:func:`disk_shipments` (this is where the WAL-header bugfixes earn
+their keep: a header-less or garbled active segment would silently
+restart generation numbering and recovery would skew-skip it), and
+stands the follower up as a new :class:`PrimaryNode` whose WAL
+continues the generation sequence.
 """
 
 from __future__ import annotations
 
+import hashlib
 import os
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Sequence
 
 from repro.db.database import Database
 from repro.db.storage import (
     WriteAheadLog,
     apply_wal_records,
+    list_sealed_segments,
+    parse_wal_payload,
     read_wal_records,
     save_database,
     segment_generation,
 )
-from repro.errors import FederationError
+from repro.errors import FederationError, StorageError
 from repro.obs.metrics import count as _metric, gauge as _gauge
 from repro.obs.trace import span as _span
 
 _ACTIVE_NAME = "wal.jsonl"
 
 
+def payload_digest(payload: str) -> str:
+    """SHA-256 over a shipment payload (the whole WAL file's text)."""
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
+def file_digest(path: str) -> "str | None":
+    """SHA-256 of one on-disk WAL file, or ``None`` if unreadable."""
+    try:
+        with open(path, encoding="utf-8") as handle:
+            return payload_digest(handle.read())
+    except OSError:
+        return None
+
+
 @dataclass(frozen=True)
 class Shipment:
-    """One WAL file in flight: its generation, full payload, and
-    whether it is sealed (immutable) or the still-growing active log."""
+    """One WAL file in flight: its generation, full payload, whether it
+    is sealed (immutable) or the still-growing active log, and the
+    SHA-256 digest of the payload as the sender read it (``None`` only
+    for hand-built legacy shipments — those apply unverified)."""
 
     generation: int
     payload: str
     sealed: bool
+    digest: "str | None" = None
 
     def __repr__(self) -> str:
         kind = "sealed" if self.sealed else "active"
         return (f"Shipment(gen={self.generation}, {kind}, "
                 f"{len(self.payload)}B)")
+
+
+@dataclass
+class AntiEntropyReport:
+    """What one anti-entropy round against the primary found and fixed.
+
+    ``checked`` counts the primary's sealed generations compared;
+    ``mismatched`` the generations whose local digest disagreed;
+    ``quarantined`` the local files set aside as ``*.quarantined``;
+    ``repaired`` the generations re-fetched clean from the primary."""
+
+    follower: str
+    checked: int = 0
+    mismatched: list[int] = field(default_factory=list)
+    quarantined: list[str] = field(default_factory=list)
+    repaired: list[int] = field(default_factory=list)
+
+    @property
+    def clean(self) -> bool:
+        return not self.mismatched
+
+    def summary(self) -> str:
+        if self.clean:
+            return (f"{self.follower}: {self.checked} sealed "
+                    f"generation(s) verified, no divergence")
+        return (f"{self.follower}: {self.checked} checked, "
+                f"generations {self.mismatched} diverged, "
+                f"{len(self.repaired)} repaired from primary")
 
 
 def disk_shipments(wal_path: str) -> list[Shipment]:
@@ -73,29 +141,34 @@ def disk_shipments(wal_path: str) -> list[Shipment]:
     the active file — whose generation comes from its ``$wal`` header
     (``None`` falls back to one past the newest sealed segment, the
     same inference :class:`WriteAheadLog` makes on reopen)."""
-    directory, base = os.path.split(wal_path)
-    directory = directory or "."
     shipments: list[Shipment] = []
-    sealed: list[tuple[int, str]] = []
-    try:
-        entries = os.listdir(directory)
-    except OSError:
-        return []
-    for entry in entries:
-        prefix = base + "."
-        if entry.startswith(prefix) and entry[len(prefix):].isdigit():
-            sealed.append((int(entry[len(prefix):]),
-                           os.path.join(directory, entry)))
-    for generation, path in sorted(sealed):
+    sealed = list_sealed_segments(wal_path)
+    for generation, path in sealed:
         with open(path, encoding="utf-8") as handle:
-            shipments.append(Shipment(generation, handle.read(), True))
+            payload = handle.read()
+        shipments.append(
+            Shipment(generation, payload, True, payload_digest(payload)))
     if os.path.exists(wal_path) and os.path.getsize(wal_path) > 0:
         generation = segment_generation(wal_path)
         if generation is None:
             generation = sealed and max(pair[0] for pair in sealed) + 1 or 0
         with open(wal_path, encoding="utf-8") as handle:
-            shipments.append(Shipment(generation, handle.read(), False))
+            payload = handle.read()
+        shipments.append(
+            Shipment(generation, payload, False, payload_digest(payload)))
     return shipments
+
+
+def sealed_digests(wal_path: str) -> dict[int, str]:
+    """Per-generation SHA-256 digests of the sealed segments next to
+    ``wal_path`` — the anti-entropy exchange currency.  Unreadable
+    files are omitted (they will show up as a mismatch instead)."""
+    digests: dict[int, str] = {}
+    for generation, path in list_sealed_segments(wal_path):
+        digest = file_digest(path)
+        if digest is not None:
+            digests[generation] = digest
+    return digests
 
 
 class PrimaryNode:
@@ -144,6 +217,27 @@ class PrimaryNode:
         _metric("federation", "wal_ship_rounds")
         return disk_shipments(self.wal_path)
 
+    def segment_digests(self) -> dict[int, str]:
+        """Per-generation digests of the sealed segments — what a
+        follower compares against during anti-entropy."""
+        if not self.alive:
+            raise FederationError(f"primary {self.name!r} is down")
+        return sealed_digests(self.wal_path)
+
+    def fetch_segment(self, generation: int) -> Shipment:
+        """Re-ship one sealed segment for read-repair."""
+        if not self.alive:
+            raise FederationError(f"primary {self.name!r} is down")
+        path = f"{self.wal_path}.{generation:06d}"
+        try:
+            with open(path, encoding="utf-8") as handle:
+                payload = handle.read()
+        except OSError as exc:
+            raise FederationError(
+                f"primary {self.name!r} has no sealed generation "
+                f"{generation}: {exc}") from exc
+        return Shipment(generation, payload, True, payload_digest(payload))
+
     def crash(self) -> None:
         """Die.  Files survive; the handle and the object do not."""
         self.wal.close()
@@ -174,15 +268,39 @@ class FollowerNode:
         self.wal_path = os.path.join(directory, _ACTIVE_NAME)
         self.applied: dict[int, int] = {}
         self.last_catchup = timeline.now()
+        self.rejected_shipments = 0
+        self.last_rejection: str | None = None
 
     def apply_shipment(self, shipment: Shipment) -> int:
-        """Persist and replay one shipment; returns statements applied."""
+        """Verify, persist, and replay one shipment; returns statements
+        applied.
+
+        Integrity is checked **before** a byte touches disk: the
+        shipment digest must match its payload, and the payload must
+        replay cleanly through :func:`read_wal_records` (per-record
+        CRCs included) — a corrupt shipment is rejected whole, counted
+        in ``rejected_shipments``, and the previous local copy of that
+        generation survives untouched."""
+        if (shipment.digest is not None
+                and payload_digest(shipment.payload) != shipment.digest):
+            self._reject(shipment, "digest mismatch in flight")
         path = (f"{self.wal_path}.{shipment.generation:06d}"
                 if shipment.sealed else self.wal_path)
+        try:
+            records, __ = parse_wal_payload(
+                shipment.payload,
+                path=f"<shipment gen {shipment.generation}>",
+                allow_torn_tail=not shipment.sealed)
+        except StorageError as exc:
+            self._reject(shipment, f"{exc.kind or 'corrupt'} payload: {exc}")
+        done = self.applied.get(shipment.generation, 0)
+        if done > len(records):
+            self._reject(
+                shipment,
+                f"diverged: ledger says {done} records applied but the "
+                f"shipment carries only {len(records)}")
         with open(path, "w", encoding="utf-8") as handle:
             handle.write(shipment.payload)
-        records, __ = read_wal_records(path, allow_torn_tail=True)
-        done = self.applied.get(shipment.generation, 0)
         fresh = records[done:]
         applied = apply_wal_records(fresh, self.database)
         self.applied[shipment.generation] = done + applied
@@ -191,16 +309,92 @@ class FollowerNode:
         _metric("federation", "replica_statements", applied)
         return applied
 
+    def _reject(self, shipment: Shipment, reason: str) -> None:
+        self.rejected_shipments += 1
+        self.last_rejection = (
+            f"generation {shipment.generation}: {reason}")
+        _metric("federation", "shipments_rejected")
+        raise FederationError(
+            f"follower {self.name!r} rejected shipment "
+            f"{self.last_rejection}")
+
     def catch_up(self, primary: PrimaryNode) -> int:
-        """Pull and apply everything the primary can ship; resets the
-        staleness clock only on this complete round-trip."""
+        """Pull and apply everything the primary can ship.
+
+        The staleness clock resets only on a **complete** round-trip: a
+        rejected shipment stops the round (later generations must not
+        apply over a gap) and leaves ``last_catchup`` untouched, so the
+        staleness bound keeps telling the truth about a replica that is
+        falling behind because its feed is corrupt."""
+        applied = 0
         with _span("replica.catch_up", follower=self.name,
                    primary=primary.name):
-            applied = sum(self.apply_shipment(shipment)
-                          for shipment in primary.ship())
+            for shipment in primary.ship():
+                try:
+                    applied += self.apply_shipment(shipment)
+                except FederationError:
+                    return applied
         self.last_catchup = self.timeline.now()
         _gauge("federation", f"replica_{self.name}_staleness", 0.0)
         return applied
+
+    def segment_digests(self) -> dict[int, str]:
+        """Digests of the *local* sealed segments (anti-entropy)."""
+        return sealed_digests(self.wal_path)
+
+    def anti_entropy(self, primary: PrimaryNode) -> "AntiEntropyReport":
+        """Compare sealed-segment digests with the primary and repair.
+
+        For every generation the primary has sealed: a missing local
+        copy is left for :meth:`catch_up`; a digest mismatch (bit rot
+        or divergence) quarantines the local file as
+        ``<name>.quarantined`` and re-fetches the segment from the
+        primary.  The apply ledger deduplicates the replay, so repair
+        never double-applies a statement."""
+        report = AntiEntropyReport(follower=self.name)
+        with _span("replica.anti_entropy", follower=self.name,
+                   primary=primary.name):
+            local = self.segment_digests()
+            for generation, digest in sorted(
+                    primary.segment_digests().items()):
+                report.checked += 1
+                mine = local.get(generation)
+                if mine is None:
+                    path = f"{self.wal_path}.{generation:06d}"
+                    if not os.path.exists(path):
+                        continue  # never shipped; catch_up's job
+                if mine == digest:
+                    continue
+                report.mismatched.append(generation)
+                path = f"{self.wal_path}.{generation:06d}"
+                quarantine = f"{path}.quarantined"
+                os.replace(path, quarantine)
+                report.quarantined.append(quarantine)
+                _metric("federation", "segments_quarantined")
+                self.apply_shipment(primary.fetch_segment(generation))
+                report.repaired.append(generation)
+                _metric("federation", "segments_repaired")
+        return report
+
+    def verify_ledger(self) -> list[StorageError]:
+        """Scrub the local segment files; returns every defect found.
+
+        Sealed segments must parse completely with valid CRCs; the
+        active file may end in a torn tail (a crashed shipment) but
+        must otherwise verify.  An empty list means this follower is
+        fit for promotion."""
+        defects: list[StorageError] = []
+        for __, path in list_sealed_segments(self.wal_path):
+            try:
+                read_wal_records(path, allow_torn_tail=False)
+            except StorageError as exc:
+                defects.append(exc)
+        if os.path.exists(self.wal_path):
+            try:
+                read_wal_records(self.wal_path, allow_torn_tail=True)
+            except StorageError as exc:
+                defects.append(exc)
+        return defects
 
     def staleness_bound(self) -> float:
         """Virtual time since the last complete catch-up — the honest
@@ -229,6 +423,8 @@ class ReplicationGroup:
         self.followers = list(followers)
         self.promotion_window = promotion_window
         self.last_promotion: float | None = None
+        #: Candidates refused at the last promotion (corrupt ledgers).
+        self.refused: list[str] = []
 
     def sync(self) -> int:
         """Every follower catches up; returns total statements applied."""
@@ -242,11 +438,16 @@ class ReplicationGroup:
         """Fail over: stand up the most-caught-up follower as primary.
 
         Deterministic choice — highest ledger total, roster order on
-        ties.  The candidate first drains whatever the dead primary's
-        *disk* still holds (its ledger skips everything it already
-        applied), then reopens the shipped WAL as its own: the ``$wal``
-        header makes the new :class:`WriteAheadLog` continue the old
-        generation sequence instead of restarting at zero."""
+        ties — **among followers whose ledger verifies**: a candidate
+        whose local segments fail :meth:`FollowerNode.verify_ledger`
+        is refused (a bit-rotted replica must never become the source
+        of truth), and the next candidate is tried.  The winner drains
+        whatever the dead primary's *disk* still holds (its ledger
+        skips everything it already applied; a shipment that fails its
+        integrity checks is skipped — a rotting dead disk cannot poison
+        the new primary), then reopens the shipped WAL as its own: the
+        ``$wal`` header makes the new :class:`WriteAheadLog` continue
+        the old generation sequence instead of restarting at zero."""
         if self.primary.alive:
             raise FederationError(
                 f"primary {self.primary.name!r} is still up")
@@ -254,12 +455,32 @@ class ReplicationGroup:
             raise FederationError("no follower to promote")
         started = self.followers[0].timeline.now()
         with _span("replica.promote", dead=self.primary.name):
-            candidate = max(self.followers,
-                            key=lambda follower: follower.applied_total())
+            candidate = None
+            self.refused = []
+            order = sorted(
+                range(len(self.followers)),
+                key=lambda i: (-self.followers[i].applied_total(), i))
+            for index in order:
+                contender = self.followers[index]
+                defects = contender.verify_ledger()
+                if not defects:
+                    candidate = contender
+                    break
+                self.refused.append(
+                    f"{contender.name}: {defects[0].kind or 'corrupt'} "
+                    f"in {defects[0].path}")
+                _metric("federation", "promotions_refused_corrupt")
+            if candidate is None:
+                raise FederationError(
+                    "no follower passed ledger verification; refused: "
+                    + "; ".join(self.refused))
             # Final drain straight from the dead primary's directory.
-            salvaged = sum(candidate.apply_shipment(shipment)
-                           for shipment in
-                           disk_shipments(self.primary.wal_path))
+            salvaged = 0
+            for shipment in disk_shipments(self.primary.wal_path):
+                try:
+                    salvaged += candidate.apply_shipment(shipment)
+                except FederationError:
+                    _metric("federation", "salvage_skipped")
             candidate.last_catchup = candidate.timeline.now()
             promoted = PrimaryNode(
                 candidate.name, candidate.directory, candidate.database,

@@ -495,3 +495,132 @@ class TestCrashMatrixHarness:
         assert self_test(verbose=True)
         out = capsys.readouterr().out
         assert "scenarios recovered correctly" in out
+
+
+class TestChecksumIntegrity:
+    def _crashed_state(self, db, tmp_path, **wal_options):
+        image = str(tmp_path / "image.json")
+        wal_path = str(tmp_path / "wal.jsonl")
+        save_database(db, image)
+        wal = WriteAheadLog(wal_path, db, **wal_options)
+        wal.attach()
+        db.execute("INSERT INTO t VALUES (3, 'cc')")
+        db.execute("INSERT INTO t VALUES (4, 'dd')")
+        wal.close()
+        return image, wal_path
+
+    def test_bit_rot_detected_with_structured_context(self, db, tmp_path):
+        image, wal_path = self._crashed_state(db, tmp_path)
+        with open(wal_path) as handle:
+            payload = handle.read()
+        with open(wal_path, "w") as handle:
+            handle.write(payload.replace("cc", "cd"))
+        with pytest.raises(StorageError) as excinfo:
+            recover(image, wal_path)
+        error = excinfo.value
+        assert error.kind == "bit_rot"
+        assert error.path == wal_path
+        assert error.record_index == 2      # header is line 1
+        assert error.offset is not None and error.offset > 0
+        # The aborted report rides on the exception, classified.
+        assert error.report.corruption_kind == "bit_rot"
+        assert error.report.corruption_path == wal_path
+        assert "ABORTED" in error.report.summary()
+
+    def test_corrupt_middle_context(self, db, tmp_path):
+        __, wal_path = self._crashed_state(db, tmp_path)
+        with open(wal_path) as handle:
+            lines = handle.readlines()
+        lines[1] = lines[1][:10] + "\n"      # torn, but not the tail
+        with open(wal_path, "w") as handle:
+            handle.writelines(lines)
+        with pytest.raises(StorageError) as excinfo:
+            read_wal_records(wal_path)
+        assert excinfo.value.kind == "corrupt_middle"
+        assert excinfo.value.record_index == 2
+
+    def test_image_digest_mismatch_context(self, db, tmp_path):
+        from repro.db.storage import read_image
+
+        image, __ = self._crashed_state(db, tmp_path)
+        with open(image) as handle:
+            payload = handle.read()
+        with open(image, "w") as handle:
+            handle.write(payload.replace('"a"', '"z"'))
+        with pytest.raises(StorageError) as excinfo:
+            read_image(image)
+        assert excinfo.value.kind == "digest_mismatch"
+        assert excinfo.value.path == image
+
+    def test_legacy_unchecksummed_wal_still_recovers(self, db, tmp_path):
+        image, wal_path = self._crashed_state(db, tmp_path,
+                                              checksums=False)
+        records, __ = read_wal_records(wal_path)
+        assert all("crc" not in record for record in records)
+        recovered, report = recover(image, wal_path)
+        assert report.statements_applied == 2
+        assert recovered.query("SELECT count(*) FROM t").scalar() == 4
+
+    def test_truncation_cannot_fake_a_valid_crc(self, db, tmp_path):
+        # The crc field is spliced in LAST, so a torn record can never
+        # parse as checksummed JSON: tearing is always torn_tail /
+        # corrupt_middle, and bit_rot always means rotted bytes.
+        __, wal_path = self._crashed_state(db, tmp_path)
+        with open(wal_path) as handle:
+            final = handle.readlines()[-1].rstrip("\n")
+        for cut in range(1, len(final) - 1):
+            try:
+                record = json.loads(final[:-cut])
+            except json.JSONDecodeError:
+                continue
+            assert "crc" not in record
+
+
+class TestDirectoryFsyncDurability:
+    """The rename-durability bugfix: ``os.replace`` alone is atomic but
+    not durable — a crash right after it can roll the rename back.
+    ``save_database`` and sealing rotations must flush the directory."""
+
+    def _record_fsyncs(self, monkeypatch):
+        import repro.db.storage as storage
+
+        flushed = []
+        original = storage.fsync_directory
+        monkeypatch.setattr(
+            storage, "fsync_directory",
+            lambda path: (flushed.append(path), original(path))[1])
+        return flushed
+
+    def test_save_database_flushes_the_directory(self, db, tmp_path,
+                                                 monkeypatch):
+        flushed = self._record_fsyncs(monkeypatch)
+        image = str(tmp_path / "image.json")
+        save_database(db, image)
+        assert image in flushed
+
+    def test_sealing_rotation_flushes_with_fsync_on(self, db, tmp_path,
+                                                    monkeypatch):
+        flushed = self._record_fsyncs(monkeypatch)
+        wal_path = str(tmp_path / "wal.jsonl")
+        wal = WriteAheadLog(wal_path, db, fsync=True)
+        wal.attach()
+        db.execute("INSERT INTO t VALUES (3, 'c')")
+        sealed = wal.rotate()
+        wal.close()
+        assert sealed in flushed
+
+    def test_rotation_without_fsync_skips_the_flush(self, db, tmp_path,
+                                                    monkeypatch):
+        flushed = self._record_fsyncs(monkeypatch)
+        wal_path = str(tmp_path / "wal.jsonl")
+        wal = WriteAheadLog(wal_path, db)
+        wal.attach()
+        db.execute("INSERT INTO t VALUES (3, 'c')")
+        sealed = wal.rotate()
+        wal.close()
+        assert sealed is not None and sealed not in flushed
+
+    def test_fsync_directory_tolerates_unsyncable_directories(self):
+        from repro.db.storage import fsync_directory
+
+        fsync_directory("/definitely/not/a/real/path/file.json")

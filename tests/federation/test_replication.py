@@ -1,11 +1,15 @@
-"""WAL shipping, the per-generation apply ledger, and failover.
+"""WAL shipping, the per-generation apply ledger, failover, and the
+end-to-end integrity protocol.
 
 The invariants under test, in the order of operational pain they
 prevent: no statement is ever applied twice (re-shipping a grown
 segment applies only the suffix), a torn tail dedups (dropped now,
-applied exactly once when complete), staleness bounds are honest, and
+applied exactly once when complete), staleness bounds are honest,
 promotion picks the most-caught-up follower and continues the dead
-primary's generation numbering.
+primary's generation numbering — and corruption never crosses a node
+boundary: tampered shipments are rejected before a byte lands,
+anti-entropy quarantines and re-fetches rotted segments, and a
+follower whose ledger fails verification is refused promotion.
 """
 
 import os
@@ -19,7 +23,10 @@ from repro.federation import (
     FollowerNode,
     PrimaryNode,
     ReplicationGroup,
+    Shipment,
     disk_shipments,
+    payload_digest,
+    sealed_digests,
 )
 from repro.sources import VirtualClock
 
@@ -201,6 +208,187 @@ class TestFailover:
         group.fail_primary()
         with pytest.raises(FederationError):
             group.promote()
+
+
+class TestReplicationEdgeCases:
+    def test_staleness_bound_with_zero_shipments(self, cluster):
+        group, timeline = cluster
+        follower = group.followers[0]
+        timeline.advance(3.0)
+        assert follower.staleness_bound() == pytest.approx(3.0)
+        # A catch-up against an idle primary ships nothing, but it IS a
+        # complete round-trip: the staleness clock must still reset.
+        assert follower.catch_up(group.primary) == 0
+        assert follower.staleness_bound() == 0.0
+
+    def test_promote_tie_break_is_roster_order(self, cluster):
+        group, __ = cluster
+        for index in range(4):
+            group.primary.execute("INSERT INTO t VALUES (?, ?)",
+                                  [index, f"v{index}"])
+        group.sync()                   # both followers equally caught up
+        assert (group.followers[0].applied_total()
+                == group.followers[1].applied_total())
+        group.fail_primary()
+        promoted = group.promote()
+        assert promoted.name == "bravo"    # roster order breaks the tie
+        assert group.refused == []
+
+    def test_segment_sealed_mid_catch_up_reships_only_the_suffix(
+            self, cluster):
+        group, __ = cluster
+        follower = group.followers[0]
+        group.primary.execute("INSERT INTO t VALUES (1, 'a')", [])
+        # The follower applies the active segment, then the primary
+        # appends more and seals it: the sealed re-ship of the same
+        # generation must apply only the records the ledger has not
+        # seen, never the whole file again.
+        follower.catch_up(group.primary)
+        group.primary.execute("INSERT INTO t VALUES (2, 'b')", [])
+        group.primary.rotate()
+        assert follower.catch_up(group.primary) == 1
+        assert databases_equal(follower.database,
+                               _reference([(1, "a"), (2, "b")]))
+        assert follower.catch_up(group.primary) == 0
+
+
+class TestShipmentIntegrity:
+    def test_shipments_carry_payload_digests(self, cluster):
+        group, __ = cluster
+        group.primary.execute("INSERT INTO t VALUES (1, 'a')", [])
+        group.primary.rotate()
+        group.primary.execute("INSERT INTO t VALUES (2, 'b')", [])
+        for shipment in group.primary.ship():
+            assert shipment.digest == payload_digest(shipment.payload)
+
+    def test_tampered_shipment_rejected_before_apply(self, cluster):
+        group, __ = cluster
+        follower = group.followers[0]
+        group.primary.execute("INSERT INTO t VALUES (1, 'aa')", [])
+        shipment = group.primary.ship()[0]
+        tampered = Shipment(shipment.generation,
+                            shipment.payload.replace("aa", "ab"),
+                            shipment.sealed, shipment.digest)
+        with pytest.raises(FederationError):
+            follower.apply_shipment(tampered)
+        assert follower.rejected_shipments == 1
+        assert follower.applied_total() == 0
+        assert not os.path.exists(follower.wal_path)  # nothing landed
+        assert "digest" in follower.last_rejection
+
+    def test_bit_rotted_payload_rejected_even_with_matching_digest(
+            self, cluster):
+        # Rot on the PRIMARY'S disk: the digest matches the rotted
+        # bytes, so only the per-record CRC can stop the spread.
+        group, __ = cluster
+        follower = group.followers[0]
+        group.primary.execute("INSERT INTO t VALUES (1, 'aa')", [])
+        group.primary.rotate()
+        shipment = group.primary.ship()[0]
+        rotted = shipment.payload.replace("aa", "ab")
+        poisoned = Shipment(shipment.generation, rotted, True,
+                            payload_digest(rotted))
+        with pytest.raises(FederationError):
+            follower.apply_shipment(poisoned)
+        assert follower.applied_total() == 0
+        assert "bit_rot" in follower.last_rejection
+
+    def test_rejected_shipment_does_not_reset_staleness(self, cluster):
+        group, timeline = cluster
+        follower = group.followers[0]
+        group.primary.execute("INSERT INTO t VALUES (1, 'aa')", [])
+        group.primary.rotate()
+        timeline.advance(5.0)
+        sealed = group.primary.wal_path + ".000000"
+        with open(sealed) as handle:
+            payload = handle.read()
+        with open(sealed, "w") as handle:
+            handle.write(payload.replace("aa", "ab"))
+        # The sealed shipment now fails its CRC mid-round: catch_up
+        # must stop without resetting the staleness clock — the
+        # replica IS falling behind and the bound must say so.
+        before = follower.staleness_bound()
+        assert follower.catch_up(group.primary) == 0
+        assert follower.staleness_bound() == pytest.approx(before)
+
+    def test_legacy_shipment_without_digest_still_applies(self, cluster):
+        group, __ = cluster
+        follower = group.followers[0]
+        group.primary.execute("INSERT INTO t VALUES (1, 'a')", [])
+        shipment = group.primary.ship()[0]
+        legacy = Shipment(shipment.generation, shipment.payload,
+                          shipment.sealed)
+        assert legacy.digest is None
+        assert follower.apply_shipment(legacy) == 1
+
+
+class TestAntiEntropy:
+    def _rot(self, path):
+        with open(path) as handle:
+            payload = handle.read()
+        with open(path, "w") as handle:
+            handle.write(payload.replace("v0", "vX"))
+
+    def _shipped_cluster(self, cluster, rows=6):
+        group, __ = cluster
+        for index in range(rows):
+            group.primary.execute("INSERT INTO t VALUES (?, ?)",
+                                  [index, f"v{index}"])
+        group.primary.rotate()
+        group.sync()
+        return group
+
+    def test_clean_round_reports_no_divergence(self, cluster):
+        group = self._shipped_cluster(cluster)
+        report = group.followers[0].anti_entropy(group.primary)
+        assert report.clean and report.checked == 1
+        assert report.quarantined == [] and report.repaired == []
+
+    def test_rotted_segment_quarantined_and_refetched(self, cluster):
+        group = self._shipped_cluster(cluster)
+        follower = group.followers[0]
+        sealed = follower.wal_path + ".000000"
+        self._rot(sealed)
+        assert follower.verify_ledger()[0].kind == "bit_rot"
+        report = follower.anti_entropy(group.primary)
+        assert report.mismatched == [0] and report.repaired == [0]
+        assert os.path.exists(sealed + ".quarantined")
+        assert follower.verify_ledger() == []
+        # Byte-identical convergence, and the ledger deduped the
+        # replay: nothing applied twice.
+        assert sealed_digests(follower.wal_path) == \
+            sealed_digests(group.primary.wal_path)
+        assert follower.applied_total() == 6
+
+    def test_missing_segment_left_for_catch_up(self, cluster):
+        group = self._shipped_cluster(cluster)
+        follower = group.followers[0]
+        os.remove(follower.wal_path + ".000000")
+        report = follower.anti_entropy(group.primary)
+        assert report.clean                # absence is lag, not rot
+        assert not os.path.exists(follower.wal_path + ".000000")
+
+    def test_promote_refuses_corrupt_ledger(self, cluster):
+        group = self._shipped_cluster(cluster)
+        # charlie pulls ahead, then rots: the refusal must override
+        # "most caught up" and fall through to clean-but-behind bravo.
+        group.primary.execute("INSERT INTO t VALUES (99, 'z')", [])
+        group.followers[1].catch_up(group.primary)
+        self._rot(group.followers[1].wal_path + ".000000")
+        group.fail_primary()
+        promoted = group.promote()
+        assert promoted.name == "bravo"
+        assert len(group.refused) == 1
+        assert group.refused[0].startswith("charlie: bit_rot")
+
+    def test_promote_refuses_when_every_ledger_is_corrupt(self, cluster):
+        group = self._shipped_cluster(cluster)
+        for follower in group.followers:
+            self._rot(follower.wal_path + ".000000")
+        group.fail_primary()
+        with pytest.raises(FederationError, match="ledger verification"):
+            group.promote()
+        assert len(group.refused) == 2
 
 
 class TestDiskShipments:

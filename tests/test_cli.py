@@ -73,6 +73,52 @@ class TestCli:
     def test_chaos_requires_self_test(self, capsys):
         assert main(["chaos"]) == 2
 
+    def test_chaos_only_runs_a_single_scenario(self, capsys):
+        assert main(["chaos", "--self-test",
+                     "--only", "bit-rot-repair"]) == 0
+        output = capsys.readouterr().out
+        assert "1/1 scenarios" in output
+        assert "FAIL" not in output
+
+    def test_chaos_only_rejects_unknown_scenario(self, capsys):
+        assert main(["chaos", "--self-test", "--only", "frobnicate"]) == 2
+        assert "frobnicate" in capsys.readouterr().err
+
+    def test_scrub_self_test_runs(self, capsys):
+        assert main(["scrub", "--self-test"]) == 0
+        output = capsys.readouterr().out
+        assert "scenarios verified correctly" in output
+        assert "FAIL" not in output
+
+    def test_scrub_requires_a_target(self, capsys):
+        assert main(["scrub"]) == 2
+        assert "--image" in capsys.readouterr().err
+
+    def test_scrub_clean_and_damaged_states(self, capsys, tmp_path):
+        from repro.db import Database
+        from repro.db.storage import WriteAheadLog, save_database
+
+        database = Database()
+        database.execute("CREATE TABLE t (id INTEGER PRIMARY KEY, v TEXT)")
+        image = str(tmp_path / "image.json")
+        save_database(database, image)
+        wal_path = str(tmp_path / "wal.jsonl")
+        log = WriteAheadLog(wal_path, database)
+        log.attach()
+        database.execute("INSERT INTO t VALUES (1, 'alpha')")
+        log.close()
+
+        assert main(["scrub", "--image", image, "--wal", wal_path]) == 0
+        output = capsys.readouterr().out
+        assert "clean" in output and "ok" in output
+
+        with open(wal_path) as handle:
+            payload = handle.read()
+        with open(wal_path, "w") as handle:
+            handle.write(payload.replace("alpha", "omega"))
+        assert main(["scrub", "--image", image, "--wal", wal_path]) == 1
+        assert "bit_rot" in capsys.readouterr().out
+
     def test_trace_renders_the_federated_story(self, capsys, tmp_path):
         from repro import obs
 
