@@ -30,7 +30,12 @@ Commands:
   goodput / latency / shed comparison side by side;
 - ``shard``   — serve the same saturating workload at several shard
   counts (scatter-gather federation), print the per-count goodput
-  table, then demonstrate WAL-shipped replica failover.
+  table, then demonstrate WAL-shipped replica failover;
+- ``macro``   — simulate one day-in-the-life of multi-tenant traffic
+  through the full stack (BiQL sessions, sharded serving, answer
+  caches, scheduled outages, ETL churn, WAL-shipped replica) and
+  print the end-to-end goodput / latency / staleness report
+  (``--quick`` for the scaled-down CI day).
 """
 
 from __future__ import annotations
@@ -351,6 +356,55 @@ def _run_overload(arguments) -> int:
     return 0
 
 
+def _run_macro(arguments) -> int:
+    from repro.serving.policy import PRIORITY_NAMES
+    from repro.workload import MacroSpec, run_macro
+
+    spec = (MacroSpec.quick(arguments.seed) if arguments.quick
+            else MacroSpec.full(arguments.seed))
+    print(f"day-in-the-life macro workload ({spec.name} mode, "
+          f"seed {spec.seed}): {spec.shards} shards x "
+          f"{spec.capacity} lanes, {spec.users} tenants, "
+          f"{spec.total_epochs} epochs of {spec.epoch_length:.0f} "
+          f"virtual s, {len(spec.outages)} scheduled outages\n")
+    payload = run_macro(spec).to_payload()
+    headline = payload["headline"]
+    workload = payload["workload"]
+    print(f"  offered {workload['requests']} requests from "
+          f"{workload['active_tenants']} active tenants, "
+          f"{workload['biql_statements']} BiQL statements "
+          f"({payload['biql']['refused']} refused under load)\n")
+    print(f"  {'phase':<10} {'offered':>7} {'good':>6} {'goodput':>8} "
+          f"{'shed':>6} {'p99':>8}")
+    for name, stats in payload["phases"].items():
+        print(f"  {name:<10} {stats['offered']:>7} {stats['good']:>6} "
+              f"{stats['goodput_ratio']:>8.3f} {stats['shed']:>6} "
+              f"{stats['p99']:>8.2f}")
+    print(f"\n  {'priority':<13} {'offered':>7} {'goodput':>8} "
+          f"{'shed':>6}")
+    for name in PRIORITY_NAMES.values():
+        stats = payload["priorities"].get(name)
+        if stats:
+            print(f"  {name:<13} {stats['offered']:>7} "
+                  f"{stats['goodput_ratio']:>8.3f} {stats['shed']:>6}")
+    cache = payload["cache"]
+    replica = payload["replica"]
+    print(f"\n  goodput {headline['goodput_ratio']:.3f}, "
+          f"p50 {headline['p50_latency']:.2f}, "
+          f"p99 {headline['p99_latency']:.2f}, "
+          f"shed rate {headline['shed_rate']:.3f}")
+    print(f"  cache: {cache['hits']} hits / {cache['misses']} misses "
+          f"(hit rate {headline['cache_hit_rate']:.3f}), "
+          f"{cache['invalidations']} delta invalidations")
+    print(f"  staleness bound peaked at "
+          f"{headline['staleness_max']:.1f} virtual s; replica lag "
+          f"peaked at {headline['replica_lag_max']:.1f} "
+          f"({replica['applied_statements']} statements shipped)")
+    print(f"  replica converged with the warehouse: "
+          f"{headline['replica_converged']}")
+    return 0 if headline["replica_converged"] else 1
+
+
 def _run_shard(arguments) -> int:
     import os
     import tempfile
@@ -539,6 +593,15 @@ def main(argv: "list[str] | None" = None) -> int:
                               help="number of requests (default 280)")
     shard_parser.add_argument("--seed", type=int, default=9,
                               help="workload seed (default 9)")
+    macro_parser = subparsers.add_parser(
+        "macro", help="day-in-the-life macro workload through the "
+                      "full stack",
+    )
+    macro_parser.add_argument("--quick", action="store_true",
+                              help="the scaled-down CI day instead of "
+                                   "the full one")
+    macro_parser.add_argument("--seed", type=int, default=0,
+                              help="day seed (default 0)")
     arguments = parser.parse_args(argv)
     if arguments.command == "recover":
         return _run_recover(arguments)
@@ -554,6 +617,8 @@ def main(argv: "list[str] | None" = None) -> int:
         return _run_overload(arguments)
     if arguments.command == "shard":
         return _run_shard(arguments)
+    if arguments.command == "macro":
+        return _run_macro(arguments)
     return _COMMANDS[arguments.command]()
 
 

@@ -144,19 +144,35 @@ def scrub_wal_file(path: str, *, active: bool = False) -> FileVerdict:
     kind = "wal_active" if active else "wal_sealed"
     result = FileVerdict(path, kind)
     try:
-        with open(path, encoding="utf-8") as handle:
-            lines = handle.readlines()
+        with open(path, "rb") as handle:
+            data = handle.read()
     except OSError as exc:
         result.verdict = UNREADABLE
         result.detail = str(exc)
         return result
+    # Work on raw bytes so byte offsets stay exact and an undecodable
+    # line is localized instead of aborting the whole scan.
+    chunks = data.split(b"\n")
+    lines = [chunk + b"\n" for chunk in chunks[:-1]]
+    if chunks[-1]:
+        lines.append(chunks[-1])
     nonempty = [index for index, line in enumerate(lines) if line.strip()]
     last = nonempty[-1] if nonempty else -1
     offset = 0
     for index, line in enumerate(lines):
-        stripped = line.strip()
-        if not stripped:
-            offset += len(line.encode("utf-8"))
+        if not line.strip():
+            offset += len(line)
+            continue
+        try:
+            stripped = line.decode("utf-8").strip()
+        except UnicodeDecodeError:
+            # Writers emit ASCII-only JSON, so bytes that fail to
+            # decode are media damage — bit rot even at the tail,
+            # never a torn-tail crash artifact (replay agrees: it
+            # refuses undecodable bytes in the active segment too).
+            result.bad_offsets.append((index + 1, offset))
+            result.verdict = _worse(result.verdict, BIT_ROT)
+            offset += len(line)
             continue
         try:
             record = json.loads(stripped)
@@ -179,7 +195,7 @@ def scrub_wal_file(path: str, *, active: bool = False) -> FileVerdict:
                 result.verdict = _worse(result.verdict, BIT_ROT)
             else:
                 result.records_checked += 1
-        offset += len(line.encode("utf-8"))
+        offset += len(line)
     if result.verdict == OK and result.records_checked == 0 \
             and result.records_legacy > 0:
         result.verdict = LEGACY

@@ -90,11 +90,18 @@ def checksum_line(body: str) -> str:
 
 
 def record_checksum_body(record: dict) -> str:
-    """The canonical serialization a WAL record's CRC covers."""
+    """The canonical serialization a WAL record's CRC covers.
+
+    Missing fields serialize as ``null`` instead of raising: a record
+    whose expected key was damaged away can never match its stored
+    CRC, so the caller classifies it as bit rot rather than crashing
+    on a bare ``KeyError``.
+    """
     if "$wal" in record:
         return json.dumps({"$wal": record["$wal"],
-                           "generation": record["generation"]})
-    return json.dumps({"sql": record["sql"], "params": record["params"]})
+                           "generation": record.get("generation")})
+    return json.dumps({"sql": record.get("sql"),
+                       "params": record.get("params")})
 
 
 def record_checksum_ok(record: dict) -> bool:
@@ -276,6 +283,12 @@ def read_image(path: str, *, verify: bool = True) -> dict[str, Any]:
     try:
         with open(path, encoding="utf-8") as handle:
             image = json.load(handle)
+    except UnicodeDecodeError as exc:
+        raise StorageError(
+            f"database image {path!r} holds undecodable bytes at "
+            f"offset {exc.start}: {exc.reason}",
+            path=path, offset=exc.start, kind="bit_rot",
+        ) from exc
     except (OSError, json.JSONDecodeError) as exc:
         raise StorageError(
             f"cannot read database image {path!r}: {exc}",
@@ -402,7 +415,7 @@ def segment_generation(path: str) -> int | None:
                     except (ValueError, TypeError):
                         return None
                 return None
-    except OSError:
+    except (OSError, UnicodeDecodeError):
         return None
     return None
 
@@ -434,9 +447,22 @@ def read_wal_records(path: str, *,
     Legacy records without a ``crc`` field pass unverified (the
     pre-checksum format stays readable); ``verify=False`` skips CRC
     recomputation entirely.
+
+    Bytes that do not decode as UTF-8 are also ``bit_rot``: every
+    writer emits ASCII-only JSON, so an invalid sequence can only be
+    media damage — never a crash artifact — and is refused even for
+    the active segment.
     """
-    with open(path, encoding="utf-8") as handle:
-        payload = handle.read()
+    with open(path, "rb") as handle:
+        raw = handle.read()
+    try:
+        payload = raw.decode("utf-8")
+    except UnicodeDecodeError as exc:
+        raise StorageError(
+            f"WAL file {path!r} holds undecodable bytes at offset "
+            f"{exc.start}: {exc.reason}",
+            path=path, offset=exc.start, kind="bit_rot",
+        ) from exc
     return parse_wal_payload(payload, path=path,
                              allow_torn_tail=allow_torn_tail, verify=verify)
 

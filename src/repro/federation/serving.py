@@ -129,6 +129,21 @@ class ShardedFederationServer:
     def submit(self, request: Request) -> ServedResult:
         return self.serve([request])[0]
 
+    def admit_inline(self, priority: int = 0) -> str | None:
+        """Admission verdict for inline work (BiQL statements).
+
+        Inline statements run on the warehouse, not on any one shard —
+        but they should still yield when the federation is defending
+        itself.  The verdict is the *most pessimistic* shard's: if any
+        shard would shed inline work at this priority, the statement is
+        refused.  Returns the shed reason, or ``None`` to proceed.
+        """
+        for server in self.servers:
+            reason = server.admit_inline(priority)
+            if reason is not None:
+                return reason
+        return None
+
     # -- gather -----------------------------------------------------------------
 
     def _fuse(self, request: Request,

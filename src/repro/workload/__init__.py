@@ -1,0 +1,43 @@
+"""The day-in-the-life macro workload (generator + full-stack simulator).
+
+:func:`~repro.workload.generator.day_in_the_life` draws one simulated
+day of multi-tenant, zipfian, diurnal traffic;
+:func:`~repro.workload.simulator.run_macro` drives it through the
+whole stack — BiQL sessions, the sharded serving tier, per-shard
+answer caches, ETL churn, and a WAL-shipped replica — and reports the
+end-to-end numbers CI gates on (``benchmarks/bench_macro.py``).
+"""
+
+from repro.workload.generator import (
+    DEFAULT_DAY,
+    DiurnalPhase,
+    EpochTraffic,
+    MacroWorkload,
+    Tenant,
+    ZipfSampler,
+    day_in_the_life,
+)
+from repro.workload.simulator import (
+    MacroFederation,
+    MacroReport,
+    MacroSpec,
+    OutageSpec,
+    build_macro_federation,
+    run_macro,
+)
+
+__all__ = [
+    "DEFAULT_DAY",
+    "DiurnalPhase",
+    "EpochTraffic",
+    "MacroWorkload",
+    "Tenant",
+    "ZipfSampler",
+    "day_in_the_life",
+    "MacroFederation",
+    "MacroReport",
+    "MacroSpec",
+    "OutageSpec",
+    "build_macro_federation",
+    "run_macro",
+]

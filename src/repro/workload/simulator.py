@@ -1,0 +1,491 @@
+"""The macro simulator: one simulated day through the whole stack.
+
+:func:`run_macro` is the end-to-end regression gate ROADMAP item 5
+asks for.  It stands up the *full* production shape — per-shard
+cached mediators over faultable shard slices, a scatter-gather
+:class:`~repro.federation.ShardedFederationServer`, a WAL-attached
+warehouse with a catch-up read replica, and BiQL sessions admission-
+gated by the serving tier — then drives one
+:func:`~repro.workload.generator.day_in_the_life` through it, epoch by
+epoch:
+
+====== =====================================================
+step   what happens inside one epoch
+====== =====================================================
+1      scheduled source outages open (``repro.sources.faults``)
+2      the epoch's Poisson traffic replays through the
+       sharded serving tier (admission, AIMD, hedging,
+       brownout, per-shard answer caches)
+3      the epoch's BiQL statements run through sessions the
+       federation may refuse (``admit_inline``)
+4      ETL churn: one base source mutates, the warehouse
+       refreshes incrementally (monitor deltas → WAL appends)
+5      every shard's cache syncs its monitors (precise
+       invalidations; outages leave sources *suspect* and the
+       staleness bound grows honestly)
+6      every ``ship_every`` epochs the replica catches up on
+       the warehouse WAL; its lag is sampled each epoch
+====== =====================================================
+
+Everything runs on one shared :class:`~repro.sources.VirtualClock`
+and every random draw is seeded, so a :class:`MacroReport` — goodput,
+latency percentiles, cache hit rate, staleness and replica-lag bounds,
+shed taxonomy, replica convergence — is **bit-reproducible**: two runs
+with the same spec and seed produce identical numbers.
+"""
+
+from __future__ import annotations
+
+import os
+import tempfile
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from repro.db.recovery import databases_equal
+from repro.errors import OverloadError, ReproError
+from repro.federation.replication import FollowerNode, disk_shipments
+from repro.federation.serving import ShardedFederationServer
+from repro.federation.sharding import ShardMap, ShardSlice
+from repro.lang.biql import BiqlSession
+from repro.mediator import CachedMediator, RetryPolicy
+from repro.obs.metrics import gauge as _gauge
+from repro.obs.trace import span as _span
+from repro.serving.policy import (
+    BATCH,
+    INTERACTIVE,
+    MAINTENANCE,
+    PRIORITY_NAMES,
+    ServingPolicy,
+)
+from repro.serving.server import FederationServer, summarize
+from repro.sources import (
+    AceRepository,
+    EmblRepository,
+    FaultyRepository,
+    GenBankRepository,
+    Universe,
+    VirtualClock,
+)
+from repro.warehouse import UnifyingDatabase
+from repro.workload.generator import (
+    DEFAULT_DAY,
+    DiurnalPhase,
+    MacroWorkload,
+    day_in_the_life,
+)
+
+
+@dataclass(frozen=True)
+class OutageSpec:
+    """One scheduled source outage, anchored to an epoch's start.
+
+    At the start of epoch ``epoch``, source ``source`` of shard
+    ``shard`` goes dark from ``delay`` after the epoch opens for
+    ``duration`` virtual seconds.  Durations longer than an epoch are
+    deliberate: they guarantee the cache's monitor sweep lands inside
+    the outage, so the staleness bound visibly grows and recovers.
+    """
+
+    epoch: int
+    shard: int
+    source: int
+    delay: float = 0.0
+    duration: float = 40.0
+
+
+@dataclass(frozen=True)
+class MacroSpec:
+    """Everything that shapes one macro run (fully seeded)."""
+
+    name: str = "full"
+    seed: int = 0
+    shards: int = 3
+    size: int = 36
+    users: int = 1200
+    phases: tuple = DEFAULT_DAY
+    epoch_length: float = 30.0
+    #: Per-shard serving lanes; aggregate capacity = shards × this.
+    capacity: int = 4
+    mean_service: float = 3.0
+    deadline: float = 25.0
+    fail_rate: float = 0.04
+    latency: float = 0.5
+    slow_rate: float = 0.1
+    slow_factor: float = 8.0
+    cache_entries: int = 512
+    zipf_exponent: float = 1.1
+    #: Source mutations per epoch (the ETL churn).
+    etl_steps: int = 3
+    #: Epochs between replica catch-up rounds.
+    ship_every: int = 2
+    biql_per_epoch: int = 2
+    apply_cost: float = 0.02
+    outages: tuple = ()
+
+    @property
+    def aggregate_capacity(self) -> int:
+        return self.shards * self.capacity
+
+    @property
+    def total_epochs(self) -> int:
+        return sum(phase.epochs for phase in self.phases)
+
+    @classmethod
+    def full(cls, seed: int = 0) -> "MacroSpec":
+        """The headline day BENCH_macro.json reports."""
+        return cls(
+            name="full", seed=seed,
+            outages=(
+                # A morning wobble on shard 0's GenBank…
+                OutageSpec(epoch=3, shard=0, source=0, delay=2.0,
+                           duration=45.0),
+                # …and a peak-hour double outage: shard 1 loses EMBL
+                # while shard 2 loses AceDB, both spanning past the
+                # epoch's cache sync.
+                OutageSpec(epoch=6, shard=1, source=1, delay=1.0,
+                           duration=50.0),
+                OutageSpec(epoch=7, shard=2, source=2, delay=0.0,
+                           duration=45.0),
+            ),
+        )
+
+    @classmethod
+    def quick(cls, seed: int = 0) -> "MacroSpec":
+        """The scaled-down day CI gates on (seconds, not minutes)."""
+        return cls(
+            name="quick", seed=seed, shards=2, size=24, users=200,
+            phases=(DiurnalPhase("night", 1, 0.5),
+                    DiurnalPhase("peak", 2, 3.0),
+                    DiurnalPhase("evening", 1, 1.0)),
+            epoch_length=15.0, capacity=3, cache_entries=256,
+            etl_steps=2, ship_every=2, biql_per_epoch=1,
+            outages=(OutageSpec(epoch=1, shard=0, source=0, delay=1.0,
+                                duration=24.0),),
+        )
+
+
+@dataclass
+class MacroFederation:
+    """The full stack one macro run drives."""
+
+    spec: MacroSpec
+    timeline: VirtualClock
+    repositories: list
+    shard_map: ShardMap
+    #: ``proxies[shard][index]`` — the faultable per-shard sources.
+    proxies: list
+    mediators: list
+    server: ShardedFederationServer
+    warehouse: UnifyingDatabase
+    dock: "_WarehouseDock"
+    follower: FollowerNode
+    accessions: list
+
+
+class _WarehouseDock:
+    """Duck-typed shipping dock: lets a :class:`FollowerNode` catch up
+    on the *warehouse's* WAL as if the warehouse were a shard primary
+    (``catch_up`` only needs ``.name`` and ``.ship()``)."""
+
+    def __init__(self, name: str, wal) -> None:
+        self.name = name
+        self.wal = wal
+
+    def ship(self):
+        self.wal.flush()
+        return disk_shipments(self.wal.path)
+
+
+def build_macro_federation(spec: MacroSpec,
+                           workdir: str) -> MacroFederation:
+    """Stand up the day-in-the-life stack for *spec*.
+
+    Three base repositories feed two consumers at once: sliced and
+    fault-wrapped, they are the serving tier's per-shard sources;
+    clean, they are the warehouse's ETL feed.  Epoch churn mutates the
+    *base* repositories, so the same delta stream reaches the shard
+    caches (as invalidations) and the warehouse (as refresh work) —
+    exactly the coupling a macro test exists to exercise.
+    """
+    universe = Universe(seed=spec.seed, size=spec.size)
+    timeline = VirtualClock()
+    repositories = [
+        GenBankRepository(universe),
+        EmblRepository(universe),
+        AceRepository(universe),
+    ]
+    union = sorted({accession for repository in repositories
+                    for accession in repository.accessions()})
+    shard_map = ShardMap.for_accessions(union, spec.shards)
+    retry_policy = RetryPolicy(max_attempts=3, base_delay=1.0,
+                               multiplier=2.0, jitter=0.0, deadline=40.0)
+    proxies: list[list[FaultyRepository]] = []
+    mediators: list[CachedMediator] = []
+    servers: list[FederationServer] = []
+    for shard in range(shard_map.count):
+        shard_proxies = []
+        for index, repository in enumerate(repositories, start=1):
+            proxy = FaultyRepository(
+                ShardSlice(repository, shard_map, shard),
+                timeline, seed=1000 * spec.seed + 100 * shard + index)
+            shard_proxies.append(proxy)
+        proxies.append(shard_proxies)
+        mediator = CachedMediator(shard_proxies,
+                                  max_entries=spec.cache_entries,
+                                  retry_policy=retry_policy,
+                                  timeline=timeline)
+        mediators.append(mediator)
+        # Faults start *after* the cache's monitors take their clean
+        # initial snapshots — the chaos begins at serve time.
+        for proxy in shard_proxies:
+            proxy.fail_with_rate(spec.fail_rate)
+            proxy.add_latency(spec.latency, slow_rate=spec.slow_rate,
+                              slow_factor=spec.slow_factor)
+        servers.append(FederationServer(
+            mediator,
+            ServingPolicy(capacity=spec.capacity, deadline=spec.deadline),
+            replicas={proxy.name: proxy.inner for proxy in shard_proxies},
+        ))
+    server = ShardedFederationServer(shard_map, servers)
+
+    # The warehouse sees the clean base repositories; its WAL attaches
+    # *before* the initial load so the replica can converge on replay.
+    warehouse = UnifyingDatabase(repositories)
+    wal = warehouse.attach_wal(os.path.join(workdir, "warehouse.jsonl"))
+    warehouse.initial_load()
+    shell = UnifyingDatabase([])   # schema-only twin for the replica
+    follower = FollowerNode("replica", os.path.join(workdir, "replica"),
+                            shell.db, timeline=timeline,
+                            apply_cost=spec.apply_cost)
+    dock = _WarehouseDock("warehouse", wal)
+    return MacroFederation(
+        spec=spec, timeline=timeline, repositories=repositories,
+        shard_map=shard_map, proxies=proxies, mediators=mediators,
+        server=server, warehouse=warehouse, dock=dock,
+        follower=follower, accessions=union,
+    )
+
+
+@dataclass
+class MacroReport:
+    """What one simulated day measured, reproducibly."""
+
+    spec: MacroSpec
+    workload_requests: int
+    workload_biql: int
+    active_tenants: int
+    overall: dict
+    phases: dict
+    priorities: dict
+    cache: dict
+    staleness: dict
+    replica: dict
+    biql: dict
+    makespan: float
+
+    def to_payload(self) -> dict:
+        """The JSON-stable dict BENCH_macro.json serializes.
+
+        Only virtual-time and counter values appear — nothing read
+        from the wall clock — so two runs with one seed serialize to
+        identical bytes.
+        """
+        spec = self.spec
+        return {
+            "spec": {
+                "name": spec.name,
+                "seed": spec.seed,
+                "shards": spec.shards,
+                "size": spec.size,
+                "users": spec.users,
+                "epochs": spec.total_epochs,
+                "epoch_length": spec.epoch_length,
+                "capacity_per_shard": spec.capacity,
+                "deadline": spec.deadline,
+                "outages": len(spec.outages),
+            },
+            "workload": {
+                "requests": self.workload_requests,
+                "biql_statements": self.workload_biql,
+                "active_tenants": self.active_tenants,
+            },
+            "headline": {
+                "goodput_ratio": _round(self.overall["goodput_ratio"]),
+                "p50_latency": _round(self.overall["p50"]),
+                "p99_latency": _round(self.overall["p99"]),
+                "shed_rate": _round(self.overall["shed_rate"]),
+                "cache_hit_rate": _round(self.cache["hit_rate"]),
+                "staleness_max": _round(self.staleness["max"]),
+                "replica_lag_max": _round(self.replica["lag_max"]),
+                "replica_converged": self.replica["converged"],
+            },
+            "overall": _round_dict(self.overall),
+            "phases": {name: _round_dict(stats)
+                       for name, stats in sorted(self.phases.items())},
+            "priorities": {name: _round_dict(stats)
+                           for name, stats in
+                           sorted(self.priorities.items())},
+            "cache": _round_dict(self.cache),
+            "staleness": _round_dict(self.staleness),
+            "replica": _round_dict(self.replica),
+            "biql": dict(self.biql),
+            "virtual_makespan": _round(self.makespan),
+        }
+
+
+def _round(value):
+    return round(value, 6) if isinstance(value, float) else value
+
+
+def _round_dict(mapping: dict) -> dict:
+    return {key: (_round_dict(value) if isinstance(value, dict)
+                  else _round(value))
+            for key, value in mapping.items()}
+
+
+def run_macro(spec: MacroSpec, *,
+              workdir: str | None = None) -> MacroReport:
+    """Simulate one day through the full stack; returns the report.
+
+    *workdir* holds the warehouse WAL and the replica's segment files;
+    a temporary directory is created (and left for the OS) when not
+    given — no path ever reaches the report, so the choice cannot
+    perturb reproducibility.
+    """
+    if workdir is None:
+        workdir = tempfile.mkdtemp(prefix="repro-macro-")
+    with _span("macro.run", mode=spec.name, seed=spec.seed):
+        federation = build_macro_federation(spec, workdir)
+        workload = day_in_the_life(
+            federation.accessions,
+            users=spec.users,
+            phases=spec.phases,
+            epoch_length=spec.epoch_length,
+            capacity=spec.aggregate_capacity,
+            mean_service=spec.mean_service,
+            seed=spec.seed,
+            zipf_exponent=spec.zipf_exponent,
+            biql_per_epoch=spec.biql_per_epoch,
+        )
+        return _drive(spec, federation, workload)
+
+
+def _drive(spec: MacroSpec, federation: MacroFederation,
+           workload: MacroWorkload) -> MacroReport:
+    timeline = federation.timeline
+    started = timeline.now()
+    outages: dict[int, list[OutageSpec]] = {}
+    for outage in spec.outages:
+        outages.setdefault(outage.epoch, []).append(outage)
+    sessions = {
+        priority: BiqlSession(federation.warehouse,
+                              server=federation.server,
+                              priority=priority)
+        for priority in (INTERACTIVE, BATCH, MAINTENANCE)
+    }
+    results = []
+    phase_results: dict[str, list] = {}
+    staleness_samples: list[float] = []
+    lag_samples: list[float] = []
+    biql_run = biql_refused = 0
+    for epoch in workload.epochs:
+        with _span("macro.epoch", index=epoch.index, phase=epoch.phase):
+            now = timeline.now()
+            for outage in outages.get(epoch.index, ()):
+                proxy = federation.proxies[outage.shard][outage.source]
+                proxy.schedule_outage(now + outage.delay,
+                                      now + outage.delay + outage.duration)
+            served = federation.server.serve(epoch.requests)
+            results.extend(served)
+            phase_results.setdefault(epoch.phase, []).extend(served)
+            for text, priority in epoch.biql:
+                try:
+                    sessions[priority].run(text)
+                    biql_run += 1
+                except OverloadError:
+                    biql_refused += 1
+            # ETL churn: one base source mutates, the warehouse follows.
+            target = federation.repositories[
+                epoch.index % len(federation.repositories)]
+            target.advance(spec.etl_steps)
+            federation.warehouse.refresh()
+            # Cache sync: monitor sweeps turn the same churn into
+            # precise invalidations; outage-covered sweeps fail and
+            # the staleness bound grows until a clean one.
+            stale = 0.0
+            for mediator in federation.mediators:
+                mediator.sync()
+                stale = max(stale, mediator.staleness_bound())
+            staleness_samples.append(stale)
+            _gauge("macro", "staleness_bound", stale)
+            lag = federation.follower.staleness_bound()
+            lag_samples.append(lag)
+            _gauge("macro", "replica_lag", lag)
+            if (epoch.index + 1) % spec.ship_every == 0:
+                federation.follower.catch_up(federation.dock)
+    federation.follower.catch_up(federation.dock)
+    converged = databases_equal(federation.warehouse.db,
+                                federation.follower.database)
+    return _report(spec, federation, workload, results, phase_results,
+                   staleness_samples, lag_samples,
+                   biql_run, biql_refused, converged,
+                   makespan=timeline.now() - started)
+
+
+def _report(spec: MacroSpec, federation: MacroFederation,
+            workload: MacroWorkload, results, phase_results,
+            staleness_samples, lag_samples, biql_run, biql_refused,
+            converged, *, makespan) -> MacroReport:
+    overall = summarize(results, budget=spec.deadline)
+    phases = {name: summarize(batch, budget=spec.deadline)
+              for name, batch in phase_results.items()}
+    priorities = {}
+    for priority, name in sorted(PRIORITY_NAMES.items()):
+        batch = [result for result in results
+                 if result.request.priority == priority]
+        if batch:
+            priorities[name] = summarize(batch, budget=spec.deadline)
+    hits = sum(mediator.cost.cache_hits
+               for mediator in federation.mediators)
+    misses = sum(mediator.cost.cache_misses
+                 for mediator in federation.mediators)
+    invalidations = sum(mediator.cost.cache_invalidations
+                        for mediator in federation.mediators)
+    lookups = hits + misses
+    cache = {
+        "hits": hits,
+        "misses": misses,
+        "invalidations": invalidations,
+        "hit_rate": hits / lookups if lookups else 0.0,
+    }
+    staleness = {
+        "max": max(staleness_samples, default=0.0),
+        "final": staleness_samples[-1] if staleness_samples else 0.0,
+    }
+    replica = {
+        "lag_max": max(lag_samples, default=0.0),
+        "lag_final": federation.follower.staleness_bound(),
+        "applied_statements": federation.follower.applied_total(),
+        "rejected_shipments": federation.follower.rejected_shipments,
+        "converged": converged,
+    }
+    if not converged:   # pragma: no cover - a converged day is the norm
+        raise ReproError(
+            "macro replica failed to converge with the warehouse")
+    _gauge("macro", "goodput_ratio", overall["goodput_ratio"])
+    _gauge("macro", "shed_rate", overall["shed_rate"])
+    _gauge("macro", "cache_hit_rate", cache["hit_rate"])
+    return MacroReport(
+        spec=spec,
+        workload_requests=workload.total_requests,
+        workload_biql=workload.total_biql,
+        active_tenants=workload.active_tenants(),
+        overall=overall,
+        phases=phases,
+        priorities=priorities,
+        cache=cache,
+        staleness=staleness,
+        replica=replica,
+        biql={"run": biql_run, "refused": biql_refused},
+        makespan=makespan,
+    )

@@ -1,0 +1,202 @@
+"""Randomized corruption fuzzing of the scrub taxonomy.
+
+The hand-picked scrub scenarios (``repro.db.scrub.self_test``) damage
+files in carefully chosen spots.  This fuzzer damages them in *seeded
+arbitrary* spots — a byte flipped anywhere, a truncation at any offset
+— and checks the property the taxonomy exists for:
+
+    **scrub's verdict must agree with what replay actually refuses.**
+
+For a sealed WAL segment, ``FileVerdict.damaged`` must hold exactly
+when strict replay (``read_wal_records(allow_torn_tail=False)``)
+raises.  For the active segment, the torn-tail allowance is part of
+the contract on *both* sides.  For an image, ``scrub_image`` must
+agree with ``read_image``.  And an untouched checkpointed state must
+scrub perfectly clean — zero false positives, every time.
+"""
+
+import os
+import random
+
+import pytest
+
+from repro.db.scrub import (
+    _build_checkpointed_state,
+    scrub,
+    scrub_image,
+    scrub_wal_file,
+)
+from repro.db.storage import (
+    StorageError,
+    list_sealed_segments,
+    read_image,
+    read_wal_records,
+)
+from tests.concurrency.scheduler import harness_seed
+
+#: Seeded fuzz cases per target file; each case draws its own damage.
+CASES = 12
+
+
+def _rng(case: int, salt: str) -> random.Random:
+    return random.Random(("scrub-fuzz", harness_seed(), case,
+                          salt).__repr__())
+
+
+def _flip_random_byte(path: str, rng: random.Random) -> int:
+    """Flip one random bit of one random byte; returns the offset."""
+    with open(path, "rb") as handle:
+        data = bytearray(handle.read())
+    offset = rng.randrange(len(data))
+    data[offset] ^= 1 << rng.randrange(8)
+    with open(path, "wb") as handle:
+        handle.write(data)
+    return offset
+
+
+def _truncate_at_random(path: str, rng: random.Random) -> int:
+    """Cut the file at a random offset; returns the new size."""
+    size = os.path.getsize(path)
+    keep = rng.randrange(size)
+    with open(path, "rb") as handle:
+        data = handle.read(keep)
+    with open(path, "wb") as handle:
+        handle.write(data)
+    return keep
+
+
+def _sealed_replay_refuses(path: str) -> bool:
+    try:
+        read_wal_records(path, allow_torn_tail=False)
+        return False
+    except StorageError:
+        return True
+
+
+def _active_replay_refuses(path: str) -> bool:
+    try:
+        read_wal_records(path, allow_torn_tail=True)
+        return False
+    except StorageError:
+        return True
+
+
+def _image_replay_refuses(path: str) -> bool:
+    try:
+        read_image(path)
+        return False
+    except StorageError:
+        return True
+
+
+@pytest.fixture()
+def state(tmp_path):
+    return _build_checkpointed_state(str(tmp_path))
+
+
+class TestCleanStateHasZeroFalsePositives:
+    def test_untouched_files_scrub_clean(self, state):
+        image, wal_path = state
+        report = scrub(image, wal_path)
+        assert report.ok
+        assert report.damaged == []
+        assert report.files_scanned == 4     # image + 2 sealed + active
+        assert report.records_verified > 0
+        assert all(not verdict.bad_offsets
+                   for verdict in report.verdicts)
+
+    def test_clean_replay_accepts_everything(self, state):
+        image, wal_path = state
+        assert not _image_replay_refuses(image)
+        assert not _active_replay_refuses(wal_path)
+        for __, sealed in list_sealed_segments(wal_path):
+            assert not _sealed_replay_refuses(sealed)
+
+
+class TestSealedSegmentAgreement:
+    @pytest.mark.parametrize("case", range(CASES))
+    def test_random_byte_flip(self, tmp_path, case):
+        __, wal_path = _build_checkpointed_state(str(tmp_path))
+        rng = _rng(case, "sealed-flip")
+        segments = list_sealed_segments(wal_path)
+        __, target = segments[rng.randrange(len(segments))]
+        _flip_random_byte(target, rng)
+        verdict = scrub_wal_file(target)
+        assert verdict.damaged == _sealed_replay_refuses(target), \
+            (verdict.kind, verdict.verdict, verdict.detail)
+
+    @pytest.mark.parametrize("case", range(CASES))
+    def test_random_truncation(self, tmp_path, case):
+        __, wal_path = _build_checkpointed_state(str(tmp_path))
+        rng = _rng(case, "sealed-cut")
+        segments = list_sealed_segments(wal_path)
+        __, target = segments[rng.randrange(len(segments))]
+        _truncate_at_random(target, rng)
+        verdict = scrub_wal_file(target)
+        assert verdict.damaged == _sealed_replay_refuses(target), \
+            (verdict.kind, verdict.verdict, verdict.detail)
+
+
+class TestActiveSegmentAgreement:
+    @pytest.mark.parametrize("case", range(CASES))
+    def test_random_byte_flip(self, tmp_path, case):
+        __, wal_path = _build_checkpointed_state(str(tmp_path))
+        rng = _rng(case, "active-flip")
+        _flip_random_byte(wal_path, rng)
+        verdict = scrub_wal_file(wal_path, active=True)
+        # The torn-tail allowance applies on both sides: a trailing
+        # crash artifact is dropped by replay and non-damaging to
+        # scrub; damage anywhere else refuses on both sides.
+        assert verdict.damaged == _active_replay_refuses(wal_path), \
+            (verdict.kind, verdict.verdict, verdict.detail)
+
+    @pytest.mark.parametrize("case", range(CASES))
+    def test_random_truncation_is_a_crash_artifact(self, tmp_path,
+                                                   case):
+        __, wal_path = _build_checkpointed_state(str(tmp_path))
+        rng = _rng(case, "active-cut")
+        _truncate_at_random(wal_path, rng)
+        verdict = scrub_wal_file(wal_path, active=True)
+        assert verdict.damaged == _active_replay_refuses(wal_path), \
+            (verdict.kind, verdict.verdict, verdict.detail)
+
+
+class TestImageAgreement:
+    @pytest.mark.parametrize("case", range(CASES))
+    def test_random_byte_flip(self, tmp_path, case):
+        image, __ = _build_checkpointed_state(str(tmp_path))
+        rng = _rng(case, "image-flip")
+        _flip_random_byte(image, rng)
+        verdict = scrub_image(image)
+        assert verdict.damaged == _image_replay_refuses(image), \
+            (verdict.kind, verdict.verdict, verdict.detail)
+
+    @pytest.mark.parametrize("case", range(CASES))
+    def test_random_truncation(self, tmp_path, case):
+        image, __ = _build_checkpointed_state(str(tmp_path))
+        rng = _rng(case, "image-cut")
+        _truncate_at_random(image, rng)
+        verdict = scrub_image(image)
+        assert verdict.damaged == _image_replay_refuses(image), \
+            (verdict.kind, verdict.verdict, verdict.detail)
+
+
+class TestVerdictsNameTheDamage:
+    def test_damaged_verdicts_carry_a_taxonomy_kind(self, tmp_path):
+        """Across many seeded flips, every damaged verdict classifies
+        itself with a known taxonomy label (never a bare 'damaged')."""
+        known = {"torn_tail", "malformed", "corrupt_middle", "bit_rot",
+                 "digest_mismatch", "unreadable", "legacy"}
+        seen = set()
+        for case in range(CASES):
+            workdir = tmp_path / f"case{case}"
+            workdir.mkdir()
+            __, wal_path = _build_checkpointed_state(str(workdir))
+            rng = _rng(case, "taxonomy")
+            __, target = list_sealed_segments(wal_path)[0]
+            _flip_random_byte(target, rng)
+            verdict = scrub_wal_file(target)
+            if verdict.damaged:
+                assert verdict.verdict in known, verdict.verdict
+                seen.add(verdict.verdict)
+        assert seen, "no flip damaged anything — fuzzer is toothless"

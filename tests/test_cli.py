@@ -153,6 +153,23 @@ class TestCli:
             assert expected in output, expected
         assert obs.get_registry() is None        # CLI cleans up after itself
 
+    def test_macro_quick_reports_the_day(self, capsys):
+        assert main(["macro", "--quick"]) == 0
+        output = capsys.readouterr().out
+        for expected in ("day-in-the-life macro workload (quick mode",
+                         "phase", "peak", "priority", "interactive",
+                         "goodput", "cache:", "staleness bound peaked",
+                         "replica converged with the warehouse: True"):
+            assert expected in output, expected
+
+    def test_macro_seed_changes_the_day(self, capsys):
+        assert main(["macro", "--quick", "--seed", "5"]) == 0
+        seeded = capsys.readouterr().out
+        assert main(["macro", "--quick"]) == 0
+        default = capsys.readouterr().out
+        assert "seed 5" in seeded
+        assert seeded != default
+
     def test_unknown_command_rejected(self):
         with pytest.raises(SystemExit) as excinfo:
             main(["frobnicate"])
