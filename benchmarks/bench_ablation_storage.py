@@ -1,10 +1,10 @@
-"""Experiment A3 — compact packed storage vs pointer structures (§4.3).
+"""Experiments A3 + A15 — compact storage, from values to pages (§4.3).
 
 "Representations for genomic data types should not employ pointer data
 structures in main memory but be embedded into compact storage areas
 which can be efficiently transferred between main memory and disk."
 
-We compare three in-memory representations of the same DNA:
+**A3** compares three in-memory representations of the same DNA:
 
 - **packed** — :class:`DnaSequence` (4 bits/base, one buffer);
 - **text**   — a Python ``str`` (the low-level treatment);
@@ -14,17 +14,44 @@ We compare three in-memory representations of the same DNA:
 Measured: memory footprint, (de)serialization to bytes, and an
 operation over the representation (GC content).
 
-Standalone report:  python benchmarks/bench_ablation_storage.py
+**A15** lifts the same claim one layer up, to whole tables: the
+``repro.db.columnar`` subsystem stores each table as sealed column
+pages (dictionary strings, null-bitmapped numerics, packed sequence
+codes) with per-page min/max zone maps, behind an LRU page cache
+honoring an explicit ``memory_budget``.  Three sweeps against the
+legacy row-list layout on identical data:
+
+- **scan** — a selective range predicate over a clustered key.  Zone
+  maps let the columnar scan skip every page that provably cannot
+  match; the row layout evaluates the filter on every row.  This is
+  the gated number: columnar must win by
+  :data:`A15_GATE_MIN_SPEEDUP` or the ``--check`` run fails;
+- **aggregate** — full-table ``count/avg/min/max``, with and without
+  a vectorized genomic kernel (``gc_content`` over packed pages);
+- **sort** — a full-table ORDER BY at memory budgets of none, 1× and
+  ¼× the table's encoded size; the ¼× run *must* spill to disk runs
+  and still return bit-identical rows (reported with spill counters).
+
+Timings are ``time.perf_counter`` min-of-repeats, modes interleaved
+within each repeat (the A13 discipline) so slow phases of the box hit
+all modes alike.
+
+Standalone report:  python benchmarks/bench_ablation_storage.py [--quick]
+CI gate:            python benchmarks/bench_ablation_storage.py --quick --check
 """
 
 import json
 import random
 import sys
+import time
 
 import pytest
 
+from repro.adapter.adapter import install_genomics
 from repro.core.ops import gc_content
 from repro.core.types import DnaSequence
+from repro.db import Database
+from repro.obs.metrics import disable_metrics, enable_metrics
 
 LENGTH = 50_000
 
@@ -177,7 +204,234 @@ def report() -> dict:
     return payload
 
 
+# --------------------------------------------------------------------------
+# A15 — columnar pages + out-of-core streaming execution
+# --------------------------------------------------------------------------
+
+A15_ROWS = 20_480
+A15_QUICK_ROWS = 8_192
+A15_REPEATS = 5
+A15_PAGE_ROWS = 256
+A15_SEQ_BP = 60
+
+#: The CI smoke gate: the zone-map-pruned columnar scan must beat the
+#: row layout's full scan+filter by at least this factor.
+A15_GATE_MIN_SPEEDUP = 10.0
+
+A15_SCAN_SQL = "SELECT id FROM reads WHERE k BETWEEN ? AND ?"
+A15_AGG_SQL = "SELECT count(*), avg(gc), min(k), max(k) FROM reads"
+A15_KERNEL_AGG_SQL = "SELECT count(*), avg(gc_content(seq)) FROM reads"
+A15_SORT_SQL = "SELECT id, k FROM reads ORDER BY gc DESC, id"
+
+
+def _a15_rows(count):
+    """*count* reads clustered by ``k`` (ascending), so sealed pages
+    carry disjoint ``k`` zone maps — the situation zone maps exist for."""
+    rng = random.Random("a15-columnar")
+    rows = []
+    for index in range(count):
+        seq = "".join(rng.choice("ACGT") for __ in range(A15_SEQ_BP))
+        gc = (seq.count("G") + seq.count("C")) / len(seq)
+        rows.append((index, index // 8, gc, seq))
+    return rows
+
+
+def _a15_db(layout, rows, memory_budget=None):
+    db = Database(layout=layout, memory_budget=memory_budget,
+                  page_rows=A15_PAGE_ROWS)
+    install_genomics(db)
+    db.execute("CREATE TABLE reads (id INTEGER, k INTEGER, "
+               "gc REAL, seq DNA)")
+    db.executemany("INSERT INTO reads VALUES (?, ?, ?, dna(?))", rows)
+    return db
+
+
+def _a15_data_bytes(db):
+    """Encoded size of the sealed column pages (the budget yardstick)."""
+    store = db.catalog.table("reads").column_store
+    return sum(ref.nbytes
+               for group in store._groups for ref in group.pages)
+
+
+def _a15_scan_window(row_count):
+    """A ``k`` range matching ~32 rows in the middle of the table —
+    about one eighth of one 256-row page's key span."""
+    low = (row_count // 8) // 2
+    return low, low + 3
+
+
+def _interleaved(tasks, repeats):
+    """Min-of-*repeats* per task, tasks interleaved within each repeat
+    (round 0 is warm-up, not recorded)."""
+    best = {name: float("inf") for name in tasks}
+    for round_index in range(repeats + 1):
+        for name, fn in tasks.items():
+            start = time.perf_counter()
+            fn()
+            elapsed = time.perf_counter() - start
+            if round_index:
+                best[name] = min(best[name], elapsed)
+    return best
+
+
+def _counters(registry, *names):
+    snapshot = registry.snapshot()
+    return {name: int(snapshot.get(name, 0)) for name in names}
+
+
+class TestA15Shape:
+    """Structural checks: parity, zone skips, spills — no timings."""
+
+    ROWS = 600
+
+    def _pair(self):
+        rows = _a15_rows(self.ROWS)
+        return _a15_db("row", rows), _a15_db("column", rows), rows
+
+    def test_scan_parity_and_zone_skips(self):
+        row_db, column_db, __ = self._pair()
+        window = _a15_scan_window(self.ROWS)
+        expected = row_db.execute(A15_SCAN_SQL, window).rows
+        registry = enable_metrics()
+        try:
+            got = column_db.execute(A15_SCAN_SQL, window).rows
+            skipped = registry.snapshot().get("columnar_pages_skipped", 0)
+        finally:
+            disable_metrics()
+        assert got == expected and len(got) == 32
+        assert skipped > 0
+
+    def test_aggregate_and_sort_parity(self):
+        row_db, column_db, __ = self._pair()
+        for sql in (A15_AGG_SQL, A15_KERNEL_AGG_SQL, A15_SORT_SQL):
+            assert column_db.execute(sql).rows == row_db.execute(sql).rows
+
+    def test_quarter_budget_sort_spills_and_matches(self):
+        row_db, column_db, rows = self._pair()
+        budget = max(1, _a15_data_bytes(column_db) // 4)
+        budgeted = _a15_db("column", rows, memory_budget=budget)
+        expected = row_db.execute(A15_SORT_SQL).rows
+        registry = enable_metrics()
+        try:
+            got = budgeted.execute(A15_SORT_SQL).rows
+            spilled = registry.snapshot().get("executor_spill_runs", 0)
+        finally:
+            disable_metrics()
+        assert got == expected
+        assert spilled > 0
+
+    def test_zone_maps_actually_engage(self):
+        __, column_db, ___ = self._pair()
+        plan = column_db.explain(A15_SCAN_SQL)
+        assert "zones on" in plan
+        plan = column_db.explain(A15_KERNEL_AGG_SQL)
+        assert "VectorAggregate" in plan
+
+
+def report_a15(row_count=A15_ROWS, repeats=A15_REPEATS) -> dict:
+    rows = _a15_rows(row_count)
+    row_db = _a15_db("row", rows)
+    column_db = _a15_db("column", rows)
+    data_bytes = _a15_data_bytes(column_db)
+    window = _a15_scan_window(row_count)
+
+    print(f"\nA15: columnar pages vs row lists, {row_count:,} reads "
+          f"({data_bytes:,} encoded bytes, {A15_PAGE_ROWS} rows/page, "
+          f"min of {repeats} interleaved rounds)")
+    print()
+
+    # Parity first: every sweep's rows must be bit-identical before a
+    # single timing is taken.
+    for sql, parameters in ((A15_SCAN_SQL, window), (A15_AGG_SQL, ()),
+                            (A15_KERNEL_AGG_SQL, ()), (A15_SORT_SQL, ())):
+        assert column_db.execute(sql, parameters).rows == \
+            row_db.execute(sql, parameters).rows, sql
+    matches = len(row_db.execute(A15_SCAN_SQL, window).rows)
+
+    registry = enable_metrics()
+    try:
+        column_db.execute(A15_SCAN_SQL, window)
+        skips = _counters(registry, "columnar_pages_skipped",
+                          "columnar_pages_read")
+    finally:
+        disable_metrics()
+
+    payload = {"rows": row_count, "page_rows": A15_PAGE_ROWS,
+               "data_bytes": data_bytes, "repeats": repeats}
+    print(f"{'sweep':<18} {'row s':>9} {'columnar s':>11} {'speedup':>8}")
+    print("-" * 50)
+    sweeps = (
+        ("scan", A15_SCAN_SQL, window, repeats * 2),   # the gated sweep
+        ("aggregate", A15_AGG_SQL, (), repeats),
+        ("kernel aggregate", A15_KERNEL_AGG_SQL, (), repeats),
+    )
+    for label, sql, parameters, rounds in sweeps:
+        best = _interleaved({
+            "row": lambda: row_db.execute(sql, parameters).rows,
+            "columnar": lambda: column_db.execute(sql, parameters).rows,
+        }, rounds)
+        speedup = best["row"] / best["columnar"]
+        key = label.replace(" ", "_")
+        payload[key] = {"row_s": best["row"],
+                        "columnar_s": best["columnar"],
+                        "speedup": speedup}
+        print(f"{label:<18} {best['row']:>9.4f} "
+              f"{best['columnar']:>11.4f} {speedup:>7.1f}x")
+    payload["scan"].update({"matches": matches, "gated": True, **skips})
+
+    print(f"\nsort under budget ({A15_SORT_SQL!r}):")
+    print(f"{'budget':<22} {'s':>9} {'spill runs':>11} {'spill bytes':>12}")
+    print("-" * 58)
+    budgets = (("row (unbounded)", row_db, None),
+               ("columnar unbudgeted", column_db, None),
+               ("columnar 1x data", None, data_bytes),
+               ("columnar 1/4x data", None, max(1, data_bytes // 4)))
+    reference = row_db.execute(A15_SORT_SQL).rows
+    payload["sort"] = {}
+    for label, db, budget in budgets:
+        if db is None:
+            db = _a15_db("column", rows, memory_budget=budget)
+        best = _interleaved(
+            {"it": lambda: db.execute(A15_SORT_SQL).rows}, repeats)["it"]
+        registry = enable_metrics()
+        try:
+            assert db.execute(A15_SORT_SQL).rows == reference
+            spills = _counters(registry, "executor_spill_runs",
+                               "executor_spill_bytes")
+        finally:
+            disable_metrics()
+        payload["sort"][label.replace(" ", "_").replace("/", "")] = {
+            "seconds": best, "memory_budget": budget, **spills}
+        print(f"{label:<22} {best:>9.4f} "
+              f"{spills['executor_spill_runs']:>11} "
+              f"{spills['executor_spill_bytes']:>12,}")
+
+    payload["gate_speedup"] = payload["scan"]["speedup"]
+    payload["gate_min_speedup"] = A15_GATE_MIN_SPEEDUP
+    print(f"\nsmoke gate: selective scan speedup "
+          f"{payload['gate_speedup']:.1f}x "
+          f"(floor {A15_GATE_MIN_SPEEDUP:.0f}x); scan read "
+          f"{skips['columnar_pages_read']} pages, skipped "
+          f"{skips['columnar_pages_skipped']}")
+    return payload
+
+
 if __name__ == "__main__":
     from conftest import write_bench_json
 
-    write_bench_json("ablation_storage", report())
+    quick = "--quick" in sys.argv
+    payload = {
+        "a3": report(),
+        "a15": report_a15(
+            row_count=A15_QUICK_ROWS if quick else A15_ROWS,
+            repeats=3 if quick else A15_REPEATS),
+    }
+    write_bench_json("ablation_storage", payload)
+    if "--check" in sys.argv:
+        if payload["a15"]["gate_speedup"] < A15_GATE_MIN_SPEEDUP:
+            print(f"FAIL: columnar selective scan only "
+                  f"{payload['a15']['gate_speedup']:.1f}x the row scan "
+                  f"(floor {A15_GATE_MIN_SPEEDUP:.0f}x)")
+            sys.exit(1)
+        print("PASS: columnar scan speedup above the floor")
+    sys.exit(0)

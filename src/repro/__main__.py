@@ -286,6 +286,7 @@ def _run_trace(arguments) -> int:
 
 def _run_stats(arguments) -> int:
     from repro import obs
+    from repro.workload import columnar_analytics
 
     registry = obs.enable_metrics()
     try:
@@ -298,6 +299,9 @@ def _run_stats(arguments) -> int:
             source.advance(2)
         mediator.sync()
         warehouse.refresh()
+        # Analytical pass over a budgeted column-store copy of the
+        # warehouse, so columnar_* / executor_* counters show up too.
+        columnar_analytics(warehouse.db)
         print(registry.to_prometheus_text())
     finally:
         obs.disable_metrics()

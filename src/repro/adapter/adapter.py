@@ -118,6 +118,7 @@ class GenomicsAdapter:
             selectivity=CONTAINS_SELECTIVITY,
             description="true when the sequence contains the motif "
                         "(IUPAC-ambiguity aware)",
+            kernel="contains",
         )
         register(
             "resembles",
@@ -156,9 +157,11 @@ class GenomicsAdapter:
         register("complement", ops.complement,
                  description="base-wise complement")
         register("reverse_complement", ops.reverse_complement,
-                 description="opposite strand, 5'->3'")
+                 description="opposite strand, 5'->3'",
+                 kernel="reverse_complement")
         register("gc_content", ops.gc_content,
-                 description="GC fraction")
+                 description="GC fraction",
+                 kernel="gc_content")
         register("melting_temperature", ops.melting_temperature,
                  description="estimated Tm in Celsius")
         register("molecular_weight", ops.molecular_weight,

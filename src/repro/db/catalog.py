@@ -27,12 +27,19 @@ class SqlFunction:
     the fraction of rows they keep — the genomic-predicate selectivity
     hook of section 6.5 the optimizer consults.  ``None`` means "returns
     a value, not a predicate" or "unknown" (the optimizer uses a default).
+
+    ``kernel`` names a vectorized page kernel (see
+    :mod:`repro.db.columnar.vector`) whose semantics this function is
+    known to match.  Only explicitly tagged registrations are ever
+    vectorized — a user function that merely reuses a builtin's name
+    keeps row-at-a-time evaluation.
     """
 
     name: str
     function: Callable[..., Any]
     selectivity: float | None = None
     description: str = ""
+    kernel: str | None = None
 
     def __post_init__(self) -> None:
         self.name = self.name.lower()
@@ -67,10 +74,13 @@ class Catalog:
 
     # -- tables -----------------------------------------------------------------
 
-    def create_table(self, schema: TableSchema) -> Table:
+    def create_table(self, schema: TableSchema,
+                     table: "Table | None" = None) -> Table:
+        """Register a table; *table* lets the database pick the heap layout."""
         if schema.name in self._tables:
             raise CatalogError(f"table {schema.name!r} already exists")
-        table = Table(schema)
+        if table is None:
+            table = Table(schema)
         self._tables[schema.name] = table
         return table
 
@@ -150,9 +160,11 @@ class Catalog:
         selectivity: float | None = None,
         description: str = "",
         replace: bool = False,
+        kernel: str | None = None,
     ) -> None:
         """Register a scalar UDF (section 6.3)."""
-        descriptor = SqlFunction(name, function, selectivity, description)
+        descriptor = SqlFunction(name, function, selectivity, description,
+                                 kernel)
         if descriptor.name in self._functions and not replace:
             raise CatalogError(
                 f"function {descriptor.name!r} already registered"

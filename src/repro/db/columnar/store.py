@@ -1,0 +1,319 @@
+"""Column store: a table heap organized as sealed per-column pages.
+
+Rows arrive row-major into a small **tail**; every ``page_rows`` rows
+the tail seals into one **row group** — one encoded column page per
+column, admitted to the engine's :class:`~repro.db.columnar.cache.
+PageCache` (which may immediately evict cold pages to disk under the
+``memory_budget``).  Row ids keep the exact semantics of the legacy
+row-dict heap: stable, never reused, iteration in insertion order,
+updates in place — so the two layouts are observably identical to the
+executor above, row for row.
+
+Deletes tombstone the ordinal (pages are immutable); updates rewrite
+the affected column pages in place under fresh page ids, preserving the
+row's scan position.  Each sealed page carries its zone map, which
+:meth:`ColumnStore.scan` uses to skip whole groups that provably
+cannot satisfy a comparison predicate.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+from typing import Any, Iterator
+
+from repro.db.columnar import pages as page_codec
+from repro.db.columnar.pages import ZONE_EMPTY
+from repro.db.values import NULL
+from repro.obs.metrics import count
+
+
+class PageRef:
+    """One sealed column page: cache handle + zone map + size."""
+
+    __slots__ = ("page_id", "nbytes", "zone")
+
+    def __init__(self, page_id: int, nbytes: int, zone) -> None:
+        self.page_id = page_id
+        self.nbytes = nbytes
+        self.zone = zone
+
+
+class RowGroup:
+    """``count`` consecutive ordinals sealed as one page per column."""
+
+    __slots__ = ("start", "count", "row_ids", "pages")
+
+    def __init__(self, start: int, count: int, row_ids: list,
+                 pages: "list[PageRef]") -> None:
+        self.start = start
+        self.count = count
+        self.row_ids = row_ids
+        self.pages = pages
+
+
+def zone_excludes(zone, low, include_low, high, include_high) -> bool:
+    """True when no value in *zone* can satisfy ``low <?= v <?= high``.
+
+    Conservative: only prunes when the zone and the bounds are of the
+    same totally ordered category (both numeric or both str), so a
+    mistyped predicate still reaches the filter and raises exactly as
+    the row-at-a-time path would.  A NULL bound excludes everything
+    (comparisons with NULL are never true).
+    """
+    if zone is None:
+        return False
+    if zone == ZONE_EMPTY:
+        return True
+    lowest, highest = zone
+    numeric = isinstance(lowest, (int, float))
+    for bound, opposite, inclusive in (
+        (low, highest, include_low), (high, lowest, include_high)
+    ):
+        if bound is None:
+            continue
+        if bound is NULL:
+            return True
+        if isinstance(bound, bool):
+            return False
+        if numeric != isinstance(bound, (int, float)):
+            return False
+        if not numeric and not isinstance(bound, str):
+            return False
+    if low is not None:
+        if highest < low or (highest == low and not include_low):
+            return True
+    if high is not None:
+        if lowest > high or (lowest == high and not include_high):
+            return True
+    return False
+
+
+class GroupView:
+    """One scannable unit: a sealed row group or the unsealed tail."""
+
+    __slots__ = ("_store", "_group", "row_ids", "_columns", "_tail_rows")
+
+    def __init__(self, store: "ColumnStore", group: "RowGroup | None",
+                 row_ids: list, tail_rows: "list | None" = None) -> None:
+        self._store = store
+        self._group = group
+        self.row_ids = row_ids  # None entries mark tombstones
+        self._columns: "list | None" = None
+        self._tail_rows = tail_rows
+
+    @property
+    def sealed(self) -> bool:
+        return self._group is not None
+
+    def zone(self, position: int):
+        if self._group is None:
+            return None
+        return self._group.pages[position].zone
+
+    def raw_page(self, position: int) -> "bytes | None":
+        """Encoded page bytes (sealed groups only)."""
+        if self._group is None:
+            return None
+        ref = self._group.pages[position]
+        return self._store.read_page(ref)
+
+    def column_values(self, position: int) -> list:
+        """Positional values of one column (tombstones included)."""
+        if self._group is None:
+            return [NULL if row is None else row[position]
+                    for row in self._tail_rows]
+        if self._columns is None:
+            self._columns = self._store.decode_group(self._group)
+        return self._columns[position]
+
+    def enumerate_rows(self) -> Iterator[tuple[int, list]]:
+        """Live ``(offset, row)`` pairs — offsets index positional
+        per-page result lists (kernel columns) alongside the rows."""
+        if self._group is None:
+            pairs = zip(self.row_ids, self._tail_rows)
+            for offset, (row_id, row) in enumerate(pairs):
+                if row_id is not None:
+                    yield offset, row
+            return
+        if self._columns is None:
+            self._columns = self._store.decode_group(self._group)
+        for offset, row_id in enumerate(self.row_ids):
+            if row_id is not None:
+                yield offset, [column[offset] for column in self._columns]
+
+    def rows(self) -> Iterator[tuple[int, list]]:
+        """Live ``(row_id, row)`` pairs in ordinal order."""
+        if self._group is None:
+            for row_id, row in zip(self.row_ids, self._tail_rows):
+                if row_id is not None:
+                    yield row_id, row
+            return
+        if self._columns is None:
+            self._columns = self._store.decode_group(self._group)
+        for offset, row_id in enumerate(self.row_ids):
+            if row_id is not None:
+                yield row_id, [column[offset] for column in self._columns]
+
+
+class ColumnStore:
+    """The columnar heap behind one table (see module docstring)."""
+
+    def __init__(self, schema, runtime) -> None:
+        self.schema = schema
+        self.runtime = runtime
+        self.page_rows = runtime.page_rows
+        self._groups: list[RowGroup] = []
+        self._starts: list[int] = []  # group start ordinals, for bisect
+        self._tail_start = 0
+        self._tail: list["list | None"] = []
+        self._tail_ids: list["int | None"] = []
+        self._ordinal_of: dict[int, int] = {}
+        self._live = 0
+        self._memo: "tuple[int, list] | None" = None  # (group idx, columns)
+
+    def __len__(self) -> int:
+        return self._live
+
+    # -- page plumbing ------------------------------------------------------
+
+    def read_page(self, ref: PageRef) -> bytes:
+        count("columnar", "pages_read")
+        return self.runtime.cache.get(ref.page_id)
+
+    def decode_group(self, group: RowGroup) -> list:
+        index = group.start // self.page_rows
+        if self._memo is not None and self._memo[0] == index:
+            return self._memo[1]
+        columns = [
+            page_codec.decode_page(self.read_page(ref), self.runtime.codec,
+                                   page_id=ref.page_id)
+            for ref in group.pages
+        ]
+        self._memo = (index, columns)
+        return columns
+
+    def _seal_tail(self) -> None:
+        codec = self.runtime.codec
+        refs = []
+        for position, column in enumerate(self.schema.columns):
+            values = [NULL if row is None else row[position]
+                      for row in self._tail]
+            data = page_codec.encode_page(values, column.sql_type.name,
+                                          codec)
+            page_id = self.runtime.cache.put(data)
+            refs.append(PageRef(page_id, len(data),
+                                page_codec.zone_map_of(values)))
+        group = RowGroup(self._tail_start, len(self._tail),
+                         list(self._tail_ids), refs)
+        self._groups.append(group)
+        self._starts.append(group.start)
+        self._tail_start += len(self._tail)
+        self._tail = []
+        self._tail_ids = []
+
+    def _group_at(self, ordinal: int) -> RowGroup:
+        return self._groups[bisect_right(self._starts, ordinal) - 1]
+
+    # -- heap protocol ------------------------------------------------------
+
+    def append(self, row_id: int, row: list) -> None:
+        ordinal = self._tail_start + len(self._tail)
+        self._tail.append(list(row))
+        self._tail_ids.append(row_id)
+        self._ordinal_of[row_id] = ordinal
+        self._live += 1
+        if len(self._tail) >= self.page_rows:
+            self._seal_tail()
+
+    def has(self, row_id: int) -> bool:
+        return row_id in self._ordinal_of
+
+    def get(self, row_id: int) -> "list | None":
+        ordinal = self._ordinal_of.get(row_id)
+        if ordinal is None:
+            return None
+        if ordinal >= self._tail_start:
+            return list(self._tail[ordinal - self._tail_start])
+        group = self._group_at(ordinal)
+        columns = self.decode_group(group)
+        offset = ordinal - group.start
+        return [column[offset] for column in columns]
+
+    def replace(self, row_id: int, row: list) -> None:
+        ordinal = self._ordinal_of[row_id]
+        if ordinal >= self._tail_start:
+            self._tail[ordinal - self._tail_start] = list(row)
+            return
+        group = self._group_at(ordinal)
+        columns = [list(values) for values in self.decode_group(group)]
+        offset = ordinal - group.start
+        codec = self.runtime.codec
+        for position, column in enumerate(self.schema.columns):
+            if columns[position][offset] is row[position] or (
+                    columns[position][offset] == row[position]
+                    and type(columns[position][offset])
+                    is type(row[position])):
+                continue
+            columns[position][offset] = row[position]
+            data = page_codec.encode_page(columns[position],
+                                          column.sql_type.name, codec)
+            old = group.pages[position]
+            self.runtime.cache.drop(old.page_id)
+            group.pages[position] = PageRef(
+                self.runtime.cache.put(data), len(data),
+                page_codec.zone_map_of(columns[position]),
+            )
+        self._memo = (group.start // self.page_rows, columns)
+
+    def remove(self, row_id: int) -> None:
+        ordinal = self._ordinal_of.pop(row_id)
+        self._live -= 1
+        if ordinal >= self._tail_start:
+            offset = ordinal - self._tail_start
+            self._tail[offset] = None
+            self._tail_ids[offset] = None
+            return
+        group = self._group_at(ordinal)
+        group.row_ids[ordinal - group.start] = None
+
+    def clear(self) -> None:
+        for group in self._groups:
+            for ref in group.pages:
+                self.runtime.cache.drop(ref.page_id)
+        self._groups = []
+        self._starts = []
+        self._tail_start = 0
+        self._tail = []
+        self._tail_ids = []
+        self._ordinal_of = {}
+        self._live = 0
+        self._memo = None
+
+    def items(self) -> Iterator[tuple[int, list]]:
+        for view in self.scan():
+            yield from view.rows()
+
+    # -- scanning -----------------------------------------------------------
+
+    def scan(self, bounds=None) -> Iterator[GroupView]:
+        """Yield group views; *bounds* prunes groups via zone maps.
+
+        ``bounds`` is a list of ``(position, low, include_low, high,
+        include_high)`` with already-evaluated bound values.  A pruned
+        group counts one ``pages_skipped`` per column page it avoided
+        reading.
+        """
+        for group in self._groups:
+            if all(row_id is None for row_id in group.row_ids):
+                continue
+            if bounds and any(
+                zone_excludes(group.pages[position].zone, low, inc_low,
+                              high, inc_high)
+                for position, low, inc_low, high, inc_high in bounds
+            ):
+                count("columnar", "pages_skipped", len(group.pages))
+                continue
+            yield GroupView(self, group, group.row_ids)
+        if self._tail:
+            yield GroupView(self, None, self._tail_ids,
+                            tail_rows=self._tail)

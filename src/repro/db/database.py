@@ -22,6 +22,7 @@ from contextlib import contextmanager
 from typing import Any, Callable, Iterator, Sequence
 
 from repro.db.catalog import Catalog, SqlAggregate
+from repro.db.columnar import ColumnarRuntime
 from repro.db.index import INDEX_KINDS
 from repro.db.schema import Column, TableSchema
 from repro.db.sql import ast
@@ -29,6 +30,7 @@ from repro.db.sql.expressions import Evaluator, Frame, RowContext
 from repro.db.sql.functions import register_builtin_functions
 from repro.db.sql.optimizer import Planner
 from repro.db.sql.parser import parse
+from repro.db.table import Table
 from repro.db.values import NULL, OpaqueType
 from repro.errors import (
     CatalogError,
@@ -111,11 +113,28 @@ class ResultSet:
 
 
 class Database:
-    """An in-memory extensible relational database."""
+    """An extensible relational database.
 
-    def __init__(self, optimize: bool = True) -> None:
+    ``layout`` picks the heap of newly created tables: ``"row"`` (the
+    classic row-list, the differential oracle) or ``"column"`` (sealed
+    column pages with zone maps and an LRU page cache).  A finite
+    ``memory_budget`` (bytes) bounds resident column pages *and* sets
+    the spill thresholds of the streaming operators, so queries over
+    data larger than the budget still complete; ``None`` disables
+    spilling.  ``page_rows`` is the row-group height of columnar
+    tables.
+    """
+
+    def __init__(self, optimize: bool = True, layout: str = "row",
+                 memory_budget: "int | None" = None,
+                 page_rows: int = 256) -> None:
+        if layout not in ("row", "column"):
+            raise DatabaseError(f"unknown table layout {layout!r}")
         self.catalog = Catalog()
         self.optimize = optimize
+        self.layout = layout
+        self.columnar = ColumnarRuntime(self.catalog, memory_budget,
+                                        page_rows)
         self._planner = Planner(self, optimize=optimize)
         self._evaluator = Evaluator(self)
         self._index_owner: dict[str, str] = {}  # index name -> table name
@@ -138,10 +157,11 @@ class Database:
         selectivity: float | None = None,
         description: str = "",
         replace: bool = False,
+        kernel: str | None = None,
     ) -> None:
         """Register a scalar UDF usable in any SQL expression (section 6.3)."""
         self.catalog.register_function(
-            name, function, selectivity, description, replace
+            name, function, selectivity, description, replace, kernel
         )
 
     def register_aggregate(self, aggregate: SqlAggregate,
@@ -334,8 +354,14 @@ class Database:
                 unique.append(definition.name)
         schema = TableSchema(statement.name, columns, primary_key,
                              tuple(unique))
-        self.catalog.create_table(schema)
+        self.create_table(schema)
         return None
+
+    def create_table(self, schema: TableSchema, layout: str | None = None):
+        """Create a table with the database's (or an explicit) layout."""
+        table = Table(schema, layout=layout or self.layout,
+                      runtime=self.columnar)
+        return self.catalog.create_table(schema, table)
 
     def _create_index(self, statement: ast.CreateIndex) -> None:
         name = statement.name.lower()

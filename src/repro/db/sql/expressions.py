@@ -16,6 +16,7 @@ from __future__ import annotations
 import re
 from typing import TYPE_CHECKING, Any, Sequence
 
+from repro.db.columnar.vector import KernelError
 from repro.db.sql import ast
 from repro.db.values import NULL, UNKNOWN, and3, compare, is_truthy, not3, or3
 from repro.errors import DatabaseError, SqlSyntaxError, TypeCheckError
@@ -187,7 +188,13 @@ class Evaluator:
 
     def _eval_columnref(self, node: ast.ColumnRef,
                         context: RowContext) -> Any:
-        return context.resolve(node.table, node.column)
+        value = context.resolve(node.table, node.column)
+        if type(value) is KernelError:
+            # A vectorized kernel failed for this row; the failure is
+            # deferred until the cell is actually read so filtered-out
+            # rows never surface errors the row path would not raise.
+            raise value.error
+        return value
 
     def _eval_unary(self, node: ast.Unary, context: RowContext) -> Any:
         if node.operator == "NOT":

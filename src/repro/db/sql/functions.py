@@ -60,7 +60,8 @@ def register_builtin_functions(catalog: Catalog) -> None:
     register("upper", _null_safe(lambda s: s.upper()),
              description="upper-case text")
     register("length", _null_safe(_sql_length),
-             description="length of text/blob/sequence")
+             description="length of text/blob/sequence",
+             kernel="length")
     register("substr", _null_safe(_sql_substr),
              description="1-based substring")
     register("trim", _null_safe(lambda s: s.strip()),

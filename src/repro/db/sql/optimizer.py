@@ -24,10 +24,12 @@ from __future__ import annotations
 import dataclasses
 from typing import TYPE_CHECKING, Iterable
 
+from repro.db.columnar.vector import KERNELS
 from repro.db.sql import ast
-from repro.db.sql.expressions import Evaluator, Frame
+from repro.db.sql.expressions import NATIVE_AGGREGATES, Evaluator, Frame
 from repro.db.sql.plan import (
     Aggregate,
+    ColumnarScan,
     Distinct,
     Filter,
     HashJoin,
@@ -41,6 +43,7 @@ from repro.db.sql.plan import (
     Project,
     SeqScan,
     Sort,
+    VectorAggregate,
 )
 from repro.db.table import Table
 from repro.errors import CatalogError, SqlSyntaxError
@@ -308,6 +311,143 @@ class Planner:
         _, plan, rest = candidates[0]
         return plan, rest
 
+    def _zone_bound(
+        self,
+        conjunct: ast.Expression,
+        binding: str,
+        table: Table,
+        schemas: dict[str, Table],
+    ) -> "tuple | None":
+        """A zone-map bound spec for one comparison conjunct, or None.
+
+        Returns ``(position, low, include_low, high, include_high)``
+        with expression bounds; the scan evaluates them at execute time.
+        The conjunct itself always stays in a Filter above — zone maps
+        only skip whole row groups, they never decide individual rows.
+        """
+        if isinstance(conjunct, ast.Binary) and conjunct.operator == "=":
+            for column_side, value_side in (
+                (conjunct.left, conjunct.right),
+                (conjunct.right, conjunct.left),
+            ):
+                column = self._column_of(column_side, binding, table)
+                if (column is not None
+                        and self._expression_is_independent(value_side,
+                                                            schemas)):
+                    position = table.schema.position(column)
+                    return (position, value_side, True, value_side, True)
+            return None
+        if (isinstance(conjunct, ast.Binary)
+                and conjunct.operator in ("<", "<=", ">", ">=")):
+            column = self._column_of(conjunct.left, binding, table)
+            value = conjunct.right
+            operator = conjunct.operator
+            if column is None:
+                column = self._column_of(conjunct.right, binding, table)
+                value = conjunct.left
+                operator = {"<": ">", "<=": ">=",
+                            ">": "<", ">=": "<="}[operator]
+            if (column is None
+                    or not self._expression_is_independent(value, schemas)):
+                return None
+            position = table.schema.position(column)
+            if operator in ("<", "<="):
+                return (position, None, True, value, operator == "<=")
+            return (position, value, operator == ">=", None, True)
+        if isinstance(conjunct, ast.Between) and not conjunct.negated:
+            column = self._column_of(conjunct.operand, binding, table)
+            if (column is not None
+                    and self._expression_is_independent(conjunct.low,
+                                                        schemas)
+                    and self._expression_is_independent(conjunct.high,
+                                                        schemas)):
+                return (table.schema.position(column),
+                        conjunct.low, True, conjunct.high, True)
+        return None
+
+    def _kernel_spec(
+        self,
+        call: ast.FunctionCall,
+        scan: ColumnarScan,
+        schemas: dict[str, Table],
+    ) -> "tuple | None":
+        """(kernel, function, position, extras) when *call* vectorizes.
+
+        Eligible: a non-aggregate call to a catalog function whose
+        registration carries a ``kernel=`` tag, first argument a column
+        of the scanned table, remaining arguments independent of this
+        query level.
+        """
+        if call.star or not call.args:
+            return None
+        if self._evaluator.is_aggregate_call(call):
+            return None
+        try:
+            descriptor = self._database.catalog.function(call.name)
+        except CatalogError:
+            return None
+        if descriptor.kernel is None or descriptor.kernel not in KERNELS:
+            return None
+        column = self._column_of(call.args[0], scan.binding, scan.table)
+        if column is None:
+            return None
+        for extra in call.args[1:]:
+            if not self._expression_is_independent(extra, schemas):
+                return None
+        return (descriptor.kernel, call.name.lower(),
+                scan.table.schema.position(column), tuple(call.args[1:]))
+
+    def _rewrite_kernel_calls(
+        self,
+        expression: ast.Expression,
+        scan: ColumnarScan,
+        schemas: dict[str, Table],
+    ) -> ast.Expression:
+        """Replace kernel-taggable calls with scan kernel-slot columns.
+
+        Arguments rewrite first, so nested calls vectorize inside-out:
+        the innermost eligible call becomes a synthetic column and the
+        enclosing call (now over a non-schema column) stays row-at-a-time
+        against the slot value.
+        """
+        def rebuild(node: ast.Expression) -> ast.Expression:
+            return self._rewrite_kernel_calls(node, scan, schemas)
+
+        if isinstance(expression, ast.Unary):
+            return ast.Unary(expression.operator,
+                             rebuild(expression.operand))
+        if isinstance(expression, ast.Binary):
+            return ast.Binary(expression.operator,
+                              rebuild(expression.left),
+                              rebuild(expression.right))
+        if isinstance(expression, ast.IsNull):
+            return ast.IsNull(rebuild(expression.operand),
+                              expression.negated)
+        if isinstance(expression, ast.Between):
+            return ast.Between(rebuild(expression.operand),
+                               rebuild(expression.low),
+                               rebuild(expression.high),
+                               expression.negated)
+        if isinstance(expression, ast.InList):
+            return ast.InList(rebuild(expression.operand),
+                              tuple(rebuild(item)
+                                    for item in expression.items),
+                              expression.negated)
+        if isinstance(expression, ast.FunctionCall):
+            call = ast.FunctionCall(
+                expression.name,
+                tuple(rebuild(argument) for argument in expression.args),
+                expression.star,
+            )
+            spec = self._kernel_spec(call, scan, schemas)
+            if spec is not None:
+                kernel, function_name, position, _ = spec
+                name = scan.ensure_kernel_slot(call, kernel,
+                                               function_name, position)
+                return ast.ColumnRef(None, name)
+            return call
+        return expression
+
     def _access_path(
         self,
         table: Table,
@@ -320,6 +460,18 @@ class Planner:
                    if self.optimize else None)
         if indexed is not None:
             plan, remaining = indexed
+        elif self.optimize and table.column_store is not None:
+            scan = ColumnarScan(table, binding, self._evaluator,
+                                self._database.catalog)
+            for conjunct in conjuncts:
+                bound = self._zone_bound(conjunct, binding, table, schemas)
+                if bound is not None:
+                    scan.add_bound(*bound)
+            # Kernel slots must all exist before any Filter captures the
+            # scan frame, hence the two passes.
+            remaining = [self._rewrite_kernel_calls(conjunct, scan, schemas)
+                         for conjunct in conjuncts]
+            plan = scan
         else:
             plan = SeqScan(table, binding)
             remaining = conjuncts
@@ -442,6 +594,82 @@ class Planner:
             )
         return expression
 
+    def _vector_spec(
+        self,
+        call: ast.FunctionCall,
+        scan: ColumnarScan,
+        schemas: dict[str, Table],
+    ) -> "tuple | None":
+        """A :class:`VectorAggregate` spec for *call*, or None.
+
+        Supported: native aggregates over ``*``, a scanned column, or a
+        kernel-taggable function call of one.  Invalid shapes (``sum(*)``,
+        wrong arity) return None so the row-at-a-time Aggregate raises
+        its usual errors.
+        """
+        name = call.name.lower()
+        if name not in NATIVE_AGGREGATES:
+            return None
+        if call.star:
+            return ("star",) if name == "count" else None
+        if len(call.args) != 1:
+            return None
+        argument = call.args[0]
+        if isinstance(argument, ast.ColumnRef):
+            column = self._column_of(argument, scan.binding, scan.table)
+            if column is None:
+                return None
+            return ("column", scan.table.schema.position(column))
+        if isinstance(argument, ast.FunctionCall):
+            spec = self._kernel_spec(argument, scan, schemas)
+            if spec is None:
+                return None
+            kernel, function_name, position, extras = spec
+            return ("kernel", kernel, function_name, position, extras)
+        return None
+
+    def _vectorize_projection(
+        self,
+        plan: PlanNode,
+        items: list,
+        order_items: list,
+        schemas: dict[str, Table],
+    ) -> tuple:
+        """Vectorize kernel calls in the projection and ORDER BY.
+
+        Only applies when the plan is a Filter chain over a
+        :class:`ColumnarScan`.  New kernel slots widen the scan frame,
+        so the Filter chain is rebuilt to re-capture it (Filters alias
+        their child's frame at construction).
+        """
+        filters = []
+        node = plan
+        while isinstance(node, Filter):
+            filters.append(node)
+            node = node.child
+        if not isinstance(node, ColumnarScan):
+            return plan, items, order_items
+        scan = node
+        before = len(scan.kernel_slots)
+        items = [(self._rewrite_kernel_calls(expression, scan, schemas),
+                  name)
+                 for expression, name in items]
+        order_items = [
+            ast.OrderItem(
+                self._rewrite_kernel_calls(item.expression, scan, schemas),
+                item.ascending,
+            )
+            for item in order_items
+        ]
+        if len(scan.kernel_slots) != before and filters:
+            rebuilt: PlanNode = scan
+            for stale in reversed(filters):
+                fresh = Filter(rebuilt, stale.predicate, self._evaluator)
+                fresh.estimated_rows = stale.estimated_rows
+                rebuilt = fresh
+            return rebuilt, items, order_items
+        return plan, items, order_items
+
     # ----------------------------------------------------------------- the plan
 
     def plan_select(self, select: ast.Select) -> PlanNode:
@@ -508,11 +736,13 @@ class Planner:
                     joined: PlanNode = HashJoin(
                         plan, right_plan, left_key, right_key,
                         self._evaluator, join.kind, residual,
+                        runtime=self._database.columnar,
                     )
                 else:
                     joined = NestedLoopJoin(
                         plan, right_plan, join.condition,
                         self._evaluator, join.kind,
+                        runtime=self._database.columnar,
                     )
                 joined.estimated_rows = max(
                     plan.estimated_rows, right_plan.estimated_rows
@@ -534,6 +764,8 @@ class Planner:
                 if select.source is None:
                     raise SqlSyntaxError("SELECT * requires a FROM clause")
                 for binding, column in plan.frame.slots:
+                    if binding is None:
+                        continue  # synthetic kernel slots are not columns
                     items.append(
                         (ast.ColumnRef(binding, column), column)
                     )
@@ -582,10 +814,24 @@ class Planner:
                 for index, expression in enumerate(select.group_by)
             }
             aggregate_names = {str(call) for call in aggregate_calls}
-            plan = Aggregate(
-                plan, select.group_by, aggregate_calls,
-                self._evaluator, self._database,
-            )
+            aggregated: PlanNode | None = None
+            if (self.optimize and not select.group_by and aggregate_calls
+                    and isinstance(plan, ColumnarScan)
+                    and not plan.bounds and not plan.kernel_slots):
+                specs = [self._vector_spec(call, plan, schemas)
+                         for call in aggregate_calls]
+                if all(spec is not None for spec in specs):
+                    aggregated = VectorAggregate(
+                        plan, aggregate_calls, self._evaluator,
+                        self._database, specs,
+                    )
+            if aggregated is None:
+                aggregated = Aggregate(
+                    plan, select.group_by, aggregate_calls,
+                    self._evaluator, self._database,
+                    runtime=self._database.columnar,
+                )
+            plan = aggregated
             plan.estimated_rows = max(
                 1.0, plan.children()[0].estimated_rows / 10.0
             )
@@ -609,9 +855,14 @@ class Planner:
             ]
         elif having is not None:
             raise SqlSyntaxError("HAVING requires GROUP BY or aggregates")
+        elif self.optimize and select.source is not None and not select.joins:
+            plan, items, order_items = self._vectorize_projection(
+                plan, items, order_items, schemas,
+            )
 
         if order_items:
-            plan = Sort(plan, order_items, self._evaluator)
+            plan = Sort(plan, order_items, self._evaluator,
+                        runtime=self._database.columnar)
 
         project = Project(plan, items, self._evaluator)
         project.estimated_rows = plan.estimated_rows

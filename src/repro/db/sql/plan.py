@@ -5,15 +5,30 @@ Every node produces an iterator of value tuples described by its
 row estimate so ``EXPLAIN`` output shows both the shape and the numbers
 the planner believed.
 
-Operator set: sequential scan, three index scans (equality / range /
+Operator set: sequential scan, columnar scan (zone-map page skipping +
+vectorized kernels), three index scans (equality / range /
 contains-candidate), filter, nested-loop and hash joins (inner + left),
-grouping/aggregation, projection, distinct, sort, limit.
+grouping/aggregation (streaming + vectorized), projection, distinct,
+external-merge sort, limit.
+
+Every pipeline breaker runs in bounded memory when the database has a
+``memory_budget``: ORDER BY spills sorted runs and merges them with
+``heapq.merge``, GROUP BY spills overflow groups to hash partitions,
+and both join build sides live in spillable runs
+(:mod:`repro.db.columnar.spill`).  All of them are bit-identical to the
+unbounded versions they replaced — same values, same order, same
+errors — which the differential suite enforces.
 """
 
 from __future__ import annotations
 
+import heapq
+import zlib
 from typing import TYPE_CHECKING, Any, Iterator, Sequence
 
+from repro.db.columnar import pages as page_codec
+from repro.db.columnar.spill import IndexedRun, RowRun
+from repro.db.columnar.vector import KernelError, apply_kernel
 from repro.db.sql import ast
 from repro.db.sql.expressions import (
     NATIVE_AGGREGATES,
@@ -23,10 +38,50 @@ from repro.db.sql.expressions import (
 )
 from repro.db.table import Table
 from repro.db.values import NULL, sort_key
-from repro.errors import DatabaseError, SqlSyntaxError
+from repro.errors import DatabaseError, SqlSyntaxError, TypeCheckError
 
 if TYPE_CHECKING:  # pragma: no cover
+    from repro.db.columnar import ColumnarRuntime
     from repro.db.index.base import Index
+
+#: Hash partitions the aggregate spills overflow groups into.
+SPILL_PARTITIONS = 16
+
+
+def _page_function(name: str, function) -> Any:
+    """Wrap a catalog function with the evaluator's error mapping,
+    capturing instead of raising (see :class:`KernelError`)."""
+    def call(*arguments):
+        try:
+            return function(*arguments)
+        except (DatabaseError, TypeCheckError) as exc:
+            return KernelError(exc)
+        except Exception as exc:
+            return KernelError(
+                DatabaseError(f"function {name!r} failed: {exc}")
+            )
+    return call
+
+
+def _unwrap(value: Any) -> Any:
+    if isinstance(value, KernelError):
+        raise value.error
+    return value
+
+
+class _Desc:
+    """Inverts comparisons so one composite key handles mixed ASC/DESC."""
+
+    __slots__ = ("key",)
+
+    def __init__(self, key: Any) -> None:
+        self.key = key
+
+    def __eq__(self, other: Any) -> bool:
+        return self.key == other.key
+
+    def __lt__(self, other: "_Desc") -> bool:
+        return other.key < self.key
 
 
 class PlanNode:
@@ -215,7 +270,8 @@ class NestedLoopJoin(PlanNode):
 
     def __init__(self, left: PlanNode, right: PlanNode,
                  condition: ast.Expression, evaluator: Evaluator,
-                 kind: str = "inner") -> None:
+                 kind: str = "inner",
+                 runtime: "ColumnarRuntime | None" = None) -> None:
         if kind not in ("inner", "left"):
             raise DatabaseError(f"unsupported join kind {kind!r}")
         self.left = left
@@ -223,6 +279,7 @@ class NestedLoopJoin(PlanNode):
         self.condition = condition
         self.evaluator = evaluator
         self.kind = kind
+        self.runtime = runtime
         self.frame = left.frame + right.frame
 
     def label(self) -> str:
@@ -232,18 +289,27 @@ class NestedLoopJoin(PlanNode):
         return (self.left, self.right)
 
     def execute(self, parameters, outer) -> Iterator[tuple]:
-        right_rows = list(self.right.execute(parameters, outer))
+        # Block-nested-loop: the inner relation lives in a spillable run,
+        # so a right side larger than the memory budget goes to disk
+        # instead of materializing as one unbounded list.
+        right_rows = (self.runtime.spill.row_run()
+                      if self.runtime is not None else RowRun(None, None))
+        right_rows.extend(self.right.execute(parameters, outer))
         null_pad = (NULL,) * len(self.right.frame)
-        for left_values in self.left.execute(parameters, outer):
-            matched = False
-            for right_values in right_rows:
-                combined = left_values + right_values
-                context = self._context(combined, parameters, outer)
-                if self.evaluator.evaluate_predicate(self.condition, context):
-                    matched = True
-                    yield combined
-            if not matched and self.kind == "left":
-                yield left_values + null_pad
+        try:
+            for left_values in self.left.execute(parameters, outer):
+                matched = False
+                for right_values in right_rows:
+                    combined = left_values + right_values
+                    context = self._context(combined, parameters, outer)
+                    if self.evaluator.evaluate_predicate(self.condition,
+                                                         context):
+                        matched = True
+                        yield combined
+                if not matched and self.kind == "left":
+                    yield left_values + null_pad
+        finally:
+            right_rows.close()
 
 
 class HashJoin(PlanNode):
@@ -258,6 +324,7 @@ class HashJoin(PlanNode):
         evaluator: Evaluator,
         kind: str = "inner",
         residual: ast.Expression | None = None,
+        runtime: "ColumnarRuntime | None" = None,
     ) -> None:
         if kind not in ("inner", "left"):
             raise DatabaseError(f"unsupported join kind {kind!r}")
@@ -268,6 +335,7 @@ class HashJoin(PlanNode):
         self.evaluator = evaluator
         self.kind = kind
         self.residual = residual
+        self.runtime = runtime
         self.frame = left.frame + right.frame
 
     def label(self) -> str:
@@ -287,36 +355,45 @@ class HashJoin(PlanNode):
             return repr(value)
 
     def execute(self, parameters, outer) -> Iterator[tuple]:
-        buckets: dict[Any, list[tuple]] = {}
+        # Build rows live in an offset-addressed spillable run; the hash
+        # table itself only holds ordinals, so a build side larger than
+        # the memory budget keeps the resident footprint bounded.
+        build = (self.runtime.spill.indexed_run()
+                 if self.runtime is not None else IndexedRun(None, None))
+        buckets: dict[Any, list[int]] = {}
         for right_values in self.right.execute(parameters, outer):
             context = RowContext(self.right.frame, right_values,
                                  parameters, outer)
             key = self.evaluator.evaluate(self.right_key, context)
             if key is NULL:
                 continue  # NULL never equi-joins
-            buckets.setdefault(self._bucket_key(key), []).append(right_values)
+            ordinal = build.append(right_values)
+            buckets.setdefault(self._bucket_key(key), []).append(ordinal)
 
         null_pad = (NULL,) * len(self.right.frame)
-        for left_values in self.left.execute(parameters, outer):
-            context = RowContext(self.left.frame, left_values,
-                                 parameters, outer)
-            key = self.evaluator.evaluate(self.left_key, context)
-            matched = False
-            if key is not NULL:
-                for right_values in buckets.get(self._bucket_key(key), ()):
-                    combined = left_values + right_values
-                    if self.residual is not None:
-                        combined_context = self._context(
-                            combined, parameters, outer
-                        )
-                        if not self.evaluator.evaluate_predicate(
-                            self.residual, combined_context
-                        ):
-                            continue
-                    matched = True
-                    yield combined
-            if not matched and self.kind == "left":
-                yield left_values + null_pad
+        try:
+            for left_values in self.left.execute(parameters, outer):
+                context = RowContext(self.left.frame, left_values,
+                                     parameters, outer)
+                key = self.evaluator.evaluate(self.left_key, context)
+                matched = False
+                if key is not NULL:
+                    for ordinal in buckets.get(self._bucket_key(key), ()):
+                        combined = left_values + tuple(build[ordinal])
+                        if self.residual is not None:
+                            combined_context = self._context(
+                                combined, parameters, outer
+                            )
+                            if not self.evaluator.evaluate_predicate(
+                                self.residual, combined_context
+                            ):
+                                continue
+                        matched = True
+                        yield combined
+                if not matched and self.kind == "left":
+                    yield left_values + null_pad
+        finally:
+            build.close()
 
 
 class Project(PlanNode):
@@ -346,13 +423,120 @@ class Project(PlanNode):
             )
 
 
+class _NativeAccumulator:
+    """Streaming state of one native aggregate call within one group.
+
+    Value-for-value identical to the list-then-reduce computation it
+    replaced: ``sum`` starts from ``int`` 0 like ``sum()``, ``avg`` is
+    running-sum over non-NULL count, and ``min``/``max`` replace only on
+    strict comparison so the first of equal keys wins, exactly as
+    ``min(values, key=sort_key)`` does.
+    """
+
+    __slots__ = ("name", "star", "argument", "evaluator",
+                 "rows", "nonnull", "total", "best", "best_key")
+
+    def __init__(self, call: ast.FunctionCall, evaluator: Evaluator) -> None:
+        self.name = call.name.lower()
+        self.star = call.star
+        if call.star:
+            if self.name != "count":
+                raise SqlSyntaxError(f"{self.name}(*) is not defined")
+            self.argument = None
+        else:
+            if len(call.args) != 1:
+                raise SqlSyntaxError(
+                    f"aggregate {self.name!r} takes exactly one argument"
+                )
+            self.argument = call.args[0]
+        self.evaluator = evaluator
+        self.rows = 0
+        self.nonnull = 0
+        self.total: Any = 0
+        self.best: Any = None
+        self.best_key: Any = None
+
+    def step(self, context: RowContext) -> None:
+        if self.star:
+            self.rows += 1
+            return
+        self.add(self.evaluator.evaluate(self.argument, context))
+
+    def add(self, value: Any) -> None:
+        if value is NULL:
+            return
+        self.nonnull += 1
+        name = self.name
+        if name in ("sum", "avg"):
+            self.total = self.total + value
+        elif name in ("min", "max"):
+            key = sort_key(value)
+            if self.nonnull == 1:
+                self.best, self.best_key = value, key
+            elif name == "min":
+                if key < self.best_key:
+                    self.best, self.best_key = value, key
+            elif key > self.best_key:
+                self.best, self.best_key = value, key
+
+    def final(self) -> Any:
+        if self.name == "count":
+            return self.rows if self.star else self.nonnull
+        if self.nonnull == 0:
+            return NULL
+        if self.name == "sum":
+            return self.total
+        if self.name == "avg":
+            return self.total / self.nonnull
+        return self.best
+
+
+class _CustomAccumulator:
+    """Streaming state of one registered (initial/step/final) aggregate."""
+
+    __slots__ = ("call", "evaluator", "aggregate", "state")
+
+    def __init__(self, call: ast.FunctionCall, evaluator: Evaluator,
+                 aggregate) -> None:
+        self.call = call
+        self.evaluator = evaluator
+        self.aggregate = aggregate
+        self.state = aggregate.initial()
+
+    def step(self, context: RowContext) -> None:
+        arguments = [self.evaluator.evaluate(argument, context)
+                     for argument in self.call.args]
+        self.state = self.aggregate.step(self.state, *arguments)
+
+    def final(self) -> Any:
+        return self.aggregate.final(self.state)
+
+
+class _GroupState:
+    """One group's key values, first-seen ordinal and accumulators."""
+
+    __slots__ = ("keys", "ordinal", "accumulators")
+
+    def __init__(self, keys: list, ordinal: int, accumulators: list) -> None:
+        self.keys = keys
+        self.ordinal = ordinal
+        self.accumulators = accumulators
+
+
 class Aggregate(PlanNode):
-    """Grouping + aggregate evaluation.
+    """Grouping + aggregate evaluation, streaming with group spill.
 
     Output columns: one slot per group expression (named ``__group_i``)
     followed by one per distinct aggregate call (named by ``str(call)``).
     The optimizer rewrites outer expressions (projection, HAVING, ORDER
     BY) to reference these synthetic columns.
+
+    Rows fold into per-group accumulators as they stream past — no
+    per-group row lists.  Under a finite ``memory_budget`` the number
+    of in-memory groups is capped: rows of groups past the cap are
+    routed by a stable hash of their key into on-disk partitions and
+    aggregated in a second pass.  Output order stays first-seen
+    (groups merge on their first input ordinal).
     """
 
     def __init__(
@@ -362,12 +546,14 @@ class Aggregate(PlanNode):
         aggregate_calls: Sequence[ast.FunctionCall],
         evaluator: Evaluator,
         database,
+        runtime: "ColumnarRuntime | None" = None,
     ) -> None:
         self.child = child
         self.group_expressions = list(group_expressions)
         self.aggregate_calls = list(aggregate_calls)
         self.evaluator = evaluator
         self.database = database
+        self.runtime = runtime
         slots = [(None, f"__group_{i}")
                  for i in range(len(self.group_expressions))]
         slots.extend((None, str(call)) for call in self.aggregate_calls)
@@ -381,77 +567,77 @@ class Aggregate(PlanNode):
     def children(self) -> tuple[PlanNode, ...]:
         return (self.child,)
 
-    def _compute_native(self, call: ast.FunctionCall,
-                        rows: list[tuple], parameters, outer) -> Any:
-        name = call.name.lower()
-        if call.star:
-            if name != "count":
-                raise SqlSyntaxError(f"{name}(*) is not defined")
-            return len(rows)
-        if len(call.args) != 1:
-            raise SqlSyntaxError(
-                f"aggregate {name!r} takes exactly one argument"
-            )
-        argument = call.args[0]
-        values = []
-        for values_row in rows:
-            context = RowContext(self.child.frame, values_row,
-                                 parameters, outer)
-            value = self.evaluator.evaluate(argument, context)
-            if value is not NULL:
-                values.append(value)
-        if name == "count":
-            return len(values)
-        if not values:
-            return NULL
-        if name == "sum":
-            return sum(values)
-        if name == "avg":
-            return sum(values) / len(values)
-        if name == "min":
-            return min(values, key=sort_key)
-        if name == "max":
-            return max(values, key=sort_key)
-        raise SqlSyntaxError(f"unknown aggregate {name!r}")
-
-    def _compute_custom(self, call: ast.FunctionCall,
-                        rows: list[tuple], parameters, outer) -> Any:
-        aggregate = self.database.catalog.aggregate(call.name)
-        state = aggregate.initial()
-        for values_row in rows:
-            context = RowContext(self.child.frame, values_row,
-                                 parameters, outer)
-            arguments = [self.evaluator.evaluate(argument, context)
-                         for argument in call.args]
-            state = aggregate.step(state, *arguments)
-        return aggregate.final(state)
+    def _accumulators(self) -> list:
+        accumulators = []
+        for call in self.aggregate_calls:
+            if call.name.lower() in NATIVE_AGGREGATES:
+                accumulators.append(_NativeAccumulator(call, self.evaluator))
+            else:
+                accumulators.append(_CustomAccumulator(
+                    call, self.evaluator,
+                    self.database.catalog.aggregate(call.name),
+                ))
+        return accumulators
 
     def execute(self, parameters, outer) -> Iterator[tuple]:
-        groups: dict[tuple, tuple[list, list[tuple]]] = {}
-        for values in self.child.execute(parameters, outer):
+        spill = self.runtime.spill if self.runtime is not None else None
+        capacity = spill.run_capacity() if spill is not None else None
+        groups: dict[tuple, _GroupState] = {}
+        partitions: "list | None" = None
+        for ordinal, values in enumerate(
+                self.child.execute(parameters, outer)):
             context = RowContext(self.child.frame, values, parameters, outer)
             keys = [self.evaluator.evaluate(expression, context)
                     for expression in self.group_expressions]
             bucket_key = tuple(sort_key(k) for k in keys)
-            if bucket_key not in groups:
-                groups[bucket_key] = (keys, [])
-            groups[bucket_key][1].append(values)
+            state = groups.get(bucket_key)
+            if state is None:
+                if capacity is not None and len(groups) >= capacity:
+                    # Too many live groups: route this row to an on-disk
+                    # partition by a stable hash of its key.
+                    if partitions is None:
+                        partitions = [spill.disk_run()
+                                      for _ in range(SPILL_PARTITIONS)]
+                    index = (zlib.crc32(repr(bucket_key).encode("utf-8"))
+                             % SPILL_PARTITIONS)
+                    partitions[index].append((ordinal,) + tuple(values))
+                    continue
+                state = _GroupState(keys, ordinal, self._accumulators())
+                groups[bucket_key] = state
+            for accumulator in state.accumulators:
+                accumulator.step(context)
 
-        if not groups and not self.group_expressions:
-            groups[()] = ([], [])  # global aggregate over an empty input
+        results = list(groups.values())
+        if partitions is not None:
+            for run in partitions:
+                overflow: dict[tuple, _GroupState] = {}
+                for entry in run:
+                    ordinal, values = entry[0], tuple(entry[1:])
+                    context = RowContext(self.child.frame, values,
+                                         parameters, outer)
+                    keys = [self.evaluator.evaluate(expression, context)
+                            for expression in self.group_expressions]
+                    bucket_key = tuple(sort_key(k) for k in keys)
+                    state = overflow.get(bucket_key)
+                    if state is None:
+                        state = _GroupState(keys, ordinal,
+                                            self._accumulators())
+                        overflow[bucket_key] = state
+                    for accumulator in state.accumulators:
+                        accumulator.step(context)
+                results.extend(overflow.values())
+                run.close()
+            # First-seen group order across the memory/disk split.
+            results.sort(key=lambda state: state.ordinal)
 
-        for keys, rows in groups.values():
-            output = list(keys)
-            for call in self.aggregate_calls:
-                if call.name.lower() in NATIVE_AGGREGATES:
-                    output.append(
-                        self._compute_native(call, rows, parameters, outer)
-                    )
-                else:
-                    output.append(
-                        self._compute_custom(call, rows, parameters, outer)
-                    )
-            yield tuple(output)
+        if not results and not self.group_expressions:
+            # Global aggregate over an empty input still yields one row.
+            results = [_GroupState([], 0, self._accumulators())]
+
+        for state in results:
+            yield tuple(state.keys) + tuple(
+                accumulator.final() for accumulator in state.accumulators
+            )
 
 
 class Distinct(PlanNode):
@@ -474,13 +660,23 @@ class Distinct(PlanNode):
 
 
 class Sort(PlanNode):
-    """Materializing sort on arbitrary expressions, mixed ASC/DESC."""
+    """External-merge sort on arbitrary expressions, mixed ASC/DESC.
+
+    One composite key per row — per-item ``sort_key``, DESC items
+    wrapped in :class:`_Desc`, the input ordinal last — totally orders
+    the input identically to the stable last-key-first multi-pass sort
+    this replaced (the ordinal reproduces stability).  Without a memory
+    budget the input sorts as a single in-memory chunk; with one, full
+    chunks sort and flush as runs that ``heapq.merge`` recombines.
+    """
 
     def __init__(self, child: PlanNode, items: Sequence[ast.OrderItem],
-                 evaluator: Evaluator) -> None:
+                 evaluator: Evaluator,
+                 runtime: "ColumnarRuntime | None" = None) -> None:
         self.child = child
         self.items = list(items)
         self.evaluator = evaluator
+        self.runtime = runtime
         self.frame = child.frame
 
     def label(self) -> str:
@@ -494,20 +690,50 @@ class Sort(PlanNode):
         return (self.child,)
 
     def execute(self, parameters, outer) -> Iterator[tuple]:
-        rows = list(self.child.execute(parameters, outer))
-
-        def key_for(item: ast.OrderItem):
-            def key(values: tuple):
-                context = RowContext(self.frame, values, parameters, outer)
-                return sort_key(
+        def entry_key(entry: tuple):
+            ordinal, values = entry
+            context = RowContext(self.frame, values, parameters, outer)
+            key: list = []
+            for item in self.items:
+                part = sort_key(
                     self.evaluator.evaluate(item.expression, context)
                 )
-            return key
+                key.append(part if item.ascending else _Desc(part))
+            key.append(ordinal)
+            return tuple(key)
 
-        # Stable sorts applied last-key-first implement the composite order.
-        for item in reversed(self.items):
-            rows.sort(key=key_for(item), reverse=not item.ascending)
-        yield from rows
+        spill = self.runtime.spill if self.runtime is not None else None
+        capacity = spill.run_capacity() if spill is not None else None
+        chunk: list = []
+        runs: list = []
+        try:
+            for ordinal, values in enumerate(
+                    self.child.execute(parameters, outer)):
+                chunk.append((ordinal, values))
+                if capacity is not None and len(chunk) >= capacity:
+                    chunk.sort(key=entry_key)
+                    run = spill.disk_run()
+                    for entry_ordinal, entry_values in chunk:
+                        run.append((entry_ordinal,) + tuple(entry_values))
+                    runs.append(run)
+                    chunk = []
+            chunk.sort(key=entry_key)
+            if not runs:
+                for _, values in chunk:
+                    yield values
+                return
+            streams = [_sorted_stream(run) for run in runs]
+            streams.append(iter(chunk))
+            for _, values in heapq.merge(*streams, key=entry_key):
+                yield values
+        finally:
+            for run in runs:
+                run.close()
+
+
+def _sorted_stream(run: RowRun) -> Iterator[tuple]:
+    for entry in run:
+        yield entry[0], tuple(entry[1:])
 
 
 class Limit(PlanNode):
@@ -537,3 +763,238 @@ class Limit(PlanNode):
                 return
             produced += 1
             yield values
+
+
+class KernelSlot:
+    """One vectorized function column a :class:`ColumnarScan` appends.
+
+    ``name`` is ``str(call)`` — the same synthetic-column convention the
+    aggregate frame uses — so the optimizer rewrites matching calls in
+    filters, projections and ORDER BY into plain column references.
+    """
+
+    __slots__ = ("name", "kernel", "function_name", "position", "extra_args")
+
+    def __init__(self, name: str, kernel: str, function_name: str,
+                 position: int, extra_args: tuple) -> None:
+        self.name = name
+        self.kernel = kernel
+        self.function_name = function_name
+        self.position = position
+        self.extra_args = extra_args
+
+
+class ColumnarScan(PlanNode):
+    """Scan of a column-layout table: zone-map skipping + page kernels.
+
+    Emits exactly the rows ``SeqScan`` would, in the same order.  Two
+    columnar-only abilities ride on top:
+
+    - ``bounds`` — already-split WHERE comparisons, evaluated at execute
+      time and checked against each row group's zone maps; excluded
+      groups are skipped without reading (or decoding) their pages.
+      Every conjunct is still re-checked by the Filter above, so the
+      pruning only has to be conservative, never exact.
+    - ``kernel_slots`` — tagged function calls computed page-at-a-time
+      over the packed column data and appended to the frame as synthetic
+      columns; failures are deferred per row (:class:`KernelError`) so
+      tombstoned ordinals never raise.
+    """
+
+    def __init__(self, table: Table, binding: str, evaluator: Evaluator,
+                 catalog) -> None:
+        self.table = table
+        self.binding = binding
+        self.evaluator = evaluator
+        self.catalog = catalog
+        self.bounds: list = []
+        self.kernel_slots: list[KernelSlot] = []
+        self._rebuild_frame()
+        self.estimated_rows = float(len(table))
+
+    def _rebuild_frame(self) -> None:
+        slots = [(self.binding, column)
+                 for column in self.table.schema.column_names]
+        slots.extend((None, slot.name) for slot in self.kernel_slots)
+        self.frame = Frame(slots)
+
+    def add_bound(self, position: int, low: "ast.Expression | None",
+                  include_low: bool, high: "ast.Expression | None",
+                  include_high: bool) -> None:
+        self.bounds.append((position, low, include_low, high, include_high))
+
+    def ensure_kernel_slot(self, call: ast.FunctionCall, kernel: str,
+                           function_name: str, position: int) -> str:
+        name = str(call)
+        for slot in self.kernel_slots:
+            if slot.name == name:
+                return name
+        self.kernel_slots.append(KernelSlot(
+            name, kernel, function_name, position, tuple(call.args[1:]),
+        ))
+        self._rebuild_frame()
+        return name
+
+    def label(self) -> str:
+        parts = [f"{self.table.name} AS {self.binding}"]
+        if self.bounds:
+            parts.append(f"zones on {len(self.bounds)} bound(s)")
+        if self.kernel_slots:
+            parts.append("kernels "
+                         + ", ".join(s.name for s in self.kernel_slots))
+        return f"ColumnarScan({'; '.join(parts)})"
+
+    def _kernel_column(self, view, slot: KernelSlot, args: tuple,
+                       descriptor) -> list:
+        fallback = _page_function(slot.function_name, descriptor.function)
+        if descriptor.kernel == slot.kernel:
+            data = view.raw_page(slot.position)
+            raw = (page_codec.seq_raw_body(data)
+                   if data is not None else None)
+            return apply_kernel(
+                slot.kernel, raw,
+                lambda: view.column_values(slot.position), fallback, args,
+            )
+        # The function was re-registered without the kernel tag since
+        # planning: evaluate it row-at-a-time, as the evaluator would.
+        return [fallback(value, *args)
+                for value in view.column_values(slot.position)]
+
+    def execute(self, parameters, outer) -> Iterator[tuple]:
+        store = self.table.column_store
+        if store is None:
+            # Defensive: a row-layout table behind a columnar plan still
+            # scans correctly (no zones, no kernels to compute).
+            for _, row in self.table.rows():
+                yield tuple(row)
+            return
+        if len(store) == 0:
+            return
+        probe = RowContext(Frame(()), (), parameters, outer)
+        bounds = []
+        for position, low, include_low, high, include_high in self.bounds:
+            bounds.append((
+                position,
+                (self.evaluator.evaluate(low, probe)
+                 if low is not None else None),
+                include_low,
+                (self.evaluator.evaluate(high, probe)
+                 if high is not None else None),
+                include_high,
+            ))
+        kernels = []
+        for slot in self.kernel_slots:
+            args = tuple(self.evaluator.evaluate(argument, probe)
+                         for argument in slot.extra_args)
+            descriptor = self.catalog.function(slot.function_name)
+            kernels.append((slot, args, descriptor))
+        for view in store.scan(bounds or None):
+            if not kernels:
+                for _, row in view.rows():
+                    yield tuple(row)
+                continue
+            extras = [self._kernel_column(view, slot, args, descriptor)
+                      for slot, args, descriptor in kernels]
+            for offset, row in view.enumerate_rows():
+                # Kernel failures stay wrapped (KernelError) here: they
+                # raise only if an expression actually reads the slot,
+                # matching the row path's lazy evaluation order.
+                yield tuple(row) + tuple(
+                    column[offset] for column in extras
+                )
+
+
+class VectorAggregate(PlanNode):
+    """Global native aggregation evaluated page-at-a-time.
+
+    Stands in for :class:`Aggregate` when the child is a bare
+    :class:`ColumnarScan` (no GROUP BY, no filters, no bounds) and every
+    call is a native aggregate over ``*``, a scanned column, or a
+    kernel-tagged function of one — ``count``/``sum``/``avg``/``min``/
+    ``max`` then fold whole column pages without materializing rows.
+    The output frame matches :class:`Aggregate` exactly (one ``str(call)``
+    slot per call), so the planner's rewrite machinery is shared.
+
+    ``specs`` aligns with ``aggregate_calls``:  ``("star",)`` |
+    ``("column", position)`` | ``("kernel", kernel, function, position,
+    extra_args)``.
+    """
+
+    def __init__(self, scan: ColumnarScan,
+                 aggregate_calls: Sequence[ast.FunctionCall],
+                 evaluator: Evaluator, database,
+                 specs: Sequence[tuple]) -> None:
+        self.scan = scan
+        self.aggregate_calls = list(aggregate_calls)
+        self.evaluator = evaluator
+        self.database = database
+        self.specs = list(specs)
+        self.frame = Frame([(None, str(call))
+                            for call in self.aggregate_calls])
+        self.estimated_rows = 1.0
+
+    def label(self) -> str:
+        aggs = ", ".join(str(call) for call in self.aggregate_calls)
+        return f"VectorAggregate({aggs})"
+
+    def children(self) -> tuple[PlanNode, ...]:
+        return (self.scan,)
+
+    def _kernel_results(self, view, spec: tuple, args: tuple,
+                        descriptor) -> list:
+        _, kernel, function_name, position, _ = spec
+        fallback = _page_function(function_name, descriptor.function)
+        if descriptor.kernel == kernel:
+            data = view.raw_page(position)
+            raw = (page_codec.seq_raw_body(data)
+                   if data is not None else None)
+            return apply_kernel(
+                kernel, raw, lambda: view.column_values(position),
+                fallback, args,
+            )
+        return [fallback(value, *args)
+                for value in view.column_values(position)]
+
+    def execute(self, parameters, outer) -> Iterator[tuple]:
+        store = self.scan.table.column_store
+        accumulators = [_NativeAccumulator(call, self.evaluator)
+                        for call in self.aggregate_calls]
+        if store is None or len(store) == 0:
+            yield tuple(acc.final() for acc in accumulators)
+            return
+        probe = RowContext(Frame(()), (), parameters, outer)
+        prepared: list = []
+        for spec in self.specs:
+            if spec[0] == "kernel":
+                args = tuple(self.evaluator.evaluate(argument, probe)
+                             for argument in spec[4])
+                prepared.append(
+                    (args, self.database.catalog.function(spec[2]))
+                )
+            else:
+                prepared.append(None)
+        for view in store.scan():
+            live = view.row_ids
+            live_count = sum(1 for row_id in live if row_id is not None)
+            if live_count == 0:
+                continue
+            all_live = live_count == len(live)
+            for accumulator, spec, prep in zip(accumulators, self.specs,
+                                               prepared):
+                if spec[0] == "star":
+                    accumulator.rows += live_count
+                    continue
+                if spec[0] == "column":
+                    values = view.column_values(spec[1])
+                else:
+                    args, descriptor = prep
+                    values = self._kernel_results(view, spec, args,
+                                                  descriptor)
+                if all_live:
+                    for value in values:
+                        accumulator.add(_unwrap(value))
+                else:
+                    for row_id, value in zip(live, values):
+                        if row_id is not None:
+                            accumulator.add(_unwrap(value))
+        yield tuple(acc.final() for acc in accumulators)

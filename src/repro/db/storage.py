@@ -223,6 +223,7 @@ def build_image(database: Database,
             ],
             "primary_key": schema.primary_key,
             "unique": list(schema.unique),
+            "layout": table.layout,
             "rows": [
                 [_encode_value(value, database) for value in row]
                 for _, row in table.rows()
@@ -341,7 +342,11 @@ def restore_image(image: dict[str, Any],
             table_spec["name"], columns,
             table_spec["primary_key"], tuple(table_spec["unique"]),
         )
-        table = database.catalog.create_table(schema)
+        # Format-1 images predate per-table layouts; fall back to the
+        # restoring database's default.
+        table = database.create_table(
+            schema, layout=table_spec.get("layout")
+        )
         for encoded_row in table_spec["rows"]:
             table.insert([
                 _decode_value(value, database) for value in encoded_row

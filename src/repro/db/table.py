@@ -19,17 +19,63 @@ def _unique_key(value: Any) -> Any:
         return repr(value)
 
 
+class RowHeap:
+    """The legacy heap: a dict of row id → row list, insertion-ordered."""
+
+    def __init__(self) -> None:
+        self._rows: dict[int, list[Any]] = {}
+
+    def __len__(self) -> int:
+        return len(self._rows)
+
+    def append(self, row_id: int, row: list[Any]) -> None:
+        self._rows[row_id] = row
+
+    def has(self, row_id: int) -> bool:
+        return row_id in self._rows
+
+    def get(self, row_id: int) -> "list[Any] | None":
+        return self._rows.get(row_id)
+
+    def replace(self, row_id: int, row: list[Any]) -> None:
+        self._rows[row_id] = row
+
+    def remove(self, row_id: int) -> None:
+        del self._rows[row_id]
+
+    def clear(self) -> None:
+        self._rows.clear()
+
+    def items(self) -> Iterator[tuple[int, list[Any]]]:
+        yield from self._rows.items()
+
+
 class Table:
-    """An in-memory heap of rows with stable integer row ids.
+    """A heap of rows with stable integer row ids.
 
     The table owns constraint enforcement (primary key / unique) and keeps
     every attached :class:`~repro.db.index.base.Index` synchronized on
-    each mutation.
+    each mutation.  Row storage is pluggable: ``layout="row"`` keeps the
+    classic in-memory row-list heap; ``layout="column"`` stores rows as
+    sealed column pages (:class:`~repro.db.columnar.store.ColumnStore`)
+    behind the same protocol — stable ids, insertion-order iteration,
+    in-place updates — so the executor sees identical rows either way.
     """
 
-    def __init__(self, schema: TableSchema) -> None:
+    def __init__(self, schema: TableSchema, layout: str = "row",
+                 runtime=None) -> None:
         self.schema = schema
-        self._rows: dict[int, list[Any]] = {}
+        self.layout = layout
+        if layout == "column":
+            if runtime is None:
+                raise DatabaseError(
+                    "columnar tables need a ColumnarRuntime"
+                )
+            self._heap = runtime.column_store(schema)
+        elif layout == "row":
+            self._heap = RowHeap()
+        else:
+            raise DatabaseError(f"unknown table layout {layout!r}")
         self._next_row_id = 1
         self._indexes: dict[str, Index] = {}
         self._statistics: "dict[str, int] | None" = None
@@ -45,27 +91,32 @@ class Table:
         return self.schema.name
 
     def __len__(self) -> int:
-        return len(self._rows)
+        return len(self._heap)
 
     def __repr__(self) -> str:
         return f"Table({self.name!r}, {len(self)} rows)"
+
+    @property
+    def column_store(self):
+        """The backing :class:`ColumnStore` (``None`` for row layout)."""
+        return self._heap if self.layout == "column" else None
 
     # -- reading -----------------------------------------------------------------
 
     def rows(self) -> Iterator[tuple[int, list[Any]]]:
         """Iterate ``(row_id, row)`` pairs in insertion order."""
-        yield from self._rows.items()
+        yield from self._heap.items()
 
     def row(self, row_id: int) -> list[Any]:
-        try:
-            return self._rows[row_id]
-        except KeyError:
+        row = self._heap.get(row_id)
+        if row is None:
             raise DatabaseError(
                 f"table {self.name!r} has no row id {row_id}"
-            ) from None
+            )
+        return row
 
     def has_row(self, row_id: int) -> bool:
-        return row_id in self._rows
+        return self._heap.has(row_id)
 
     # -- uniqueness ---------------------------------------------------------------
 
@@ -102,7 +153,7 @@ class Table:
         self._check_unique(validated)
         row_id = self._next_row_id
         self._next_row_id += 1
-        self._rows[row_id] = validated
+        self._heap.append(row_id, validated)
         self._claim_unique(validated, row_id)
         for index in self._indexes.values():
             index.insert(validated[self.schema.position(index.column)], row_id)
@@ -115,7 +166,7 @@ class Table:
     def delete(self, row_id: int) -> list[Any]:
         """Remove one row; returns the removed row."""
         row = self.row(row_id)
-        del self._rows[row_id]
+        self._heap.remove(row_id)
         self._release_unique(row, row_id)
         for index in self._indexes.values():
             index.delete(row[self.schema.position(index.column)], row_id)
@@ -133,11 +184,11 @@ class Table:
             if old_row[position] != validated[position]:
                 index.delete(old_row[position], row_id)
                 index.insert(validated[position], row_id)
-        self._rows[row_id] = validated
+        self._heap.replace(row_id, validated)
 
     def truncate(self) -> None:
         """Remove all rows (keeps schema and indexes)."""
-        self._rows.clear()
+        self._heap.clear()
         for claimed in self._unique_columns.values():
             claimed.clear()
         for index in self._indexes.values():
@@ -151,7 +202,7 @@ class Table:
             raise DatabaseError(f"index {index.name!r} already attached")
         self.schema.require_column(index.column)
         position = self.schema.position(index.column)
-        for row_id, row in self._rows.items():
+        for row_id, row in self._heap.items():
             index.insert(row[position], row_id)
         self._indexes[index.name] = index
 
@@ -186,14 +237,15 @@ class Table:
         optimizer uses ``1 / ndistinct`` as the equality selectivity of
         analyzed columns instead of the fixed default.
         """
-        counts: dict[str, int] = {}
-        for position, column in enumerate(self.schema.columns):
-            distinct = {
-                _unique_key(row[position])
-                for row in self._rows.values()
-                if row[position] is not NULL
-            }
-            counts[column.name] = len(distinct)
+        distinct: list[set] = [set() for _ in self.schema.columns]
+        for _, row in self._heap.items():
+            for position, value in enumerate(row):
+                if value is not NULL:
+                    distinct[position].add(_unique_key(value))
+        counts = {
+            column.name: len(distinct[position])
+            for position, column in enumerate(self.schema.columns)
+        }
         self._statistics = counts
         return counts
 
@@ -202,20 +254,21 @@ class Table:
     def snapshot(self) -> dict:
         """A restorable copy of the row data (indexes are rebuilt on restore)."""
         return {
-            "rows": {row_id: list(row) for row_id, row in self._rows.items()},
+            "rows": {row_id: list(row) for row_id, row in self._heap.items()},
             "next_row_id": self._next_row_id,
         }
 
     def restore(self, snapshot: dict) -> None:
-        self._rows = {row_id: list(row)
-                      for row_id, row in snapshot["rows"].items()}
+        self._heap.clear()
+        for row_id, row in snapshot["rows"].items():
+            self._heap.append(row_id, list(row))
         self._next_row_id = snapshot["next_row_id"]
         for claimed in self._unique_columns.values():
             claimed.clear()
-        for row_id, row in self._rows.items():
+        for row_id, row in self._heap.items():
             self._claim_unique(row, row_id)
         for index in self._indexes.values():
             index.clear()
             position = self.schema.position(index.column)
-            for row_id, row in self._rows.items():
+            for row_id, row in self._heap.items():
                 index.insert(row[position], row_id)

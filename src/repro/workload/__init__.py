@@ -23,6 +23,7 @@ from repro.workload.simulator import (
     MacroSpec,
     OutageSpec,
     build_macro_federation,
+    columnar_analytics,
     run_macro,
 )
 
@@ -39,5 +40,6 @@ __all__ = [
     "MacroSpec",
     "OutageSpec",
     "build_macro_federation",
+    "columnar_analytics",
     "run_macro",
 ]

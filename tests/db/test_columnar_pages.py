@@ -1,0 +1,232 @@
+"""Property suite for the column page codec (``repro.db.columnar.pages``).
+
+Round-trips every page encoding through ``encode_page``/``decode_page``
+(nulls in every position, dictionary overflow past 255 distinct strings,
+integers beyond int64, empty and all-NULL pages), pins the checksum
+taxonomy of PR 7 (a flipped byte is ``bit_rot``; truncation, foreign
+bytes and unknown format/encoding tags are ``malformed``), and checks
+the zone-map contract: ``zone_excludes`` may only prune a page when no
+value on it could satisfy the bounds.
+"""
+
+import zlib
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import ops
+from repro.db.catalog import Catalog
+from repro.db.columnar import pages
+from repro.db.columnar.spill import ValueCodec
+from repro.db.columnar.store import zone_excludes
+from repro.db.values import NULL
+from repro.errors import StorageError
+
+CODEC = ValueCodec(Catalog())
+
+
+def roundtrip(values, type_name):
+    data = pages.encode_page(values, type_name, CODEC)
+    return data, pages.decode_page(data, CODEC)
+
+
+def nullable(strategy):
+    return st.lists(st.one_of(st.just(NULL), strategy), max_size=40)
+
+
+ints = st.integers(min_value=-(10 ** 25), max_value=10 ** 25)
+floats = st.floats(allow_nan=False)
+texts = st.text(max_size=12)
+blobs = st.binary(max_size=16)
+dna_texts = st.text(alphabet="ACGT", min_size=1, max_size=32)
+
+
+# -- round trips ------------------------------------------------------------
+
+
+@settings(max_examples=60, deadline=None)
+@given(nullable(ints))
+def test_int_pages_round_trip(values):
+    data, decoded = roundtrip(values, "INTEGER")
+    assert decoded == values
+    assert pages.page_encoding(data) == pages.INT
+
+
+def test_int_pages_fall_back_to_json_past_int64():
+    values = [1, 1 << 100, NULL, -(1 << 90), 0]
+    data, decoded = roundtrip(values, "INTEGER")
+    assert decoded == values
+    assert pages.page_encoding(data) == pages.INT
+
+
+@settings(max_examples=60, deadline=None)
+@given(nullable(floats))
+def test_float_pages_round_trip(values):
+    data, decoded = roundtrip(values, "REAL")
+    assert decoded == values
+    assert pages.page_encoding(data) == pages.FLOAT
+
+
+@settings(max_examples=60, deadline=None)
+@given(nullable(st.booleans()))
+def test_bool_pages_round_trip(values):
+    data, decoded = roundtrip(values, "BOOLEAN")
+    assert decoded == values
+    assert pages.page_encoding(data) == pages.BOOL
+
+
+@settings(max_examples=60, deadline=None)
+@given(nullable(texts))
+def test_text_pages_round_trip(values):
+    data, decoded = roundtrip(values, "TEXT")
+    assert decoded == values
+    assert pages.page_encoding(data) == pages.DICT
+
+
+def test_dictionary_overflow_stays_lossless():
+    # More than 255 distinct strings forces the 2-byte code width.
+    distinct = [f"value-{index:04d}" for index in range(300)]
+    values = distinct + [NULL] + distinct[::-1]
+    data, decoded = roundtrip(values, "TEXT")
+    assert decoded == values
+    assert pages.page_encoding(data) == pages.DICT
+
+
+@settings(max_examples=60, deadline=None)
+@given(nullable(blobs))
+def test_blob_pages_round_trip(values):
+    data, decoded = roundtrip(values, "BLOB")
+    assert decoded == values
+    assert pages.page_encoding(data) == pages.BLOB
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.lists(st.one_of(st.just(NULL), dna_texts), max_size=20))
+def test_seq_pages_round_trip(raws):
+    values = [raw if raw is NULL else ops.decode(raw) for raw in raws]
+    data, decoded = roundtrip(values, "DNA")
+    assert decoded == values
+    if any(value is not NULL for value in values):
+        assert pages.page_encoding(data) == pages.SEQ
+
+
+def test_seq_raw_body_exposes_packed_payloads():
+    values = [ops.decode("ACGTACGT"), NULL, ops.decode("GG")]
+    data = pages.encode_page(values, "DNA", CODEC)
+    raw = pages.seq_raw_body(data)
+    assert raw is not None
+    body, nulls = raw
+    assert nulls == [False, True, False]
+    triples = list(pages.iter_seq_raw(body, 2))
+    assert [(name, length) for name, length, _ in triples] == \
+        [("dna", 8), ("dna", 2)]
+    # A non-SEQ page is signalled, not misread.
+    assert pages.seq_raw_body(pages.encode_page([1], "INTEGER",
+                                                CODEC)) is None
+
+
+def test_mixed_values_take_the_obj_fallback():
+    # A TEXT column holding non-strings can't dictionary-encode; the
+    # OBJ fallback must still round-trip exactly (bytes tagged in-band).
+    values = ["abc", 42, NULL, 2.5, True, b"\x00\xff"]
+    data, decoded = roundtrip(values, "TEXT")
+    assert decoded == values
+    assert pages.page_encoding(data) == pages.OBJ
+
+
+def test_empty_and_all_null_pages():
+    for values in ([], [NULL], [NULL] * 9):
+        data, decoded = roundtrip(values, "INTEGER")
+        assert decoded == values
+        assert pages.zone_map_of(values) == pages.ZONE_EMPTY
+
+
+# -- checksum taxonomy ------------------------------------------------------
+
+
+@settings(max_examples=60, deadline=None)
+@given(nullable(ints), st.data())
+def test_any_flipped_bit_is_bit_rot(values, data_strategy):
+    data = pages.encode_page(values, "INTEGER", CODEC)
+    index = data_strategy.draw(
+        st.integers(min_value=2, max_value=len(data) - 1))
+    bit = data_strategy.draw(st.integers(min_value=0, max_value=7))
+    corrupted = bytearray(data)
+    corrupted[index] ^= 1 << bit
+    with pytest.raises(StorageError) as caught:
+        pages.decode_page(bytes(corrupted), CODEC, page_id=7)
+    assert caught.value.kind == "bit_rot"
+
+
+def test_truncation_and_foreign_bytes_are_malformed():
+    data = pages.encode_page([1, 2, 3], "INTEGER", CODEC)
+    for broken in (data[:6], b"", b"not a page at all"):
+        with pytest.raises(StorageError) as caught:
+            pages.decode_page(broken, CODEC)
+        assert caught.value.kind == "malformed"
+
+
+def _with_header_byte(data: bytes, index: int, value: int) -> bytes:
+    # Rewrite one header byte and restore a valid CRC, so the *format*
+    # check (not the checksum) is what rejects the page.
+    body = bytearray(data[:-4])
+    body[index] = value
+    return bytes(body) + zlib.crc32(bytes(body)).to_bytes(4, "little")
+
+
+def test_unknown_format_and_encoding_are_malformed():
+    data = pages.encode_page([1, 2, 3], "INTEGER", CODEC)
+    for index in (2, 3):  # format byte, encoding byte
+        with pytest.raises(StorageError) as caught:
+            pages.decode_page(_with_header_byte(data, index, 99), CODEC)
+        assert caught.value.kind == "malformed"
+
+
+# -- zone maps --------------------------------------------------------------
+
+
+def test_zone_map_categories():
+    assert pages.zone_map_of([3, 1, 2]) == (1, 3)
+    assert pages.zone_map_of([2.5, NULL, -1.0]) == (-1.0, 2.5)
+    assert pages.zone_map_of(["b", "a"]) == ("a", "b")
+    assert pages.zone_map_of([NULL, NULL]) == pages.ZONE_EMPTY
+    assert pages.zone_map_of([]) == pages.ZONE_EMPTY
+    assert pages.zone_map_of([True, False]) is None
+    assert pages.zone_map_of([1, "a"]) is None
+    assert pages.zone_map_of([b"x"]) is None
+
+
+bound = st.one_of(st.none(), st.just(NULL),
+                  st.integers(min_value=-50, max_value=50),
+                  st.text(max_size=2), st.booleans())
+scalar = st.one_of(st.just(NULL),
+                   st.integers(min_value=-50, max_value=50),
+                   st.floats(min_value=-50, max_value=50,
+                             allow_nan=False),
+                   st.text(max_size=2), st.booleans())
+
+
+@settings(max_examples=200, deadline=None)
+@given(st.lists(scalar, max_size=15), bound, bound,
+       st.booleans(), st.booleans())
+def test_zone_excludes_never_prunes_a_match(values, low, high,
+                                            include_low, include_high):
+    zone = pages.zone_map_of(values)
+    if not zone_excludes(zone, low, include_low, high, include_high):
+        return
+
+    def satisfies(value):
+        if value is NULL:
+            return False
+        if low is NULL or high is NULL:
+            return False  # comparisons with NULL are never true
+        if low is not None:
+            if value < low or (value == low and not include_low):
+                return False
+        if high is not None:
+            if value > high or (value == high and not include_high):
+                return False
+        return True
+
+    assert not any(satisfies(value) for value in values)

@@ -93,6 +93,41 @@ def test_audit_actually_fires():
                    for pattern, __ in _BANNED)
 
 
+#: Unbounded materialization of a child's whole row stream inside a
+#: plan operator.  Pipeline breakers must route rows through the
+#: budgeted runs in ``repro.db.columnar.spill`` (``row_run`` /
+#: ``indexed_run`` / ``disk_run``) so queries larger than the
+#: ``memory_budget`` still complete.
+_MATERIALIZE = re.compile(
+    r"\b(?:list|sorted|tuple)\(\s*self\.(?:child|left|right|input|source)"
+    r"\.execute\(")
+
+_PLAN_MODULE = "src/repro/db/sql/plan.py"
+
+
+def test_plan_operators_never_materialize_children():
+    offences = []
+    path = REPO / _PLAN_MODULE
+    for number, line in enumerate(path.read_text().splitlines(), start=1):
+        if MARKER in line:
+            continue
+        if _MATERIALIZE.search(line):
+            offences.append(f"{_PLAN_MODULE}:{number}: {line.strip()}")
+    assert not offences, (
+        "plan operators must stream children through spillable runs, "
+        "not materialize them:\n" + "\n".join(offences)
+    )
+
+
+def test_materialization_audit_actually_fires():
+    assert _MATERIALIZE.search(
+        "right_rows = list(self.right.execute(parameters, outer))")
+    assert _MATERIALIZE.search(
+        "rows = sorted(self.child.execute(parameters, outer))")
+    assert not _MATERIALIZE.search(
+        "right_rows.extend(self.right.execute(parameters, outer))")
+
+
 def test_wall_clock_exemption_is_scoped_to_obs():
     # The observability layer alone may stamp spans with time.time();
     # the same line anywhere else still fails the audit.
