@@ -35,7 +35,15 @@ Commands:
   through the full stack (BiQL sessions, sharded serving, answer
   caches, scheduled outages, ETL churn, WAL-shipped replica) and
   print the end-to-end goodput / latency / staleness report
-  (``--quick`` for the scaled-down CI day).
+  (``--quick`` for the scaled-down CI day);
+- ``partition`` — cut a leased primary off behind a one-way network
+  partition and walk the whole failover story on the virtual clock:
+  the zombie keeps acknowledging under its live lease, the lease
+  expires and writes are refused loudly, a follower is promoted under
+  a bumped epoch, the healed zombie's stale-epoch shipments are
+  fenced, the zombie demotes and names every acknowledged-but-lost
+  statement, and the write-history auditor certifies the run
+  (``--lease``/``--duration``/``--seed`` shape the schedule).
 """
 
 from __future__ import annotations
@@ -494,6 +502,106 @@ def _run_shard(arguments) -> int:
         return 0 if intact else 1
 
 
+def _run_partition(arguments) -> int:
+    import os
+    import tempfile
+
+    from repro.db import Database
+    from repro.db.recovery import databases_equal
+    from repro.errors import LeaseError
+    from repro.federation import (
+        FaultyChannel,
+        FollowerNode,
+        MembershipService,
+        PrimaryNode,
+        ReplicationGroup,
+        WriteHistoryAuditor,
+    )
+    from repro.sources import VirtualClock
+
+    lease_timeout = arguments.lease
+    duration = arguments.duration
+    if lease_timeout <= 0 or duration <= lease_timeout:
+        print("partition: --duration must exceed --lease (> 0)",
+              file=sys.stderr)
+        return 2
+    print(f"epoch-fenced failover under a one-way partition "
+          f"(lease {lease_timeout:.1f}s, partition {duration:.1f}s, "
+          f"seed {arguments.seed}, virtual time)\n")
+    with tempfile.TemporaryDirectory() as workdir:
+        timeline = VirtualClock()
+        membership = MembershipService(timeline,
+                                       lease_timeout=lease_timeout)
+        auditor = WriteHistoryAuditor()
+        channel = FaultyChannel(timeline, name="alpha-net",
+                                seed=arguments.seed)
+
+        def fresh() -> Database:
+            database = Database()
+            database.execute("CREATE TABLE events "
+                             "(id INTEGER PRIMARY KEY, note TEXT)")
+            return database
+
+        primary = PrimaryNode("alpha", os.path.join(workdir, "alpha"),
+                              fresh(), timeline=timeline,
+                              membership=membership, channel=channel,
+                              auditor=auditor)
+        followers = [
+            FollowerNode(name, os.path.join(workdir, name), fresh(),
+                         timeline=timeline, auditor=auditor)
+            for name in ("bravo", "charlie")
+        ]
+        group = ReplicationGroup(primary, followers,
+                                 membership=membership)
+        for index in range(6):
+            primary.execute(
+                f"INSERT INTO events VALUES ({index}, 'n{index}')", [])
+        group.sync()
+        print(f"  alpha elected under epoch {primary.epoch}; 6 "
+              f"statements acknowledged and replicated")
+
+        channel.partition(timeline.now(), timeline.now() + duration)
+        for index in range(6, 9):
+            primary.execute(
+                f"INSERT INTO events VALUES ({index}, 'z{index}')", [])
+        print(f"  partition opens: alpha acknowledges 3 more writes "
+              f"its followers will never see")
+        timeline.advance(lease_timeout + 1.0)
+        try:
+            primary.execute("INSERT INTO events VALUES (99, 'x')", [])
+        except LeaseError as error:
+            print(f"  lease dies at t={timeline.now():.1f}: write "
+                  f"refused ({error.kind}, {primary.writes_refused} "
+                  f"refusal counted)")
+
+        promoted = group.promote()
+        promoted.execute("INSERT INTO events VALUES (20, 'e2')", [])
+        group.sync()
+        print(f"  {promoted.name} promoted under epoch "
+              f"{promoted.epoch} in {group.last_promotion:.2f} virtual "
+              f"s; the new line of history ships cleanly")
+
+        survivor = group.followers[0]
+        survivor.catch_up(primary)
+        print(f"  heal: {survivor.name} fences the zombie's epoch-"
+              f"{primary.epoch} shipment ({survivor.shipments_fenced} "
+              f"fenced)")
+        rejoined, divergence = primary.demote(promoted, database=fresh())
+        lost = divergence.acknowledged_lost
+        print(f"  alpha demotes: {len(lost)} acknowledged-but-lost "
+              f"statement(s) quarantined and named:")
+        for statement in lost:
+            print(f"    gen {statement.generation} index "
+                  f"{statement.index}: {statement.sql}")
+        rejoined.catch_up(promoted)
+        verdict = auditor.certify(promoted, [survivor, rejoined])
+        converged = databases_equal(rejoined.database, promoted.database)
+        print(f"\n  audit: {verdict.summary()}")
+        print(f"  rejoined replica converged with {promoted.name}: "
+              f"{converged}")
+        return 0 if verdict.ok and converged else 1
+
+
 _COMMANDS = {
     "demo": _run_demo,
     "matrix": _run_matrix,
@@ -606,6 +714,19 @@ def main(argv: "list[str] | None" = None) -> int:
                                    "the full one")
     macro_parser.add_argument("--seed", type=int, default=0,
                               help="day seed (default 0)")
+    partition_parser = subparsers.add_parser(
+        "partition", help="epoch-fenced failover demo: zombie primary, "
+                          "lease expiry, fencing, divergence audit",
+    )
+    partition_parser.add_argument("--lease", type=float, default=2.0,
+                                  help="lease timeout in virtual "
+                                       "seconds (default 2.0)")
+    partition_parser.add_argument("--duration", type=float, default=60.0,
+                                  help="partition duration in virtual "
+                                       "seconds (default 60.0; must "
+                                       "exceed the lease)")
+    partition_parser.add_argument("--seed", type=int, default=0,
+                                  help="channel fault seed (default 0)")
     arguments = parser.parse_args(argv)
     if arguments.command == "recover":
         return _run_recover(arguments)
@@ -623,6 +744,8 @@ def main(argv: "list[str] | None" = None) -> int:
         return _run_shard(arguments)
     if arguments.command == "macro":
         return _run_macro(arguments)
+    if arguments.command == "partition":
+        return _run_partition(arguments)
     return _COMMANDS[arguments.command]()
 
 

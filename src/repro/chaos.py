@@ -59,6 +59,14 @@ mediator and the ETL monitors promise:
     and re-fetches the rotted segment (byte-identical convergence),
     and promotion refuses the follower whose ledger fails
     verification.
+14. **split-brain** — a leased primary is cut off by a one-sided
+    partition and keeps acknowledging writes until its lease dies; a
+    follower is promoted under a bumped epoch, the zombie's
+    post-partition shipments are fenced by every survivor, and on heal
+    the zombie demotes, quarantines its diverged tail, and names each
+    acknowledged-but-lost statement — while the write-history auditor
+    certifies zero acknowledged-and-replicated writes lost, exactly one
+    acknowledging primary per epoch, and byte-identical convergence.
 
 Every scenario is deterministic under its fixed seed: same faults, same
 retries, same answers, bit for bit.  ``--concurrency N`` re-runs the
@@ -837,6 +845,158 @@ def scenario_bit_rot_repair(concurrency: int | None = None) -> str:
             f"rotted charlie refused promotion")
 
 
+def scenario_split_brain(concurrency: int | None = None) -> str:
+    """Scenario 14: a partitioned zombie primary versus the epoch fence.
+
+    A leased primary is partitioned away mid-stream.  While its lease
+    is still live it keeps acknowledging writes nobody will ever
+    replicate; once the lease dies its writes are refused with a
+    structured error (never silently accepted).  A follower is promoted
+    under a bumped epoch.  When the partition heals, the zombie's
+    shipments — claiming the deposed epoch — must be fenced by every
+    survivor, and the zombie must demote: quarantine its diverged tail
+    and name every acknowledged-but-lost statement.  The write-history
+    auditor then certifies the whole run from the outside: no
+    acknowledged-and-replicated write lost, exactly one acknowledging
+    primary per epoch, all survivors byte-identical.
+    """
+    del concurrency                    # single-writer scenario, no fan-out
+    import os
+    import tempfile
+
+    from repro.db import Database
+    from repro.db.recovery import databases_equal
+    from repro.errors import FederationError, LeaseError
+    from repro.federation import (
+        FaultyChannel,
+        FollowerNode,
+        MembershipService,
+        PrimaryNode,
+        ReplicationGroup,
+        WriteHistoryAuditor,
+    )
+
+    def fresh() -> Database:
+        database = Database()
+        database.execute(
+            "CREATE TABLE events (id INTEGER PRIMARY KEY, note TEXT)")
+        return database
+
+    with tempfile.TemporaryDirectory() as workdir:
+        timeline = VirtualClock()
+        membership = MembershipService(timeline, lease_timeout=2.0)
+        auditor = WriteHistoryAuditor()
+        alpha_net = FaultyChannel(timeline, name="alpha-net", seed=14)
+        primary = PrimaryNode("alpha", os.path.join(workdir, "alpha"),
+                              fresh(), timeline=timeline,
+                              membership=membership, channel=alpha_net,
+                              auditor=auditor)
+        bravo = FollowerNode("bravo", os.path.join(workdir, "bravo"),
+                             fresh(), timeline=timeline, auditor=auditor)
+        charlie = FollowerNode("charlie", os.path.join(workdir, "charlie"),
+                               fresh(), timeline=timeline, auditor=auditor)
+        group = ReplicationGroup(primary, [bravo, charlie],
+                                 membership=membership,
+                                 promotion_window=5.0)
+        _expect(primary.epoch == 1, "the first election must open epoch 1")
+
+        # -- phase 1: healthy replication under epoch 1 --------------------
+        replicated = 8
+        for index in range(replicated):
+            primary.execute(
+                f"INSERT INTO events VALUES ({index}, 'n{index}')", [])
+        group.sync()
+
+        # -- phase 2: the partition opens; the zombie keeps promising ------
+        alpha_net.partition(timeline.now(), timeline.now() + 100.0)
+        zombie_acks = 3
+        for index in range(replicated, replicated + zombie_acks):
+            primary.execute(
+                f"INSERT INTO events VALUES ({index}, 'zombie{index}')",
+                [])
+        _expect(len(primary.acked) == replicated + zombie_acks,
+                "the zombie must still ack under its live lease")
+
+        # -- phase 3: the lease dies; refusal is loud, never silent --------
+        timeline.advance(3.0)
+        refused = False
+        try:
+            primary.execute("INSERT INTO events VALUES (99, 'late')", [])
+        except LeaseError as error:
+            refused = error.kind == "expired"
+        _expect(refused, "an expired, unrenewable lease must refuse "
+                         "writes with a structured error")
+        _expect(primary.writes_refused == 1,
+                "the refusal must be counted")
+
+        # -- phase 4: failover bumps the epoch over the zombie -------------
+        promoted = group.promote()
+        _expect(promoted.name == "bravo" and promoted.epoch == 2,
+                f"bravo must take epoch 2, got {promoted.name!r} at "
+                f"epoch {promoted.epoch!r}")
+        post_failover = 4
+        for index in range(20, 20 + post_failover):
+            promoted.execute(
+                f"INSERT INTO events VALUES ({index}, 'e2-{index}')", [])
+        group.sync()
+
+        # -- phase 5: heal; the zombie's claim is fenced everywhere --------
+        survivor = group.followers[0]
+        fenced_before = survivor.shipments_fenced
+        survivor.catch_up(primary)     # the zombie still ships epoch 1
+        _expect(survivor.shipments_fenced > fenced_before,
+                "the survivor must fence the zombie's stale-epoch "
+                "shipments")
+        _expect(survivor.applied != {} and survivor.last_fence is not None,
+                "fencing must leave an audit trail")
+
+        # -- phase 6: the zombie demotes and owns its divergence -----------
+        rejoined, divergence = primary.demote(promoted, database=fresh())
+        _expect(primary.demoted and not primary.alive,
+                "a demoted primary must stop accepting writes")
+        lost = divergence.acknowledged_lost
+        _expect(len(lost) == zombie_acks,
+                f"the divergence report must name all {zombie_acks} "
+                f"acknowledged-but-lost statements, got {len(lost)}")
+        _expect(all(entry.acknowledged for entry in lost)
+                and divergence.quarantined,
+                "lost acks must be flagged and the diverged files "
+                "quarantined")
+        rejoined.catch_up(promoted)
+
+        # -- phase 7: the outside judge certifies the run ------------------
+        reference = fresh()
+        for index in range(replicated):
+            reference.execute(
+                f"INSERT INTO events VALUES ({index}, 'n{index}')", [])
+        for index in range(20, 20 + post_failover):
+            reference.execute(
+                f"INSERT INTO events VALUES ({index}, 'e2-{index}')", [])
+        _expect(databases_equal(promoted.database, reference),
+                "the surviving history must hold exactly the replicated "
+                "plus post-failover writes")
+        for node in (survivor, rejoined):
+            _expect(databases_equal(node.database, reference),
+                    f"{node.name} must converge to the survivors' "
+                    f"history")
+        verdict = auditor.certify(promoted, [survivor, rejoined])
+        _expect(verdict.ok,
+                f"the write-history audit must certify the run, got: "
+                f"{verdict.violations!r}")
+        _expect(all(len(nodes) == 1 for nodes
+                    in verdict.epochs_with_acks.values()),
+                "at most one primary may acknowledge per epoch")
+        _expect([ack.position() for ack in verdict.lost_unreplicated]
+                == [(0, index) for index in
+                    range(replicated, replicated + zombie_acks)],
+                "every lost ack must be unreplicated and accounted for")
+    return (f"epoch 1→2 under a 100s partition: {zombie_acks} zombie "
+            f"acks fenced ({survivor.shipments_fenced} shipments), "
+            f"expired lease refused loudly, zombie demoted and reported "
+            f"{len(lost)} lost acks; audit certified: one writer per "
+            f"epoch, 0 replicated acks lost, survivors byte-identical")
+
+
 _SCENARIOS = (
     ("intermittent-retry", scenario_intermittent_retry),
     ("outage-window", scenario_outage_window),
@@ -851,6 +1011,7 @@ _SCENARIOS = (
     ("overload-storm", scenario_overload_storm),
     ("replica-failover", scenario_replica_failover),
     ("bit-rot-repair", scenario_bit_rot_repair),
+    ("split-brain", scenario_split_brain),
 )
 
 

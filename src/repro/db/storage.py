@@ -77,6 +77,14 @@ _SEGMENT_SUFFIX = re.compile(r"\.(\d{6})$")
 WAL_FORMAT = 2
 IMAGE_FORMAT = 2
 
+#: WAL headers gain a replication ``epoch`` field under version 3
+#: (``{"$wal": 3, "generation": N, "epoch": E, "crc": C}``).  The
+#: epoch is stamped only when the log belongs to a lease-holding
+#: primary (:mod:`repro.federation.membership`); logs without one keep
+#: writing version-2 headers byte-for-byte, and version-1/2 files stay
+#: readable — :func:`segment_epoch` simply reports ``None`` for them.
+WAL_EPOCH_FORMAT = 3
+
 
 def checksum_line(body: str) -> str:
     """Append a ``crc`` field to one serialized JSON-object line.
@@ -98,8 +106,15 @@ def record_checksum_body(record: dict) -> str:
     on a bare ``KeyError``.
     """
     if "$wal" in record:
-        return json.dumps({"$wal": record["$wal"],
-                           "generation": record.get("generation")})
+        body = {"$wal": record["$wal"],
+                "generation": record.get("generation")}
+        # Version-3 headers cover the epoch too; an epoch field that
+        # rotted away leaves the CRC unable to match, which is exactly
+        # the bit_rot verdict we want.  Version-2 headers never had
+        # the key, so their checksum body is unchanged (back-compat).
+        if "epoch" in record:
+            body["epoch"] = record.get("epoch")
+        return json.dumps(body)
     return json.dumps({"sql": record.get("sql"),
                        "params": record.get("params")})
 
@@ -393,19 +408,31 @@ def list_sealed_segments(wal_path: str) -> list[tuple[int, str]]:
     return segments
 
 
-def _header_record(generation: int, *, checksums: bool = True) -> str:
+def _header_record(generation: int, *, checksums: bool = True,
+                   epoch: int | None = None) -> str:
     if not checksums:
-        return json.dumps({"$wal": 1, "generation": generation}) + "\n"
-    body = json.dumps({"$wal": WAL_FORMAT, "generation": generation})
+        record = {"$wal": 1, "generation": generation}
+        if epoch is not None:
+            record["epoch"] = epoch
+        return json.dumps(record) + "\n"
+    if epoch is None:
+        body = json.dumps({"$wal": WAL_FORMAT, "generation": generation})
+    else:
+        body = json.dumps({"$wal": WAL_EPOCH_FORMAT,
+                           "generation": generation, "epoch": epoch})
     return checksum_line(body) + "\n"
 
 
-def segment_generation(path: str) -> int | None:
-    """The generation stamped in a WAL file's header line, or ``None``."""
+def _read_header(path: str) -> dict | None:
+    """The first WAL header record of *path*, or ``None`` when the file
+    has no trustworthy header (missing, garbled, or failing its CRC)."""
     try:
-        with open(path, encoding="utf-8") as handle:
-            for line in handle:
-                line = line.strip()
+        with open(path, "rb") as handle:
+            for raw in handle:
+                try:
+                    line = raw.decode("utf-8").strip()
+                except UnicodeDecodeError:
+                    return None
                 if not line:
                     continue
                 try:
@@ -415,14 +442,38 @@ def segment_generation(path: str) -> int | None:
                 if isinstance(record, dict) and "$wal" in record:
                     if not record_checksum_ok(record):
                         return None    # bit-rotted header: don't trust it
-                    try:
-                        return int(record.get("generation", 0))
-                    except (ValueError, TypeError):
-                        return None
+                    return record
                 return None
-    except (OSError, UnicodeDecodeError):
+    except OSError:
         return None
     return None
+
+
+def segment_generation(path: str) -> int | None:
+    """The generation stamped in a WAL file's header line, or ``None``."""
+    header = _read_header(path)
+    if header is None:
+        return None
+    try:
+        return int(header.get("generation", 0))
+    except (ValueError, TypeError):
+        return None
+
+
+def segment_epoch(path: str) -> int | None:
+    """The replication epoch stamped in a WAL file's header, or ``None``.
+
+    Version-1/2 headers never carried one; for them (and for damaged
+    headers) the answer is honestly ``None`` — the segment predates
+    epoch fencing and carries no leadership claim.
+    """
+    header = _read_header(path)
+    if header is None or "epoch" not in header:
+        return None
+    try:
+        return int(header["epoch"])
+    except (ValueError, TypeError):
+        return None
 
 
 def _line_offset(lines: Sequence[str], index: int) -> int:
@@ -569,13 +620,15 @@ class WriteAheadLog:
 
     def __init__(self, path: str, database: Database, *,
                  flush_every_n: int = 1, fsync: bool = False,
-                 reopen_each: bool = False, checksums: bool = True) -> None:
+                 reopen_each: bool = False, checksums: bool = True,
+                 epoch: int | None = None) -> None:
         self.path = path
         self._database = database
         self.flush_every_n = max(1, int(flush_every_n))
         self.fsync = fsync
         self._reopen_each = reopen_each
         self.checksums = checksums
+        self.epoch = epoch
         self._handle = None
         self._pending = 0
         self._generation = self._initial_generation()
@@ -645,7 +698,8 @@ class WriteAheadLog:
             with open(self.path, "a", encoding="utf-8") as handle:
                 if blank:
                     handle.write(_header_record(
-                        self._generation, checksums=self.checksums))
+                        self._generation, checksums=self.checksums,
+                        epoch=self.epoch))
                 handle.write(line)
             return
         if self._handle is None:
@@ -653,7 +707,8 @@ class WriteAheadLog:
             self._handle = open(self.path, "a", encoding="utf-8")
             if blank:
                 self._handle.write(_header_record(
-                    self._generation, checksums=self.checksums))
+                    self._generation, checksums=self.checksums,
+                    epoch=self.epoch))
         self._handle.write(line)
         self._pending += 1
         if self._pending >= self.flush_every_n:
@@ -685,7 +740,8 @@ class WriteAheadLog:
             # skew-skip everything appended since the last checkpoint.
             with open(self.path, "w", encoding="utf-8") as handle:
                 handle.write(_header_record(
-                    self._generation, checksums=self.checksums))
+                    self._generation, checksums=self.checksums,
+                    epoch=self.epoch))
             return None
         sealed_path = f"{self.path}.{self._generation:06d}"
         os.replace(self.path, sealed_path)
@@ -696,9 +752,46 @@ class WriteAheadLog:
         self._generation += 1
         with open(self.path, "w", encoding="utf-8") as handle:
             handle.write(_header_record(
-                self._generation, checksums=self.checksums))
+                self._generation, checksums=self.checksums,
+                epoch=self.epoch))
         _metric("storage", "wal_rotations")
         return sealed_path
+
+    def set_epoch(self, epoch: int | None) -> None:
+        """Adopt a replication epoch and restamp the active header.
+
+        Called when a node wins (or loses) a lease mid-segment: future
+        headers carry *epoch*, and the active file's existing header is
+        rewritten in place so the segment a new primary is already
+        appending to names the epoch it was written under.  Damaged or
+        undecodable active files are left alone — recovery owns those.
+        """
+        self.epoch = epoch
+        if self._file_is_blank():
+            return
+        self.close()
+        try:
+            with open(self.path, "rb") as handle:
+                payload = handle.read().decode("utf-8")
+        except (OSError, UnicodeDecodeError):
+            return
+        lines = payload.splitlines(keepends=True)
+        body = []
+        for line in lines:
+            try:
+                record = json.loads(line)
+            except (json.JSONDecodeError, ValueError):
+                body.append(line)
+                continue
+            if not (isinstance(record, dict) and "$wal" in record):
+                body.append(line)
+        header = _header_record(self._generation, checksums=self.checksums,
+                                epoch=self.epoch)
+        with open(self.path, "w", encoding="utf-8") as handle:
+            handle.write(header)
+            handle.writelines(body)
+        if self.fsync:
+            fsync_directory(self.path)
 
     def purge(self, before_generation: int | None = None) -> list[str]:
         """Delete sealed segments older than *before_generation*

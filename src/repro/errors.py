@@ -170,6 +170,63 @@ class FederationError(MediatorError):
     """Invalid shard topology, routing, or replication state."""
 
 
+class LeaseError(FederationError):
+    """A write lease could not authorize the operation.
+
+    Split-brain safety hinges on never *silently* accepting a write
+    without a live lease, so the refusal carries structured context:
+    ``holder`` names the lease holder, ``epoch`` the lease's epoch,
+    ``current_epoch`` the membership service's epoch when they differ,
+    ``expires_at`` / ``now`` the virtual instants that decided the
+    outcome, and ``kind`` classifies it — ``expired`` (the holder's
+    lease ran out and renewal failed), ``stale_epoch`` (a newer epoch
+    was issued to someone else; the holder is a zombie), or
+    ``lease_live`` (an election was refused because another holder's
+    lease has not expired yet).
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        holder: "str | None" = None,
+        epoch: "int | None" = None,
+        current_epoch: "int | None" = None,
+        expires_at: "float | None" = None,
+        now: "float | None" = None,
+        kind: "str | None" = None,
+    ) -> None:
+        super().__init__(message)
+        self.holder = holder
+        self.epoch = epoch
+        self.current_epoch = current_epoch
+        self.expires_at = expires_at
+        self.now = now
+        self.kind = kind
+
+
+class ChannelError(FederationError):
+    """A replication-channel round-trip was lost in transit.
+
+    ``kind`` is ``dropped`` (seeded message loss) or ``partitioned``
+    (an injected partition window covered the call); ``direction``
+    tells one-way partitions apart — ``request`` means the call never
+    reached the remote side, ``response`` means the remote side did the
+    work but the answer was lost on the way back.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        kind: "str | None" = None,
+        direction: "str | None" = None,
+    ) -> None:
+        super().__init__(message)
+        self.kind = kind
+        self.direction = direction
+
+
 class OverloadError(MediatorError):
     """The serving layer shed a query to protect the federation.
 

@@ -1,6 +1,6 @@
 """Sharded scatter-gather federation with WAL-shipped read replicas.
 
-The package splits into three layers, bottom up:
+The package splits into layers, bottom up:
 
 - :mod:`repro.federation.sharding` — the routing table
   (:class:`ShardMap`) and one shard's filtered view of a repository
@@ -11,15 +11,40 @@ The package splits into three layers, bottom up:
 - :mod:`repro.federation.serving` — :class:`ShardedFederationServer`,
   per-shard admission-controlled serving, plus the calibrated
   :func:`sharded_federation` fixture;
+- :mod:`repro.federation.membership` — epochs and write leases
+  (:class:`MembershipService` / :class:`Lease`) on the shared virtual
+  clock, the authority that decides who may acknowledge writes;
+- :mod:`repro.federation.channel` — the injectable network seam
+  (:class:`ReplicationChannel`) and its seeded hostile twin
+  (:class:`FaultyChannel`): drops, delay, duplication, reordering, and
+  one-way partitions;
 - :mod:`repro.federation.replication` — WAL shipping
   (:class:`PrimaryNode` / :class:`FollowerNode`), digest-verified
   shipments with anti-entropy read-repair
-  (:class:`AntiEntropyReport`), and deterministic failover
-  (:class:`ReplicationGroup`).
+  (:class:`AntiEntropyReport`), epoch-fenced apply, zombie demotion
+  with honest divergence (:class:`DivergenceReport`), and
+  deterministic failover (:class:`ReplicationGroup`);
+- :mod:`repro.federation.audit` — the outside judge
+  (:class:`WriteHistoryAuditor`): no acknowledged-and-replicated write
+  lost, one writer per epoch, byte-identical survivors.
 """
 
+from repro.federation.audit import (
+    Acknowledgment,
+    AuditReport,
+    WriteHistoryAuditor,
+)
+from repro.federation.channel import (
+    ChannelStats,
+    FaultyChannel,
+    PartitionWindow,
+    ReplicationChannel,
+)
+from repro.federation.membership import Lease, MembershipService
 from repro.federation.replication import (
     AntiEntropyReport,
+    DivergedStatement,
+    DivergenceReport,
     FollowerNode,
     PrimaryNode,
     ReplicationGroup,
@@ -41,15 +66,26 @@ from repro.federation.serving import (
 from repro.federation.sharding import ShardMap, ShardSlice
 
 __all__ = [
+    "Acknowledgment",
     "AntiEntropyReport",
+    "AuditReport",
+    "ChannelStats",
+    "DivergedStatement",
+    "DivergenceReport",
+    "FaultyChannel",
     "FollowerNode",
+    "Lease",
+    "MembershipService",
+    "PartitionWindow",
     "PrimaryNode",
+    "ReplicationChannel",
     "ReplicationGroup",
     "ShardMap",
     "ShardSlice",
     "ShardedFederationServer",
     "ShardedMediator",
     "Shipment",
+    "WriteHistoryAuditor",
     "disk_shipments",
     "fuse_batches",
     "fuse_rows",

@@ -1,0 +1,239 @@
+"""The network between replication nodes, as an injectable seam.
+
+PR 6's replication shipped WAL segments by direct method call — which
+is a network model too: a perfect one.  Every claim the epoch/lease
+machinery makes (fencing, zombie demotion, lease-expiry refusals) is
+only testable if the network can *misbehave*, so this module lifts the
+primary↔follower round-trips behind :class:`ReplicationChannel`:
+
+- :class:`ReplicationChannel` is the perfect network — every call goes
+  straight through.  It is the default, so existing direct-call users
+  keep their exact behaviour.
+- :class:`FaultyChannel` is the same seam with seeded faults on the
+  shared :class:`~repro.sources.faults.VirtualClock` (modeled on
+  :class:`~repro.sources.faults.FaultyRepository`): message **drops**,
+  injected **delay**, shipment **duplication** and **reordering**, and
+  scheduled **partition windows** — including one-way partitions, where
+  ``direction="response"`` means the remote side *did the work* but the
+  answer was lost, the asymmetry that turns a lease renewal into a
+  zombie-manufacturing machine.
+
+Every failure surfaces as a structured
+:class:`~repro.errors.ChannelError` (a :class:`FederationError`, so
+existing catch-and-degrade paths treat a lost round like any other
+replication failure): callers learn *that* the round was lost and in
+which direction, never a half-applied result.  Duplication and
+reordering do **not** raise — they deliver a legal-but-hostile shipment
+sequence the follower's ledger and catch-up ordering must absorb.
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+from dataclasses import dataclass
+
+from repro.errors import ChannelError
+from repro.obs.metrics import count as _metric
+
+#: Legal ``direction`` values for a partition window.
+PARTITION_DIRECTIONS = ("request", "response", "both")
+
+
+@dataclass
+class ChannelStats:
+    """What the channel actually did to the traffic (per lifetime).
+
+    Same locking discipline as :class:`~repro.sources.faults.FaultStats`:
+    counter updates go through :meth:`bump` under a lock so concurrent
+    scenarios sharing a stats object never lose an increment.
+    """
+
+    rounds: int = 0
+    dropped: int = 0
+    partitioned: int = 0
+    duplicated: int = 0
+    reordered: int = 0
+    injected_delay: float = 0.0
+
+    def __post_init__(self) -> None:
+        self._lock = threading.Lock()
+
+    def bump(self, counter: str, amount: float = 1) -> None:
+        with self._lock:
+            setattr(self, counter, getattr(self, counter) + amount)
+        _metric("federation", f"channel_{counter}", amount)
+
+
+@dataclass(frozen=True)
+class PartitionWindow:
+    """A half-open ``[start, end)`` interval during which traffic in
+    *direction* is lost: ``request`` (calls never reach the remote
+    side), ``response`` (the remote side executes but the answer is
+    lost), or ``both``."""
+
+    start: float
+    end: float
+    direction: str = "both"
+
+    def covers(self, instant: float) -> bool:
+        return self.start <= instant < self.end
+
+
+class ReplicationChannel:
+    """The perfect network: every round-trip goes straight through.
+
+    Subclasses interpose via three hooks — ``_before(operation)`` (may
+    raise: the request never arrived), ``_after(operation)`` (may
+    raise: the remote side executed but the response was lost), and
+    ``_deliver(shipments)`` (may mutate the shipment list: duplication,
+    reordering).  The remote objects are passed per call, so one
+    channel can serve a follower across failovers without rewiring.
+    """
+
+    def __init__(self) -> None:
+        self.stats = ChannelStats()
+
+    # -- round-trips -------------------------------------------------------------
+
+    def ship(self, primary) -> list:
+        """One full shipping round: everything *primary* can send."""
+        self.stats.bump("rounds")
+        self._before("ship")
+        shipments = list(primary.ship())
+        self._after("ship")
+        return self._deliver(shipments)
+
+    def fetch_segment(self, primary, generation: int):
+        """Re-fetch one sealed segment (the read-repair round-trip)."""
+        self._before("fetch_segment")
+        shipment = primary.fetch_segment(generation)
+        self._after("fetch_segment")
+        return shipment
+
+    def segment_digests(self, primary) -> dict:
+        """The anti-entropy digest exchange."""
+        self._before("segment_digests")
+        digests = dict(primary.segment_digests())
+        self._after("segment_digests")
+        return digests
+
+    def renew(self, membership, lease):
+        """A lease-renewal round-trip to the membership service.
+
+        The dangerous case is ``direction="response"``: the service
+        renews the lease, but the holder never learns — it must refuse
+        writes anyway, because a refusal is recoverable and a rogue
+        acknowledgment is not.
+        """
+        self._before("renew")
+        renewed = membership.renew(lease)
+        self._after("renew")
+        return renewed
+
+    # -- interposition hooks -----------------------------------------------------
+
+    def _before(self, operation: str) -> None:
+        """Runs before the remote call; raising models a lost request."""
+
+    def _after(self, operation: str) -> None:
+        """Runs after the remote call; raising models a lost response."""
+
+    def _deliver(self, shipments: list) -> list:
+        """Last touch on a shipment batch before the caller sees it."""
+        return shipments
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(rounds={self.stats.rounds})"
+
+
+class FaultyChannel(ReplicationChannel):
+    """A :class:`ReplicationChannel` with seeded, schedulable faults.
+
+    All fault decisions come from one ``random.Random`` seeded from the
+    channel's name — never from wall-clock time — so partition
+    schedules replay bit for bit.
+    """
+
+    def __init__(self, timeline, *, name: str = "channel", seed: int = 0,
+                 drop_rate: float = 0.0, delay: float = 0.0,
+                 dup_rate: float = 0.0, reorder_rate: float = 0.0) -> None:
+        super().__init__()
+        self.timeline = timeline
+        self.name = name
+        self._rng = random.Random(("channel", name, seed).__repr__())
+        self.drop_rate = drop_rate
+        self.delay = delay
+        self.dup_rate = dup_rate
+        self.reorder_rate = reorder_rate
+        self._partitions: list[PartitionWindow] = []
+
+    # -- scheduling API ----------------------------------------------------------
+
+    def partition(self, start: float, end: float,
+                  direction: str = "both") -> PartitionWindow:
+        """Lose all traffic in *direction* during ``[start, end)``."""
+        if end <= start:
+            raise ValueError(f"empty partition window [{start}, {end})")
+        if direction not in PARTITION_DIRECTIONS:
+            raise ValueError(
+                f"direction must be one of {PARTITION_DIRECTIONS}, "
+                f"got {direction!r}")
+        window = PartitionWindow(start, end, direction)
+        self._partitions.append(window)
+        return window
+
+    def partitioned_now(self, instant: float | None = None) -> bool:
+        when = self.timeline.now() if instant is None else instant
+        return any(window.covers(when) for window in self._partitions)
+
+    def _directions(self, instant: float) -> set[str]:
+        return {window.direction for window in self._partitions
+                if window.covers(instant)}
+
+    # -- interposition -----------------------------------------------------------
+
+    def _before(self, operation: str) -> None:
+        if self.delay:
+            self.timeline.advance(self.delay)
+            self.stats.bump("injected_delay", self.delay)
+        now = self.timeline.now()
+        directions = self._directions(now)
+        if "both" in directions or "request" in directions:
+            self.stats.bump("partitioned")
+            raise ChannelError(
+                f"channel partitioned at t={now:.2f}: {operation} request "
+                f"never reached the remote side",
+                kind="partitioned", direction="request")
+        if self.drop_rate and self._rng.random() < self.drop_rate:
+            self.stats.bump("dropped")
+            raise ChannelError(
+                f"channel dropped the {operation} request at t={now:.2f}",
+                kind="dropped", direction="request")
+
+    def _after(self, operation: str) -> None:
+        now = self.timeline.now()
+        if "response" in self._directions(now):
+            self.stats.bump("partitioned")
+            raise ChannelError(
+                f"channel partitioned at t={now:.2f}: the remote side "
+                f"executed {operation} but the response was lost",
+                kind="partitioned", direction="response")
+
+    def _deliver(self, shipments: list) -> list:
+        delivered = list(shipments)
+        if (delivered and self.dup_rate
+                and self._rng.random() < self.dup_rate):
+            index = self._rng.randrange(len(delivered))
+            delivered.insert(index, delivered[index])
+            self.stats.bump("duplicated")
+        if (len(delivered) > 1 and self.reorder_rate
+                and self._rng.random() < self.reorder_rate):
+            self._rng.shuffle(delivered)
+            self.stats.bump("reordered")
+        return delivered
+
+    def __repr__(self) -> str:
+        return (f"FaultyChannel({self.name!r}, rounds={self.stats.rounds}, "
+                f"dropped={self.stats.dropped}, "
+                f"partitioned={self.stats.partitioned})")

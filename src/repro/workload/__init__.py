@@ -22,6 +22,7 @@ from repro.workload.simulator import (
     MacroReport,
     MacroSpec,
     OutageSpec,
+    PartitionSpec,
     build_macro_federation,
     columnar_analytics,
     run_macro,
@@ -39,6 +40,7 @@ __all__ = [
     "MacroReport",
     "MacroSpec",
     "OutageSpec",
+    "PartitionSpec",
     "build_macro_federation",
     "columnar_analytics",
     "run_macro",

@@ -24,8 +24,16 @@ step   what happens inside one epoch
        invalidations; outages leave sources *suspect* and the
        staleness bound grows honestly)
 6      every ``ship_every`` epochs the replica catches up on
-       the warehouse WAL; its lag is sampled each epoch
+       the warehouse WAL; scheduled :class:`PartitionSpec`
+       windows cut the replication channel (rounds are dropped
+       loudly and the lag bound grows); lag is sampled each
+       epoch
 ====== =====================================================
+
+When the day schedules partitions, it ends with a failover drill:
+the warehouse dock is re-stamped under a bumped epoch and a straggler
+shipment claiming the deposed epoch must be fenced by the replica —
+so ``BENCH_macro.json`` carries real fence/failover counters.
 
 Everything runs on one shared :class:`~repro.sources.VirtualClock`
 and every random draw is seeded, so a :class:`MacroReport` — goodput,
@@ -38,14 +46,15 @@ from __future__ import annotations
 
 import os
 import tempfile
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Sequence
 
 from repro.adapter import install_genomics
 from repro.db import Database
 from repro.db.recovery import databases_equal
 from repro.db.values import NULL
-from repro.errors import OverloadError, ReproError
+from repro.errors import FederationError, OverloadError, ReproError
+from repro.federation.channel import FaultyChannel
 from repro.federation.replication import FollowerNode, disk_shipments
 from repro.federation.serving import ShardedFederationServer
 from repro.federation.sharding import ShardMap, ShardSlice
@@ -102,6 +111,27 @@ class OutageSpec:
 
 
 @dataclass(frozen=True)
+class PartitionSpec:
+    """One scheduled replication partition, anchored to an epoch's start.
+
+    At the start of epoch ``epoch``, the replica's replication channel
+    goes dark from ``delay`` after the epoch opens for ``duration``
+    virtual seconds.  Catch-up rounds inside the window are dropped
+    with a structured :class:`~repro.errors.ChannelError` (counted as
+    ``partition_drops``), so the replica's lag bound grows honestly
+    and recovers on heal.  Scheduling at least one partition also arms
+    the end-of-day failover drill: the warehouse dock is re-stamped
+    under a bumped epoch, the replica adopts it on catch-up, and one
+    straggler shipment still claiming the deposed epoch must be fenced
+    — never applied — which the report counts as ``shipments_fenced``.
+    """
+
+    epoch: int
+    delay: float = 0.0
+    duration: float = 40.0
+
+
+@dataclass(frozen=True)
 class MacroSpec:
     """Everything that shapes one macro run (fully seeded)."""
 
@@ -129,6 +159,7 @@ class MacroSpec:
     biql_per_epoch: int = 2
     apply_cost: float = 0.02
     outages: tuple = ()
+    partitions: tuple = ()
 
     @property
     def aggregate_capacity(self) -> int:
@@ -155,6 +186,13 @@ class MacroSpec:
                 OutageSpec(epoch=7, shard=2, source=2, delay=0.0,
                            duration=45.0),
             ),
+            partitions=(
+                # Mid-afternoon the replica link is cut for ninety
+                # virtual seconds — long enough to swallow the epoch-5
+                # catch-up round, short enough to heal well before the
+                # end-of-day convergence check.
+                PartitionSpec(epoch=5, delay=2.0, duration=90.0),
+            ),
         )
 
     @classmethod
@@ -169,6 +207,8 @@ class MacroSpec:
             etl_steps=2, ship_every=2, biql_per_epoch=1,
             outages=(OutageSpec(epoch=1, shard=0, source=0, delay=1.0,
                                 duration=24.0),),
+            partitions=(PartitionSpec(epoch=1, delay=1.0,
+                                      duration=60.0),),
         )
 
 
@@ -187,21 +227,29 @@ class MacroFederation:
     warehouse: UnifyingDatabase
     dock: "_WarehouseDock"
     follower: FollowerNode
+    replica_channel: FaultyChannel
     accessions: list
 
 
 class _WarehouseDock:
     """Duck-typed shipping dock: lets a :class:`FollowerNode` catch up
     on the *warehouse's* WAL as if the warehouse were a shard primary
-    (``catch_up`` only needs ``.name`` and ``.ship()``)."""
+    (``catch_up`` only needs ``.name`` and ``.ship()``).  When *epoch*
+    is set the dock stamps its leadership claim on every shipment, so
+    a partition-scheduled day exercises the fence end to end."""
 
-    def __init__(self, name: str, wal) -> None:
+    def __init__(self, name: str, wal, *, epoch: "int | None" = None) -> None:
         self.name = name
         self.wal = wal
+        self.epoch = epoch
 
     def ship(self):
         self.wal.flush()
-        return disk_shipments(self.wal.path)
+        shipments = disk_shipments(self.wal.path)
+        if self.epoch is None:
+            return shipments
+        return [replace(shipment, epoch=self.epoch)
+                for shipment in shipments]
 
 
 def build_macro_federation(spec: MacroSpec,
@@ -262,15 +310,23 @@ def build_macro_federation(spec: MacroSpec,
     wal = warehouse.attach_wal(os.path.join(workdir, "warehouse.jsonl"))
     warehouse.initial_load()
     shell = UnifyingDatabase([])   # schema-only twin for the replica
+    replica_channel = FaultyChannel(timeline, name="replica-net",
+                                    seed=spec.seed)
     follower = FollowerNode("replica", os.path.join(workdir, "replica"),
                             shell.db, timeline=timeline,
-                            apply_cost=spec.apply_cost)
-    dock = _WarehouseDock("warehouse", wal)
+                            apply_cost=spec.apply_cost,
+                            channel=replica_channel)
+    # A partition-scheduled day runs the fence for real: the dock
+    # claims epoch 1 from the first shipment so the end-of-day
+    # failover drill has a deposed epoch to straggle under.
+    dock = _WarehouseDock("warehouse", wal,
+                          epoch=1 if spec.partitions else None)
     return MacroFederation(
         spec=spec, timeline=timeline, repositories=repositories,
         shard_map=shard_map, proxies=proxies, mediators=mediators,
         server=server, warehouse=warehouse, dock=dock,
-        follower=follower, accessions=union,
+        follower=follower, replica_channel=replica_channel,
+        accessions=union,
     )
 
 
@@ -312,6 +368,7 @@ class MacroReport:
                 "capacity_per_shard": spec.capacity,
                 "deadline": spec.deadline,
                 "outages": len(spec.outages),
+                "partitions": len(spec.partitions),
             },
             "workload": {
                 "requests": self.workload_requests,
@@ -475,6 +532,9 @@ def _drive(spec: MacroSpec, federation: MacroFederation,
     outages: dict[int, list[OutageSpec]] = {}
     for outage in spec.outages:
         outages.setdefault(outage.epoch, []).append(outage)
+    partitions: dict[int, list[PartitionSpec]] = {}
+    for window in spec.partitions:
+        partitions.setdefault(window.epoch, []).append(window)
     sessions = {
         priority: BiqlSession(federation.warehouse,
                               server=federation.server,
@@ -493,6 +553,10 @@ def _drive(spec: MacroSpec, federation: MacroFederation,
                 proxy = federation.proxies[outage.shard][outage.source]
                 proxy.schedule_outage(now + outage.delay,
                                       now + outage.delay + outage.duration)
+            for window in partitions.get(epoch.index, ()):
+                federation.replica_channel.partition(
+                    now + window.delay,
+                    now + window.delay + window.duration)
             served = federation.server.serve(epoch.requests)
             results.extend(served)
             phase_results.setdefault(epoch.phase, []).extend(served)
@@ -521,7 +585,26 @@ def _drive(spec: MacroSpec, federation: MacroFederation,
             _gauge("macro", "replica_lag", lag)
             if (epoch.index + 1) % spec.ship_every == 0:
                 federation.follower.catch_up(federation.dock)
+    failover_drills = 0
+    if spec.partitions:
+        # End-of-day failover drill: the warehouse side is "promoted"
+        # under a bumped epoch; the replica adopts the new claim on
+        # its final catch-up, then one straggler shipment still
+        # stamped with the deposed epoch must be fenced, never
+        # applied — the same end state the chaos split-brain scenario
+        # proves, measured inside the macro day.
+        deposed = federation.dock.epoch
+        federation.dock.epoch = deposed + 1
+        failover_drills = 1
     federation.follower.catch_up(federation.dock)
+    if failover_drills:
+        federation.dock.wal.flush()
+        straggler = replace(disk_shipments(federation.dock.wal.path)[0],
+                            epoch=deposed)
+        try:
+            federation.follower.apply_shipment(straggler)
+        except FederationError:
+            pass
     converged = databases_equal(federation.warehouse.db,
                                 federation.follower.database)
     with _span("macro.columnar_analytics"):
@@ -529,13 +612,15 @@ def _drive(spec: MacroSpec, federation: MacroFederation,
     return _report(spec, federation, workload, results, phase_results,
                    staleness_samples, lag_samples,
                    biql_run, biql_refused, converged, columnar,
+                   failover_drills=failover_drills,
                    makespan=timeline.now() - started)
 
 
 def _report(spec: MacroSpec, federation: MacroFederation,
             workload: MacroWorkload, results, phase_results,
             staleness_samples, lag_samples, biql_run, biql_refused,
-            converged, columnar, *, makespan) -> MacroReport:
+            converged, columnar, *, failover_drills,
+            makespan) -> MacroReport:
     overall = summarize(results, budget=spec.deadline)
     phases = {name: summarize(batch, budget=spec.deadline)
               for name, batch in phase_results.items()}
@@ -567,6 +652,10 @@ def _report(spec: MacroSpec, federation: MacroFederation,
         "lag_final": federation.follower.staleness_bound(),
         "applied_statements": federation.follower.applied_total(),
         "rejected_shipments": federation.follower.rejected_shipments,
+        "shipments_fenced": federation.follower.shipments_fenced,
+        "partition_drops": federation.replica_channel.stats.partitioned,
+        "failover_drills": failover_drills,
+        "epoch": federation.follower.epoch,
         "converged": converged,
     }
     if not converged:   # pragma: no cover - a converged day is the norm

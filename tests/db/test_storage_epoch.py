@@ -1,0 +1,174 @@
+"""Replication epochs in the ``$wal`` segment header (format v3).
+
+A leased primary stamps its epoch into every header it writes; old
+files keep working: version-1/2 headers parse exactly as before and
+honestly answer "no epoch".  The epoch is covered by the header CRC,
+so a bit-flipped claim is distrusted rather than believed.
+"""
+
+import json
+
+import pytest
+
+from repro.db import Database
+from repro.db.recovery import databases_equal
+from repro.db.storage import (
+    WAL_EPOCH_FORMAT,
+    WAL_FORMAT,
+    WriteAheadLog,
+    checksum_line,
+    read_wal_records,
+    segment_epoch,
+    segment_generation,
+)
+
+
+def _database():
+    database = Database()
+    database.execute("CREATE TABLE t (id INTEGER PRIMARY KEY, v TEXT)")
+    return database
+
+
+def _wal(path, database, **kwargs):
+    wal = WriteAheadLog(str(path), database, **kwargs)
+    wal.attach()
+    return wal
+
+
+def _header(path):
+    with open(path, encoding="utf-8") as handle:
+        for line in handle:
+            record = json.loads(line)
+            if "$wal" in record:
+                return record
+    return None
+
+
+class TestEpochHeaders:
+    def test_leaseless_wal_writes_v2_headers(self, tmp_path):
+        database = _database()
+        wal = _wal(tmp_path / "wal.jsonl", database)
+        database.execute("INSERT INTO t VALUES (1, 'a')", [])
+        wal.close()
+        header = _header(wal.path)
+        assert header["$wal"] == WAL_FORMAT
+        assert "epoch" not in header
+        assert segment_epoch(wal.path) is None
+
+    def test_epoch_stamped_as_v3_header(self, tmp_path):
+        database = _database()
+        wal = _wal(tmp_path / "wal.jsonl", database, epoch=7)
+        database.execute("INSERT INTO t VALUES (1, 'a')", [])
+        wal.close()
+        header = _header(wal.path)
+        assert header["$wal"] == WAL_EPOCH_FORMAT
+        assert header["epoch"] == 7
+        assert segment_epoch(wal.path) == 7
+        assert segment_generation(wal.path) == wal.generation
+
+    def test_v3_records_replay_like_any_other(self, tmp_path):
+        database = _database()
+        wal = _wal(tmp_path / "wal.jsonl", database, epoch=3)
+        database.execute("INSERT INTO t VALUES (1, 'a')", [])
+        database.execute("INSERT INTO t VALUES (2, 'b')", [])
+        wal.close()
+        twin = _database()
+        WriteAheadLog(wal.path, twin).replay(twin)
+        assert databases_equal(database, twin)
+
+    def test_rotation_carries_the_epoch(self, tmp_path):
+        database = _database()
+        wal = _wal(tmp_path / "wal.jsonl", database, epoch=5)
+        database.execute("INSERT INTO t VALUES (1, 'a')", [])
+        sealed = wal.rotate()
+        database.execute("INSERT INTO t VALUES (2, 'b')", [])
+        wal.close()
+        assert segment_epoch(sealed) == 5
+        assert segment_epoch(wal.path) == 5
+
+    def test_set_epoch_restamps_active_header_in_place(self, tmp_path):
+        database = _database()
+        wal = _wal(tmp_path / "wal.jsonl", database)
+        database.execute("INSERT INTO t VALUES (1, 'a')", [])
+        database.execute("INSERT INTO t VALUES (2, 'b')", [])
+        assert segment_epoch(wal.path) is None
+        wal.set_epoch(9)
+        assert segment_epoch(wal.path) == 9
+        assert segment_generation(wal.path) == wal.generation
+        records, torn = read_wal_records(wal.path)
+        assert len(records) == 2 and not torn
+        # Appends after the restamp land in the same, re-headed file.
+        database.execute("INSERT INTO t VALUES (3, 'c')", [])
+        wal.close()
+        records, __ = read_wal_records(wal.path)
+        assert len(records) == 3
+
+    def test_set_epoch_on_blank_file_stamps_first_append(self, tmp_path):
+        database = _database()
+        wal = _wal(tmp_path / "wal.jsonl", database)
+        wal.set_epoch(4)
+        database.execute("INSERT INTO t VALUES (1, 'a')", [])
+        wal.close()
+        assert segment_epoch(wal.path) == 4
+
+
+class TestBackCompat:
+    def test_v1_header_answers_no_epoch(self, tmp_path):
+        path = tmp_path / "wal.jsonl"
+        path.write_text('{"$wal": 1, "generation": 3}\n')
+        assert segment_generation(str(path)) == 3
+        assert segment_epoch(str(path)) is None
+
+    def test_v2_header_answers_no_epoch(self, tmp_path):
+        path = tmp_path / "wal.jsonl"
+        body = json.dumps({"$wal": 2, "generation": 6})
+        path.write_text(checksum_line(body) + "\n")
+        assert segment_generation(str(path)) == 6
+        assert segment_epoch(str(path)) is None
+
+    def test_v2_checksum_body_unchanged_by_the_new_format(self, tmp_path):
+        # A v2 header written by the previous release must still pass
+        # its CRC under the new verifier: the epoch key joins the
+        # checksum body only when present.
+        path = tmp_path / "wal.jsonl"
+        body = json.dumps({"$wal": 2, "generation": 1})
+        path.write_text(checksum_line(body) + "\n")
+        records, torn = read_wal_records(str(path))
+        assert records == [] and not torn
+
+    def test_reopen_continues_generation_from_v3_header(self, tmp_path):
+        database = _database()
+        wal = _wal(tmp_path / "wal.jsonl", database, epoch=2)
+        database.execute("INSERT INTO t VALUES (1, 'a')", [])
+        wal.rotate()
+        database.execute("INSERT INTO t VALUES (2, 'b')", [])
+        generation = wal.generation
+        wal.close()
+        reopened = WriteAheadLog(wal.path, _database())
+        assert reopened.generation == generation
+
+
+class TestRottedEpochHeaders:
+    @pytest.fixture
+    def stamped(self, tmp_path):
+        database = _database()
+        wal = _wal(tmp_path / "wal.jsonl", database, epoch=7)
+        database.execute("INSERT INTO t VALUES (1, 'a')", [])
+        wal.close()
+        return wal.path
+
+    def test_flipped_epoch_fails_the_header_crc(self, stamped):
+        with open(stamped, encoding="utf-8") as handle:
+            payload = handle.read()
+        with open(stamped, "w", encoding="utf-8") as handle:
+            handle.write(payload.replace('"epoch": 7', '"epoch": 8', 1))
+        # The claim is no longer trustworthy: both header reads refuse.
+        assert segment_epoch(stamped) is None
+        assert segment_generation(stamped) is None
+
+    def test_epoch_key_rotted_away_fails_the_crc(self, stamped):
+        with open(stamped, encoding="utf-8") as handle:
+            payload = handle.read()
+        with open(stamped, "w", encoding="utf-8") as handle:
+            handle.write(payload.replace(', "epoch": 7', '', 1))
+        assert segment_epoch(stamped) is None

@@ -1,0 +1,213 @@
+"""Property-based partition/failover/heal schedules.
+
+Hypothesis drives arbitrary interleavings of writes, catch-up rounds,
+clock advances, partition windows, and failover attempts against a
+leased three-node group, then heals everything, demotes every zombie,
+and lets the :class:`WriteHistoryAuditor` judge the wreckage.  The
+invariants must hold for *every* schedule:
+
+- no acknowledged-and-replicated write is ever lost;
+- at most one node acknowledges writes per epoch;
+- every acknowledged-but-lost write is named by a DivergenceReport;
+- all survivors converge byte-identically after the final heal.
+
+Plus focused interleaving tests for the narrowest race: a lease
+expiring while an ``execute`` is already in flight.
+"""
+
+import tempfile
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.db import Database
+from repro.db.storage import read_wal_records
+from repro.errors import FederationError, LeaseError
+from repro.federation import (
+    FaultyChannel,
+    FollowerNode,
+    MembershipService,
+    PrimaryNode,
+    ReplicationGroup,
+    WriteHistoryAuditor,
+)
+from repro.sources import VirtualClock
+
+LEASE_TIMEOUT = 2.0
+
+
+def _database():
+    database = Database()
+    database.execute("CREATE TABLE t (id INTEGER PRIMARY KEY, v TEXT)")
+    return database
+
+
+def _build(root, seed, drop_rate=0.0):
+    timeline = VirtualClock()
+    membership = MembershipService(timeline, lease_timeout=LEASE_TIMEOUT)
+    auditor = WriteHistoryAuditor()
+    channels = {
+        name: FaultyChannel(timeline, name=f"{name}-net", seed=seed,
+                            drop_rate=drop_rate)
+        for name in ("alpha", "bravo", "charlie")
+    }
+    primary = PrimaryNode("alpha", f"{root}/alpha", _database(),
+                          timeline=timeline, membership=membership,
+                          channel=channels["alpha"], auditor=auditor)
+    followers = [
+        FollowerNode(name, f"{root}/{name}", _database(),
+                     timeline=timeline, channel=channels[name],
+                     auditor=auditor)
+        for name in ("bravo", "charlie")
+    ]
+    group = ReplicationGroup(primary, followers, membership=membership,
+                             promotion_window=60.0)
+    return group, membership, auditor, timeline, channels
+
+
+def _run_schedule(root, seed, events):
+    group, membership, auditor, timeline, channels = _build(
+        root, seed, drop_rate=0.05)
+    zombies = []
+    sequence = 0
+    for event in events:
+        kind = event[0]
+        if kind == "write":
+            sequence += 1
+            try:
+                group.primary.execute(
+                    "INSERT INTO t VALUES (?, ?)",
+                    [sequence, f"v{sequence}"])
+            except FederationError:
+                pass  # refusal is an availability cost, never a fork
+        elif kind == "sync":
+            for follower in group.followers:
+                follower.catch_up(group.primary)
+        elif kind == "advance":
+            timeline.advance(event[1])
+        elif kind == "partition":
+            now = timeline.now()
+            for channel in channels.values():
+                channel.partition(now, now + event[1])
+        elif kind == "failover":
+            if membership.lease_expired() and group.followers:
+                old = group.primary
+                try:
+                    group.promote()
+                except FederationError:
+                    continue
+                if old.alive:
+                    zombies.append(old)
+    # Heal everything: every scheduled window is behind us now.
+    timeline.advance(1000.0)
+    for zombie in zombies:
+        if (zombie.epoch is not None and group.primary.epoch is not None
+                and group.primary.epoch > zombie.epoch):
+            rejoined, __ = zombie.demote(group.primary,
+                                         database=_database())
+            group.followers.append(rejoined)
+    for __ in range(25):
+        for follower in group.followers:
+            follower.catch_up(group.primary)
+    return group, auditor
+
+
+@st.composite
+def schedules(draw):
+    return draw(st.lists(
+        st.one_of(
+            st.just(("write",)),
+            st.just(("sync",)),
+            st.just(("failover",)),
+            st.tuples(st.just("advance"),
+                      st.floats(0.1, 4.0, allow_nan=False)),
+            st.tuples(st.just("partition"),
+                      st.floats(1.0, 12.0, allow_nan=False)),
+        ),
+        min_size=6, max_size=40))
+
+
+class TestPartitionSchedules:
+    @settings(max_examples=30, deadline=None)
+    @given(events=schedules(), seed=st.integers(0, 2**16))
+    def test_auditor_invariants_hold_for_arbitrary_schedules(
+            self, events, seed):
+        with tempfile.TemporaryDirectory() as root:
+            group, auditor = _run_schedule(root, seed, events)
+            verdict = auditor.certify(group.primary, group.followers)
+            assert verdict.ok, verdict.violations
+
+    @settings(max_examples=20, deadline=None)
+    @given(events=schedules(), seed=st.integers(0, 2**16))
+    def test_schedules_replay_deterministically(self, events, seed):
+        verdicts = []
+        for __ in range(2):
+            with tempfile.TemporaryDirectory() as root:
+                group, auditor = _run_schedule(root, seed, events)
+                verdict = auditor.certify(group.primary, group.followers)
+                verdicts.append(
+                    (verdict.ok, verdict.acknowledgments,
+                     sorted(verdict.epochs_with_acks),
+                     [ack.position()
+                      for ack in verdict.lost_unreplicated]))
+        assert verdicts[0] == verdicts[1]
+
+
+class TestLeaseExpiryRacingExecute:
+    """The in-flight race, pinned at exact virtual instants: the lease
+    dies between the WAL append and the acknowledgment."""
+
+    def _primary(self, root, *, ack_cost, partition=None):
+        timeline = VirtualClock()
+        membership = MembershipService(timeline,
+                                       lease_timeout=LEASE_TIMEOUT)
+        channel = FaultyChannel(timeline, name="race-net", seed=0)
+        if partition is not None:
+            channel.partition(*partition)
+        primary = PrimaryNode("alpha", f"{root}/alpha", _database(),
+                              timeline=timeline, membership=membership,
+                              channel=channel, ack_cost=ack_cost)
+        return primary, timeline
+
+    def test_renewal_mid_flight_saves_the_ack(self):
+        with tempfile.TemporaryDirectory() as root:
+            primary, timeline = self._primary(root, ack_cost=0.5)
+            timeline.advance(1.8)  # 0.2s of lease left, ack costs 0.5
+            primary.execute("INSERT INTO t VALUES (1, 'a')", [])
+            assert (0, 0) in primary.acked
+            assert primary.lease.live(timeline.now())
+
+    def test_partitioned_renewal_mid_flight_never_acks(self):
+        with tempfile.TemporaryDirectory() as root:
+            primary, timeline = self._primary(
+                root, ack_cost=0.5, partition=(1.9, 60.0))
+            timeline.advance(1.8)
+            with pytest.raises(LeaseError) as caught:
+                primary.execute("INSERT INTO t VALUES (1, 'a')", [])
+            assert caught.value.kind == "expired"
+            assert primary.acked == set()
+            # Logged locally — demotion will name it as unacknowledged.
+            primary.wal.flush()
+            records, __ = read_wal_records(primary.wal_path)
+            assert len(records) == 1
+
+    @settings(max_examples=40, deadline=None)
+    @given(head_start=st.floats(0.0, 1.99, allow_nan=False),
+           ack_cost=st.floats(0.0, 1.0, allow_nan=False))
+    def test_every_interleaving_acks_or_refuses_never_both(
+            self, head_start, ack_cost):
+        with tempfile.TemporaryDirectory() as root:
+            primary, timeline = self._primary(
+                root, ack_cost=ack_cost, partition=(1.99, 1000.0))
+            timeline.advance(head_start)
+            try:
+                primary.execute("INSERT INTO t VALUES (1, 'a')", [])
+                acked = True
+            except LeaseError:
+                acked = False
+            assert acked == ((0, 0) in primary.acked)
+            if acked:
+                # An acknowledged write is always durably logged.
+                primary.wal.flush()
+                records, __ = read_wal_records(primary.wal_path)
+                assert len(records) == 1

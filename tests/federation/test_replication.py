@@ -18,7 +18,8 @@ import pytest
 
 from repro.db import Database
 from repro.db.recovery import databases_equal
-from repro.errors import FederationError
+from repro.errors import FederationError, StorageError
+from repro.federation.replication import file_digest
 from repro.federation import (
     FollowerNode,
     PrimaryNode,
@@ -405,3 +406,132 @@ class TestDiskShipments:
 
     def test_missing_directory_ships_nothing(self, tmp_path):
         assert disk_shipments(str(tmp_path / "nope" / "wal.jsonl")) == []
+
+
+class TestInvalidUtf8Regression:
+    """Bit rot is bytes, not text: a flipped byte that is no longer
+    valid UTF-8 must classify as ``bit_rot``, never crash the reader
+    with an unhandled ``UnicodeDecodeError``."""
+
+    def _rot_bytes(self, path):
+        with open(path, "rb") as handle:
+            raw = handle.read()
+        # 0xFF is not valid anywhere in UTF-8.
+        with open(path, "wb") as handle:
+            handle.write(raw[: len(raw) // 2] + b"\xff"
+                         + raw[len(raw) // 2 + 1:])
+
+    @pytest.fixture
+    def rotted(self, cluster):
+        group, __ = cluster
+        for index in range(4):
+            group.primary.execute("INSERT INTO t VALUES (?, ?)",
+                                  [index, f"v{index}"])
+        sealed = group.primary.rotate()
+        group.primary.execute("INSERT INTO t VALUES (9, 'i')", [])
+        group.primary.wal.flush()
+        self._rot_bytes(sealed)
+        return group, sealed
+
+    def test_file_digest_returns_none_instead_of_crashing(self, rotted):
+        __, sealed = rotted
+        assert file_digest(sealed) is None
+
+    def test_disk_shipments_classifies_bit_rot(self, rotted):
+        group, sealed = rotted
+        with pytest.raises(StorageError) as caught:
+            disk_shipments(group.primary.wal_path)
+        assert caught.value.kind == "bit_rot"
+        assert caught.value.path == sealed
+        assert caught.value.offset is not None
+
+    def test_disk_shipments_can_skip_the_rotted_file(self, rotted):
+        group, __ = rotted
+        shipments = disk_shipments(group.primary.wal_path,
+                                   on_bit_rot="skip")
+        # The healthy active segment still ships.
+        assert [s.sealed for s in shipments] == [False]
+
+    def test_fetch_segment_classifies_bit_rot(self, rotted):
+        group, __ = rotted
+        with pytest.raises(StorageError) as caught:
+            group.primary.fetch_segment(0)
+        assert caught.value.kind == "bit_rot"
+
+    def test_anti_entropy_survives_a_rotted_local_segment(self, cluster):
+        group, __ = cluster
+        for index in range(4):
+            group.primary.execute("INSERT INTO t VALUES (?, ?)",
+                                  [index, f"v{index}"])
+        group.primary.rotate()
+        group.sync()
+        follower = group.followers[0]
+        self._rot_bytes(follower.wal_path + ".000000")
+        report = follower.anti_entropy(group.primary)
+        assert report.mismatched == [0] and report.repaired == [0]
+        assert follower.verify_ledger() == []
+
+    def test_promotion_salvage_steps_over_rotted_dead_disk(self, cluster):
+        group, __ = cluster
+        for index in range(4):
+            group.primary.execute("INSERT INTO t VALUES (?, ?)",
+                                  [index, f"v{index}"])
+        sealed = group.primary.rotate()
+        group.sync()
+        group.primary.execute("INSERT INTO t VALUES (9, 'late')", [])
+        group.fail_primary()
+        self._rot_bytes(sealed)
+        promoted = group.promote()  # must not crash on the dead disk
+        rows = group.primary.database.execute("SELECT * FROM t").rows
+        assert len(rows) == 5  # gen 0 came from the pre-rot sync
+        assert promoted.alive
+
+
+class TestPromotionWindowRegression:
+    """Overrunning the promotion window is an SLO breach, not an
+    excuse to leave the group half-promoted: the roster swap must
+    complete first, then the breach is reported."""
+
+    def test_over_window_promotion_still_swaps_the_roster(self, cluster):
+        group, __ = cluster
+        for index in range(12):
+            group.primary.execute("INSERT INTO t VALUES (?, ?)",
+                                  [index, f"v{index}"])
+        group.fail_primary()
+        # Salvaging 12 statements at apply_cost 0.02 takes 0.24 virtual
+        # seconds — over a 0.1s window.
+        group.promotion_window = 0.1
+        with pytest.raises(FederationError, match="over the"):
+            group.promote()
+        assert group.primary.name == "bravo"
+        assert group.primary.alive
+        assert [f.name for f in group.followers] == ["charlie"]
+        assert group.last_promotion > group.promotion_window
+        # The promoted primary is fully operational despite the breach.
+        group.primary.execute("INSERT INTO t VALUES (99, 'z')", [])
+        group.sync()
+
+
+class TestLocalOnlySegmentsRegression:
+    """A sealed generation only the follower holds (a demoted zombie's
+    tail) is divergence and must be reported, not silently ignored."""
+
+    def test_local_only_segment_reported(self, cluster):
+        group, __ = cluster
+        group.primary.execute("INSERT INTO t VALUES (1, 'a')", [])
+        group.primary.rotate()
+        group.sync()
+        follower = group.followers[0]
+        # Fabricate a local-only sealed generation far past the
+        # primary's history — the shape a diverged tail leaves behind.
+        stray = follower.wal_path + ".000007"
+        with open(follower.wal_path + ".000000", encoding="utf-8") as src:
+            payload = src.read()
+        with open(stray, "w", encoding="utf-8") as handle:
+            handle.write(payload)
+        report = follower.anti_entropy(group.primary)
+        assert report.local_only == [7]
+        assert not report.clean
+        assert "local-only" in report.summary()
+        # The stray file is evidence, not repair material: left in place.
+        assert os.path.exists(stray)

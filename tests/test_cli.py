@@ -170,6 +170,24 @@ class TestCli:
         assert "seed 5" in seeded
         assert seeded != default
 
+    def test_partition_walks_the_failover_story(self, capsys):
+        assert main(["partition"]) == 0
+        output = capsys.readouterr().out
+        for expected in ("epoch-fenced failover under a one-way partition",
+                         "alpha elected under epoch 1",
+                         "write refused (expired",
+                         "bravo promoted under epoch 2",
+                         "fences the zombie's epoch-1 shipment",
+                         "acknowledged-but-lost statement(s)",
+                         "CERTIFIED", "converged with bravo: True"):
+            assert expected in output, expected
+
+    def test_partition_rejects_a_lease_outliving_the_partition(
+            self, capsys):
+        assert main(["partition", "--lease", "10.0",
+                     "--duration", "5.0"]) == 2
+        assert "--duration" in capsys.readouterr().err
+
     def test_unknown_command_rejected(self):
         with pytest.raises(SystemExit) as excinfo:
             main(["frobnicate"])

@@ -14,6 +14,7 @@ from repro.workload import (
     DiurnalPhase,
     MacroSpec,
     OutageSpec,
+    PartitionSpec,
     build_macro_federation,
     run_macro,
 )
@@ -37,6 +38,9 @@ def soak_spec(seed=None) -> MacroSpec:
         # after the outage lifted and the staleness bound never grows.
         outages=(OutageSpec(epoch=1, shard=0, source=0, delay=1.0,
                             duration=45.0),),
+        # The replica link is cut across the epoch-1 catch-up round
+        # and heals before the end-of-day convergence check.
+        partitions=(PartitionSpec(epoch=1, delay=0.5, duration=40.0),),
     )
 
 
@@ -79,6 +83,19 @@ class TestSoak:
         assert replica["rejected_shipments"] == 0
         assert replica["converged"] is True
         assert replica["lag_max"] > 0.0
+
+    def test_partition_drops_rounds_and_the_drill_fences(self,
+                                                         soak_payload):
+        # The epoch-1 window swallows that epoch's catch-up round, and
+        # the end-of-day failover drill's deposed-epoch straggler is
+        # fenced — yet the replica still converges after the heal.
+        replica = soak_payload["replica"]
+        assert replica["partition_drops"] >= 1
+        assert replica["failover_drills"] == 1
+        assert replica["shipments_fenced"] == 1
+        assert replica["epoch"] == 2
+        assert replica["converged"] is True
+        assert soak_payload["spec"]["partitions"] == 1
 
     def test_biql_statements_ran(self, soak_payload):
         biql = soak_payload["biql"]
